@@ -1,0 +1,92 @@
+// E9 — Bucketing strategies for the memory parameter (§3.7).
+//
+// Paper claims: bucket count trades optimization cost against plan quality;
+// aligning buckets with the cost formulas' level sets lets very few buckets
+// suffice ("if we are considering a sort-merge join for fixed relation
+// sizes, we need deal with only three buckets").
+//
+// Ground truth: a 512-bucket uniform discretization. For each strategy and
+// budget b we optimize with the coarsened distribution, then score the
+// chosen plan under the fine distribution (true EC) and report the regret
+// vs optimizing with the fine distribution directly.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "cost/expected_cost.h"
+#include "dist/builders.h"
+#include "optimizer/algorithm_c.h"
+#include "optimizer/bucketing.h"
+#include "query/generator.h"
+
+using namespace lec;
+
+namespace {
+
+const char* Name(BucketingStrategy s) {
+  switch (s) {
+    case BucketingStrategy::kEqualWidth:
+      return "equal-width";
+    case BucketingStrategy::kEqualProb:
+      return "equal-prob";
+    case BucketingStrategy::kLevelSet:
+      return "level-set";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  const int kQueries = 50;
+  CostModel model;
+  Distribution fine = DiscretizedLogNormal(std::log(800), 1.2, 8, 50000,
+                                           512);
+
+  bench::Header("E9", "plan regret vs bucket budget and strategy "
+                      "(true EC under 512-bucket truth)");
+  std::printf("%-4s %-14s %14s %14s %14s\n", "b", "strategy",
+              "avg regret", "max regret", "misses");
+  bench::Rule();
+
+  for (size_t b : {1u, 2u, 3u, 4u, 6u, 8u, 16u}) {
+    for (BucketingStrategy strategy :
+         {BucketingStrategy::kEqualWidth, BucketingStrategy::kEqualProb,
+          BucketingStrategy::kLevelSet}) {
+      double total_regret = 0, max_regret = 0;
+      int misses = 0;
+      for (int i = 0; i < kQueries; ++i) {
+        Rng rng(6000 + static_cast<uint64_t>(i));
+        WorkloadOptions wopts;
+        wopts.num_tables = 3 + i % 3;
+        wopts.shape =
+            i % 2 == 0 ? JoinGraphShape::kChain : JoinGraphShape::kStar;
+        wopts.min_pages = 2000;
+        wopts.max_pages = 3'000'000;
+        wopts.order_by_probability = 0.5;
+        Workload w = GenerateWorkload(wopts, &rng);
+        Distribution coarse = BucketMemory(fine, b, strategy, w.query,
+                                           w.catalog, model);
+        OptimizeResult with_coarse =
+            OptimizeLecStatic(w.query, w.catalog, model, coarse);
+        OptimizeResult with_fine =
+            OptimizeLecStatic(w.query, w.catalog, model, fine);
+        double true_ec = PlanExpectedCostStatic(with_coarse.plan, w.query,
+                                                w.catalog, model, fine);
+        double regret = true_ec / with_fine.objective - 1.0;
+        total_regret += regret;
+        max_regret = std::max(max_regret, regret);
+        if (regret > 1e-9) ++misses;
+      }
+      std::printf("%-4zu %-14s %13.4f%% %13.4f%% %11d/%d\n", b,
+                  Name(strategy), 100 * total_regret / kQueries,
+                  100 * max_regret, misses, kQueries);
+    }
+  }
+  std::printf(
+      "\nExpectation: regret falls with b for quantile/level-set "
+      "strategies; once b\napproaches the number of thresholds relevant to "
+      "the query, level-set\nbucketing reaches ~zero regret while "
+      "equal-width (fooled by the heavy\ntail) and equal-prob still pay.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// E7 — Linear-time expected cost (§3.6.1, §3.6.2).
+//
+// Paper claim: EC(SM) and EC(NL) are computable in O(b_M + b_|A| + b_|B|)
+// versus the naive O(b_M · b_|A| · b_|B|) triple enumeration. We verify
+// agreement and time both paths as the per-variable bucket count grows —
+// the fast path should scale linearly, the naive path cubically.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cost/expected_cost.h"
+#include "cost/fast_expected_cost.h"
+#include "util/rng.h"
+
+using namespace lec;
+
+namespace {
+
+Distribution RandomDist(size_t buckets, double lo, double hi,
+                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Bucket> out;
+  for (size_t i = 0; i < buckets; ++i) {
+    out.push_back({rng.LogUniform(lo, hi), rng.Uniform(0.05, 1.0)});
+  }
+  return Distribution(std::move(out));
+}
+
+void PrintAgreementTable() {
+  bench::Header("E7", "fast vs naive EC: agreement and work units");
+  std::printf("%-8s %-6s %18s %18s %14s\n", "method", "b", "naive EC",
+              "fast EC", "rel. err");
+  bench::Rule();
+  CostModel model;
+  for (size_t b : {4u, 16u, 64u}) {
+    Distribution a = RandomDist(b, 100, 1e6, 11);
+    Distribution bd = RandomDist(b, 100, 1e6, 22);
+    Distribution m = RandomDist(b, 4, 4000, 33);
+    for (JoinMethod method : kAllJoinMethods) {
+      double naive = ExpectedJoinCost(model, method, a, bd, m);
+      double fast = FastExpectedJoinCost(method, a, bd, m);
+      std::printf("%-8s %-6zu %18.6e %18.6e %14.2e\n",
+                  ToString(method).c_str(), b, naive, fast,
+                  std::fabs(naive - fast) / naive);
+    }
+  }
+  std::printf("\nExpectation: relative error ~1e-16 (exact modulo fp).\n");
+}
+
+void BM_NaiveEc(benchmark::State& state) {
+  size_t b = static_cast<size_t>(state.range(0));
+  JoinMethod method = static_cast<JoinMethod>(state.range(1));
+  Distribution a = RandomDist(b, 100, 1e6, 1);
+  Distribution bd = RandomDist(b, 100, 1e6, 2);
+  Distribution m = RandomDist(b, 4, 4000, 3);
+  CostModel model;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ExpectedJoinCost(model, method, a, bd, m));
+  }
+  state.SetComplexityN(static_cast<int64_t>(b));
+}
+BENCHMARK(BM_NaiveEc)
+    ->ArgsProduct({{4, 8, 16, 32, 64, 128}, {0, 1, 2}})
+    ->Complexity();
+
+void BM_FastEc(benchmark::State& state) {
+  size_t b = static_cast<size_t>(state.range(0));
+  JoinMethod method = static_cast<JoinMethod>(state.range(1));
+  Distribution a = RandomDist(b, 100, 1e6, 1);
+  Distribution bd = RandomDist(b, 100, 1e6, 2);
+  Distribution m = RandomDist(b, 4, 4000, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FastExpectedJoinCost(method, a, bd, m));
+  }
+  state.SetComplexityN(static_cast<int64_t>(b));
+}
+BENCHMARK(BM_FastEc)
+    ->ArgsProduct({{4, 8, 16, 32, 64, 128, 256, 512}, {0, 1, 2}})
+    ->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintAgreementTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

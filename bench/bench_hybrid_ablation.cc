@@ -1,0 +1,85 @@
+// E15 — Ablating the discontinuities (§1.1).
+//
+// Paper: "whenever there are discontinuities in cost formulas (as is the
+// case with database join algorithms), such an effect [LEC beating LSC] is
+// likely to arise." Contrapositive test: add hybrid hash join [Sha86],
+// whose I/O cost is *continuous* in memory, to the method set of both
+// optimizers and watch the LEC advantage shrink — the advantage really is
+// the discontinuities, not an artifact of expectation-taking.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cost/expected_cost.h"
+#include "dist/builders.h"
+#include "optimizer/algorithm_c.h"
+#include "optimizer/system_r.h"
+#include "query/generator.h"
+
+using namespace lec;
+
+namespace {
+
+double AvgRatio(const OptimizerOptions& opts, const Distribution& memory,
+                int num_queries, uint64_t seed_base) {
+  CostModel model;
+  double total = 0;
+  for (int i = 0; i < num_queries; ++i) {
+    Rng rng(seed_base + static_cast<uint64_t>(i));
+    WorkloadOptions wopts;
+    wopts.num_tables = 3 + i % 3;
+    wopts.shape = i % 2 == 0 ? JoinGraphShape::kChain : JoinGraphShape::kStar;
+    // Table sizes comparable to memory, so the hybrid residency fraction
+    // is meaningful for real joins (hybrid degenerates to Grace when
+    // F >> M).
+    wopts.min_pages = 200;
+    wopts.max_pages = 20'000;
+    wopts.order_by_probability = 0.5;
+    Workload w = GenerateWorkload(wopts, &rng);
+    OptimizeResult lsc = OptimizeLscAtEstimate(
+        w.query, w.catalog, model, memory, PointEstimate::kMode, opts);
+    double lsc_ec = PlanExpectedCostStatic(lsc.plan, w.query, w.catalog,
+                                           model, memory);
+    double lec = OptimizeLecStatic(w.query, w.catalog, model, memory, opts)
+                     .objective;
+    total += lsc_ec / lec;
+  }
+  return total / num_queries;
+}
+
+}  // namespace
+
+int main() {
+  const int kQueries = 60;
+  OptimizerOptions classic;  // NL + SM + GH (the paper's set)
+  OptimizerOptions with_hybrid;
+  with_hybrid.join_methods = {JoinMethod::kNestedLoop,
+                              JoinMethod::kSortMerge,
+                              JoinMethod::kGraceHash,
+                              JoinMethod::kHybridHash};
+  OptimizerOptions hybrid_only;  // fully continuous join costs
+  hybrid_only.join_methods = {JoinMethod::kHybridHash};
+
+  bench::Header("E15", "LEC advantage vs continuity of the cost formulas");
+  std::printf("%-14s %18s %18s %18s\n", "Pr(mem=low)", "NL/SM/GH",
+              "NL/SM/GH+HH", "HH only");
+  bench::Rule();
+  for (double p_low : {0.05, 0.1, 0.2, 0.3, 0.4}) {
+    Distribution memory =
+        Distribution::TwoPoint(3000, 1 - p_low, 120, p_low);
+    double without = AvgRatio(classic, memory, kQueries, 1000);
+    double with = AvgRatio(with_hybrid, memory, kQueries, 1000);
+    double continuous = AvgRatio(hybrid_only, memory, kQueries, 1000);
+    std::printf("%-14.2f %18.4f %18.4f %18.4f\n", p_low, without, with,
+                continuous);
+  }
+  std::printf(
+      "\nExpectation: with only the (continuous) hybrid method the ratio "
+      "collapses to\n~1 — the LEC advantage really is the discontinuities "
+      "(§1.1). Merely *adding*\nhybrid does not rescue LSC: the point "
+      "estimator still grabs razor-edge NL/SM\nplans at the mode, while "
+      "LEC also benefits from the richer space, so the\nratio even grows "
+      "slightly. Continuity must hold for every available method to\nmake "
+      "point estimates safe — a strong argument for LEC in real systems, "
+      "whose\nmethod mix will always include discontinuous algorithms.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// E3 — Optimization-cost scaling (Theorems 3.2/3.3; §3.2 cost analysis).
+//
+// Paper claims:
+//   * Algorithm A costs ~b LSC optimizer invocations (plus an O((n-1)b^2)
+//     candidate-evaluation term that is dominated by generation).
+//   * Algorithm C costs ~b x one LSC invocation ("b times the cost of the
+//     standard computation using a single memory size").
+//
+// We measure both wall-clock time (google-benchmark) and the structural
+// counters (cost-formula evaluations), which are the units of the theorems.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "dist/builders.h"
+#include "optimizer/algorithm_a.h"
+#include "optimizer/algorithm_c.h"
+#include "optimizer/system_r.h"
+#include "query/generator.h"
+
+using namespace lec;
+
+namespace {
+
+Workload MakeWorkload(int n) {
+  Rng rng(static_cast<uint64_t>(n) * 31 + 5);
+  WorkloadOptions wopts;
+  wopts.num_tables = n;
+  wopts.shape = JoinGraphShape::kClique;  // stresses the full subset DAG
+  wopts.order_by_probability = 1.0;
+  return GenerateWorkload(wopts, &rng);
+}
+
+void BM_SystemR(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Workload w = MakeWorkload(n);
+  CostModel model;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OptimizeLsc(w.query, w.catalog, model, 800));
+  }
+}
+BENCHMARK(BM_SystemR)->DenseRange(3, 9, 2);
+
+void BM_AlgorithmC(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  size_t b = static_cast<size_t>(state.range(1));
+  Workload w = MakeWorkload(n);
+  CostModel model;
+  Distribution memory = UniformBuckets(50, 5000, b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        OptimizeLecStatic(w.query, w.catalog, model, memory));
+  }
+}
+BENCHMARK(BM_AlgorithmC)
+    ->ArgsProduct({{3, 5, 7, 9}, {1, 2, 4, 8, 16, 32}});
+
+void BM_AlgorithmA(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  size_t b = static_cast<size_t>(state.range(1));
+  Workload w = MakeWorkload(n);
+  CostModel model;
+  Distribution memory = UniformBuckets(50, 5000, b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        OptimizeAlgorithmA(w.query, w.catalog, model, memory));
+  }
+}
+BENCHMARK(BM_AlgorithmA)->ArgsProduct({{5, 7}, {2, 4, 8, 16}});
+
+void PrintStructuralTable() {
+  bench::Header("E3",
+                "cost-formula evaluations: Algorithm C vs b x System R");
+  std::printf("%-4s %-4s %16s %16s %18s %10s\n", "n", "b", "SystemR evals",
+              "AlgoC evals", "AlgoC/(SystemR)", "ratio/b");
+  bench::Rule();
+  CostModel model;
+  for (int n : {4, 6, 8}) {
+    Workload w = MakeWorkload(n);
+    OptimizeResult lsc = OptimizeLsc(w.query, w.catalog, model, 800);
+    for (size_t b : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      Distribution memory = UniformBuckets(50, 5000, b);
+      OptimizeResult lec =
+          OptimizeLecStatic(w.query, w.catalog, model, memory);
+      // Each of AlgoC's "evaluations" covers b formula calls internally;
+      // normalize to formula-call units.
+      double algoc_units =
+          static_cast<double>(lec.cost_evaluations) * static_cast<double>(b);
+      double ratio = algoc_units / static_cast<double>(lsc.cost_evaluations);
+      std::printf("%-4d %-4zu %16zu %16.0f %18.2f %10.3f\n", n, b,
+                  lsc.cost_evaluations, algoc_units, ratio,
+                  ratio / static_cast<double>(b));
+    }
+  }
+  std::printf(
+      "\nExpectation per Theorem 3.3: ratio/b constant (~1), i.e. Algorithm"
+      " C\ncosts b times one System R invocation in formula evaluations.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintStructuralTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,133 @@
+// E8 — Result-size rebucketing (§3.6.3).
+//
+// Paper claim: pre-rebucketing |A|, |B|, σ to ∛b buckets keeps the
+// result-size computation O(b) per node instead of O(b³), at bounded
+// accuracy loss. We sweep the bucket budget on multi-join chains with
+// distributional sizes/selectivities and report (a) the EC estimation error
+// of Algorithm D vs an exact-propagation reference, (b) bucket counts and
+// timing of the two propagation modes.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cost/expected_cost.h"
+#include "cost/size_propagation.h"
+#include "dist/builders.h"
+#include "optimizer/algorithm_d.h"
+#include "query/generator.h"
+
+using namespace lec;
+
+namespace {
+
+void PrintAccuracyTable() {
+  bench::Header("E8", "Algorithm D objective error vs size-bucket budget");
+  CostModel model;
+  // Memory sits just above the *mean* table size: with sizes collapsed to
+  // one bucket every relation seems to fit and nested loop looks safe, but
+  // the upper size bucket (25% mass) blows past the threshold. Whether the
+  // propagation keeps that tail is exactly what the bucket budget controls.
+  Distribution memory = Distribution::PointMass(150);
+  std::printf("%-8s %18s %18s %12s\n", "b", "EC (cube-root)",
+              "EC (exact ref)", "rel. err");
+  bench::Rule();
+  Rng wrng(77);
+  Workload w;
+  for (int i = 0; i < 5; ++i) {
+    Table t;
+    t.name = "T" + std::to_string(i);
+    t.pages = 110;
+    t.pages_dist = DiscretizedLogNormal(std::log(100), 0.9, 8, 1500, 48);
+    w.query.AddTable(w.catalog.AddTable(std::move(t)));
+  }
+  for (int i = 0; i + 1 < 5; ++i) {
+    w.query.AddPredicate(i, i + 1,
+                         UncertainSelectivity(1.0 / 110, 3.0));
+  }
+  OptimizerOptions exact;
+  exact.size_buckets = 4096;
+  exact.size_mode = SizePropagationMode::kExactThenRebucket;
+  double ref =
+      OptimizeAlgorithmD(w.query, w.catalog, model, memory, exact).objective;
+  for (size_t b : {1u, 8u, 27u, 64u, 125u, 343u}) {
+    OptimizerOptions opts;
+    opts.size_buckets = b;
+    OptimizeResult r =
+        OptimizeAlgorithmD(w.query, w.catalog, model, memory, opts);
+    std::printf("%-8zu %18.6e %18.6e %12.4f\n", b, r.objective, ref,
+                std::fabs(r.objective - ref) / ref);
+  }
+  std::printf("\nExpectation: b=1 collapses sizes to their means and is "
+              "fooled into a fragile\nnested-loop plan; a handful of "
+              "buckets recovers the exact choice (hash costs\nare linear "
+              "in size, so mean-preserving rebucketing is EC-lossless for "
+              "them).\n");
+
+  // Evaluation error on a *fixed* threshold-sensitive plan: take the plan
+  // the b=1 optimizer liked (it contains nested loops near the memory
+  // cliff) and estimate its EC under increasing bucket budgets.
+  bench::Header("E8b", "EC estimate of a fixed NL-heavy plan vs bucket "
+                       "budget");
+  OptimizerOptions one;
+  one.size_buckets = 1;
+  PlanPtr fragile =
+      OptimizeAlgorithmD(w.query, w.catalog, model, memory, one).plan;
+  double plan_ref = PlanExpectedCostMultiParam(fragile, w.query, w.catalog,
+                                               model, memory, 8192);
+  std::printf("%-8s %18s %18s %12s\n", "b", "EC estimate", "EC (b=8192)",
+              "rel. err");
+  bench::Rule();
+  for (size_t b : {1u, 2u, 4u, 8u, 16u, 27u, 64u, 125u, 343u}) {
+    double est = PlanExpectedCostMultiParam(fragile, w.query, w.catalog,
+                                            model, memory, b);
+    std::printf("%-8zu %18.6e %18.6e %12.4f\n", b, est, plan_ref,
+                std::fabs(est - plan_ref) / plan_ref);
+  }
+  std::printf("\nExpectation: smooth convergence as the bucket budget "
+              "resolves the size\ndistribution around the nested-loop "
+              "memory threshold (§3.6.3).\n");
+}
+
+void BM_PropagateCubeRoot(benchmark::State& state) {
+  size_t b = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<Bucket> lv, rv;
+  for (int i = 0; i < 64; ++i) {
+    lv.push_back({rng.LogUniform(100, 1e6), 1.0 / 64});
+    rv.push_back({rng.LogUniform(100, 1e6), 1.0 / 64});
+  }
+  Distribution l(std::move(lv)), r(std::move(rv));
+  Distribution s = UncertainSelectivity(1e-4, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JoinSizeDistribution(
+        l, r, s, b, SizePropagationMode::kCubeRootPrebucket));
+  }
+}
+BENCHMARK(BM_PropagateCubeRoot)->Arg(8)->Arg(27)->Arg(64)->Arg(125);
+
+void BM_PropagateExact(benchmark::State& state) {
+  size_t b = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<Bucket> lv, rv;
+  for (int i = 0; i < 64; ++i) {
+    lv.push_back({rng.LogUniform(100, 1e6), 1.0 / 64});
+    rv.push_back({rng.LogUniform(100, 1e6), 1.0 / 64});
+  }
+  Distribution l(std::move(lv)), r(std::move(rv));
+  Distribution s = UncertainSelectivity(1e-4, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JoinSizeDistribution(
+        l, r, s, b, SizePropagationMode::kExactThenRebucket));
+  }
+}
+BENCHMARK(BM_PropagateExact)->Arg(8)->Arg(27)->Arg(64)->Arg(125);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintAccuracyTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

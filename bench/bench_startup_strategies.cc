@@ -1,0 +1,121 @@
+// E11 — Compile-time LEC vs the §2.3 start-up-time strategies.
+//
+// The paper positions LEC against strategies that wait for information:
+// re-optimizing at start-up (Illustra-style) and parametric lookup tables
+// [INSS92]/[GC94]. When start-up *can* observe the parameter exactly those
+// win by definition; the question is how much of that gap compile-time LEC
+// closes, and what happens when the start-up observation is noisy (memory
+// may still change after admission).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "cost/expected_cost.h"
+#include "dist/builders.h"
+#include "optimizer/algorithm_c.h"
+#include "optimizer/parametric.h"
+#include "optimizer/system_r.h"
+#include "query/generator.h"
+
+using namespace lec;
+
+int main() {
+  const int kQueries = 80;
+  CostModel model;
+  Distribution memory({{25, 0.2}, {250, 0.3}, {2500, 0.3}, {25000, 0.2}});
+
+  double sum_lsc = 0, sum_lec = 0, sum_lookup = 0, sum_reopt = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    Rng rng(7000 + static_cast<uint64_t>(i));
+    WorkloadOptions wopts;
+    wopts.num_tables = 3 + i % 4;
+    wopts.shape = static_cast<JoinGraphShape>(i % 5);
+    wopts.order_by_probability = 0.4;
+    Workload w = GenerateWorkload(wopts, &rng);
+
+    OptimizeResult lsc = OptimizeLscAtEstimate(w.query, w.catalog, model,
+                                               memory, PointEstimate::kMode);
+    sum_lsc +=
+        PlanExpectedCostStatic(lsc.plan, w.query, w.catalog, model, memory);
+    sum_lec +=
+        OptimizeLecStatic(w.query, w.catalog, model, memory).objective;
+    ParametricPlanSet set =
+        ParametricPlanSet::Compile(w.query, w.catalog, model, memory);
+    sum_lookup += ParametricStartupExpectedCost(set, w.query, w.catalog,
+                                                model, memory);
+    // Re-optimization at start-up = per-bucket LSC optimum (same value as
+    // the lookup table when representatives match the support, but paying
+    // a full optimizer run per execution).
+    double reopt = 0;
+    for (const Bucket& m : memory.buckets()) {
+      reopt += m.prob *
+               OptimizeLsc(w.query, w.catalog, model, m.value).objective;
+    }
+    sum_reopt += reopt;
+  }
+
+  bench::Header("E11", "strategy comparison, expected cost per query "
+                       "(lower = better)");
+  std::printf("%-44s %16s\n", "strategy", "avg expected cost");
+  bench::Rule();
+  std::printf("%-44s %16.4e\n", "compile-time LSC @ mode (traditional)",
+              sum_lsc / kQueries);
+  std::printf("%-44s %16.4e\n", "compile-time LEC (Algorithm C)",
+              sum_lec / kQueries);
+  std::printf("%-44s %16.4e\n",
+              "start-up lookup table [INSS92] (sees memory)",
+              sum_lookup / kQueries);
+  std::printf("%-44s %16.4e\n",
+              "start-up re-optimization [Ill94] (sees memory)",
+              sum_reopt / kQueries);
+  double gap_lsc = sum_lsc - sum_reopt;
+  double gap_lec = sum_lec - sum_reopt;
+  std::printf(
+      "\nLEC closes %.1f%% of the LSC-to-clairvoyant gap with zero "
+      "start-up machinery.\n",
+      100.0 * (1.0 - gap_lec / gap_lsc));
+
+  // Noisy start-up observation: memory may shrink again between admission
+  // and the join phases. The lookup table trusts its observation; LEC's
+  // distribution-wide hedge degrades more gracefully.
+  bench::Header("E11b", "when the start-up observation is unreliable");
+  std::printf("%-14s %16s %16s\n", "p(shift)", "lookup EC", "LEC EC");
+  bench::Rule();
+  for (double p_shift : {0.0, 0.1, 0.3, 0.5}) {
+    double sum_lookup_noisy = 0, sum_lec2 = 0;
+    for (int i = 0; i < kQueries; ++i) {
+      Rng rng(7000 + static_cast<uint64_t>(i));
+      WorkloadOptions wopts;
+      wopts.num_tables = 3 + i % 4;
+      wopts.shape = static_cast<JoinGraphShape>(i % 5);
+      wopts.order_by_probability = 0.4;
+      Workload w = GenerateWorkload(wopts, &rng);
+      ParametricPlanSet set =
+          ParametricPlanSet::Compile(w.query, w.catalog, model, memory);
+      // Observed memory m, but with probability p_shift execution actually
+      // sees a fresh draw from the distribution.
+      double ec = 0;
+      for (const Bucket& obs : memory.buckets()) {
+        const PlanPtr& plan = set.PlanFor(obs.value);
+        double run_ec =
+            (1 - p_shift) * PlanCostAtMemory(plan, w.query, w.catalog,
+                                             model, obs.value) +
+            p_shift * PlanExpectedCostStatic(plan, w.query, w.catalog,
+                                             model, memory);
+        ec += obs.prob * run_ec;
+      }
+      sum_lookup_noisy += ec;
+      sum_lec2 +=
+          OptimizeLecStatic(w.query, w.catalog, model, memory).objective;
+    }
+    std::printf("%-14.1f %16.4e %16.4e\n", p_shift,
+                sum_lookup_noisy / kQueries, sum_lec2 / kQueries);
+  }
+  std::printf(
+      "\nExpectation: at p(shift)=0 the lookup table wins slightly; with "
+      "any real\nchance the observation goes stale, the per-point plans "
+      "(optimized for their\nbucket only) blow up while LEC's "
+      "distribution-wide hedge is unaffected — the\npaper's case for "
+      "modeling parameters as distributions even at start-up (§3.1).\n");
+  return 0;
+}

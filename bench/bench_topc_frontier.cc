@@ -1,0 +1,96 @@
+// E4 — Proposition 3.1: the top-c combination frontier.
+//
+// Paper claim: "It suffices to consider at most c + c log c combinations of
+// plans for each join method to produce the top c plans."
+//
+// We measure pairs examined by TopCombinations on adversarially long sorted
+// lists (so the frontier, not list exhaustion, binds), compare with the
+// c + c·ln c bound and with the naive c² / full-product alternatives, and
+// time the frontier against brute force.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "optimizer/algorithm_b.h"
+#include "util/rng.h"
+
+using namespace lec;
+
+namespace {
+
+std::vector<double> SortedCosts(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out;
+  double v = 0;
+  for (size_t i = 0; i < n; ++i) out.push_back(v += rng.Uniform(0.1, 5.0));
+  return out;
+}
+
+void PrintFrontierTable() {
+  bench::Header("E4", "Proposition 3.1 — combinations examined vs bound");
+  std::printf("%-6s %12s %14s %12s %12s\n", "c", "examined", "c + c ln c",
+              "c^2", "exact?");
+  bench::Rule();
+  for (size_t c : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    std::vector<double> a = SortedCosts(256, 1);
+    std::vector<double> b = SortedCosts(256, 2);
+    size_t examined = 0;
+    std::vector<Combination> top = TopCombinations(a, b, c, &examined);
+    // Exactness vs brute force.
+    std::vector<double> all;
+    for (double x : a) {
+      for (double y : b) all.push_back(x + y);
+    }
+    std::sort(all.begin(), all.end());
+    bool exact = top.size() == std::min(c, all.size());
+    for (size_t i = 0; i < top.size() && exact; ++i) {
+      exact = std::fabs(top[i].cost - all[i]) < 1e-9;
+    }
+    double bound = static_cast<double>(c) +
+                   static_cast<double>(c) * std::log(static_cast<double>(c));
+    std::printf("%-6zu %12zu %14.1f %12zu %12s\n", c, examined, bound, c * c,
+                exact ? "yes" : "NO");
+  }
+  std::printf("\nExpectation: examined <= c + c ln c << c^2, always exact.\n");
+}
+
+void BM_TopCombinationsFrontier(benchmark::State& state) {
+  size_t c = static_cast<size_t>(state.range(0));
+  std::vector<double> a = SortedCosts(1024, 3);
+  std::vector<double> b = SortedCosts(1024, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TopCombinations(a, b, c));
+  }
+}
+BENCHMARK(BM_TopCombinationsFrontier)->RangeMultiplier(4)->Range(1, 256);
+
+void BM_TopCombinationsBruteForce(benchmark::State& state) {
+  size_t c = static_cast<size_t>(state.range(0));
+  std::vector<double> a = SortedCosts(1024, 3);
+  std::vector<double> b = SortedCosts(1024, 4);
+  for (auto _ : state) {
+    std::vector<double> all;
+    all.reserve(a.size() * b.size());
+    for (double x : a) {
+      for (double y : b) all.push_back(x + y);
+    }
+    std::partial_sort(all.begin(),
+                      all.begin() + static_cast<ptrdiff_t>(
+                                        std::min(c, all.size())),
+                      all.end());
+    benchmark::DoNotOptimize(all);
+  }
+}
+BENCHMARK(BM_TopCombinationsBruteForce)->RangeMultiplier(4)->Range(1, 256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFrontierTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Shared output helpers for the experiment harness. Each bench binary
+// regenerates one experiment from DESIGN.md's index and prints its rows;
+// EXPERIMENTS.md records the paper-claim vs measured outcome.
+#ifndef LECOPT_BENCH_BENCH_UTIL_H_
+#define LECOPT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace lec::bench {
+
+inline void Header(const std::string& id, const std::string& title) {
+  std::printf("\n==== %s: %s ====\n", id.c_str(), title.c_str());
+}
+
+inline void Rule() {
+  std::printf("%s\n", std::string(78, '-').c_str());
+}
+
+}  // namespace lec::bench
+
+#endif  // LECOPT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,102 @@
+// Dynamic memory (§3.5): optimizing a long-running join chain when memory
+// drifts *during* execution.
+//
+// A five-way telemetry chain join runs long enough for concurrent load to
+// build up, so the buffer pool allocation follows a downward-biased Markov
+// drift between join phases. The static LEC optimizer sees only the
+// start-up distribution and gambles on a nested-loop join in a late phase;
+// the dynamic optimizer (Theorem 3.4) costs phase t under the chain's
+// t-step marginal and hedges that join with a hash join instead.
+//
+//   $ ./example_adaptive_shift
+#include <cstdio>
+
+#include "cost/expected_cost.h"
+#include "dist/builders.h"
+#include "dist/markov.h"
+#include "exec/analytic_simulator.h"
+#include "optimizer/algorithm_c.h"
+#include "optimizer/system_r.h"
+#include "plan/printer.h"
+
+using namespace lec;
+
+int main() {
+  Catalog catalog;
+  TableId clicks = catalog.AddTable("clicks", 29'269);
+  TableId sessions = catalog.AddTable("sessions", 24'403);
+  TableId events = catalog.AddTable("events", 897'218);
+  TableId logs = catalog.AddTable("logs", 573'223);
+  TableId users = catalog.AddTable("users", 1'933);
+
+  Query q;
+  QueryPos p0 = q.AddTable(clicks);
+  QueryPos p1 = q.AddTable(sessions);
+  QueryPos p2 = q.AddTable(events);
+  QueryPos p3 = q.AddTable(logs);
+  QueryPos p4 = q.AddTable(users);
+  q.AddPredicate(p0, p1, 1.178e-8);
+  q.AddPredicate(p1, p2, 3.991e-5);
+  q.AddPredicate(p2, p3, 3.872e-8);
+  q.AddPredicate(p3, p4, 3.331e-5);
+
+  CostModel model;
+
+  // Memory states and a drift chain biased downward: the query starts while
+  // the system is quiet, but load builds up over its four join phases.
+  MarkovChain drift({80, 400, 2000, 10000},
+                    {{0.9, 0.1, 0.0, 0.0},
+                     {0.5, 0.4, 0.1, 0.0},
+                     {0.1, 0.5, 0.3, 0.1},
+                     {0.0, 0.1, 0.5, 0.4}});
+  Distribution initial({{2000, 0.4}, {10000, 0.6}});
+
+  std::printf("Per-phase memory marginals (load builds up during the "
+              "query):\n");
+  Distribution cur = initial;
+  for (int t = 0; t < 4; ++t) {
+    std::printf("  phase %d: %s\n", t, cur.ToString().c_str());
+    cur = drift.Step(cur);
+  }
+
+  OptimizeResult lsc = OptimizeLscAtEstimate(q, catalog, model, initial,
+                                             PointEstimate::kMode);
+  OptimizeResult stat = OptimizeLecStatic(q, catalog, model, initial);
+  OptimizeResult dyn =
+      OptimizeLecDynamic(q, catalog, model, drift, initial);
+
+  std::printf("\nLSC @ start-up mode: %s\n",
+              PlanToString(lsc.plan, q, catalog).c_str());
+  std::printf("LEC static:          %s\n",
+              PlanToString(stat.plan, q, catalog).c_str());
+  std::printf("LEC dynamic:         %s\n",
+              PlanToString(dyn.plan, q, catalog).c_str());
+
+  auto true_ec = [&](const PlanPtr& plan) {
+    return PlanExpectedCostDynamic(plan, q, catalog, model, drift, initial);
+  };
+  std::printf("\nTrue expected costs under the drift model:\n");
+  std::printf("  LSC:         %.4e\n", true_ec(lsc.plan));
+  std::printf("  LEC static:  %.4e\n", true_ec(stat.plan));
+  std::printf("  LEC dynamic: %.4e\n", true_ec(dyn.plan));
+
+  EnvironmentModel env;
+  env.memory = initial;
+  env.memory_chain = drift;
+  Rng rng(5);
+  std::vector<MonteCarloResult> sim = SimulatePlansPaired(
+      {lsc.plan, stat.plan, dyn.plan}, q, catalog, model, env, 15000, &rng);
+  std::printf("\nSimulated 15000 executions over sampled memory "
+              "trajectories:\n");
+  std::printf("  LSC:         mean %.4e   worst %.4e\n", sim[0].mean,
+              sim[0].max);
+  std::printf("  LEC static:  mean %.4e   worst %.4e\n", sim[1].mean,
+              sim[1].max);
+  std::printf("  LEC dynamic: mean %.4e   worst %.4e\n", sim[2].mean,
+              sim[2].max);
+  std::printf("\nThe static optimizer keeps a nested-loop join in a late "
+              "phase — fine at\nstart-up memory, ruinous once the pool has "
+              "decayed. The dynamic optimizer\nsees the decay coming and "
+              "hedges with a hash join.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Quickstart: the paper's Example 1.1 in ~60 lines of API usage.
+//
+// Build a catalog and a two-table join query, describe memory as a
+// distribution instead of a point estimate, and compare what a traditional
+// (LSC) optimizer picks against the least-expected-cost (LEC) plan.
+//
+//   $ ./example_quickstart
+#include <cstdio>
+
+#include "cost/expected_cost.h"
+#include "dist/distribution.h"
+#include "exec/analytic_simulator.h"
+#include "optimizer/algorithm_c.h"
+#include "optimizer/system_r.h"
+#include "plan/printer.h"
+
+using namespace lec;
+
+int main() {
+  // 1. Catalog: A has 1,000,000 pages, B has 400,000 (Example 1.1).
+  Catalog catalog;
+  catalog.AddTable("A", 1'000'000);
+  catalog.AddTable("B", 400'000);
+
+  // 2. Query: A join B, result ordered by the join column. The selectivity
+  //    is chosen so the result is 3000 pages.
+  Query query;
+  QueryPos a = query.AddTable(catalog.FindByName("A"));
+  QueryPos b = query.AddTable(catalog.FindByName("B"));
+  int pred = query.AddPredicate(a, b, 3000.0 / (1e6 * 4e5));
+  query.RequireOrder(pred);
+
+  // 3. Environment: "available memory is estimated to be 2000 pages 80% of
+  //    the time and 700 pages 20% of the time."
+  Distribution memory = Distribution::TwoPoint(2000, 0.8, 700, 0.2);
+
+  CostModel model;
+
+  // 4. What a traditional optimizer does: optimize at the modal value.
+  OptimizeResult lsc = OptimizeLscAtEstimate(query, catalog, model, memory,
+                                             PointEstimate::kMode);
+  std::printf("LSC plan (optimized at mode=2000): %s\n",
+              PlanToString(lsc.plan, query, catalog).c_str());
+
+  // 5. What this library does: minimize expected cost over the
+  //    distribution (Algorithm C, Theorem 3.3-optimal).
+  OptimizeResult lec = OptimizeLecStatic(query, catalog, model, memory);
+  std::printf("LEC plan (Algorithm C):            %s\n",
+              PlanToString(lec.plan, query, catalog).c_str());
+
+  // 6. Compare expected costs under the true distribution.
+  double lsc_ec =
+      PlanExpectedCostStatic(lsc.plan, query, catalog, model, memory);
+  std::printf("\nExpected cost of LSC plan: %12.0f page I/Os\n", lsc_ec);
+  std::printf("Expected cost of LEC plan: %12.0f page I/Os  (%.1f%% less)\n",
+              lec.objective, 100 * (1 - lec.objective / lsc_ec));
+
+  // 7. Confirm by simulating 10,000 executions with sampled memory.
+  EnvironmentModel env;
+  env.memory = memory;
+  Rng rng(7);
+  std::vector<MonteCarloResult> sim = SimulatePlansPaired(
+      {lsc.plan, lec.plan}, query, catalog, model, env, 10000, &rng);
+  std::printf("\nSimulated over 10000 runs:\n");
+  std::printf("  LSC plan: mean %.0f (min %.0f, max %.0f)\n", sim[0].mean,
+              sim[0].min, sim[0].max);
+  std::printf("  LEC plan: mean %.0f (min %.0f, max %.0f)\n", sim[1].mean,
+              sim[1].min, sim[1].max);
+  std::printf("\nThe LEC plan loses slightly in the best case but wins on "
+              "average —\nthe paper's Example 1.1.\n");
+  return 0;
+}

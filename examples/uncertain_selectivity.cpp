@@ -1,0 +1,82 @@
+// Uncertain selectivities (§3.6): optimizing when the estimator itself is
+// unreliable.
+//
+// A query joins an orders table against a filtered customer segment whose
+// size is only known up to an order of magnitude ("selectivities, in
+// particular, are notoriously uncertain"). Modeling the filtered size as a
+// distribution, Algorithm D hedges against the blow-up case where the
+// mean-based plan's inner relation no longer fits in memory.
+//
+//   $ ./example_uncertain_selectivity
+#include <cstdio>
+
+#include "cost/expected_cost.h"
+#include "dist/builders.h"
+#include "exec/analytic_simulator.h"
+#include "optimizer/algorithm_c.h"
+#include "optimizer/algorithm_d.h"
+#include "plan/printer.h"
+
+using namespace lec;
+
+int main() {
+  Catalog catalog;
+  TableId orders = catalog.AddTable("orders", 2'000);
+
+  // "customers WHERE segment = 'new'" — the estimator says ~100 pages, but
+  // history shows it can be 40 or, after a marketing push, 280.
+  Table seg;
+  seg.name = "customers_new";
+  seg.pages = 100;
+  seg.pages_dist = Distribution::TwoPoint(40, 0.75, 280, 0.25);
+  TableId customers = catalog.AddTable(std::move(seg));
+
+  Query q;
+  QueryPos o = q.AddTable(orders);
+  QueryPos c = q.AddTable(customers);
+  q.AddPredicate(o, c, 1e-4);
+
+  CostModel model;
+  Distribution memory = Distribution::PointMass(150);  // memory is known
+
+  // A mean-based optimizer (Algorithm C with sizes at their means) sees a
+  // 110-page inner relation fitting comfortably in 150 pages: nested loop.
+  OptimizeResult mean_based = OptimizeLecStatic(q, catalog, model, memory);
+  std::printf("mean-based plan: %s using %s\n",
+              PlanToString(mean_based.plan, q, catalog).c_str(),
+              ToString(mean_based.plan->method).c_str());
+
+  // Algorithm D consumes the size distribution: with probability 0.25 the
+  // segment is 280 pages, nested loop degenerates to |A| + |A||B|, and the
+  // expected cost flips in favour of a hash join.
+  OptimizeResult d = OptimizeAlgorithmD(q, catalog, model, memory);
+  std::printf("Algorithm D plan: %s using %s\n",
+              PlanToString(d.plan, q, catalog).c_str(),
+              ToString(d.plan->method).c_str());
+
+  double ec_mean = PlanExpectedCostMultiParam(mean_based.plan, q, catalog,
+                                              model, memory, 256);
+  double ec_d =
+      PlanExpectedCostMultiParam(d.plan, q, catalog, model, memory, 256);
+  std::printf("\nTrue expected costs under the size distribution:\n");
+  std::printf("  mean-based plan: %10.0f page I/Os\n", ec_mean);
+  std::printf("  Algorithm D:     %10.0f page I/Os (%.1f%% less)\n", ec_d,
+              100 * (1 - ec_d / ec_mean));
+
+  // Simulate: sample the segment size per execution.
+  EnvironmentModel env;
+  env.memory = memory;
+  env.sample_data_parameters = true;
+  Rng rng(3);
+  std::vector<MonteCarloResult> sim = SimulatePlansPaired(
+      {mean_based.plan, d.plan}, q, catalog, model, env, 10000, &rng);
+  std::printf("\nSimulated 10000 executions (segment size sampled):\n");
+  std::printf("  mean-based: mean %10.0f   worst %10.0f\n", sim[0].mean,
+              sim[0].max);
+  std::printf("  Algorithm D: mean %9.0f   worst %10.0f\n", sim[1].mean,
+              sim[1].max);
+  std::printf("\nThe marketing-push runs are where the mean-based plan "
+              "melts down; Algorithm D\ngives up a little on the common "
+              "case to cap that tail.\n");
+  return 0;
+}

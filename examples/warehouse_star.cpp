@@ -1,0 +1,90 @@
+// Warehouse reporting: a star-schema join under a shared, contended buffer
+// pool — the workload class the paper's introduction motivates (long-lived
+// compiled queries executed "repeatedly, often over many months or years"
+// in environments whose memory varies run to run).
+//
+// A fact table joins four dimension tables. Overnight, the reporting query
+// competes with a variable number of ETL jobs, so the memory it actually
+// receives is bimodal-heavy-tailed. We compare the plan a traditional
+// optimizer compiles against the LEC plan across increasing contention.
+//
+//   $ ./example_warehouse_star
+#include <cstdio>
+
+#include "cost/expected_cost.h"
+#include "dist/builders.h"
+#include "exec/analytic_simulator.h"
+#include "optimizer/algorithm_c.h"
+#include "optimizer/system_r.h"
+#include "plan/printer.h"
+
+using namespace lec;
+
+int main() {
+  Catalog catalog;
+  TableId fact = catalog.AddTable("sales_fact", 2'000'000);
+  TableId dim_date = catalog.AddTable("dim_date", 400);
+  TableId dim_store = catalog.AddTable("dim_store", 2'000);
+  TableId dim_product = catalog.AddTable("dim_product", 60'000);
+  TableId dim_customer = catalog.AddTable("dim_customer", 300'000);
+
+  Query q;
+  QueryPos f = q.AddTable(fact);
+  QueryPos d1 = q.AddTable(dim_date);
+  QueryPos d2 = q.AddTable(dim_store);
+  QueryPos d3 = q.AddTable(dim_product);
+  QueryPos d4 = q.AddTable(dim_customer);
+  q.AddPredicate(f, d1, 1.0 / 400);
+  q.AddPredicate(f, d2, 1.0 / 2'000);
+  q.AddPredicate(f, d3, 1.0 / 60'000);
+  int by_customer = q.AddPredicate(f, d4, 1.0 / 300'000);
+  q.RequireOrder(by_customer);  // report is grouped by customer
+
+  CostModel model;
+
+  std::printf("Star join: %s ⋈ 4 dimensions, ORDER BY customer key\n\n",
+              "sales_fact");
+  std::printf("%-22s %-34s %-34s %9s\n", "contention", "LSC plan",
+              "LEC plan", "saving");
+  for (double p_contended : {0.0, 0.1, 0.25, 0.4}) {
+    // Healthy: ~50k pages of buffer. Contended: ETL squeezes it to ~900.
+    Distribution memory =
+        p_contended == 0
+            ? Distribution::PointMass(50'000)
+            : Distribution::TwoPoint(50'000, 1 - p_contended, 900,
+                                     p_contended);
+    OptimizeResult lsc = OptimizeLscAtEstimate(q, catalog, model, memory,
+                                               PointEstimate::kMode);
+    OptimizeResult lec = OptimizeLecStatic(q, catalog, model, memory);
+    double lsc_ec =
+        PlanExpectedCostStatic(lsc.plan, q, catalog, model, memory);
+    std::printf("%-22s %-34s %-34s %8.1f%%\n",
+                p_contended == 0
+                    ? "none"
+                    : ("ETL " + std::to_string(static_cast<int>(
+                                    100 * p_contended)) + "% of runs")
+                          .c_str(),
+                PlanToString(lsc.plan, q, catalog).c_str(),
+                PlanToString(lec.plan, q, catalog).c_str(),
+                100 * (1 - lec.objective / lsc_ec));
+  }
+
+  // Simulate the 25%-contended case in detail.
+  Distribution memory = Distribution::TwoPoint(50'000, 0.75, 900, 0.25);
+  OptimizeResult lsc = OptimizeLscAtEstimate(q, catalog, model, memory,
+                                             PointEstimate::kMode);
+  OptimizeResult lec = OptimizeLecStatic(q, catalog, model, memory);
+  EnvironmentModel env;
+  env.memory = memory;
+  Rng rng(11);
+  std::vector<MonteCarloResult> sim = SimulatePlansPaired(
+      {lsc.plan, lec.plan}, q, catalog, model, env, 8000, &rng);
+  std::printf("\nSimulated nightly runs at 25%% contention:\n");
+  std::printf("  compiled (LSC) plan: mean %.3e  worst night %.3e\n",
+              sim[0].mean, sim[0].max);
+  std::printf("  LEC plan:            mean %.3e  worst night %.3e\n",
+              sim[1].mean, sim[1].max);
+  std::printf("\nThe LEC plan trades a slightly slower best case for "
+              "robustness on the\nnights ETL steals the buffer pool.\n");
+  return 0;
+}

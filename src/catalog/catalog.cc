@@ -1,0 +1,32 @@
+#include "catalog/catalog.h"
+
+#include <stdexcept>
+
+namespace lec {
+
+TableId Catalog::AddTable(Table table) {
+  if (!(table.pages > 0)) {
+    throw std::invalid_argument("table must have a positive page count");
+  }
+  if (table.pages_dist && table.pages_dist->Min() <= 0) {
+    throw std::invalid_argument("table size distribution must be positive");
+  }
+  tables_.push_back(std::move(table));
+  return static_cast<TableId>(tables_.size() - 1);
+}
+
+TableId Catalog::AddTable(const std::string& name, double pages) {
+  Table t;
+  t.name = name;
+  t.pages = pages;
+  return AddTable(std::move(t));
+}
+
+TableId Catalog::FindByName(const std::string& name) const {
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i].name == name) return static_cast<TableId>(i);
+  }
+  throw std::out_of_range("no table named " + name);
+}
+
+}  // namespace lec

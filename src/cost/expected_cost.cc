@@ -1,0 +1,308 @@
+#include "cost/expected_cost.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cost/size_propagation.h"
+
+namespace lec {
+
+Realization Realization::AtMeans(const Query& query, const Catalog& catalog,
+                                 double memory) {
+  Realization r;
+  r.table_pages.reserve(query.num_tables());
+  for (QueryPos p = 0; p < query.num_tables(); ++p) {
+    r.table_pages.push_back(catalog.table(query.table(p)).SizeDistribution()
+                                .Mean());
+  }
+  r.selectivity.reserve(query.num_predicates());
+  for (int i = 0; i < query.num_predicates(); ++i) {
+    r.selectivity.push_back(query.predicate(i).selectivity.Mean());
+  }
+  r.memory_by_phase.push_back(memory);
+  return r;
+}
+
+double ExpectedJoinCostFixedSizes(const CostModel& model, JoinMethod method,
+                                  double left_pages, double right_pages,
+                                  const Distribution& memory,
+                                  bool left_sorted, bool right_sorted) {
+  double ec = 0;
+  for (const Bucket& m : memory.buckets()) {
+    ec += m.prob * model.JoinCost(method, left_pages, right_pages, m.value,
+                                  left_sorted, right_sorted);
+  }
+  return ec;
+}
+
+double ExpectedJoinCost(const CostModel& model, JoinMethod method,
+                        const Distribution& left, const Distribution& right,
+                        const Distribution& memory, bool left_sorted,
+                        bool right_sorted) {
+  double ec = 0;
+  for (const Bucket& l : left.buckets()) {
+    for (const Bucket& r : right.buckets()) {
+      double p_lr = l.prob * r.prob;
+      for (const Bucket& m : memory.buckets()) {
+        ec += p_lr * m.prob *
+              model.JoinCost(method, l.value, r.value, m.value, left_sorted,
+                             right_sorted);
+      }
+    }
+  }
+  return ec;
+}
+
+double ExpectedSortCostFixedSize(const CostModel& model, double pages,
+                                 const Distribution& memory) {
+  double ec = 0;
+  for (const Bucket& m : memory.buckets()) {
+    ec += m.prob * model.SortCost(pages, m.value);
+  }
+  return ec;
+}
+
+double ExpectedSortCost(const CostModel& model, const Distribution& pages,
+                        const Distribution& memory) {
+  double ec = 0;
+  for (const Bucket& p : pages.buckets()) {
+    for (const Bucket& m : memory.buckets()) {
+      ec += p.prob * m.prob * model.SortCost(p.value, m.value);
+    }
+  }
+  return ec;
+}
+
+namespace {
+
+double MemoryForPhase(const std::vector<double>& memory_by_phase,
+                      int phase_idx) {
+  if (memory_by_phase.empty()) {
+    throw std::invalid_argument("realization has no memory values");
+  }
+  size_t i = std::min<size_t>(static_cast<size_t>(std::max(phase_idx, 0)),
+                              memory_by_phase.size() - 1);
+  return memory_by_phase[i];
+}
+
+struct WalkResult {
+  double pages = 0;
+  int joins = 0;
+  double cost = 0;
+};
+
+/// Recursively costs `node`. `base_joins` is the number of joins executed
+/// before this subtree starts (0-based phase of its first join); for right
+/// subtrees it is the consuming join's phase, so enforcer sorts are charged
+/// under that phase's memory.
+WalkResult WalkRealized(const PlanPtr& node, const Query& query,
+                        const CostModel& model, const Realization& real,
+                        int base_joins) {
+  WalkResult out;
+  switch (node->kind) {
+    case PlanNode::Kind::kAccess: {
+      out.pages = real.table_pages.at(node->table_pos);
+      out.cost = model.ScanCost(out.pages);
+      return out;
+    }
+    case PlanNode::Kind::kSort: {
+      WalkResult child =
+          WalkRealized(node->left, query, model, real, base_joins);
+      // A root-level ORDER BY sort runs alongside the final join's phase;
+      // an enforcer below a join runs in the consuming join's phase.
+      int phase_idx = std::max(base_joins + child.joins - 1, base_joins);
+      double mem = MemoryForPhase(real.memory_by_phase, phase_idx);
+      out.pages = child.pages;
+      out.joins = child.joins;
+      out.cost = child.cost + model.SortCost(child.pages, mem);
+      return out;
+    }
+    case PlanNode::Kind::kJoin: {
+      WalkResult l = WalkRealized(node->left, query, model, real, base_joins);
+      int join_idx = base_joins + l.joins;
+      WalkResult r = WalkRealized(node->right, query, model, real, join_idx);
+      double sel = 1.0;
+      for (int p : node->predicates) sel *= real.selectivity.at(p);
+      out.pages = l.pages * r.pages * sel;
+      out.joins = l.joins + r.joins + 1;
+      double mem = MemoryForPhase(real.memory_by_phase, join_idx);
+      OrderId key = node->method == JoinMethod::kSortMerge ? node->order
+                                                           : kUnsorted;
+      bool ls = key != kUnsorted && node->left->order == key;
+      bool rs = key != kUnsorted && node->right->order == key;
+      out.cost = l.cost + r.cost +
+                 model.JoinCost(node->method, l.pages, r.pages, mem, ls, rs);
+      if (model.options().charge_materialization &&
+          node->left->kind == PlanNode::Kind::kJoin) {
+        out.cost += 2.0 * l.pages;  // child result written then re-read
+      }
+      return out;
+    }
+  }
+  throw std::logic_error("unknown plan node kind");
+}
+
+/// Per-phase expected walk for the dynamic case (§3.5): sizes at means,
+/// each join/sort charged its expected cost under its phase's marginal.
+WalkResult WalkDynamic(const PlanPtr& node, const Query& query,
+                       const CostModel& model, const Realization& means,
+                       const std::vector<Distribution>& marginals,
+                       int base_joins) {
+  WalkResult out;
+  auto marginal_at = [&marginals](int idx) -> const Distribution& {
+    size_t i = std::min<size_t>(static_cast<size_t>(std::max(idx, 0)),
+                                marginals.size() - 1);
+    return marginals[i];
+  };
+  switch (node->kind) {
+    case PlanNode::Kind::kAccess: {
+      out.pages = means.table_pages.at(node->table_pos);
+      out.cost = model.ScanCost(out.pages);
+      return out;
+    }
+    case PlanNode::Kind::kSort: {
+      WalkResult child =
+          WalkDynamic(node->left, query, model, means, marginals, base_joins);
+      int phase_idx = std::max(base_joins + child.joins - 1, base_joins);
+      out.pages = child.pages;
+      out.joins = child.joins;
+      out.cost = child.cost + ExpectedSortCostFixedSize(model, child.pages,
+                                                        marginal_at(phase_idx));
+      return out;
+    }
+    case PlanNode::Kind::kJoin: {
+      WalkResult l =
+          WalkDynamic(node->left, query, model, means, marginals, base_joins);
+      int join_idx = base_joins + l.joins;
+      WalkResult r =
+          WalkDynamic(node->right, query, model, means, marginals, join_idx);
+      double sel = 1.0;
+      for (int p : node->predicates) sel *= means.selectivity.at(p);
+      out.pages = l.pages * r.pages * sel;
+      out.joins = l.joins + r.joins + 1;
+      OrderId key = node->method == JoinMethod::kSortMerge ? node->order
+                                                           : kUnsorted;
+      bool ls = key != kUnsorted && node->left->order == key;
+      bool rs = key != kUnsorted && node->right->order == key;
+      out.cost = l.cost + r.cost +
+                 ExpectedJoinCostFixedSizes(model, node->method, l.pages,
+                                            r.pages, marginal_at(join_idx),
+                                            ls, rs);
+      if (model.options().charge_materialization &&
+          node->left->kind == PlanNode::Kind::kJoin) {
+        out.cost += 2.0 * l.pages;
+      }
+      return out;
+    }
+  }
+  throw std::logic_error("unknown plan node kind");
+}
+
+struct DistWalkResult {
+  Distribution pages = Distribution::PointMass(0);
+  int joins = 0;
+  double ec = 0;
+};
+
+DistWalkResult WalkMultiParam(const PlanPtr& node, const Query& query,
+                              const Catalog& catalog, const CostModel& model,
+                              const Distribution& memory,
+                              size_t size_buckets) {
+  DistWalkResult out;
+  switch (node->kind) {
+    case PlanNode::Kind::kAccess: {
+      out.pages = catalog.table(query.table(node->table_pos))
+                      .SizeDistribution()
+                      .Rebucket(size_buckets);
+      out.ec = out.pages.Mean();  // scan cost is linear in size
+      return out;
+    }
+    case PlanNode::Kind::kSort: {
+      DistWalkResult child = WalkMultiParam(node->left, query, catalog, model,
+                                            memory, size_buckets);
+      out.pages = child.pages;
+      out.joins = child.joins;
+      out.ec = child.ec + ExpectedSortCost(model, child.pages, memory);
+      return out;
+    }
+    case PlanNode::Kind::kJoin: {
+      DistWalkResult l = WalkMultiParam(node->left, query, catalog, model,
+                                        memory, size_buckets);
+      DistWalkResult r = WalkMultiParam(node->right, query, catalog, model,
+                                        memory, size_buckets);
+      Distribution sel = CombinedSelectivityDistribution(
+          query, node->predicates, size_buckets);
+      out.pages =
+          JoinSizeDistribution(l.pages, r.pages, sel, size_buckets);
+      out.joins = l.joins + r.joins + 1;
+      OrderId key = node->method == JoinMethod::kSortMerge ? node->order
+                                                           : kUnsorted;
+      bool ls = key != kUnsorted && node->left->order == key;
+      bool rs = key != kUnsorted && node->right->order == key;
+      out.ec = l.ec + r.ec +
+               ExpectedJoinCost(model, node->method, l.pages, r.pages, memory,
+                                ls, rs);
+      if (model.options().charge_materialization &&
+          node->left->kind == PlanNode::Kind::kJoin) {
+        out.ec += 2.0 * l.pages.Mean();
+      }
+      return out;
+    }
+  }
+  throw std::logic_error("unknown plan node kind");
+}
+
+}  // namespace
+
+double RealizedPlanCost(const PlanPtr& plan, const Query& query,
+                        const CostModel& model, const Realization& real) {
+  return WalkRealized(plan, query, model, real, 0).cost;
+}
+
+double PlanCostAtMemory(const PlanPtr& plan, const Query& query,
+                        const Catalog& catalog, const CostModel& model,
+                        double memory) {
+  return RealizedPlanCost(plan, query, model,
+                          Realization::AtMeans(query, catalog, memory));
+}
+
+double PlanExpectedCostStatic(const PlanPtr& plan, const Query& query,
+                              const Catalog& catalog, const CostModel& model,
+                              const Distribution& memory) {
+  double ec = 0;
+  Realization real = Realization::AtMeans(query, catalog, memory.Min());
+  for (const Bucket& m : memory.buckets()) {
+    real.memory_by_phase[0] = m.value;
+    ec += m.prob * RealizedPlanCost(plan, query, model, real);
+  }
+  return ec;
+}
+
+double PlanExpectedCostDynamic(const PlanPtr& plan, const Query& query,
+                               const Catalog& catalog, const CostModel& model,
+                               const MarkovChain& chain,
+                               const Distribution& initial) {
+  // By linearity of expectation, EC = Σ_phases E_{marginal_t}[phase-t cost],
+  // exactly — regardless of cross-phase correlation (Theorem 3.4's proof
+  // relies on the same decomposition).
+  int phases = std::max(CountJoins(plan), 1);
+  std::vector<Distribution> marginals;
+  marginals.reserve(phases);
+  Distribution cur = initial;
+  for (int t = 0; t < phases; ++t) {
+    marginals.push_back(cur);
+    cur = chain.Step(cur);
+  }
+  Realization means = Realization::AtMeans(query, catalog, 1.0);
+  return WalkDynamic(plan, query, model, means, marginals, 0).cost;
+}
+
+double PlanExpectedCostMultiParam(const PlanPtr& plan, const Query& query,
+                                  const Catalog& catalog,
+                                  const CostModel& model,
+                                  const Distribution& memory,
+                                  size_t size_buckets) {
+  return WalkMultiParam(plan, query, catalog, model, memory, size_buckets).ec;
+}
+
+}  // namespace lec

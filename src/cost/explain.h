@@ -1,0 +1,59 @@
+// EXPLAIN-style plan diagnostics under uncertainty.
+//
+// A traditional EXPLAIN prints one cost per operator. Under the paper's
+// model every operator has a cost *distribution* induced by the memory
+// distribution and the formulas' discontinuities (§1.1, §3.7): an operator
+// sitting astride a √L threshold might cost 2 passes with probability 0.8
+// and 4 passes with probability 0.2. ExplainPlan surfaces exactly that —
+// per-operator expected cost, the memory breakpoints that matter, and the
+// probability mass on each cost regime — which is the information a DBA
+// needs to understand *why* the LEC optimizer hedged.
+#ifndef LECOPT_COST_EXPLAIN_H_
+#define LECOPT_COST_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "cost/cost_model.h"
+#include "dist/distribution.h"
+#include "plan/plan.h"
+#include "query/query.h"
+
+namespace lec {
+
+/// One cost regime of an operator: a memory interval on which the cost
+/// formula is constant, with its probability under the memory distribution.
+struct CostRegime {
+  double memory_lo = 0;       ///< exclusive lower bound (0 = open)
+  double memory_hi = 0;       ///< inclusive upper bound (inf = open)
+  double cost = 0;            ///< operator cost anywhere in the interval
+  double probability = 0;     ///< Pr(memory in interval)
+};
+
+/// Diagnostics for one operator of a plan.
+struct OperatorDiagnostics {
+  std::string description;    ///< e.g. "GHJoin(B_j [1000 pg] x A_j [400 pg])"
+  double expected_cost = 0;   ///< EC of this operator alone
+  double cost_stddev = 0;     ///< spread of the operator's cost
+  std::vector<CostRegime> regimes;  ///< nonzero-probability regimes only
+};
+
+/// Full-plan diagnostics.
+struct PlanDiagnostics {
+  std::vector<OperatorDiagnostics> operators;  ///< bottom-up order
+  double total_expected_cost = 0;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Analyzes `plan` under a static memory distribution with all data
+/// parameters at their means.
+PlanDiagnostics ExplainPlan(const PlanPtr& plan, const Query& query,
+                            const Catalog& catalog, const CostModel& model,
+                            const Distribution& memory);
+
+}  // namespace lec
+
+#endif  // LECOPT_COST_EXPLAIN_H_

@@ -1,0 +1,49 @@
+// Linear-time expected join costs (§3.6.1, §3.6.2).
+//
+// The naive expected cost of a join under independent distributions over
+// |A|, |B| and M enumerates all b_|A| · b_|B| · b_M triples. The paper shows
+// that for the simple Shapiro formulas the computation collapses to
+// O(b_M + b_|A| + b_|B|): condition on which input is larger, sweep the
+// conditioning variable in ascending order, and maintain running prefix /
+// suffix partial expectations plus two-pointer scans over M's CDF (the
+// thresholds √b, ∛b, b+2 are monotone in b, so each pointer only advances).
+//
+// These functions evaluate the *paper* formulas (default CostModelOptions,
+// unsorted inputs); tests verify exact agreement with ExpectedJoinCost.
+//
+// Note on the paper's F_b = E(|A| : |A| ≤ b) + b: we use the partial
+// expectation Σ_{a≤b} a·Pr(A=a) together with b·Pr(A ≤ b), which is the
+// variant that makes equation (1) exact (see DESIGN.md, "Fidelity notes");
+// the asymptotics are unchanged.
+#ifndef LECOPT_COST_FAST_EXPECTED_COST_H_
+#define LECOPT_COST_FAST_EXPECTED_COST_H_
+
+#include "dist/distribution.h"
+#include "plan/plan.h"
+
+namespace lec {
+
+/// EC of a sort-merge join of A (left) and B (right) — §3.6.1.
+double FastExpectedSortMergeCost(const Distribution& left,
+                                 const Distribution& right,
+                                 const Distribution& memory);
+
+/// EC of a page nested-loop join with A as the outer — §3.6.2.
+double FastExpectedNestedLoopCost(const Distribution& left,
+                                  const Distribution& right,
+                                  const Distribution& memory);
+
+/// EC of a Grace hash join (thresholds keyed on the smaller input; same
+/// sweep structure as sort-merge).
+double FastExpectedGraceHashCost(const Distribution& left,
+                                 const Distribution& right,
+                                 const Distribution& memory);
+
+/// Dispatch over the three methods.
+double FastExpectedJoinCost(JoinMethod method, const Distribution& left,
+                            const Distribution& right,
+                            const Distribution& memory);
+
+}  // namespace lec
+
+#endif  // LECOPT_COST_FAST_EXPECTED_COST_H_

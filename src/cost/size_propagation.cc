@@ -1,0 +1,41 @@
+#include "cost/size_propagation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lec {
+
+Distribution CombinedSelectivityDistribution(const Query& query,
+                                             const std::vector<int>& preds,
+                                             size_t max_buckets) {
+  Distribution combined = Distribution::PointMass(1.0);
+  for (int i : preds) {
+    combined = combined
+                   .ProductWith(query.predicate(i).selectivity,
+                                [](double a, double b) { return a * b; })
+                   .Rebucket(max_buckets);
+  }
+  return combined;
+}
+
+Distribution JoinSizeDistribution(const Distribution& left,
+                                  const Distribution& right,
+                                  const Distribution& selectivity,
+                                  size_t max_buckets,
+                                  SizePropagationMode mode) {
+  auto mul = [](double a, double b) { return a * b; };
+  if (mode == SizePropagationMode::kCubeRootPrebucket) {
+    size_t per_input = std::max<size_t>(
+        1, static_cast<size_t>(std::floor(std::cbrt(
+               static_cast<double>(std::max<size_t>(max_buckets, 1))))));
+    Distribution l = left.Rebucket(per_input);
+    Distribution r = right.Rebucket(per_input);
+    Distribution s = selectivity.Rebucket(per_input);
+    return l.ProductWith(r, mul).ProductWith(s, mul).Rebucket(max_buckets);
+  }
+  return left.ProductWith(right, mul)
+      .ProductWith(selectivity, mul)
+      .Rebucket(max_buckets);
+}
+
+}  // namespace lec

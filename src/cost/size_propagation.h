@@ -1,0 +1,46 @@
+// Propagating result-size distributions up the plan (§3.6.3).
+//
+// When table sizes and selectivities are distributions, the size of a join
+// result |B_j ⋈ A_j| = |B_j| · |A_j| · σ is itself a distribution whose
+// support can grow as the product of the inputs' bucket counts. The paper's
+// remedy is to "rebucket each of |A|, |B|, and σ so that they have ∛b
+// buckets" before multiplying, keeping the computation O(b) per node.
+#ifndef LECOPT_COST_SIZE_PROPAGATION_H_
+#define LECOPT_COST_SIZE_PROPAGATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/distribution.h"
+#include "query/query.h"
+
+namespace lec {
+
+/// How JoinSizeDistribution bounds its work.
+enum class SizePropagationMode {
+  /// Full product of the three inputs, then one final rebucket to the
+  /// target — accurate but O(b_|A| · b_|B| · b_σ).
+  kExactThenRebucket,
+  /// §3.6.3: pre-rebucket each input to ⌊∛target⌋ buckets so the product
+  /// already has at most `target` buckets — O(target) per node.
+  kCubeRootPrebucket,
+};
+
+/// Distribution of Π selectivity over the given predicates (independence
+/// assumed), capped at `max_buckets` buckets.
+Distribution CombinedSelectivityDistribution(const Query& query,
+                                             const std::vector<int>& preds,
+                                             size_t max_buckets);
+
+/// Distribution of |left ⋈ right| = |left| · |right| · σ with at most
+/// `max_buckets` buckets.
+Distribution JoinSizeDistribution(const Distribution& left,
+                                  const Distribution& right,
+                                  const Distribution& selectivity,
+                                  size_t max_buckets,
+                                  SizePropagationMode mode =
+                                      SizePropagationMode::kCubeRootPrebucket);
+
+}  // namespace lec
+
+#endif  // LECOPT_COST_SIZE_PROPAGATION_H_

@@ -1,0 +1,67 @@
+#include "exec/analytic_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lec {
+
+namespace {
+
+MonteCarloResult Summarize(const std::vector<double>& costs) {
+  MonteCarloResult r;
+  r.trials = costs.size();
+  if (costs.empty()) return r;
+  r.min = std::numeric_limits<double>::infinity();
+  r.max = -std::numeric_limits<double>::infinity();
+  double sum = 0;
+  for (double c : costs) {
+    sum += c;
+    r.min = std::min(r.min, c);
+    r.max = std::max(r.max, c);
+  }
+  r.mean = sum / static_cast<double>(costs.size());
+  double var = 0;
+  for (double c : costs) var += (c - r.mean) * (c - r.mean);
+  r.stddev = std::sqrt(var / static_cast<double>(costs.size()));
+  return r;
+}
+
+}  // namespace
+
+MonteCarloResult SimulatePlanCost(const PlanPtr& plan, const Query& query,
+                                  const Catalog& catalog,
+                                  const CostModel& model,
+                                  const EnvironmentModel& env, size_t trials,
+                                  Rng* rng) {
+  std::vector<double> costs;
+  costs.reserve(trials);
+  int phases = std::max(CountJoins(plan), 1);
+  for (size_t t = 0; t < trials; ++t) {
+    Realization real = env.Sample(query, catalog, phases, rng);
+    costs.push_back(RealizedPlanCost(plan, query, model, real));
+  }
+  return Summarize(costs);
+}
+
+std::vector<MonteCarloResult> SimulatePlansPaired(
+    const std::vector<PlanPtr>& plans, const Query& query,
+    const Catalog& catalog, const CostModel& model,
+    const EnvironmentModel& env, size_t trials, Rng* rng) {
+  int phases = 1;
+  for (const PlanPtr& p : plans) phases = std::max(phases, CountJoins(p));
+  std::vector<std::vector<double>> costs(plans.size());
+  for (auto& c : costs) c.reserve(trials);
+  for (size_t t = 0; t < trials; ++t) {
+    Realization real = env.Sample(query, catalog, phases, rng);
+    for (size_t i = 0; i < plans.size(); ++i) {
+      costs[i].push_back(RealizedPlanCost(plans[i], query, model, real));
+    }
+  }
+  std::vector<MonteCarloResult> out;
+  out.reserve(plans.size());
+  for (const auto& c : costs) out.push_back(Summarize(c));
+  return out;
+}
+
+}  // namespace lec

@@ -1,0 +1,45 @@
+// Monte-Carlo evaluation of plans against sampled environments.
+//
+// The empirical check of the paper's central claim: sample many executions
+// from an EnvironmentModel, cost each plan in each sampled environment with
+// the analytic formulas, and compare *measured average* costs. If the
+// distributions are faithful, the LEC plan's average beats any LSC plan's
+// (§3.1: "the expected execution cost of the LEC plan is at least as low as
+// that of any specific LSC plan").
+#ifndef LECOPT_EXEC_ANALYTIC_SIMULATOR_H_
+#define LECOPT_EXEC_ANALYTIC_SIMULATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "exec/environment.h"
+#include "plan/plan.h"
+
+namespace lec {
+
+/// Summary statistics of one plan's simulated costs.
+struct MonteCarloResult {
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  size_t trials = 0;
+};
+
+/// Simulates `trials` executions of `plan` under the environment model.
+MonteCarloResult SimulatePlanCost(const PlanPtr& plan, const Query& query,
+                                  const Catalog& catalog,
+                                  const CostModel& model,
+                                  const EnvironmentModel& env, size_t trials,
+                                  Rng* rng);
+
+/// Simulates several plans against the *same* sampled environments
+/// (variance-reduced paired comparison); returns one result per plan.
+std::vector<MonteCarloResult> SimulatePlansPaired(
+    const std::vector<PlanPtr>& plans, const Query& query,
+    const Catalog& catalog, const CostModel& model,
+    const EnvironmentModel& env, size_t trials, Rng* rng);
+
+}  // namespace lec
+
+#endif  // LECOPT_EXEC_ANALYTIC_SIMULATOR_H_

@@ -1,0 +1,31 @@
+#include "exec/environment.h"
+
+namespace lec {
+
+Realization EnvironmentModel::Sample(const Query& query,
+                                     const Catalog& catalog, int num_phases,
+                                     Rng* rng) const {
+  Realization r;
+  r.table_pages.reserve(query.num_tables());
+  for (QueryPos p = 0; p < query.num_tables(); ++p) {
+    Distribution d = catalog.table(query.table(p)).SizeDistribution();
+    r.table_pages.push_back(sample_data_parameters ? d.Sample(rng)
+                                                   : d.Mean());
+  }
+  r.selectivity.reserve(query.num_predicates());
+  for (int i = 0; i < query.num_predicates(); ++i) {
+    const Distribution& d = query.predicate(i).selectivity;
+    r.selectivity.push_back(sample_data_parameters ? d.Sample(rng)
+                                                   : d.Mean());
+  }
+  int phases = std::max(num_phases, 1);
+  if (memory_chain) {
+    r.memory_by_phase = memory_chain->SampleTrajectory(
+        memory, static_cast<size_t>(phases), rng);
+  } else {
+    r.memory_by_phase.assign(static_cast<size_t>(phases), memory.Sample(rng));
+  }
+  return r;
+}
+
+}  // namespace lec

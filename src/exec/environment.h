@@ -1,0 +1,41 @@
+// Run-time environment models and sampling.
+//
+// An EnvironmentModel is the probabilistic description of the paper's
+// category-1/2/3 parameters: distributions over table sizes and predicate
+// selectivities plus either a static memory distribution ("memory stays
+// constant during the execution", §3.2-3.4) or a Markov memory process
+// (§3.5). Sampling yields a concrete Realization — one execution's worth of
+// parameter values — which the simulators feed to C(p, v).
+#ifndef LECOPT_EXEC_ENVIRONMENT_H_
+#define LECOPT_EXEC_ENVIRONMENT_H_
+
+#include <optional>
+
+#include "catalog/catalog.h"
+#include "cost/expected_cost.h"
+#include "dist/distribution.h"
+#include "dist/markov.h"
+#include "query/query.h"
+#include "util/rng.h"
+
+namespace lec {
+
+/// The stochastic model of one deployment environment.
+struct EnvironmentModel {
+  /// Static memory distribution, or the *initial* distribution when
+  /// `memory_chain` is set.
+  Distribution memory = Distribution::PointMass(1000);
+  /// When present, memory evolves between join phases per this chain.
+  std::optional<MarkovChain> memory_chain;
+  /// When false, table sizes / selectivities are fixed at their means even
+  /// if the catalog/query carry distributions (isolates memory effects).
+  bool sample_data_parameters = true;
+
+  /// Draws one Realization for an execution with `num_phases` join phases.
+  Realization Sample(const Query& query, const Catalog& catalog,
+                     int num_phases, Rng* rng) const;
+};
+
+}  // namespace lec
+
+#endif  // LECOPT_EXEC_ENVIRONMENT_H_

@@ -1,0 +1,64 @@
+#include "optimizer/algorithm_a.h"
+
+#include <limits>
+
+#include "cost/expected_cost.h"
+#include "optimizer/system_r.h"
+
+namespace lec {
+
+std::vector<PlanPtr> AlgorithmACandidates(const Query& query,
+                                          const Catalog& catalog,
+                                          const CostModel& model,
+                                          const Distribution& memory,
+                                          const OptimizerOptions& options) {
+  std::vector<PlanPtr> candidates;
+  for (const Bucket& m : memory.buckets()) {
+    OptimizeResult r = OptimizeLsc(query, catalog, model, m.value, options);
+    bool duplicate = false;
+    for (const PlanPtr& c : candidates) {
+      if (PlanEquals(c, r.plan)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) candidates.push_back(r.plan);
+  }
+  return candidates;
+}
+
+OptimizeResult OptimizeAlgorithmA(const Query& query, const Catalog& catalog,
+                                  const CostModel& model,
+                                  const Distribution& memory,
+                                  const OptimizerOptions& options) {
+  OptimizeResult result;
+  std::vector<PlanPtr> candidates;
+  for (const Bucket& m : memory.buckets()) {
+    OptimizeResult r = OptimizeLsc(query, catalog, model, m.value, options);
+    result.candidates_considered += r.candidates_considered;
+    result.cost_evaluations += r.cost_evaluations;
+    bool duplicate = false;
+    for (const PlanPtr& c : candidates) {
+      if (PlanEquals(c, r.plan)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) candidates.push_back(r.plan);
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (const PlanPtr& c : candidates) {
+    // Costing a candidate is one plan walk per memory bucket: the
+    // O((n-1)·b²) post-pass of §3.2.
+    result.cost_evaluations += memory.size() * (CountJoins(c) + 1);
+    double ec = PlanExpectedCostStatic(c, query, catalog, model, memory);
+    if (ec < best) {
+      best = ec;
+      result.plan = c;
+    }
+  }
+  result.objective = best;
+  return result;
+}
+
+}  // namespace lec

@@ -1,0 +1,36 @@
+// Algorithm A (§3.2): a standard optimizer as a black box.
+//
+// "For each value m_i of the memory parameter, we run the optimizer under
+// the assumption that m_i is the actual amount of memory available. This
+// gives us b candidate plans. We then compute the expected cost of each
+// candidate, and choose the one with least expected cost."
+//
+// Cheap (b LSC invocations) and requiring no optimizer changes, but only
+// approximate: the true LEC plan may be optimal for no single m_i.
+#ifndef LECOPT_OPTIMIZER_ALGORITHM_A_H_
+#define LECOPT_OPTIMIZER_ALGORITHM_A_H_
+
+#include <vector>
+
+#include "optimizer/dp_common.h"
+
+namespace lec {
+
+/// The b per-bucket LSC candidate plans (deduplicated).
+std::vector<PlanPtr> AlgorithmACandidates(const Query& query,
+                                          const Catalog& catalog,
+                                          const CostModel& model,
+                                          const Distribution& memory,
+                                          const OptimizerOptions& options);
+
+/// Runs Algorithm A. `objective` is the chosen plan's expected cost under
+/// `memory`; counters aggregate over all b LSC invocations plus the
+/// candidate-evaluation phase.
+OptimizeResult OptimizeAlgorithmA(const Query& query, const Catalog& catalog,
+                                  const CostModel& model,
+                                  const Distribution& memory,
+                                  const OptimizerOptions& options = {});
+
+}  // namespace lec
+
+#endif  // LECOPT_OPTIMIZER_ALGORITHM_A_H_

@@ -1,0 +1,56 @@
+// Algorithm B (§3.3): generate the top c plans per parameter setting.
+//
+// Keeping the c best plans at every DP node widens Algorithm A's candidate
+// pool: "the plan that is second-best for some memory size may do better on
+// other memory sizes ... and so may do better in expectation."
+//
+// Proposition 3.1: when combining the sorted top-c list for B_j with the
+// sorted top-c list of access paths for A_j under an additive cost, only
+// pairs (i, k) with i·k <= c can enter the output, so at most c + c·log c
+// combinations need examining per join method. TopCombinations implements
+// that frontier and reports how many pairs it examined.
+#ifndef LECOPT_OPTIMIZER_ALGORITHM_B_H_
+#define LECOPT_OPTIMIZER_ALGORITHM_B_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "optimizer/dp_common.h"
+
+namespace lec {
+
+/// One combination chosen by the Prop 3.1 frontier: indices into the two
+/// sorted input lists plus the combined cost.
+struct Combination {
+  size_t left_index = 0;
+  size_t right_index = 0;
+  double cost = 0;
+};
+
+/// Returns the up-to-c cheapest pairwise sums of the two ascending-sorted
+/// cost lists, examining only the i·k <= c frontier (1-based indices).
+/// `examined` (optional) receives the number of pairs inspected, which
+/// Proposition 3.1 bounds by c + c·ln c.
+std::vector<Combination> TopCombinations(const std::vector<double>& left,
+                                         const std::vector<double>& right,
+                                         size_t c, size_t* examined = nullptr);
+
+/// The top-c complete plans (ascending cost) for one specific memory value,
+/// via the top-c DP. `combinations_examined` (optional) accumulates the
+/// Prop 3.1 frontier work.
+std::vector<std::pair<PlanPtr, double>> TopCPlansAtMemory(
+    const Query& query, const Catalog& catalog, const CostModel& model,
+    double memory, size_t c, const OptimizerOptions& options = {},
+    size_t* combinations_examined = nullptr);
+
+/// Runs full Algorithm B: top-c candidates for each of the b memory bucket
+/// values, then chooses the candidate of least expected cost under `memory`.
+OptimizeResult OptimizeAlgorithmB(const Query& query, const Catalog& catalog,
+                                  const CostModel& model,
+                                  const Distribution& memory, size_t c,
+                                  const OptimizerOptions& options = {});
+
+}  // namespace lec
+
+#endif  // LECOPT_OPTIMIZER_ALGORITHM_B_H_

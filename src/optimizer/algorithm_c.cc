@@ -1,0 +1,56 @@
+#include "optimizer/algorithm_c.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "cost/expected_cost.h"
+
+namespace lec {
+
+OptimizeResult OptimizeLecStatic(const Query& query, const Catalog& catalog,
+                                 const CostModel& model,
+                                 const Distribution& memory,
+                                 const OptimizerOptions& options) {
+  DpContext ctx(query, catalog, options);
+  JoinCostFn join_cost = [&model, &memory](JoinMethod m, double l, double r,
+                                           bool ls, bool rs, int) {
+    return ExpectedJoinCostFixedSizes(model, m, l, r, memory, ls, rs);
+  };
+  SortCostFn sort_cost = [&model, &memory](double pages, int) {
+    return ExpectedSortCostFixedSize(model, pages, memory);
+  };
+  return RunDp(ctx, join_cost, sort_cost);
+}
+
+OptimizeResult OptimizeLecDynamic(const Query& query, const Catalog& catalog,
+                                  const CostModel& model,
+                                  const MarkovChain& chain,
+                                  const Distribution& initial,
+                                  const OptimizerOptions& options) {
+  DpContext ctx(query, catalog, options);
+  int phases = std::max(query.num_tables() - 1, 1);
+  std::vector<Distribution> marginals;
+  marginals.reserve(phases);
+  Distribution cur = initial;
+  for (int t = 0; t < phases; ++t) {
+    marginals.push_back(cur);
+    cur = chain.Step(cur);
+  }
+  auto marginal_at = [&marginals](int idx) -> const Distribution& {
+    size_t i = std::min<size_t>(static_cast<size_t>(std::max(idx, 0)),
+                                marginals.size() - 1);
+    return marginals[i];
+  };
+  JoinCostFn join_cost = [&model, marginal_at](JoinMethod m, double l,
+                                               double r, bool ls, bool rs,
+                                               int phase_idx) {
+    return ExpectedJoinCostFixedSizes(model, m, l, r, marginal_at(phase_idx),
+                                      ls, rs);
+  };
+  SortCostFn sort_cost = [&model, marginal_at](double pages, int phase_idx) {
+    return ExpectedSortCostFixedSize(model, pages, marginal_at(phase_idx));
+  };
+  return RunDp(ctx, join_cost, sort_cost);
+}
+
+}  // namespace lec

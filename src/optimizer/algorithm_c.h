@@ -1,0 +1,39 @@
+// Algorithm C (§3.4): the generic LEC dynamic program.
+//
+// "We now provide a generic modification of the basic System R query
+// optimizer that can directly compute the LEC plan, merging the candidate
+// generation and costing phases." Each DP node retains the plan of least
+// *expected* cost; Theorem 3.3 proves this yields the LEC left-deep plan
+// because expectation distributes over the sum of per-operator costs.
+//
+// The dynamic variant (§3.5, Theorem 3.4) associates with each DAG depth the
+// memory distribution in force during that join phase, derived from an
+// initial distribution and a Markov transition model.
+#ifndef LECOPT_OPTIMIZER_ALGORITHM_C_H_
+#define LECOPT_OPTIMIZER_ALGORITHM_C_H_
+
+#include "dist/markov.h"
+#include "optimizer/dp_common.h"
+
+namespace lec {
+
+/// LEC plan under a static memory distribution (memory constant during any
+/// one execution, drawn from `memory` across executions). `objective` is
+/// the plan's expected cost.
+OptimizeResult OptimizeLecStatic(const Query& query, const Catalog& catalog,
+                                 const CostModel& model,
+                                 const Distribution& memory,
+                                 const OptimizerOptions& options = {});
+
+/// LEC plan when memory evolves between join phases per `chain`, starting
+/// from `initial` (§3.5). Phase t joins are costed under
+/// chain.MarginalAfter(initial, t).
+OptimizeResult OptimizeLecDynamic(const Query& query, const Catalog& catalog,
+                                  const CostModel& model,
+                                  const MarkovChain& chain,
+                                  const Distribution& initial,
+                                  const OptimizerOptions& options = {});
+
+}  // namespace lec
+
+#endif  // LECOPT_OPTIMIZER_ALGORITHM_C_H_

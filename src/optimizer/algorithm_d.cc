@@ -1,0 +1,165 @@
+#include "optimizer/algorithm_d.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "cost/expected_cost.h"
+#include "cost/fast_expected_cost.h"
+
+namespace lec {
+
+namespace {
+
+/// Fast paths evaluate the undiscounted paper formulas for the three
+/// classic methods; with the interesting-orders discount active for this
+/// step, or for the hybrid-hash extension (whose cost is not a step
+/// function of memory), we fall back to the naive enumeration.
+bool FastPathValid(const CostModel& model, JoinMethod method,
+                   bool left_sorted, bool right_sorted) {
+  if (method == JoinMethod::kHybridHash) return false;
+  return !model.options().sorted_input_discount ||
+         (!left_sorted && !right_sorted);
+}
+
+}  // namespace
+
+OptimizeResult OptimizeAlgorithmD(const Query& query, const Catalog& catalog,
+                                  const CostModel& model,
+                                  const Distribution& memory,
+                                  const OptimizerOptions& options) {
+  DpContext ctx(query, catalog, options);
+  int n = ctx.num_tables();
+  size_t num_subsets = size_t{1} << n;
+  OptimizeResult result;
+
+  // Size distribution per subset (independent of join order; computed once
+  // per subset as §3.6.3 recommends).
+  std::vector<Distribution> size_dist(num_subsets,
+                                      Distribution::PointMass(1.0));
+  for (QueryPos p = 0; p < n; ++p) {
+    size_dist[TableSet{1} << p] = catalog.table(query.table(p))
+                                      .SizeDistribution()
+                                      .Rebucket(options.size_buckets);
+  }
+  for (int size = 2; size <= n; ++size) {
+    for (TableSet s = 1; s < num_subsets; ++s) {
+      if (SetSize(s) != size) continue;
+      // |S| = |S_j| · |A_j| · σ for any j ∈ S (every internal predicate is
+      // counted exactly once across the recursive decomposition), so one
+      // derivation per subset suffices (§3.6.3).
+      QueryPos j = Members(s).front();
+      TableSet sj = s & ~(TableSet{1} << j);
+      Distribution sel = CombinedSelectivityDistribution(
+          query, ctx.ConnectingPredicates(sj, j), options.size_buckets);
+      size_dist[s] = JoinSizeDistribution(size_dist[sj],
+                                          size_dist[TableSet{1} << j], sel,
+                                          options.size_buckets,
+                                          options.size_mode);
+    }
+  }
+
+  struct EntryD {
+    PlanPtr plan;
+    double ec = 0;
+  };
+  std::vector<std::map<OrderId, EntryD>> table(num_subsets);
+
+  for (QueryPos p = 0; p < n; ++p) {
+    TableSet s = TableSet{1} << p;
+    EntryD e;
+    e.plan = MakeAccess(p, size_dist[s].Mean());
+    e.ec = size_dist[s].Mean();  // scan cost linear in size
+    table[s][kUnsorted] = std::move(e);
+  }
+
+  for (int size = 2; size <= n; ++size) {
+    for (TableSet s = 1; s < num_subsets; ++s) {
+      if (SetSize(s) != size) continue;
+      for (QueryPos j : Members(s)) {
+        TableSet sj = s & ~(TableSet{1} << j);
+        if (table[sj].empty()) continue;
+        if (ctx.CrossProductForbidden(sj, j)) continue;
+        std::vector<int> preds = ctx.ConnectingPredicates(sj, j);
+        const Distribution& left_size = size_dist[sj];
+        const Distribution& right_size = size_dist[TableSet{1} << j];
+        const EntryD& right = table[TableSet{1} << j].at(kUnsorted);
+
+        for (const auto& [left_order, left] : table[sj]) {
+          for (JoinMethod method : options.join_methods) {
+            std::vector<int> keys;
+            if (method == JoinMethod::kSortMerge) {
+              if (preds.empty()) continue;
+              keys = preds;
+            } else {
+              keys.push_back(kUnsorted);
+            }
+            for (int key : keys) {
+              struct InnerAlt {
+                bool sorted;
+                double extra_ec;
+              };
+              std::vector<InnerAlt> inners = {{false, 0.0}};
+              if (method == JoinMethod::kSortMerge &&
+                  options.consider_sort_enforcers) {
+                inners.push_back(
+                    {true, ExpectedSortCost(model, right_size, memory)});
+              }
+              for (const InnerAlt& inner : inners) {
+                ++result.candidates_considered;
+                bool ls = key != kUnsorted && left_order == key;
+                bool rs = inner.sorted;
+                double step_ec;
+                if (options.use_fast_ec &&
+                    FastPathValid(model, method, ls, rs)) {
+                  step_ec = FastExpectedJoinCost(method, left_size,
+                                                 right_size, memory);
+                  result.cost_evaluations += left_size.size() +
+                                             right_size.size() +
+                                             memory.size();
+                } else {
+                  step_ec = ExpectedJoinCost(model, method, left_size,
+                                             right_size, memory, ls, rs);
+                  result.cost_evaluations +=
+                      left_size.size() * right_size.size() * memory.size();
+                }
+                double total = left.ec + right.ec + inner.extra_ec + step_ec;
+                OrderId out_order =
+                    DpContext::JoinOutputOrder(method, left_order, key);
+                PlanPtr right_plan = right.plan;
+                if (inner.sorted) right_plan = MakeSort(right_plan, key);
+                EntryD e;
+                e.plan = MakeJoin(left.plan, right_plan, method, preds,
+                                  out_order, size_dist[s].Mean());
+                e.ec = total;
+                auto it = table[s].find(out_order);
+                if (it == table[s].end() || e.ec < it->second.ec) {
+                  table[s][out_order] = std::move(e);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  const auto& roots = table[query.AllTables()];
+  if (roots.empty()) throw std::runtime_error("no plan found for query");
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& [order, entry] : roots) {
+    double total = entry.ec;
+    PlanPtr plan = entry.plan;
+    if (query.required_order() && order != *query.required_order()) {
+      total += ExpectedSortCost(model, size_dist[query.AllTables()], memory);
+      plan = MakeSort(plan, *query.required_order());
+    }
+    if (total < best) {
+      best = total;
+      result.plan = plan;
+    }
+  }
+  result.objective = best;
+  return result;
+}
+
+}  // namespace lec

@@ -1,0 +1,31 @@
+// Algorithm D (§3.6): multiple uncertain parameters.
+//
+// Memory, every table size, and every predicate selectivity are independent
+// random variables. Each DP node carries, besides its LEC plan, the
+// distribution of its result size |B_j| (Figure 1): three distributions
+// (M, |B_j|, |A_j|) feed the expected join cost and a fourth (σ) feeds the
+// distribution of |B_j ⋈ A_j| handed to the parent, so the per-node state
+// stays constant no matter how many base parameters exist.
+//
+// Expected join costs use either the naive triple enumeration or the
+// linear-time §3.6.1/3.6.2 algorithms (options.use_fast_ec); result-size
+// distributions are kept to options.size_buckets buckets via §3.6.3
+// cube-root pre-bucketing.
+#ifndef LECOPT_OPTIMIZER_ALGORITHM_D_H_
+#define LECOPT_OPTIMIZER_ALGORITHM_D_H_
+
+#include "optimizer/dp_common.h"
+
+namespace lec {
+
+/// LEC plan under independent distributions over memory (static), table
+/// sizes, and predicate selectivities. `objective` is the expected cost
+/// as estimated with the configured bucket budget.
+OptimizeResult OptimizeAlgorithmD(const Query& query, const Catalog& catalog,
+                                  const CostModel& model,
+                                  const Distribution& memory,
+                                  const OptimizerOptions& options = {});
+
+}  // namespace lec
+
+#endif  // LECOPT_OPTIMIZER_ALGORITHM_D_H_

@@ -1,0 +1,56 @@
+// Strategies for partitioning the parameter space (§3.7).
+//
+// "The complexity of all our algorithms ... depends on partitioning the
+// parameter space into a number of buckets. A large number of buckets gives
+// a closer approximation ... a smaller number makes the optimization process
+// less expensive."
+//
+// Three strategies are provided for reducing a fine-grained memory
+// distribution to b buckets:
+//   * equal-width     — uniform slices of the value range,
+//   * equal-prob      — quantile slices,
+//   * level-set       — slices aligned with the cost formulas' memory
+//                       discontinuities for the query at hand ("if we are
+//                       considering a sort-merge join for fixed relation
+//                       sizes, we need deal with only three buckets").
+#ifndef LECOPT_OPTIMIZER_BUCKETING_H_
+#define LECOPT_OPTIMIZER_BUCKETING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "cost/cost_model.h"
+#include "dist/distribution.h"
+#include "query/query.h"
+
+namespace lec {
+
+enum class BucketingStrategy {
+  kEqualWidth,
+  kEqualProb,
+  kLevelSet,
+};
+
+/// The memory values at which *some* cost formula relevant to this query is
+/// discontinuous: breakpoints of every join method over every pair of
+/// subset-size estimates (base tables and intermediate results along the
+/// lattice), plus sort breakpoints for the ORDER BY if any. Sorted,
+/// deduplicated, restricted to (lo, hi).
+std::vector<double> QueryMemoryBreakpoints(const Query& query,
+                                           const Catalog& catalog,
+                                           const CostModel& model, double lo,
+                                           double hi);
+
+/// Reduces `fine` (a high-resolution memory distribution, standing in for
+/// the continuous truth) to at most `b` buckets using the given strategy.
+/// Level-set bucketing groups fine buckets between consecutive relevant
+/// breakpoints; if that yields more than `b` cells, the cells with the
+/// least probability mass are merged with a neighbour first.
+Distribution BucketMemory(const Distribution& fine, size_t b,
+                          BucketingStrategy strategy, const Query& query,
+                          const Catalog& catalog, const CostModel& model);
+
+}  // namespace lec
+
+#endif  // LECOPT_OPTIMIZER_BUCKETING_H_

@@ -1,0 +1,41 @@
+// Bushy-plan LEC optimization (paper §4: "The major issue we do not
+// consider is parallelism, which can play a role ... through bushy join
+// trees").
+//
+// The left-deep restriction is a System R heuristic (§2.2), not a
+// requirement of the LEC idea: Theorem 3.3's proof only needs cost
+// additivity, which holds for any binary join tree. This module extends the
+// subset DP to all binary trees — each node S is built from every ordered
+// split (S1, S2) with a connecting predicate — under either the specific-
+// cost (LSC) or expected-cost (LEC) objective, demonstrating that the LEC
+// extension is orthogonal to the plan-space choice.
+//
+// Scope: static memory only. Bushy trees have no canonical linear phase
+// order, so the §3.5 per-phase marginals do not apply; see DESIGN.md.
+#ifndef LECOPT_OPTIMIZER_BUSHY_H_
+#define LECOPT_OPTIMIZER_BUSHY_H_
+
+#include "optimizer/dp_common.h"
+
+namespace lec {
+
+/// Best bushy plan at one specific memory value (LSC objective).
+OptimizeResult OptimizeBushyLsc(const Query& query, const Catalog& catalog,
+                                const CostModel& model, double memory,
+                                const OptimizerOptions& options = {});
+
+/// Least-expected-cost bushy plan under a static memory distribution.
+OptimizeResult OptimizeBushyLec(const Query& query, const Catalog& catalog,
+                                const CostModel& model,
+                                const Distribution& memory,
+                                const OptimizerOptions& options = {});
+
+/// All complete bushy plans for the query (exponential; oracle for tests;
+/// intended for n <= 5). ORDER BY is enforced where needed.
+std::vector<PlanPtr> EnumerateBushyPlans(const Query& query,
+                                         const Catalog& catalog,
+                                         const OptimizerOptions& options);
+
+}  // namespace lec
+
+#endif  // LECOPT_OPTIMIZER_BUSHY_H_

@@ -1,0 +1,137 @@
+// Shared scaffolding for the System R-style bottom-up optimizers (§2.2).
+//
+// All the paper's algorithms share one skeleton: walk the subset DAG from
+// single relations to the full set, and for each node S consider joining
+// B_j = ⋈_{i ∈ S_j} A_i with A_j for every j ∈ S, every join method, and
+// (our interesting-orders extension) every choice of sort-merge key /
+// enforcer. They differ only in how a candidate join step is *costed*
+// (specific cost at one memory value, expected cost under a distribution,
+// per-phase expected cost under Markov marginals) and in how many entries
+// are retained per node (one for System R / Algorithm C, top-c for
+// Algorithm B, one per result-size distribution for Algorithm D). The
+// common skeleton lives here, parameterized by cost callbacks.
+#ifndef LECOPT_OPTIMIZER_DP_COMMON_H_
+#define LECOPT_OPTIMIZER_DP_COMMON_H_
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "cost/cost_model.h"
+#include "cost/size_propagation.h"
+#include "plan/plan.h"
+#include "query/query.h"
+
+namespace lec {
+
+/// Knobs shared by every optimizer in the family.
+struct OptimizerOptions {
+  /// Join algorithms to consider at each step.
+  std::vector<JoinMethod> join_methods = {JoinMethod::kNestedLoop,
+                                          JoinMethod::kSortMerge,
+                                          JoinMethod::kGraceHash};
+  /// System R heuristic: never introduce a cross product unless the query
+  /// graph itself is disconnected.
+  bool avoid_cross_products = true;
+  /// Consider Sort enforcers over the inner relation for sort-merge joins
+  /// (only useful when the cost model's sorted_input_discount is on).
+  bool consider_sort_enforcers = false;
+  /// Algorithm D: bucket budget per result-size distribution (§3.6.3).
+  size_t size_buckets = 27;
+  /// Algorithm D: how result-size distributions are kept small.
+  SizePropagationMode size_mode = SizePropagationMode::kCubeRootPrebucket;
+  /// Algorithm D: use the §3.6 linear-time EC paths when valid.
+  bool use_fast_ec = true;
+};
+
+/// Result of one optimizer invocation. `objective` is whatever the
+/// algorithm minimizes: specific cost for LSC, expected cost for the LEC
+/// family — always including the final ORDER BY enforcement if the query
+/// requires one.
+struct OptimizeResult {
+  PlanPtr plan;
+  double objective = 0;
+  /// Join candidates (subset, j, method, enforcer) examined.
+  size_t candidates_considered = 0;
+  /// Invocations of the underlying cost formulas; the paper's complexity
+  /// statements (Theorems 3.2/3.3) are in these units.
+  size_t cost_evaluations = 0;
+};
+
+/// How a candidate join step is costed. `phase_idx` is the 0-based phase in
+/// which the join executes (the join forming a subset of size s runs in
+/// phase s-2; §3.5). Returns the step's cost contribution.
+using JoinCostFn = std::function<double(
+    JoinMethod method, double left_pages, double right_pages,
+    bool left_sorted, bool right_sorted, int phase_idx)>;
+
+/// Cost of sorting `pages` in phase `phase_idx` (enforcers + final ORDER BY).
+using SortCostFn = std::function<double(double pages, int phase_idx)>;
+
+/// Precomputed per-query quantities shared by the DP algorithms.
+class DpContext {
+ public:
+  DpContext(const Query& query, const Catalog& catalog,
+            const OptimizerOptions& options);
+
+  const Query& query() const { return *query_; }
+  const Catalog& catalog() const { return *catalog_; }
+  const OptimizerOptions& options() const { return *options_; }
+
+  int num_tables() const { return query_->num_tables(); }
+
+  /// Mean page count of relation at position p.
+  double TablePages(QueryPos p) const { return table_pages_[p]; }
+
+  /// Mean page count of ⋈_{i ∈ S} A_i (product of table sizes and internal
+  /// predicate mean selectivities — independent of join order, the
+  /// dynamic-programming property of §2.2 observation 3).
+  double SubsetPages(TableSet s) const { return subset_pages_[s]; }
+
+  /// True if a join step extending `subset` with `j` would be a cross
+  /// product that the options forbid.
+  bool CrossProductForbidden(TableSet subset, QueryPos j) const;
+
+  /// Output order of a join (NL preserves the outer's order, SM emits its
+  /// key's order, GH destroys order).
+  static OrderId JoinOutputOrder(JoinMethod method, OrderId left_order,
+                                 OrderId sm_key);
+
+  /// Candidate sort-merge keys for joining `subset` with `j`: each
+  /// connecting predicate may serve as the sort key.
+  std::vector<int> ConnectingPredicates(TableSet subset, QueryPos j) const {
+    return query_->ConnectingPredicates(subset, j);
+  }
+
+ private:
+  const Query* query_;
+  const Catalog* catalog_;
+  const OptimizerOptions* options_;
+  std::vector<double> table_pages_;
+  std::vector<double> subset_pages_;
+  bool query_connected_ = true;
+};
+
+/// One retained DP entry: a plan for some subset together with its
+/// cumulative objective value under the algorithm's costing.
+struct DpEntry {
+  PlanPtr plan;
+  double cost = 0;
+};
+
+/// Per-subset DP state keyed by output order (interesting orders).
+using OrderMap = std::map<OrderId, DpEntry>;
+
+/// Runs the shared single-best DP: one entry per (subset, order), costing
+/// via the callbacks. This single routine *is* System R (LSC) when the
+/// callbacks evaluate at one memory value and Algorithm C (LEC) when they
+/// evaluate expected costs — the paper's point that the extension is "a
+/// relatively small and localized change" (§3.3).
+OptimizeResult RunDp(const DpContext& ctx, const JoinCostFn& join_cost,
+                     const SortCostFn& sort_cost);
+
+}  // namespace lec
+
+#endif  // LECOPT_OPTIMIZER_DP_COMMON_H_

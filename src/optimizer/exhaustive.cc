@@ -1,0 +1,107 @@
+#include "optimizer/exhaustive.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace lec {
+
+namespace {
+
+void Extend(const DpContext& ctx, const PlanPtr& partial,
+            std::vector<PlanPtr>* out) {
+  const Query& query = ctx.query();
+  const OptimizerOptions& opts = ctx.options();
+  TableSet covered = partial->tables;
+  if (covered == query.AllTables()) {
+    PlanPtr complete = partial;
+    if (query.required_order() &&
+        partial->order != *query.required_order()) {
+      complete = MakeSort(partial, *query.required_order());
+    }
+    out->push_back(complete);
+    return;
+  }
+  for (QueryPos j = 0; j < query.num_tables(); ++j) {
+    if (Contains(covered, j)) continue;
+    if (ctx.CrossProductForbidden(covered, j)) continue;
+    std::vector<int> preds = ctx.ConnectingPredicates(covered, j);
+    double out_pages = ctx.SubsetPages(covered | (TableSet{1} << j));
+    PlanPtr access = MakeAccess(j, ctx.TablePages(j));
+    for (JoinMethod method : opts.join_methods) {
+      std::vector<int> keys;
+      if (method == JoinMethod::kSortMerge) {
+        if (preds.empty()) continue;
+        keys = preds;
+      } else {
+        keys.push_back(kUnsorted);
+      }
+      for (int key : keys) {
+        std::vector<PlanPtr> inners = {access};
+        if (method == JoinMethod::kSortMerge && opts.consider_sort_enforcers) {
+          inners.push_back(MakeSort(access, key));
+        }
+        for (const PlanPtr& inner : inners) {
+          OrderId order =
+              DpContext::JoinOutputOrder(method, partial->order, key);
+          Extend(ctx,
+                 MakeJoin(partial, inner, method, preds, order, out_pages),
+                 out);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<PlanPtr> EnumerateLeftDeepPlans(const Query& query,
+                                            const Catalog& catalog,
+                                            const OptimizerOptions& options) {
+  DpContext ctx(query, catalog, options);
+  std::vector<PlanPtr> out;
+  if (query.num_tables() == 1) {
+    out.push_back(MakeAccess(0, ctx.TablePages(0)));
+    return out;
+  }
+  for (QueryPos p = 0; p < query.num_tables(); ++p) {
+    Extend(ctx, MakeAccess(p, ctx.TablePages(p)), &out);
+  }
+  return out;
+}
+
+OptimizeResult ExhaustiveBest(const Query& query, const Catalog& catalog,
+                              const OptimizerOptions& options,
+                              const PlanObjectiveFn& objective) {
+  std::vector<PlanPtr> plans = EnumerateLeftDeepPlans(query, catalog, options);
+  OptimizeResult result;
+  result.candidates_considered = plans.size();
+  double best = std::numeric_limits<double>::infinity();
+  for (const PlanPtr& p : plans) {
+    ++result.cost_evaluations;
+    double c = objective(p);
+    if (c < best) {
+      best = c;
+      result.plan = p;
+    }
+  }
+  result.objective = best;
+  return result;
+}
+
+std::vector<std::pair<PlanPtr, double>> ExhaustiveTopK(
+    const Query& query, const Catalog& catalog,
+    const OptimizerOptions& options, const PlanObjectiveFn& objective,
+    size_t k) {
+  std::vector<PlanPtr> plans = EnumerateLeftDeepPlans(query, catalog, options);
+  std::vector<std::pair<PlanPtr, double>> scored;
+  scored.reserve(plans.size());
+  for (const PlanPtr& p : plans) scored.emplace_back(p, objective(p));
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second < b.second;
+                   });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+}  // namespace lec

@@ -1,0 +1,42 @@
+// Exhaustive left-deep plan enumeration — the correctness oracle.
+//
+// Enumerates exactly the plan space the DP algorithms search (every
+// permutation, join method, sort-merge key, and enforcer choice permitted
+// by the options, with the final ORDER BY enforced), so that tests can
+// verify Theorem 2.1 (System R = LSC optimum) and Theorem 3.3/3.4
+// (Algorithm C = LEC optimum) by brute force, and Algorithm B's top-c lists
+// against the true top c. Exponential; intended for small n.
+#ifndef LECOPT_OPTIMIZER_EXHAUSTIVE_H_
+#define LECOPT_OPTIMIZER_EXHAUSTIVE_H_
+
+#include <functional>
+#include <vector>
+
+#include "optimizer/dp_common.h"
+
+namespace lec {
+
+/// Evaluates a complete plan to the scalar objective being minimized.
+using PlanObjectiveFn = std::function<double(const PlanPtr&)>;
+
+/// All complete left-deep plans for the query (ORDER BY enforced where
+/// needed), in no particular order.
+std::vector<PlanPtr> EnumerateLeftDeepPlans(const Query& query,
+                                            const Catalog& catalog,
+                                            const OptimizerOptions& options);
+
+/// The plan minimizing `objective` over EnumerateLeftDeepPlans, with the
+/// number of plans enumerated in `candidates_considered`.
+OptimizeResult ExhaustiveBest(const Query& query, const Catalog& catalog,
+                              const OptimizerOptions& options,
+                              const PlanObjectiveFn& objective);
+
+/// The `k` best (plan, objective) pairs, ascending by objective.
+std::vector<std::pair<PlanPtr, double>> ExhaustiveTopK(
+    const Query& query, const Catalog& catalog,
+    const OptimizerOptions& options, const PlanObjectiveFn& objective,
+    size_t k);
+
+}  // namespace lec
+
+#endif  // LECOPT_OPTIMIZER_EXHAUSTIVE_H_

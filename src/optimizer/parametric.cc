@@ -1,0 +1,68 @@
+#include "optimizer/parametric.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "cost/expected_cost.h"
+#include "optimizer/system_r.h"
+
+namespace lec {
+
+ParametricPlanSet ParametricPlanSet::Compile(const Query& query,
+                                             const Catalog& catalog,
+                                             const CostModel& model,
+                                             const Distribution& memory,
+                                             const OptimizerOptions& options) {
+  ParametricPlanSet set;
+  set.representatives_.reserve(memory.size());
+  set.plans_.reserve(memory.size());
+  for (const Bucket& m : memory.buckets()) {
+    OptimizeResult r = OptimizeLsc(query, catalog, model, m.value, options);
+    set.representatives_.push_back(m.value);
+    set.plans_.push_back(r.plan);
+  }
+  return set;
+}
+
+const PlanPtr& ParametricPlanSet::PlanFor(double memory) const {
+  if (representatives_.empty()) {
+    throw std::logic_error("empty parametric plan set");
+  }
+  size_t best = 0;
+  double best_dist = std::fabs(representatives_[0] - memory);
+  for (size_t i = 1; i < representatives_.size(); ++i) {
+    double d = std::fabs(representatives_[i] - memory);
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return plans_[best];
+}
+
+size_t ParametricPlanSet::num_distinct_plans() const {
+  size_t distinct = 0;
+  for (size_t i = 0; i < plans_.size(); ++i) {
+    bool seen = false;
+    for (size_t j = 0; j < i && !seen; ++j) {
+      seen = PlanEquals(plans_[i], plans_[j]);
+    }
+    if (!seen) ++distinct;
+  }
+  return distinct;
+}
+
+double ParametricStartupExpectedCost(const ParametricPlanSet& set,
+                                     const Query& query,
+                                     const Catalog& catalog,
+                                     const CostModel& model,
+                                     const Distribution& memory) {
+  double ec = 0;
+  for (const Bucket& m : memory.buckets()) {
+    ec += m.prob * PlanCostAtMemory(set.PlanFor(m.value), query, catalog,
+                                    model, m.value);
+  }
+  return ec;
+}
+
+}  // namespace lec

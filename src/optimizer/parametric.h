@@ -1,0 +1,72 @@
+// Parametric query optimization (§2.3's start-up-time strategies).
+//
+// "Another strategy is to find the best execution plan for every possible
+// run-time value of the parameter ... very little work at query execution
+// time (a simple table lookup to find the best plan for the current
+// parameter value)" [INSS92]; [GC94]'s choice nodes defer the same decision
+// into the plan. The paper also suggests combining this with LEC: "we can
+// precompute the best expected plan under a number of possible
+// distributions ... and store these expected plans, for use at query
+// execution time."
+//
+// ParametricPlanSet implements the lookup-table strategy over the memory
+// buckets; it is the natural upper baseline for LEC when the parameter
+// *is* known exactly at start-up, and E11 (bench_startup_strategies)
+// quantifies how much of that gap compile-time LEC closes when it is not.
+#ifndef LECOPT_OPTIMIZER_PARAMETRIC_H_
+#define LECOPT_OPTIMIZER_PARAMETRIC_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "optimizer/dp_common.h"
+
+namespace lec {
+
+/// A compiled per-bucket plan table: one LSC-optimal plan per memory bucket
+/// representative, selected by nearest-bucket lookup at start-up.
+class ParametricPlanSet {
+ public:
+  /// Optimizes once per bucket of `memory` (b LSC invocations, the same
+  /// work Algorithm A performs, but *retaining* the whole table instead of
+  /// collapsing it to one plan).
+  static ParametricPlanSet Compile(const Query& query, const Catalog& catalog,
+                                   const CostModel& model,
+                                   const Distribution& memory,
+                                   const OptimizerOptions& options = {});
+
+  /// The plan to run when start-up observes `memory` pages: the plan
+  /// compiled for the nearest bucket representative.
+  const PlanPtr& PlanFor(double memory) const;
+
+  /// Number of buckets compiled.
+  size_t num_buckets() const { return representatives_.size(); }
+  /// Number of structurally distinct plans in the table.
+  size_t num_distinct_plans() const;
+
+  const std::vector<double>& representatives() const {
+    return representatives_;
+  }
+  const std::vector<PlanPtr>& plans() const { return plans_; }
+
+ private:
+  ParametricPlanSet() = default;
+
+  std::vector<double> representatives_;  // ascending
+  std::vector<PlanPtr> plans_;           // parallel to representatives_
+};
+
+/// Expected cost of the start-up lookup strategy when the true memory is
+/// drawn from `memory` and observed exactly at start-up: Σ_m Pr(m) ·
+/// C(PlanFor(m), m). With representatives equal to the bucket values this
+/// lower-bounds every compile-time strategy restricted to the same plan
+/// space and cost model.
+double ParametricStartupExpectedCost(const ParametricPlanSet& set,
+                                     const Query& query,
+                                     const Catalog& catalog,
+                                     const CostModel& model,
+                                     const Distribution& memory);
+
+}  // namespace lec
+
+#endif  // LECOPT_OPTIMIZER_PARAMETRIC_H_

@@ -1,0 +1,60 @@
+// Randomized LEC optimization ([Swa89], [IK90]; §1: "randomized algorithms
+// have also been proposed ... they apply in our approach too").
+//
+// For joins too wide for the exponential DP, iterative improvement over
+// left-deep join orders: start from random connected permutations, apply
+// swap / relocate moves, and keep the best plan under the *expected-cost*
+// objective — demonstrating that LEC is an objective-function change, not a
+// search-strategy change.
+//
+// For a fixed permutation the method/key/enforcer choices are filled in
+// optimally by a small per-prefix DP over interesting orders (the same
+// candidate space as RunDp restricted to one permutation), so the random
+// walk only explores the n!-sized order space.
+#ifndef LECOPT_OPTIMIZER_RANDOMIZED_H_
+#define LECOPT_OPTIMIZER_RANDOMIZED_H_
+
+#include "dist/distribution.h"
+#include "optimizer/dp_common.h"
+#include "util/rng.h"
+
+namespace lec {
+
+/// Search budget knobs.
+struct RandomizedOptions {
+  /// Independent restarts from fresh random permutations.
+  int restarts = 8;
+  /// Consecutive non-improving neighbourhood scans before a restart ends.
+  int patience = 2;
+  /// Optimizer plan-space options (join methods, enforcers, ...).
+  OptimizerOptions plan_options;
+};
+
+/// Best expected-cost plan found by iterative improvement. `objective` is
+/// the plan's expected cost under `memory`; counters accumulate permutation
+/// evaluations (candidates) and cost-formula calls.
+OptimizeResult OptimizeRandomizedLec(const Query& query,
+                                     const Catalog& catalog,
+                                     const CostModel& model,
+                                     const Distribution& memory, Rng* rng,
+                                     const RandomizedOptions& options = {});
+
+/// Evaluates one explicit join order (query positions, outermost first):
+/// fills in join methods / sort-merge keys / final ORDER BY optimally and
+/// returns the completed plan and its expected cost. Throws if the order
+/// requires a forbidden cross product.
+OptimizeResult EvaluateJoinOrder(const Query& query, const Catalog& catalog,
+                                 const CostModel& model,
+                                 const Distribution& memory,
+                                 const std::vector<QueryPos>& order,
+                                 const OptimizerOptions& options = {});
+
+/// A uniformly random join order that never introduces a forbidden cross
+/// product (each next relation connects to the prefix when the query graph
+/// is connected).
+std::vector<QueryPos> RandomConnectedOrder(const Query& query, Rng* rng,
+                                           const OptimizerOptions& options);
+
+}  // namespace lec
+
+#endif  // LECOPT_OPTIMIZER_RANDOMIZED_H_

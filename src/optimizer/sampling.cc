@@ -1,0 +1,32 @@
+#include "optimizer/sampling.h"
+
+#include <stdexcept>
+
+#include "optimizer/algorithm_d.h"
+
+namespace lec {
+
+SamplingDecision EvaluateSampling(const Query& query, const Catalog& catalog,
+                                  const CostModel& model,
+                                  const Distribution& memory, int predicate,
+                                  const OptimizerOptions& options) {
+  if (predicate < 0 || predicate >= query.num_predicates()) {
+    throw std::invalid_argument("unknown predicate");
+  }
+  SamplingDecision out;
+  out.ec_without_sampling =
+      OptimizeAlgorithmD(query, catalog, model, memory, options).objective;
+  const Distribution& sel = query.predicate(predicate).selectivity;
+  double with = 0;
+  for (const Bucket& s : sel.buckets()) {
+    Query pinned =
+        query.WithSelectivity(predicate, Distribution::PointMass(s.value));
+    with += s.prob *
+            OptimizeAlgorithmD(pinned, catalog, model, memory, options)
+                .objective;
+  }
+  out.ec_with_perfect_info = with;
+  return out;
+}
+
+}  // namespace lec

@@ -1,0 +1,50 @@
+// Value-of-information analysis for selectivity sampling ([SBM93]; §3.6:
+// "the ideas of [SBM93] for deciding when to sample may also be usefully
+// applied here").
+//
+// Sampling a predicate before optimizing collapses its selectivity
+// distribution to (approximately) a point, letting the optimizer pick the
+// best plan for the realized value instead of hedging. That is worth doing
+// exactly when the *expected value of perfect information* exceeds the
+// sampling cost:
+//
+//   EVPI = EC(LEC plan under the σ-distribution)
+//        - E_σ [ EC(best plan given σ) ]            >= 0 always.
+//
+// Both terms are computed with Algorithm D so that the remaining
+// parameters (memory, other selectivities, table sizes) stay distributional
+// throughout — this is the paper's proposed combination of [SBM93] with
+// LEC optimization.
+#ifndef LECOPT_OPTIMIZER_SAMPLING_H_
+#define LECOPT_OPTIMIZER_SAMPLING_H_
+
+#include "optimizer/dp_common.h"
+
+namespace lec {
+
+/// Outcome of the value-of-information analysis for one predicate.
+struct SamplingDecision {
+  /// Expected cost of the LEC plan chosen under the full σ-distribution.
+  double ec_without_sampling = 0;
+  /// E_σ of the expected cost when σ is revealed before optimization.
+  double ec_with_perfect_info = 0;
+
+  /// Expected value of perfect information about the predicate.
+  double Evpi() const { return ec_without_sampling - ec_with_perfect_info; }
+  /// Sample iff knowing σ is worth more than measuring it.
+  bool ShouldSample(double sampling_cost) const {
+    return Evpi() > sampling_cost;
+  }
+};
+
+/// Analyzes predicate `predicate` of the query: optimizes once under the
+/// full distribution, then once per σ-bucket with that predicate pinned.
+/// Costs b_σ + 1 Algorithm D invocations.
+SamplingDecision EvaluateSampling(const Query& query, const Catalog& catalog,
+                                  const CostModel& model,
+                                  const Distribution& memory, int predicate,
+                                  const OptimizerOptions& options = {});
+
+}  // namespace lec
+
+#endif  // LECOPT_OPTIMIZER_SAMPLING_H_

@@ -1,0 +1,29 @@
+#include "optimizer/system_r.h"
+
+namespace lec {
+
+OptimizeResult OptimizeLsc(const Query& query, const Catalog& catalog,
+                           const CostModel& model, double memory,
+                           const OptimizerOptions& options) {
+  DpContext ctx(query, catalog, options);
+  JoinCostFn join_cost = [&model, memory](JoinMethod m, double l, double r,
+                                          bool ls, bool rs, int) {
+    return model.JoinCost(m, l, r, memory, ls, rs);
+  };
+  SortCostFn sort_cost = [&model, memory](double pages, int) {
+    return model.SortCost(pages, memory);
+  };
+  return RunDp(ctx, join_cost, sort_cost);
+}
+
+OptimizeResult OptimizeLscAtEstimate(const Query& query,
+                                     const Catalog& catalog,
+                                     const CostModel& model,
+                                     const Distribution& memory,
+                                     PointEstimate estimate,
+                                     const OptimizerOptions& options) {
+  double m = estimate == PointEstimate::kMean ? memory.Mean() : memory.Mode();
+  return OptimizeLsc(query, catalog, model, m, options);
+}
+
+}  // namespace lec

@@ -1,0 +1,38 @@
+// The baseline System R optimizer (§2.2): least *specific* cost.
+//
+// "Current optimizers simply approximate each distribution by using the mean
+// or modal value. They then choose the plan that is cheapest under the
+// assumption that the parameters actually take these specific values and
+// remain constant during execution. We call this the least specific cost
+// (LSC) plan." (§1)
+#ifndef LECOPT_OPTIMIZER_SYSTEM_R_H_
+#define LECOPT_OPTIMIZER_SYSTEM_R_H_
+
+#include "optimizer/dp_common.h"
+
+namespace lec {
+
+/// Which point estimate of the memory distribution LSC optimization uses.
+enum class PointEstimate {
+  kMean,  ///< expected value
+  kMode,  ///< modal value
+};
+
+/// Computes the LSC left-deep plan for a specific memory value
+/// (Theorem 2.1). `objective` is the plan's cost at that memory value.
+OptimizeResult OptimizeLsc(const Query& query, const Catalog& catalog,
+                           const CostModel& model, double memory,
+                           const OptimizerOptions& options = {});
+
+/// LSC at a point estimate of a memory distribution — what a traditional
+/// optimizer does when handed an uncertain parameter (§1.1).
+OptimizeResult OptimizeLscAtEstimate(const Query& query,
+                                     const Catalog& catalog,
+                                     const CostModel& model,
+                                     const Distribution& memory,
+                                     PointEstimate estimate,
+                                     const OptimizerOptions& options = {});
+
+}  // namespace lec
+
+#endif  // LECOPT_OPTIMIZER_SYSTEM_R_H_

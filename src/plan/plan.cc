@@ -1,0 +1,106 @@
+#include "plan/plan.h"
+
+#include <stdexcept>
+
+namespace lec {
+
+std::string ToString(JoinMethod m) {
+  switch (m) {
+    case JoinMethod::kNestedLoop:
+      return "NL";
+    case JoinMethod::kSortMerge:
+      return "SM";
+    case JoinMethod::kGraceHash:
+      return "GH";
+    case JoinMethod::kHybridHash:
+      return "HH";
+  }
+  return "?";
+}
+
+PlanPtr MakeAccess(QueryPos pos, double est_pages) {
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNode::Kind::kAccess;
+  node->table_pos = pos;
+  node->tables = static_cast<TableSet>(1u << pos);
+  node->est_pages = est_pages;
+  return node;
+}
+
+PlanPtr MakeJoin(PlanPtr left, PlanPtr right, JoinMethod method,
+                 std::vector<int> predicates, OrderId order,
+                 double est_pages) {
+  if (!left || !right) throw std::invalid_argument("join inputs required");
+  if ((left->tables & right->tables) != 0) {
+    throw std::invalid_argument("join inputs overlap");
+  }
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNode::Kind::kJoin;
+  node->left = std::move(left);
+  node->right = std::move(right);
+  node->method = method;
+  node->predicates = std::move(predicates);
+  node->order = order;
+  node->tables = node->left->tables | node->right->tables;
+  node->est_pages = est_pages;
+  return node;
+}
+
+PlanPtr MakeSort(PlanPtr child, OrderId order) {
+  if (!child) throw std::invalid_argument("sort child required");
+  auto node = std::make_shared<PlanNode>();
+  node->kind = PlanNode::Kind::kSort;
+  node->left = std::move(child);
+  node->order = order;
+  node->tables = node->left->tables;
+  node->est_pages = node->left->est_pages;
+  return node;
+}
+
+int CountJoins(const PlanPtr& plan) {
+  if (!plan) return 0;
+  int n = plan->kind == PlanNode::Kind::kJoin ? 1 : 0;
+  return n + CountJoins(plan->left) + CountJoins(plan->right);
+}
+
+namespace {
+void CollectOrder(const PlanPtr& plan, std::vector<QueryPos>* out) {
+  if (!plan) return;
+  switch (plan->kind) {
+    case PlanNode::Kind::kAccess:
+      out->push_back(plan->table_pos);
+      break;
+    case PlanNode::Kind::kSort:
+      CollectOrder(plan->left, out);
+      break;
+    case PlanNode::Kind::kJoin:
+      CollectOrder(plan->left, out);
+      CollectOrder(plan->right, out);
+      break;
+  }
+}
+}  // namespace
+
+std::vector<QueryPos> JoinOrder(const PlanPtr& plan) {
+  std::vector<QueryPos> out;
+  CollectOrder(plan, &out);
+  return out;
+}
+
+bool PlanEquals(const PlanPtr& a, const PlanPtr& b) {
+  if (a == b) return true;
+  if (!a || !b) return false;
+  if (a->kind != b->kind || a->order != b->order) return false;
+  switch (a->kind) {
+    case PlanNode::Kind::kAccess:
+      return a->table_pos == b->table_pos;
+    case PlanNode::Kind::kSort:
+      return PlanEquals(a->left, b->left);
+    case PlanNode::Kind::kJoin:
+      return a->method == b->method && a->predicates == b->predicates &&
+             PlanEquals(a->left, b->left) && PlanEquals(a->right, b->right);
+  }
+  return false;
+}
+
+}  // namespace lec

@@ -1,0 +1,95 @@
+// Immutable left-deep query evaluation plans.
+//
+// Per §2.2 the search space is left-deep trees: a permutation of the query's
+// relations joined pairwise with a choice of binary join algorithm at each
+// step, plus (our interesting-orders extension, paper footnote 1) optional
+// Sort enforcers and a final Sort when the query's ORDER BY is not already
+// satisfied.
+#ifndef LECOPT_PLAN_PLAN_H_
+#define LECOPT_PLAN_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+
+namespace lec {
+
+/// Binary join algorithms considered by the optimizer (§3.6, [Sha86]).
+enum class JoinMethod {
+  kNestedLoop,  ///< paper §3.6.2 page nested-loop
+  kSortMerge,   ///< paper §3.6.1 sort-merge
+  kGraceHash,   ///< Grace hash join [Sha86], used by Example 1.1's Plan 2
+  kHybridHash,  ///< hybrid hash join [Sha86] — opt-in extension whose cost
+                ///< is *continuous* in memory (see bench_hybrid_ablation)
+};
+
+/// The paper's three methods, in a stable order (kHybridHash is an opt-in
+/// extension and deliberately not part of the default set).
+inline constexpr JoinMethod kAllJoinMethods[] = {
+    JoinMethod::kNestedLoop, JoinMethod::kSortMerge, JoinMethod::kGraceHash};
+
+std::string ToString(JoinMethod m);
+
+struct PlanNode;
+/// Plans are immutable DAG-shaped values; subplans are shared freely between
+/// DP entries (the paper's "associated with the node labeled S is the best
+/// left-deep plan"), so nodes are refcounted and never mutated.
+using PlanPtr = std::shared_ptr<const PlanNode>;
+
+/// One operator of a plan tree.
+struct PlanNode {
+  enum class Kind { kAccess, kJoin, kSort };
+
+  Kind kind = Kind::kAccess;
+
+  // -- kAccess --
+  /// Query position of the accessed relation.
+  QueryPos table_pos = -1;
+
+  // -- kJoin --
+  PlanPtr left;   ///< outer input (subplan B_j); also the child of kSort
+  PlanPtr right;  ///< inner input (always a base-relation subtree)
+  JoinMethod method = JoinMethod::kNestedLoop;
+  /// Predicates applied by this join (indices into the query).
+  std::vector<int> predicates;
+
+  // -- kSort and outputs in general --
+  /// Order of this node's output stream (kSort: the enforced order;
+  /// kJoin/kSortMerge: the join key; otherwise usually kUnsorted).
+  OrderId order = kUnsorted;
+
+  /// Positions covered by this subtree.
+  TableSet tables = 0;
+
+  /// Estimated output size in pages under mean parameter values; carried
+  /// for display and as the default costing input.
+  double est_pages = 0;
+};
+
+/// Leaf: sequential scan of the relation at query position `pos`.
+PlanPtr MakeAccess(QueryPos pos, double est_pages);
+
+/// Join of `left` (outer) with `right` (inner) using `method` and the given
+/// predicates. `order` is the output order (the SM join key, or kUnsorted).
+PlanPtr MakeJoin(PlanPtr left, PlanPtr right, JoinMethod method,
+                 std::vector<int> predicates, OrderId order,
+                 double est_pages);
+
+/// Sort enforcer establishing `order` over `child`.
+PlanPtr MakeSort(PlanPtr child, OrderId order);
+
+/// Number of join nodes in the plan (the paper's n-1 "phases", §3.5).
+int CountJoins(const PlanPtr& plan);
+
+/// The join order as a permutation of query positions (outermost first).
+/// Requires a left-deep plan.
+std::vector<QueryPos> JoinOrder(const PlanPtr& plan);
+
+/// Structural equality (same shape, methods, predicates, orders).
+bool PlanEquals(const PlanPtr& a, const PlanPtr& b);
+
+}  // namespace lec
+
+#endif  // LECOPT_PLAN_PLAN_H_

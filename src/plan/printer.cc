@@ -1,0 +1,73 @@
+#include "plan/printer.h"
+
+#include <sstream>
+
+namespace lec {
+
+namespace {
+
+void RenderInline(const PlanPtr& plan, const Query& query,
+                  const Catalog& catalog, std::ostringstream* os) {
+  switch (plan->kind) {
+    case PlanNode::Kind::kAccess:
+      *os << catalog.table(query.table(plan->table_pos)).name;
+      break;
+    case PlanNode::Kind::kSort:
+      *os << "Sort(";
+      RenderInline(plan->left, query, catalog, os);
+      *os << ")";
+      break;
+    case PlanNode::Kind::kJoin:
+      *os << "(";
+      RenderInline(plan->left, query, catalog, os);
+      *os << " " << ToString(plan->method) << " ";
+      RenderInline(plan->right, query, catalog, os);
+      *os << ")";
+      break;
+  }
+}
+
+void RenderTree(const PlanPtr& plan, const Query& query,
+                const Catalog& catalog, int depth, std::ostringstream* os) {
+  for (int i = 0; i < depth; ++i) *os << "  ";
+  switch (plan->kind) {
+    case PlanNode::Kind::kAccess:
+      *os << "Scan " << catalog.table(query.table(plan->table_pos)).name
+          << "  [" << plan->est_pages << " pages]\n";
+      break;
+    case PlanNode::Kind::kSort:
+      *os << "Sort on p" << plan->order << "  [" << plan->est_pages
+          << " pages]\n";
+      RenderTree(plan->left, query, catalog, depth + 1, os);
+      break;
+    case PlanNode::Kind::kJoin: {
+      *os << ToString(plan->method) << "Join on";
+      for (int p : plan->predicates) *os << " p" << p;
+      if (plan->predicates.empty()) *os << " <cross>";
+      if (plan->order != kUnsorted) *os << "  (sorted on p" << plan->order
+                                        << ")";
+      *os << "  [" << plan->est_pages << " pages]\n";
+      RenderTree(plan->left, query, catalog, depth + 1, os);
+      RenderTree(plan->right, query, catalog, depth + 1, os);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string PlanToString(const PlanPtr& plan, const Query& query,
+                         const Catalog& catalog) {
+  std::ostringstream os;
+  RenderInline(plan, query, catalog, &os);
+  return os.str();
+}
+
+std::string PlanToTreeString(const PlanPtr& plan, const Query& query,
+                             const Catalog& catalog) {
+  std::ostringstream os;
+  RenderTree(plan, query, catalog, 0, &os);
+  return os.str();
+}
+
+}  // namespace lec

@@ -1,0 +1,24 @@
+// Plan rendering for logs, examples, and experiment output.
+#ifndef LECOPT_PLAN_PRINTER_H_
+#define LECOPT_PLAN_PRINTER_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "plan/plan.h"
+#include "query/query.h"
+
+namespace lec {
+
+/// One-line algebraic rendering, e.g.
+/// "Sort(((T0 SM T1) GH T2))".
+std::string PlanToString(const PlanPtr& plan, const Query& query,
+                         const Catalog& catalog);
+
+/// Multi-line indented tree with per-node size estimates.
+std::string PlanToTreeString(const PlanPtr& plan, const Query& query,
+                             const Catalog& catalog);
+
+}  // namespace lec
+
+#endif  // LECOPT_PLAN_PRINTER_H_

@@ -1,0 +1,103 @@
+#include "query/generator.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "dist/builders.h"
+
+namespace lec {
+
+namespace {
+
+/// Pairs of positions receiving a predicate for the requested shape.
+std::vector<std::pair<QueryPos, QueryPos>> EdgeList(
+    const WorkloadOptions& options, Rng* rng) {
+  int n = options.num_tables;
+  std::vector<std::pair<QueryPos, QueryPos>> edges;
+  switch (options.shape) {
+    case JoinGraphShape::kChain:
+      for (int i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+      break;
+    case JoinGraphShape::kStar:
+      for (int i = 1; i < n; ++i) edges.emplace_back(0, i);
+      break;
+    case JoinGraphShape::kCycle:
+      for (int i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+      if (n > 2) edges.emplace_back(n - 1, 0);
+      break;
+    case JoinGraphShape::kClique:
+      for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+      }
+      break;
+    case JoinGraphShape::kRandom: {
+      // Random spanning tree: attach each new node to a random earlier one.
+      for (int i = 1; i < n; ++i) {
+        edges.emplace_back(static_cast<QueryPos>(rng->UniformInt(0, i - 1)),
+                           i);
+      }
+      std::set<std::pair<QueryPos, QueryPos>> have(edges.begin(), edges.end());
+      int added = 0, attempts = 0;
+      while (added < options.extra_edges && attempts < 100 * n) {
+        ++attempts;
+        QueryPos a = static_cast<QueryPos>(rng->UniformInt(0, n - 1));
+        QueryPos b = static_cast<QueryPos>(rng->UniformInt(0, n - 1));
+        if (a == b) continue;
+        if (a > b) std::swap(a, b);
+        if (have.insert({a, b}).second) {
+          edges.emplace_back(a, b);
+          ++added;
+        }
+      }
+      break;
+    }
+  }
+  return edges;
+}
+
+Distribution ThreePointSpread(double center, double spread) {
+  if (spread <= 1.0) return Distribution::PointMass(center);
+  return Distribution(
+      {{center / spread, 0.25}, {center, 0.5}, {center * spread, 0.25}});
+}
+
+}  // namespace
+
+Workload GenerateWorkload(const WorkloadOptions& options, Rng* rng) {
+  if (options.num_tables < 2) {
+    throw std::invalid_argument("need at least two tables");
+  }
+  Workload w;
+  for (int i = 0; i < options.num_tables; ++i) {
+    Table t;
+    t.name = "T" + std::to_string(i);
+    t.pages = rng->LogUniform(options.min_pages, options.max_pages);
+    if (options.table_size_spread > 1.0) {
+      t.pages_dist = ThreePointSpread(t.pages, options.table_size_spread);
+    }
+    TableId id = w.catalog.AddTable(std::move(t));
+    w.query.AddTable(id);
+  }
+  for (auto [a, b] : EdgeList(options, rng)) {
+    double sel =
+        rng->LogUniform(options.min_selectivity, options.max_selectivity);
+    if (options.selectivity_spread > 1.0) {
+      w.query.AddPredicate(a, b,
+                           UncertainSelectivity(sel,
+                                                options.selectivity_spread));
+    } else {
+      w.query.AddPredicate(a, b, sel);
+    }
+  }
+  if (options.order_by_probability > 0 && w.query.num_predicates() > 0 &&
+      rng->Uniform01() < options.order_by_probability) {
+    w.query.RequireOrder(static_cast<OrderId>(
+        rng->UniformInt(0, w.query.num_predicates() - 1)));
+  }
+  return w;
+}
+
+}  // namespace lec

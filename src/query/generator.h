@@ -1,0 +1,63 @@
+// Seeded random workload generation.
+//
+// The paper has no benchmark suite; its §4 says a prototype should be tested
+// "against realistic queries and execution environments". This generator is
+// that substitute: it produces catalogs with log-uniform table sizes and SPJ
+// queries over the classic join-graph shapes (chain, star, cycle, clique,
+// random spanning tree), optionally with distributional selectivities.
+#ifndef LECOPT_QUERY_GENERATOR_H_
+#define LECOPT_QUERY_GENERATOR_H_
+
+#include <cstddef>
+
+#include "catalog/catalog.h"
+#include "query/query.h"
+#include "util/rng.h"
+
+namespace lec {
+
+/// Topology of the generated join graph.
+enum class JoinGraphShape {
+  kChain,   ///< A1 - A2 - ... - An
+  kStar,    ///< A1 joined to every other relation (fact/dimension schema)
+  kCycle,   ///< chain plus a closing predicate
+  kClique,  ///< predicate between every pair
+  kRandom,  ///< random spanning tree plus optional extra edges
+};
+
+/// Parameters for workload generation; defaults give moderately sized,
+/// moderately selective multi-way joins.
+struct WorkloadOptions {
+  int num_tables = 5;
+  JoinGraphShape shape = JoinGraphShape::kChain;
+  /// Table page counts drawn log-uniformly from this range.
+  double min_pages = 100;
+  double max_pages = 1'000'000;
+  /// Join selectivities (page domain) drawn log-uniformly from this range.
+  double min_selectivity = 1e-8;
+  double max_selectivity = 1e-4;
+  /// If > 1, every selectivity is replaced by an UncertainSelectivity
+  /// three-point distribution with this multiplicative spread (§3.6).
+  double selectivity_spread = 1.0;
+  /// If > 0, every table's size becomes uncertain: a three-point
+  /// distribution {pages/spread, pages, pages*spread}.
+  double table_size_spread = 1.0;
+  /// Extra non-tree predicates for kRandom (ignored for other shapes).
+  int extra_edges = 0;
+  /// Probability that the generated query carries an ORDER BY on a random
+  /// join predicate.
+  double order_by_probability = 0.0;
+};
+
+/// A generated workload instance: a catalog plus one query over it.
+struct Workload {
+  Catalog catalog;
+  Query query;
+};
+
+/// Generates one catalog+query pair. Deterministic given rng state.
+Workload GenerateWorkload(const WorkloadOptions& options, Rng* rng);
+
+}  // namespace lec
+
+#endif  // LECOPT_QUERY_GENERATOR_H_

@@ -1,0 +1,128 @@
+#include "query/query.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace lec {
+
+QueryPos Query::AddTable(TableId table) {
+  if (tables_.size() >= 31) {
+    throw std::invalid_argument("queries limited to 31 relations");
+  }
+  tables_.push_back(table);
+  return static_cast<QueryPos>(tables_.size() - 1);
+}
+
+int Query::AddPredicate(QueryPos a, QueryPos b, double selectivity) {
+  return AddPredicate(a, b, Distribution::PointMass(selectivity));
+}
+
+int Query::AddPredicate(QueryPos a, QueryPos b, Distribution selectivity) {
+  if (a == b || a < 0 || b < 0 || a >= num_tables() || b >= num_tables()) {
+    throw std::invalid_argument("predicate endpoints must be distinct tables");
+  }
+  if (selectivity.Min() <= 0 || selectivity.Max() > 1.0) {
+    throw std::invalid_argument("selectivity support must lie in (0, 1]");
+  }
+  predicates_.push_back({a, b, std::move(selectivity)});
+  return num_predicates() - 1;
+}
+
+void Query::RequireOrder(OrderId p) {
+  if (p < 0 || p >= num_predicates()) {
+    throw std::invalid_argument("unknown predicate for ORDER BY");
+  }
+  required_order_ = p;
+}
+
+std::vector<int> Query::ConnectingPredicates(TableSet subset,
+                                             QueryPos j) const {
+  std::vector<int> out;
+  for (int i = 0; i < num_predicates(); ++i) {
+    const JoinPredicate& p = predicates_[i];
+    if (p.Touches(j) && Contains(subset, p.Other(j)) &&
+        !Contains(subset, j)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<int> Query::CrossingPredicates(TableSet a, TableSet b) const {
+  if ((a & b) != 0) {
+    throw std::invalid_argument("CrossingPredicates requires disjoint sets");
+  }
+  std::vector<int> out;
+  for (int i = 0; i < num_predicates(); ++i) {
+    const JoinPredicate& p = predicates_[i];
+    bool al = Contains(a, p.left), ar = Contains(a, p.right);
+    bool bl = Contains(b, p.left), br = Contains(b, p.right);
+    if ((al && br) || (ar && bl)) out.push_back(i);
+  }
+  return out;
+}
+
+Query Query::WithSelectivity(int p, Distribution selectivity) const {
+  if (p < 0 || p >= num_predicates()) {
+    throw std::invalid_argument("unknown predicate");
+  }
+  if (selectivity.Min() <= 0 || selectivity.Max() > 1.0) {
+    throw std::invalid_argument("selectivity support must lie in (0, 1]");
+  }
+  Query copy = *this;
+  copy.predicates_[static_cast<size_t>(p)].selectivity =
+      std::move(selectivity);
+  return copy;
+}
+
+std::vector<int> Query::InternalPredicates(TableSet subset) const {
+  std::vector<int> out;
+  for (int i = 0; i < num_predicates(); ++i) {
+    const JoinPredicate& p = predicates_[i];
+    if (Contains(subset, p.left) && Contains(subset, p.right)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+bool Query::IsConnected(TableSet subset) const {
+  if (subset == 0) return true;
+  std::vector<QueryPos> members = Members(subset);
+  TableSet reached = static_cast<TableSet>(1u << members[0]);
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const JoinPredicate& p : predicates_) {
+      if (!Contains(subset, p.left) || !Contains(subset, p.right)) continue;
+      bool l = Contains(reached, p.left), r = Contains(reached, p.right);
+      if (l != r) {
+        reached |= static_cast<TableSet>(1u << (l ? p.right : p.left));
+        grew = true;
+      }
+    }
+  }
+  return reached == subset;
+}
+
+double Query::MeanSelectivity(const std::vector<int>& preds) const {
+  double s = 1.0;
+  for (int i : preds) s *= predicates_[i].selectivity.Mean();
+  return s;
+}
+
+int SetSize(TableSet s) { return std::popcount(s); }
+
+bool Contains(TableSet s, QueryPos p) {
+  return (s >> p) & 1u;
+}
+
+std::vector<QueryPos> Members(TableSet s) {
+  std::vector<QueryPos> out;
+  for (QueryPos p = 0; s != 0; ++p, s >>= 1) {
+    if (s & 1u) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace lec

@@ -1,0 +1,117 @@
+// Query model: a SELECT-PROJECT-JOIN block as a join graph.
+//
+// Following §2.2 we model the unit of optimization as an SPJ block joining n
+// relations A_1..A_n under binary join predicates. Each predicate carries a
+// selectivity which — per §3.6 — may itself be a distribution ("selectivities
+// are notoriously uncertain"). An optional ORDER BY on one join key models
+// Example 1.1's "the result needs to be ordered by the join column".
+#ifndef LECOPT_QUERY_QUERY_H_
+#define LECOPT_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "dist/distribution.h"
+
+namespace lec {
+
+/// Index of a relation within a query (position i = the paper's A_{i+1}).
+using QueryPos = int;
+
+/// Bitmask over query positions; bit i set means A_{i+1} is in the subset.
+/// This is the label "S ⊆ {1..n}" on the paper's DAG nodes.
+using TableSet = uint32_t;
+
+/// A binary equi-join predicate between two of the query's relations.
+struct JoinPredicate {
+  QueryPos left = 0;
+  QueryPos right = 0;
+  /// Distribution over the predicate's selectivity in the page domain:
+  /// |A ⋈ B| (pages) = selectivity · |A| · |B|. A point mass models the
+  /// traditional "known selectivity" case.
+  Distribution selectivity = Distribution::PointMass(1.0);
+
+  /// True if the predicate touches position `p`.
+  bool Touches(QueryPos p) const { return left == p || right == p; }
+  /// The endpoint other than `p`; requires Touches(p).
+  QueryPos Other(QueryPos p) const { return left == p ? right : left; }
+};
+
+/// Identifier of a sort order: the index of the join predicate on whose key
+/// a tuple stream is sorted, or kUnsorted.
+using OrderId = int;
+inline constexpr OrderId kUnsorted = -1;
+
+/// An SPJ query block over tables registered in a Catalog.
+class Query {
+ public:
+  /// Adds relation A_{n+1}; returns its position.
+  QueryPos AddTable(TableId table);
+
+  /// Adds a join predicate with an exactly known selectivity; returns the
+  /// predicate's index (usable as an OrderId).
+  int AddPredicate(QueryPos a, QueryPos b, double selectivity);
+  /// Adds a join predicate with a distributional selectivity.
+  int AddPredicate(QueryPos a, QueryPos b, Distribution selectivity);
+
+  /// Requires the final result sorted on predicate `p`'s join key.
+  void RequireOrder(OrderId p);
+
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+  int num_predicates() const { return static_cast<int>(predicates_.size()); }
+  TableId table(QueryPos p) const { return tables_.at(p); }
+  const std::vector<JoinPredicate>& predicates() const { return predicates_; }
+  const JoinPredicate& predicate(int i) const { return predicates_.at(i); }
+  std::optional<OrderId> required_order() const { return required_order_; }
+
+  /// Bitmask containing every position.
+  TableSet AllTables() const {
+    return static_cast<TableSet>((uint64_t{1} << num_tables()) - 1);
+  }
+
+  /// Indices of predicates with one endpoint in `subset` and the other
+  /// equal to `j` — the predicates applied when joining B_j with A_j.
+  std::vector<int> ConnectingPredicates(TableSet subset, QueryPos j) const;
+
+  /// Indices of predicates with one endpoint in `a` and the other in `b`
+  /// (the sets must be disjoint) — the predicates applied by a bushy join
+  /// of the two subplans.
+  std::vector<int> CrossingPredicates(TableSet a, TableSet b) const;
+
+  /// A copy of this query with predicate `p`'s selectivity replaced —
+  /// used by the value-of-information analysis to model "what the
+  /// optimizer would do if sampling pinned this selectivity down".
+  Query WithSelectivity(int p, Distribution selectivity) const;
+
+  /// Indices of predicates with both endpoints inside `subset`.
+  std::vector<int> InternalPredicates(TableSet subset) const;
+
+  /// True if the join graph restricted to `subset` is connected (a plan for
+  /// a disconnected subset necessarily contains a cross product).
+  bool IsConnected(TableSet subset) const;
+
+  /// Mean combined selectivity of the given predicates (independence
+  /// assumed, as in §3.6: product of means).
+  double MeanSelectivity(const std::vector<int>& preds) const;
+
+ private:
+  std::vector<TableId> tables_;
+  std::vector<JoinPredicate> predicates_;
+  std::optional<OrderId> required_order_;
+};
+
+/// Number of set bits (subset cardinality |S|).
+int SetSize(TableSet s);
+
+/// True if bit `p` is set.
+bool Contains(TableSet s, QueryPos p);
+
+/// Iterates positions in `s`, ascending.
+std::vector<QueryPos> Members(TableSet s);
+
+}  // namespace lec
+
+#endif  // LECOPT_QUERY_QUERY_H_

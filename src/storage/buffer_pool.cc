@@ -1,0 +1,35 @@
+#include "storage/buffer_pool.h"
+
+#include <string>
+
+namespace lec {
+
+BufferPool::BufferPool(size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("capacity must be positive");
+}
+
+BufferPool::Reservation::Reservation(BufferPool* pool, size_t pages)
+    : pool_(pool), pages_(pages) {}
+
+BufferPool::Reservation::~Reservation() {
+  if (pool_ != nullptr) pool_->reserved_ -= pages_;
+}
+
+BufferPool::Reservation::Reservation(Reservation&& other) noexcept
+    : pool_(other.pool_), pages_(other.pages_) {
+  other.pool_ = nullptr;
+  other.pages_ = 0;
+}
+
+BufferPool::Reservation BufferPool::Reserve(size_t pages) {
+  if (reserved_ + pages > capacity_) {
+    throw OutOfMemoryError("workspace request of " + std::to_string(pages) +
+                           " pages exceeds capacity " +
+                           std::to_string(capacity_) + " (reserved " +
+                           std::to_string(reserved_) + ")");
+  }
+  reserved_ += pages;
+  return Reservation(this, pages);
+}
+
+}  // namespace lec

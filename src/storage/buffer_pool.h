@@ -1,0 +1,72 @@
+// Buffer-pool accounting for the mini storage engine.
+//
+// Operators are written to use at most the pool's capacity in workspace
+// pages and to charge every page they read from or write to "disk". The
+// pool enforces the workspace bound via RAII reservations (an operator
+// trying to use more memory than the simulated environment provides is a
+// bug, caught at test time) and accumulates the I/O counters that the
+// engine-validation experiments compare against the analytic cost model.
+#ifndef LECOPT_STORAGE_BUFFER_POOL_H_
+#define LECOPT_STORAGE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+namespace lec {
+
+/// Thrown when an operator attempts to reserve more workspace than the
+/// simulated memory allows.
+class OutOfMemoryError : public std::runtime_error {
+ public:
+  explicit OutOfMemoryError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class BufferPool {
+ public:
+  /// `capacity` is the environment's available memory M, in pages.
+  explicit BufferPool(size_t capacity);
+
+  size_t capacity() const { return capacity_; }
+  size_t reserved() const { return reserved_; }
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  uint64_t total_io() const { return reads_ + writes_; }
+
+  void ChargeRead(uint64_t pages = 1) { reads_ += pages; }
+  void ChargeWrite(uint64_t pages = 1) { writes_ += pages; }
+
+  void ResetCounters() { reads_ = writes_ = 0; }
+
+  /// RAII workspace reservation.
+  class Reservation {
+   public:
+    Reservation(BufferPool* pool, size_t pages);
+    ~Reservation();
+    Reservation(const Reservation&) = delete;
+    Reservation& operator=(const Reservation&) = delete;
+    Reservation(Reservation&& other) noexcept;
+    Reservation& operator=(Reservation&&) = delete;
+
+    size_t pages() const { return pages_; }
+
+   private:
+    BufferPool* pool_;
+    size_t pages_;
+  };
+
+  /// Reserves `pages` of workspace; throws OutOfMemoryError if the request
+  /// (plus existing reservations) exceeds capacity.
+  Reservation Reserve(size_t pages);
+
+ private:
+  size_t capacity_;
+  size_t reserved_ = 0;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+};
+
+}  // namespace lec
+
+#endif  // LECOPT_STORAGE_BUFFER_POOL_H_

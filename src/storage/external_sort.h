@@ -1,0 +1,41 @@
+// External merge sort over TableData, charging page I/O to a BufferPool.
+//
+// Mirrors the analytic CostModel::SortCost structure: run formation with M
+// workspace pages, then (M-1)-way merge passes. For inputs larger than
+// memory the measured I/O equals 2·pages·(1 + merge passes) exactly; an
+// input that fits in memory is sorted in place for one read of the input.
+#ifndef LECOPT_STORAGE_EXTERNAL_SORT_H_
+#define LECOPT_STORAGE_EXTERNAL_SORT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/table_data.h"
+
+namespace lec {
+
+/// Sorts `input` by column `col` using at most pool->capacity() workspace
+/// pages. Charges all run-formation and merge-pass I/O to the pool.
+TableData ExternalSortOp(BufferPool* pool, const TableData& input, int col);
+
+/// Sorted runs after run formation only (building block shared with the
+/// sort-merge join): each run is sorted by `col` and at most M pages long.
+/// Charges one read and one write of the input.
+std::vector<std::vector<Tuple>> FormSortedRuns(BufferPool* pool,
+                                               const TableData& input,
+                                               int col);
+
+/// One full merge pass reducing `runs` to ceil(runs / (M-1)) runs; charges
+/// one read and one write of all pages involved.
+std::vector<std::vector<Tuple>> MergePassOp(BufferPool* pool,
+                                            std::vector<std::vector<Tuple>>
+                                                runs,
+                                            int col);
+
+/// Pages occupied by `n` tuples.
+size_t PagesForTuples(size_t n);
+
+}  // namespace lec
+
+#endif  // LECOPT_STORAGE_EXTERNAL_SORT_H_

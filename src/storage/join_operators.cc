@@ -1,0 +1,263 @@
+#include "storage/join_operators.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/external_sort.h"
+
+namespace lec {
+
+namespace {
+
+Tuple CombineTuples(const Tuple& l, const Tuple& r,
+                    const JoinColumnSpec& spec) {
+  Tuple out;
+  out.cols[0] = (spec.out0_side == 0 ? l : r).cols[spec.out0_col];
+  out.cols[1] = (spec.out1_side == 0 ? l : r).cols[spec.out1_col];
+  // Payload combination is injective for payloads < 2^31, so result
+  // multisets can be compared exactly in tests.
+  out.payload = l.payload * (int64_t{1} << 31) + r.payload;
+  return out;
+}
+
+std::vector<Tuple> ReadAll(BufferPool* pool, const TableData& t) {
+  std::vector<Tuple> out;
+  out.reserve(t.num_tuples());
+  for (size_t i = 0; i < t.num_pages(); ++i) {
+    pool->ChargeRead();
+    for (const Tuple& tup : t.page(i).tuples()) out.push_back(tup);
+  }
+  return out;
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void InMemoryHashJoin(const std::vector<Tuple>& build, int build_col,
+                      const std::vector<Tuple>& probe, int probe_col,
+                      bool build_is_left, const JoinColumnSpec& spec,
+                      TableData* out) {
+  std::unordered_multimap<int64_t, const Tuple*> table;
+  table.reserve(build.size());
+  for (const Tuple& t : build) table.emplace(t.cols[build_col], &t);
+  for (const Tuple& p : probe) {
+    auto [lo, hi] = table.equal_range(p.cols[probe_col]);
+    for (auto it = lo; it != hi; ++it) {
+      const Tuple& b = *it->second;
+      out->Append(build_is_left ? CombineTuples(b, p, spec)
+                                : CombineTuples(p, b, spec));
+    }
+  }
+}
+
+/// Recursive Grace partition-and-join.
+void GraceRecurse(BufferPool* pool, std::vector<Tuple> left,
+                  std::vector<Tuple> right, const JoinColumnSpec& spec,
+                  int depth, TableData* out) {
+  size_t memory = pool->capacity();
+  size_t left_pages = PagesForTuples(left.size());
+  size_t right_pages = PagesForTuples(right.size());
+  size_t build_pages = std::min(left_pages, right_pages);
+  constexpr int kMaxDepth = 10;
+
+  // After at least one partition pass, join in memory once the build side
+  // fits (also the escape hatch for heavily skewed keys).
+  if (depth > 0 && (build_pages + 2 <= memory || depth >= kMaxDepth)) {
+    pool->ChargeRead(left_pages + right_pages);  // read both partitions
+    if (left_pages <= right_pages) {
+      InMemoryHashJoin(left, spec.left_col, right, spec.right_col,
+                       /*build_is_left=*/true, spec, out);
+    } else {
+      InMemoryHashJoin(right, spec.right_col, left, spec.left_col,
+                       /*build_is_left=*/false, spec, out);
+    }
+    return;
+  }
+
+  // Partition pass: read both sides, write all partitions. The workspace
+  // reservation is scoped to the pass itself — partitions live "on disk"
+  // between the pass and the per-partition joins.
+  // Just enough partitions for each build partition to fit in memory,
+  // capped by the M-1 available output buffers (avoids the pathological
+  // one-page-per-partition rounding when memory is plentiful).
+  size_t fan_out = std::max<size_t>(memory > 1 ? memory - 1 : 1, 2);
+  size_t denom = memory > 2 ? memory - 2 : 1;
+  size_t needed = (build_pages + denom - 1) / denom + 1;
+  size_t parts = std::clamp<size_t>(needed, 2, fan_out);
+  std::vector<std::vector<Tuple>> lparts(parts), rparts(parts);
+  {
+    BufferPool::Reservation workspace = pool->Reserve(memory);
+    pool->ChargeRead(left_pages + right_pages);
+    uint64_t salt = 0x5bd1e995ULL * static_cast<uint64_t>(depth + 1);
+    for (const Tuple& t : left) {
+      lparts[SplitMix64(static_cast<uint64_t>(t.cols[spec.left_col]) +
+                        salt) %
+             parts]
+          .push_back(t);
+    }
+    for (const Tuple& t : right) {
+      rparts[SplitMix64(static_cast<uint64_t>(t.cols[spec.right_col]) +
+                        salt) %
+             parts]
+          .push_back(t);
+    }
+    left.clear();
+    right.clear();
+    for (size_t i = 0; i < parts; ++i) {
+      pool->ChargeWrite(PagesForTuples(lparts[i].size()));
+      pool->ChargeWrite(PagesForTuples(rparts[i].size()));
+    }
+  }
+  for (size_t i = 0; i < parts; ++i) {
+    if (lparts[i].empty() || rparts[i].empty()) continue;
+    GraceRecurse(pool, std::move(lparts[i]), std::move(rparts[i]), spec,
+                 depth + 1, out);
+  }
+}
+
+}  // namespace
+
+TableData SortMergeJoinOp(BufferPool* pool, const TableData& left,
+                          const TableData& right, const JoinColumnSpec& spec,
+                          bool left_sorted, bool right_sorted) {
+  size_t memory = pool->capacity();
+  size_t fan_in = std::max<size_t>(memory > 1 ? memory - 1 : 1, 2);
+
+  // Phase 1: sorted runs per unsorted side.
+  auto make_side = [&](const TableData& t, int col,
+                       bool sorted) -> std::vector<std::vector<Tuple>> {
+    if (sorted) {
+      // Pre-sorted: consumed directly in the final merge (one read there).
+      std::vector<std::vector<Tuple>> one;
+      one.push_back(t.AllTuples());
+      return one;
+    }
+    return FormSortedRuns(pool, t, col);
+  };
+  std::vector<std::vector<Tuple>> lruns =
+      make_side(left, spec.left_col, left_sorted);
+  std::vector<std::vector<Tuple>> rruns =
+      make_side(right, spec.right_col, right_sorted);
+
+  // Phase 2: merge passes until both sides' runs fit one merge fan-in.
+  while (lruns.size() + rruns.size() > fan_in) {
+    if (lruns.size() >= rruns.size()) {
+      lruns = MergePassOp(pool, std::move(lruns), spec.left_col);
+    } else {
+      rruns = MergePassOp(pool, std::move(rruns), spec.right_col);
+    }
+  }
+
+  // Phase 3: final merge-join; reads every remaining run page once.
+  auto flatten = [](std::vector<std::vector<Tuple>> runs, int col,
+                    BufferPool* p, bool charge) {
+    std::vector<Tuple> all;
+    for (auto& run : runs) {
+      if (charge) p->ChargeRead(PagesForTuples(run.size()));
+      all.insert(all.end(), run.begin(), run.end());
+    }
+    std::stable_sort(all.begin(), all.end(),
+                     [col](const Tuple& a, const Tuple& b) {
+                       return a.cols[col] < b.cols[col];
+                     });
+    return all;
+  };
+  std::vector<Tuple> l = flatten(std::move(lruns), spec.left_col, pool, true);
+  std::vector<Tuple> r = flatten(std::move(rruns), spec.right_col, pool, true);
+
+  TableData out;
+  size_t i = 0, j = 0;
+  while (i < l.size() && j < r.size()) {
+    int64_t lk = l[i].cols[spec.left_col];
+    int64_t rk = r[j].cols[spec.right_col];
+    if (lk < rk) {
+      ++i;
+    } else if (lk > rk) {
+      ++j;
+    } else {
+      size_t i_end = i;
+      while (i_end < l.size() && l[i_end].cols[spec.left_col] == lk) ++i_end;
+      size_t j_end = j;
+      while (j_end < r.size() && r[j_end].cols[spec.right_col] == rk) ++j_end;
+      for (size_t a = i; a < i_end; ++a) {
+        for (size_t b = j; b < j_end; ++b) {
+          out.Append(CombineTuples(l[a], r[b], spec));
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+  return out;
+}
+
+TableData GraceHashJoinOp(BufferPool* pool, const TableData& left,
+                          const TableData& right,
+                          const JoinColumnSpec& spec) {
+  TableData out;
+  GraceRecurse(pool, left.AllTuples(), right.AllTuples(), spec, 0, &out);
+  return out;
+}
+
+TableData NestedLoopJoinOp(BufferPool* pool, const TableData& left,
+                           const TableData& right,
+                           const JoinColumnSpec& spec) {
+  size_t memory = pool->capacity();
+  size_t smaller = std::min(left.num_pages(), right.num_pages());
+  TableData out;
+  if (smaller + 2 <= memory) {
+    // Inner (smaller) relation resident: one pass over each input.
+    BufferPool::Reservation workspace = pool->Reserve(smaller + 2);
+    bool left_is_smaller = left.num_pages() <= right.num_pages();
+    const TableData& build = left_is_smaller ? left : right;
+    const TableData& probe = left_is_smaller ? right : left;
+    std::vector<Tuple> build_tuples = ReadAll(pool, build);
+    std::vector<Tuple> probe_tuples = ReadAll(pool, probe);
+    InMemoryHashJoin(build_tuples,
+                     left_is_smaller ? spec.left_col : spec.right_col,
+                     probe_tuples,
+                     left_is_smaller ? spec.right_col : spec.left_col,
+                     left_is_smaller, spec, &out);
+    return out;
+  }
+  // Page nested loops with the left as outer (the paper's |A| + |A|·|B|).
+  BufferPool::Reservation workspace = pool->Reserve(std::min<size_t>(3,
+                                                                     memory));
+  for (size_t i = 0; i < left.num_pages(); ++i) {
+    pool->ChargeRead();
+    const Page& lp = left.page(i);
+    for (size_t j = 0; j < right.num_pages(); ++j) {
+      pool->ChargeRead();
+      const Page& rp = right.page(j);
+      for (const Tuple& lt : lp.tuples()) {
+        for (const Tuple& rt : rp.tuples()) {
+          if (lt.cols[spec.left_col] == rt.cols[spec.right_col]) {
+            out.Append(CombineTuples(lt, rt, spec));
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+TableData NaiveJoinReference(const TableData& left, const TableData& right,
+                             const JoinColumnSpec& spec) {
+  TableData out;
+  for (const Tuple& lt : left.AllTuples()) {
+    for (const Tuple& rt : right.AllTuples()) {
+      if (lt.cols[spec.left_col] == rt.cols[spec.right_col]) {
+        out.Append(CombineTuples(lt, rt, spec));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lec

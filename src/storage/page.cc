@@ -1,0 +1,11 @@
+#include "storage/page.h"
+
+namespace lec {
+
+bool Page::Append(const Tuple& t) {
+  if (Full()) return false;
+  tuples_.push_back(t);
+  return true;
+}
+
+}  // namespace lec

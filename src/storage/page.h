@@ -1,0 +1,45 @@
+// Pages and tuples for the mini storage engine.
+//
+// The engine exists to validate the analytic cost model against a system
+// that actually moves pages (DESIGN.md, system #15): synthetic tuples, a
+// fixed tuples-per-page layout, and join keys in two columns so that chain
+// queries can join a relation to two different neighbours.
+#ifndef LECOPT_STORAGE_PAGE_H_
+#define LECOPT_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lec {
+
+/// A synthetic row: two join-key columns and a payload.
+struct Tuple {
+  int64_t cols[2] = {0, 0};
+  int64_t payload = 0;
+};
+
+/// Tuples per page; fixed so page counts translate to row counts.
+inline constexpr size_t kTuplesPerPage = 64;
+
+/// A fixed-capacity slotted page (simplified: a bounded tuple vector).
+class Page {
+ public:
+  bool Full() const { return tuples_.size() >= kTuplesPerPage; }
+  bool Empty() const { return tuples_.empty(); }
+  size_t size() const { return tuples_.size(); }
+
+  /// Appends a tuple; returns false (and does not append) if full.
+  bool Append(const Tuple& t);
+
+  const Tuple& tuple(size_t i) const { return tuples_[i]; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  std::vector<Tuple>& mutable_tuples() { return tuples_; }
+
+ private:
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace lec
+
+#endif  // LECOPT_STORAGE_PAGE_H_

@@ -1,0 +1,31 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lec {
+
+double Rng::LogUniform(double lo, double hi) {
+  if (lo <= 0 || hi < lo) {
+    throw std::invalid_argument("LogUniform requires 0 < lo <= hi");
+  }
+  return std::exp(Uniform(std::log(lo), std::log(hi)));
+}
+
+size_t Rng::SampleIndex(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) {
+    if (w < 0) throw std::invalid_argument("negative weight");
+    total += w;
+  }
+  if (total <= 0) throw std::invalid_argument("all weights zero");
+  double r = Uniform01() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace lec

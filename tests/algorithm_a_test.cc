@@ -1,0 +1,109 @@
+#include "optimizer/algorithm_a.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/expected_cost.h"
+#include "optimizer/algorithm_c.h"
+#include "optimizer/system_r.h"
+#include "query/generator.h"
+
+namespace lec {
+namespace {
+
+TEST(AlgorithmATest, Example11FindsLecPlan) {
+  // In Example 1.1, Algorithm A's candidate set {LSC@2000, LSC@700}
+  // already contains the LEC plan (GH+sort is optimal at 700).
+  Catalog catalog;
+  catalog.AddTable("A", 1'000'000);
+  catalog.AddTable("B", 400'000);
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  q.AddPredicate(0, 1, 3000.0 / (1e6 * 4e5));
+  q.RequireOrder(0);
+  CostModel model;
+  Distribution memory = Distribution::TwoPoint(2000, 0.8, 700, 0.2);
+  OptimizeResult a = OptimizeAlgorithmA(q, catalog, model, memory);
+  OptimizeResult c = OptimizeLecStatic(q, catalog, model, memory);
+  EXPECT_NEAR(a.objective, c.objective, 1e-9 * c.objective);
+  ASSERT_EQ(a.plan->kind, PlanNode::Kind::kSort);
+  EXPECT_EQ(a.plan->left->method, JoinMethod::kGraceHash);
+}
+
+TEST(AlgorithmATest, CandidatesAreDeduplicated) {
+  Catalog catalog;
+  catalog.AddTable("A", 1000);
+  catalog.AddTable("B", 100);
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  q.AddPredicate(0, 1, 0.001);
+  CostModel model;
+  // Two memory values in the same cost regime produce the same LSC plan.
+  Distribution memory = Distribution::TwoPoint(4000, 0.5, 5000, 0.5);
+  std::vector<PlanPtr> cands =
+      AlgorithmACandidates(q, catalog, model, memory, {});
+  EXPECT_EQ(cands.size(), 1u);
+}
+
+TEST(AlgorithmATest, ObjectiveIsExpectedCostOfChosenPlan) {
+  Rng rng(3);
+  WorkloadOptions wopts;
+  wopts.num_tables = 4;
+  Workload w = GenerateWorkload(wopts, &rng);
+  CostModel model;
+  Distribution memory({{25, 0.3}, {400, 0.4}, {6000, 0.3}});
+  OptimizeResult a = OptimizeAlgorithmA(w.query, w.catalog, model, memory);
+  EXPECT_NEAR(a.objective,
+              PlanExpectedCostStatic(a.plan, w.query, w.catalog, model,
+                                     memory),
+              1e-9 * std::max(1.0, a.objective));
+}
+
+// Algorithm A is sandwiched: at least as good as every single LSC plan it
+// generated, and never better than Algorithm C's true LEC plan.
+class AlgorithmASandwichTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AlgorithmASandwichTest, BetweenLscAndAlgorithmC) {
+  Rng rng(GetParam());
+  WorkloadOptions wopts;
+  wopts.num_tables = static_cast<int>(3 + GetParam() % 3);
+  wopts.shape = static_cast<JoinGraphShape>(GetParam() % 5);
+  wopts.order_by_probability = 0.4;
+  Workload w = GenerateWorkload(wopts, &rng);
+  CostModel model;
+  Distribution memory({{20, 0.25}, {200, 0.25}, {2000, 0.25}, {20000, 0.25}});
+  OptimizeResult a = OptimizeAlgorithmA(w.query, w.catalog, model, memory);
+  OptimizeResult c = OptimizeLecStatic(w.query, w.catalog, model, memory);
+  // C is optimal, so C <= A.
+  EXPECT_LE(c.objective, a.objective + 1e-9 * std::max(1.0, a.objective));
+  // A dominates the traditional approach: "we are guaranteed to end up with
+  // a plan whose expected cost is no higher than that of the plan chosen by
+  // the traditional approach" (§3.2; the mean is a bucket representative or
+  // not, A still evaluates candidates by EC).
+  for (const Bucket& m : memory.buckets()) {
+    OptimizeResult lsc = OptimizeLsc(w.query, w.catalog, model, m.value);
+    double lsc_ec =
+        PlanExpectedCostStatic(lsc.plan, w.query, w.catalog, model, memory);
+    EXPECT_LE(a.objective, lsc_ec + 1e-9 * std::max(1.0, lsc_ec));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgorithmASandwichTest,
+                         ::testing::Range<uint64_t>(100, 120));
+
+TEST(AlgorithmATest, SingleBucketReducesToLsc) {
+  Rng rng(4);
+  WorkloadOptions wopts;
+  wopts.num_tables = 4;
+  Workload w = GenerateWorkload(wopts, &rng);
+  CostModel model;
+  Distribution point = Distribution::PointMass(750);
+  OptimizeResult a = OptimizeAlgorithmA(w.query, w.catalog, model, point);
+  OptimizeResult lsc = OptimizeLsc(w.query, w.catalog, model, 750);
+  EXPECT_TRUE(PlanEquals(a.plan, lsc.plan));
+  EXPECT_NEAR(a.objective, lsc.objective, 1e-9 * std::max(1.0, a.objective));
+}
+
+}  // namespace
+}  // namespace lec

@@ -1,0 +1,211 @@
+#include "optimizer/algorithm_c.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/expected_cost.h"
+#include "dist/builders.h"
+#include "optimizer/exhaustive.h"
+#include "optimizer/system_r.h"
+#include "query/generator.h"
+
+namespace lec {
+namespace {
+
+// Theorem 3.3: "Algorithm C gives us the LEC left-deep plan." Verified by
+// brute force over the full plan space.
+struct Tc {
+  uint64_t seed;
+  JoinGraphShape shape;
+  int tables;
+};
+
+class TheoremThreeThreeTest : public ::testing::TestWithParam<Tc> {};
+
+TEST_P(TheoremThreeThreeTest, AlgorithmCMatchesExhaustiveLec) {
+  Tc tc = GetParam();
+  Rng rng(tc.seed);
+  WorkloadOptions wopts;
+  wopts.num_tables = tc.tables;
+  wopts.shape = tc.shape;
+  wopts.order_by_probability = 0.5;
+  Workload w = GenerateWorkload(wopts, &rng);
+  CostModel model;
+  OptimizerOptions opts;
+  Distribution memory({{30, 0.25}, {300, 0.35}, {3000, 0.4}});
+  OptimizeResult dp = OptimizeLecStatic(w.query, w.catalog, model, memory,
+                                        opts);
+  OptimizeResult oracle = ExhaustiveBest(
+      w.query, w.catalog, opts, [&](const PlanPtr& p) {
+        return PlanExpectedCostStatic(p, w.query, w.catalog, model, memory);
+      });
+  EXPECT_NEAR(dp.objective, oracle.objective,
+              1e-9 * std::max(1.0, oracle.objective));
+  EXPECT_NEAR(dp.objective,
+              PlanExpectedCostStatic(dp.plan, w.query, w.catalog, model,
+                                     memory),
+              1e-9 * std::max(1.0, dp.objective));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, TheoremThreeThreeTest,
+    ::testing::Values(Tc{11, JoinGraphShape::kChain, 4},
+                      Tc{12, JoinGraphShape::kChain, 5},
+                      Tc{13, JoinGraphShape::kStar, 5},
+                      Tc{14, JoinGraphShape::kCycle, 4},
+                      Tc{15, JoinGraphShape::kClique, 4},
+                      Tc{16, JoinGraphShape::kRandom, 5},
+                      Tc{17, JoinGraphShape::kStar, 4},
+                      Tc{18, JoinGraphShape::kRandom, 4}));
+
+// Theorem 3.4: with the Markov memory model, Algorithm C still returns the
+// LEC plan.
+class TheoremThreeFourTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TheoremThreeFourTest, DynamicAlgorithmCMatchesExhaustive) {
+  Rng rng(GetParam());
+  WorkloadOptions wopts;
+  wopts.num_tables = 4;
+  wopts.shape = GetParam() % 2 == 0 ? JoinGraphShape::kChain
+                                    : JoinGraphShape::kStar;
+  wopts.order_by_probability = 0.5;
+  Workload w = GenerateWorkload(wopts, &rng);
+  CostModel model;
+  OptimizerOptions opts;
+  MarkovChain chain = MarkovChain::Drift({30, 300, 3000}, 0.5);
+  Distribution initial({{300, 0.5}, {3000, 0.5}});
+  OptimizeResult dp =
+      OptimizeLecDynamic(w.query, w.catalog, model, chain, initial, opts);
+  OptimizeResult oracle = ExhaustiveBest(
+      w.query, w.catalog, opts, [&](const PlanPtr& p) {
+        return PlanExpectedCostDynamic(p, w.query, w.catalog, model, chain,
+                                       initial);
+      });
+  EXPECT_NEAR(dp.objective, oracle.objective,
+              1e-9 * std::max(1.0, oracle.objective));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TheoremThreeFourTest,
+                         ::testing::Range<uint64_t>(21, 31));
+
+TEST(AlgorithmCTest, OneBucketReducesToSystemR) {
+  // "The algorithm with one bucket reduces to the standard System R
+  // algorithm" (§3.7).
+  Rng rng(5);
+  WorkloadOptions wopts;
+  wopts.num_tables = 5;
+  Workload w = GenerateWorkload(wopts, &rng);
+  CostModel model;
+  Distribution point = Distribution::PointMass(800);
+  OptimizeResult lec = OptimizeLecStatic(w.query, w.catalog, model, point);
+  OptimizeResult lsc = OptimizeLsc(w.query, w.catalog, model, 800);
+  EXPECT_NEAR(lec.objective, lsc.objective, 1e-9);
+  EXPECT_TRUE(PlanEquals(lec.plan, lsc.plan));
+}
+
+TEST(AlgorithmCTest, Example11ChoosesGraceHashPlusSort) {
+  Catalog catalog;
+  catalog.AddTable("A", 1'000'000);
+  catalog.AddTable("B", 400'000);
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  q.AddPredicate(0, 1, 3000.0 / (1e6 * 4e5));
+  q.RequireOrder(0);
+  CostModel model;
+  Distribution memory = Distribution::TwoPoint(2000, 0.8, 700, 0.2);
+  // LSC (either point estimate) picks Plan 1 = sort-merge...
+  OptimizeResult lsc = OptimizeLscAtEstimate(q, catalog, model, memory,
+                                             PointEstimate::kMode);
+  EXPECT_EQ(lsc.plan->method, JoinMethod::kSortMerge);
+  // ...but the LEC plan is Plan 2 = Grace hash + sort.
+  OptimizeResult lec = OptimizeLecStatic(q, catalog, model, memory);
+  ASSERT_EQ(lec.plan->kind, PlanNode::Kind::kSort);
+  EXPECT_EQ(lec.plan->left->method, JoinMethod::kGraceHash);
+  // And its expected cost is lower than the LSC plan's expected cost.
+  double lsc_ec =
+      PlanExpectedCostStatic(lsc.plan, q, catalog, model, memory);
+  EXPECT_LT(lec.objective, lsc_ec);
+  EXPECT_DOUBLE_EQ(lec.objective, 1.4e6 + 2 * 1.4e6 + 12000);
+  EXPECT_DOUBLE_EQ(lsc_ec, 1.4e6 + (0.8 * 2 + 0.2 * 4) * 1.4e6);
+}
+
+// §3.1: "the expected execution cost of the LEC plan is at least as low as
+// that of any specific LSC plan" — property-checked on random workloads.
+class LecDominatesLscTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LecDominatesLscTest, LecNeverWorseThanAnyLscPlan) {
+  Rng rng(GetParam());
+  WorkloadOptions wopts;
+  wopts.num_tables = static_cast<int>(3 + GetParam() % 4);
+  wopts.shape = static_cast<JoinGraphShape>(GetParam() % 5);
+  wopts.order_by_probability = 0.3;
+  Workload w = GenerateWorkload(wopts, &rng);
+  CostModel model;
+  Distribution memory({{20, 0.2}, {150, 0.3}, {1200, 0.3}, {9000, 0.2}});
+  OptimizeResult lec = OptimizeLecStatic(w.query, w.catalog, model, memory);
+  for (const Bucket& m : memory.buckets()) {
+    OptimizeResult lsc = OptimizeLsc(w.query, w.catalog, model, m.value);
+    double lsc_ec =
+        PlanExpectedCostStatic(lsc.plan, w.query, w.catalog, model, memory);
+    EXPECT_LE(lec.objective, lsc_ec + 1e-9 * std::max(1.0, lsc_ec))
+        << "LSC at memory " << m.value;
+  }
+  // Also dominates mean/mode-estimate plans.
+  for (PointEstimate est : {PointEstimate::kMean, PointEstimate::kMode}) {
+    OptimizeResult lsc =
+        OptimizeLscAtEstimate(w.query, w.catalog, model, memory, est);
+    double lsc_ec =
+        PlanExpectedCostStatic(lsc.plan, w.query, w.catalog, model, memory);
+    EXPECT_LE(lec.objective, lsc_ec + 1e-9 * std::max(1.0, lsc_ec));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LecDominatesLscTest,
+                         ::testing::Range<uint64_t>(40, 70));
+
+TEST(AlgorithmCTest, DynamicStaticChainMatchesStaticOptimizer) {
+  Rng rng(77);
+  WorkloadOptions wopts;
+  wopts.num_tables = 5;
+  Workload w = GenerateWorkload(wopts, &rng);
+  CostModel model;
+  Distribution memory({{100, 0.5}, {1000, 0.5}});
+  MarkovChain frozen = MarkovChain::Static({100, 1000});
+  OptimizeResult stat = OptimizeLecStatic(w.query, w.catalog, model, memory);
+  OptimizeResult dyn =
+      OptimizeLecDynamic(w.query, w.catalog, model, frozen, memory);
+  EXPECT_NEAR(stat.objective, dyn.objective, 1e-9 * stat.objective);
+}
+
+TEST(AlgorithmCTest, DynamicAnticipatesMemoryCollapse) {
+  // Memory starts high but always collapses after phase 0. A static
+  // optimizer seeing only the initial distribution over-trusts the high
+  // memory; the dynamic optimizer must not.
+  Catalog catalog;
+  catalog.AddTable("A", 10000);
+  catalog.AddTable("B", 10000);
+  catalog.AddTable("C", 10000);
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  q.AddTable(2);
+  q.AddPredicate(0, 1, 1e-4);
+  q.AddPredicate(1, 2, 1e-4);
+  CostModel model;
+  MarkovChain collapse({40, 200}, {{1, 0}, {1, 0}});
+  Distribution initial = Distribution::PointMass(200);
+  OptimizeResult dyn =
+      OptimizeLecDynamic(q, catalog, model, collapse, initial);
+  double true_ec = PlanExpectedCostDynamic(dyn.plan, q, catalog, model,
+                                           collapse, initial);
+  EXPECT_NEAR(dyn.objective, true_ec, 1e-9 * true_ec);
+  // Compare against static optimization at the initial distribution: its
+  // chosen plan's true dynamic EC must be >= the dynamic optimizer's.
+  OptimizeResult stat = OptimizeLecStatic(q, catalog, model, initial);
+  double stat_true = PlanExpectedCostDynamic(stat.plan, q, catalog, model,
+                                             collapse, initial);
+  EXPECT_LE(dyn.objective, stat_true + 1e-9 * stat_true);
+}
+
+}  // namespace
+}  // namespace lec

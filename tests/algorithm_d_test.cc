@@ -1,0 +1,166 @@
+#include "optimizer/algorithm_d.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/expected_cost.h"
+#include "optimizer/algorithm_c.h"
+#include "optimizer/exhaustive.h"
+#include "query/generator.h"
+
+namespace lec {
+namespace {
+
+TEST(AlgorithmDTest, ReducesToAlgorithmCWhenDataCertain) {
+  // With point-mass sizes and selectivities, only memory is uncertain and
+  // Algorithm D must coincide with Algorithm C.
+  Rng rng(1);
+  WorkloadOptions wopts;
+  wopts.num_tables = 5;
+  wopts.order_by_probability = 0.5;
+  Workload w = GenerateWorkload(wopts, &rng);
+  CostModel model;
+  Distribution memory({{30, 0.3}, {500, 0.4}, {4000, 0.3}});
+  OptimizeResult d = OptimizeAlgorithmD(w.query, w.catalog, model, memory);
+  OptimizeResult c = OptimizeLecStatic(w.query, w.catalog, model, memory);
+  EXPECT_NEAR(d.objective, c.objective, 1e-9 * std::max(1.0, c.objective));
+  EXPECT_TRUE(PlanEquals(d.plan, c.plan));
+}
+
+TEST(AlgorithmDTest, FastAndNaivePathsAgree) {
+  Rng rng(2);
+  WorkloadOptions wopts;
+  wopts.num_tables = 4;
+  wopts.selectivity_spread = 8.0;
+  wopts.table_size_spread = 3.0;
+  wopts.order_by_probability = 0.5;
+  Workload w = GenerateWorkload(wopts, &rng);
+  CostModel model;
+  Distribution memory({{25, 0.25}, {250, 0.5}, {2500, 0.25}});
+  OptimizerOptions fast_opts;
+  fast_opts.use_fast_ec = true;
+  OptimizerOptions naive_opts;
+  naive_opts.use_fast_ec = false;
+  OptimizeResult fast =
+      OptimizeAlgorithmD(w.query, w.catalog, model, memory, fast_opts);
+  OptimizeResult naive =
+      OptimizeAlgorithmD(w.query, w.catalog, model, memory, naive_opts);
+  EXPECT_NEAR(fast.objective, naive.objective,
+              1e-6 * std::max(1.0, naive.objective));
+  // Ties may break differently between the two numeric paths, so compare
+  // the chosen plans by expected cost rather than structure.
+  double ec_fast = PlanExpectedCostMultiParam(fast.plan, w.query, w.catalog,
+                                              model, memory, 256);
+  double ec_naive = PlanExpectedCostMultiParam(naive.plan, w.query,
+                                               w.catalog, model, memory, 256);
+  EXPECT_NEAR(ec_fast, ec_naive, 1e-6 * std::max(1.0, ec_naive));
+  // The fast path does far fewer formula evaluations.
+  EXPECT_LT(fast.cost_evaluations, naive.cost_evaluations);
+}
+
+// With enough size buckets (exact propagation), Algorithm D's objective
+// matches the exhaustive multi-parameter EC oracle.
+class AlgorithmDOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AlgorithmDOracleTest, MatchesExhaustiveMultiParamEc) {
+  Rng rng(GetParam());
+  WorkloadOptions wopts;
+  wopts.num_tables = 3;
+  wopts.shape = JoinGraphShape::kChain;
+  wopts.selectivity_spread = 5.0;
+  wopts.table_size_spread = 2.0;
+  wopts.order_by_probability = 0.5;
+  Workload w = GenerateWorkload(wopts, &rng);
+  CostModel model;
+  Distribution memory({{30, 0.5}, {800, 0.5}});
+  OptimizerOptions opts;
+  opts.size_buckets = 4096;  // effectively exact for 3 tables
+  opts.size_mode = SizePropagationMode::kExactThenRebucket;
+  OptimizeResult d =
+      OptimizeAlgorithmD(w.query, w.catalog, model, memory, opts);
+  OptimizeResult oracle = ExhaustiveBest(
+      w.query, w.catalog, opts, [&](const PlanPtr& p) {
+        return PlanExpectedCostMultiParam(p, w.query, w.catalog, model,
+                                          memory, 4096);
+      });
+  EXPECT_NEAR(d.objective, oracle.objective,
+              1e-6 * std::max(1.0, oracle.objective));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgorithmDOracleTest,
+                         ::testing::Range<uint64_t>(400, 410));
+
+TEST(AlgorithmDTest, SelectivityUncertaintyCanChangeThePlan) {
+  // A nested-loop plan that is optimal at the mean selectivity can be a
+  // disaster if the inner relation occasionally turns out larger than
+  // memory; Algorithm D should hedge. Construct: B's size distribution
+  // straddles the NL memory threshold.
+  Catalog catalog;
+  catalog.AddTable("A", 2000);
+  Table b;
+  b.name = "B";
+  b.pages = 100;  // mean
+  b.pages_dist = Distribution::TwoPoint(40, 0.75, 280, 0.25);
+  catalog.AddTable(std::move(b));
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  q.AddPredicate(0, 1, 1e-4);
+  CostModel model;
+  Distribution memory = Distribution::PointMass(150);
+  // Mean-based Algorithm C sees |B| = 110 fitting in memory -> NL cheap.
+  OptimizeResult c = OptimizeLecStatic(q, catalog, model, memory);
+  EXPECT_EQ(c.plan->method, JoinMethod::kNestedLoop);
+  // Algorithm D sees the 25% chance of |B| = 280 >> memory, where NL
+  // degenerates to |A| + |A||B| = 2000 + 560000.
+  OptimizeResult d = OptimizeAlgorithmD(q, catalog, model, memory);
+  EXPECT_NE(d.plan->method, JoinMethod::kNestedLoop);
+  // And D's choice truly has lower EC under the full uncertainty.
+  double ec_c = PlanExpectedCostMultiParam(c.plan, q, catalog, model, memory,
+                                           256);
+  double ec_d = PlanExpectedCostMultiParam(d.plan, q, catalog, model, memory,
+                                           256);
+  EXPECT_LT(ec_d, ec_c);
+}
+
+TEST(AlgorithmDTest, SizeBucketBudgetRespected) {
+  Rng rng(5);
+  WorkloadOptions wopts;
+  wopts.num_tables = 6;
+  wopts.selectivity_spread = 6.0;
+  wopts.table_size_spread = 3.0;
+  Workload w = GenerateWorkload(wopts, &rng);
+  CostModel model;
+  Distribution memory({{50, 0.5}, {1500, 0.5}});
+  OptimizerOptions opts;
+  opts.size_buckets = 8;
+  // Must not blow up combinatorially; objective finite and plan complete.
+  OptimizeResult d =
+      OptimizeAlgorithmD(w.query, w.catalog, model, memory, opts);
+  EXPECT_TRUE(std::isfinite(d.objective));
+  EXPECT_EQ(d.plan->tables, w.query.AllTables());
+}
+
+TEST(AlgorithmDTest, CoarserBucketsStillNearExact) {
+  Rng rng(6);
+  WorkloadOptions wopts;
+  wopts.num_tables = 4;
+  wopts.selectivity_spread = 4.0;
+  Workload w = GenerateWorkload(wopts, &rng);
+  CostModel model;
+  Distribution memory({{40, 0.5}, {900, 0.5}});
+  OptimizerOptions exact;
+  exact.size_buckets = 2048;
+  exact.size_mode = SizePropagationMode::kExactThenRebucket;
+  OptimizerOptions coarse;
+  coarse.size_buckets = 27;
+  OptimizeResult de =
+      OptimizeAlgorithmD(w.query, w.catalog, model, memory, exact);
+  OptimizeResult dc =
+      OptimizeAlgorithmD(w.query, w.catalog, model, memory, coarse);
+  // Coarse bucketing should stay within a modest factor of the exact EC.
+  EXPECT_LT(std::abs(dc.objective - de.objective),
+            0.25 * de.objective + 1e-9);
+}
+
+}  // namespace
+}  // namespace lec

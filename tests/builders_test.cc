@@ -1,0 +1,103 @@
+#include "dist/builders.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace lec {
+namespace {
+
+TEST(BuildersTest, UniformBucketsSpacingAndMass) {
+  Distribution d = UniformBuckets(0, 100, 4);
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_DOUBLE_EQ(d.bucket(0).value, 12.5);
+  EXPECT_DOUBLE_EQ(d.bucket(3).value, 87.5);
+  for (size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(d.bucket(i).prob, 0.25);
+  EXPECT_DOUBLE_EQ(d.Mean(), 50.0);
+}
+
+TEST(BuildersTest, UniformBucketsSingle) {
+  Distribution d = UniformBuckets(10, 20, 1);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.Mean(), 15.0);
+}
+
+TEST(BuildersTest, UniformBucketsValidation) {
+  EXPECT_THROW(UniformBuckets(0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(UniformBuckets(5, 1, 3), std::invalid_argument);
+}
+
+TEST(BuildersTest, DiscretizedNormalCentersOnMean) {
+  Distribution d = DiscretizedNormal(500, 100, 0, 1000, 51);
+  EXPECT_NEAR(d.Mean(), 500, 2.0);
+  EXPECT_NEAR(d.StdDev(), 100, 5.0);
+  EXPECT_DOUBLE_EQ(d.Mode(), 500);
+}
+
+TEST(BuildersTest, DiscretizedNormalZeroStddevIsPointMass) {
+  Distribution d = DiscretizedNormal(500, 0, 0, 1000, 51);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.Mean(), 500);
+}
+
+TEST(BuildersTest, DiscretizedNormalClampsPointMass) {
+  Distribution d = DiscretizedNormal(5000, 0, 0, 1000, 10);
+  EXPECT_DOUBLE_EQ(d.Mean(), 1000);
+}
+
+TEST(BuildersTest, DiscretizedLogNormalIsPositiveAndSkewed) {
+  Distribution d = DiscretizedLogNormal(std::log(100), 1.0, 1, 10000, 64);
+  EXPECT_GT(d.Min(), 0);
+  // Heavy right tail: mean exceeds median-ish mode region.
+  EXPECT_GT(d.Mean(), d.Mode());
+}
+
+TEST(BuildersTest, FromSamplesMatchesEmpiricalMean) {
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) samples.push_back(static_cast<double>(i));
+  Distribution d = FromSamples(samples, 16);
+  EXPECT_LE(d.size(), 16u);
+  EXPECT_NEAR(d.Mean(), 499.5, 1e-9);
+  EXPECT_THROW(FromSamples({}, 4), std::invalid_argument);
+}
+
+TEST(BuildersTest, BimodalMemoryMatchesExample11) {
+  Distribution d = BimodalMemory(2000, 0.8, 700);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.Mean(), 1740);
+  EXPECT_DOUBLE_EQ(d.Mode(), 2000);
+}
+
+TEST(BuildersTest, BimodalMemoryDegenerateEnds) {
+  EXPECT_EQ(BimodalMemory(2000, 1.0, 700).size(), 1u);
+  EXPECT_EQ(BimodalMemory(2000, 0.0, 700).size(), 1u);
+  EXPECT_THROW(BimodalMemory(2000, 1.5, 700), std::invalid_argument);
+}
+
+TEST(BuildersTest, UncertainSelectivityThreePoint) {
+  Distribution d = UncertainSelectivity(0.01, 10);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d.bucket(0).value, 0.001);
+  EXPECT_DOUBLE_EQ(d.bucket(1).value, 0.01);
+  EXPECT_DOUBLE_EQ(d.bucket(2).value, 0.1);
+  EXPECT_DOUBLE_EQ(d.bucket(1).prob, 0.5);
+}
+
+TEST(BuildersTest, UncertainSelectivityClampsToOne) {
+  Distribution d = UncertainSelectivity(0.5, 4);
+  EXPECT_DOUBLE_EQ(d.Max(), 1.0);
+}
+
+TEST(BuildersTest, UncertainSelectivitySpreadOneIsPoint) {
+  Distribution d = UncertainSelectivity(0.25, 1.0);
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(BuildersTest, UncertainSelectivityValidation) {
+  EXPECT_THROW(UncertainSelectivity(0.0, 2), std::invalid_argument);
+  EXPECT_THROW(UncertainSelectivity(1.5, 2), std::invalid_argument);
+  EXPECT_THROW(UncertainSelectivity(0.5, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lec

@@ -1,0 +1,147 @@
+#include "optimizer/bushy.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/expected_cost.h"
+#include "optimizer/algorithm_c.h"
+#include "optimizer/exhaustive.h"
+#include "optimizer/system_r.h"
+#include "query/generator.h"
+
+namespace lec {
+namespace {
+
+Distribution TestMemory() {
+  return Distribution({{30, 0.3}, {300, 0.4}, {3000, 0.3}});
+}
+
+int CountBushyJoins(const PlanPtr& p) {
+  if (!p) return 0;
+  int self = p->kind == PlanNode::Kind::kJoin &&
+                     p->right->kind == PlanNode::Kind::kJoin
+                 ? 1
+                 : 0;
+  return self + CountBushyJoins(p->left) + CountBushyJoins(p->right);
+}
+
+TEST(BushyTest, EnumerationCountsForChainOfThree) {
+  // Chain 0-1-2, NL+GH only (no SM keys to multiply): left-deep orders
+  // {01,2},{10,2},{12,0},{21,0} plus bushy-with-right-join variants
+  // 0x(12),0x(21),2x(01),2x(10) — each with 2 methods per join.
+  Catalog catalog;
+  catalog.AddTable("A", 100);
+  catalog.AddTable("B", 100);
+  catalog.AddTable("C", 100);
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  q.AddTable(2);
+  q.AddPredicate(0, 1, 0.01);
+  q.AddPredicate(1, 2, 0.01);
+  OptimizerOptions opts;
+  opts.join_methods = {JoinMethod::kNestedLoop, JoinMethod::kGraceHash};
+  std::vector<PlanPtr> plans = EnumerateBushyPlans(q, catalog, opts);
+  EXPECT_EQ(plans.size(), 8u * 4u);  // 8 shapes x 2 methods x 2 methods
+  std::vector<PlanPtr> left_deep =
+      EnumerateLeftDeepPlans(q, catalog, opts);
+  EXPECT_GT(plans.size(), left_deep.size());
+}
+
+// The bushy DP matches exhaustive bushy enumeration under both objectives.
+class BushyOracleTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BushyOracleTest, DpMatchesExhaustiveBushy) {
+  Rng rng(GetParam());
+  WorkloadOptions wopts;
+  wopts.num_tables = 4;
+  wopts.shape = static_cast<JoinGraphShape>(GetParam() % 5);
+  wopts.order_by_probability = 0.5;
+  Workload w = GenerateWorkload(wopts, &rng);
+  CostModel model;
+  OptimizerOptions opts;
+  Distribution memory = TestMemory();
+
+  std::vector<PlanPtr> all = EnumerateBushyPlans(w.query, w.catalog, opts);
+  ASSERT_FALSE(all.empty());
+
+  double best_lsc = std::numeric_limits<double>::infinity();
+  double best_lec = std::numeric_limits<double>::infinity();
+  for (const PlanPtr& p : all) {
+    best_lsc = std::min(
+        best_lsc, PlanCostAtMemory(p, w.query, w.catalog, model, 300));
+    best_lec = std::min(best_lec, PlanExpectedCostStatic(p, w.query,
+                                                         w.catalog, model,
+                                                         memory));
+  }
+  OptimizeResult lsc = OptimizeBushyLsc(w.query, w.catalog, model, 300,
+                                        opts);
+  OptimizeResult lec =
+      OptimizeBushyLec(w.query, w.catalog, model, memory, opts);
+  EXPECT_NEAR(lsc.objective, best_lsc, 1e-9 * std::max(1.0, best_lsc));
+  EXPECT_NEAR(lec.objective, best_lec, 1e-9 * std::max(1.0, best_lec));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BushyOracleTest,
+                         ::testing::Range<uint64_t>(900, 912));
+
+// Bushy space contains every left-deep plan, so its optimum can only be
+// equal or better.
+class BushyDominatesLeftDeepTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BushyDominatesLeftDeepTest, BushyLecNeverWorse) {
+  Rng rng(GetParam());
+  WorkloadOptions wopts;
+  wopts.num_tables = static_cast<int>(4 + GetParam() % 3);
+  wopts.shape = static_cast<JoinGraphShape>(GetParam() % 5);
+  wopts.order_by_probability = 0.4;
+  Workload w = GenerateWorkload(wopts, &rng);
+  CostModel model;
+  Distribution memory = TestMemory();
+  OptimizeResult left_deep =
+      OptimizeLecStatic(w.query, w.catalog, model, memory);
+  OptimizeResult bushy =
+      OptimizeBushyLec(w.query, w.catalog, model, memory);
+  EXPECT_LE(bushy.objective,
+            left_deep.objective + 1e-9 * left_deep.objective);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BushyDominatesLeftDeepTest,
+                         ::testing::Range<uint64_t>(920, 940));
+
+TEST(BushyTest, FindsGenuinelyBushyWinner) {
+  // With the Shapiro formulas (Grace hash keyed on the *smaller* input)
+  // left-deep plans are near-optimal for most queries — the classic
+  // finding — but strict bushy wins do exist. This cycle workload (found
+  // by seeded search, generator seed 357) gains 24%: the bushy plan joins
+  // the two cycle halves independently before crossing.
+  Rng rng(357);
+  WorkloadOptions wopts;
+  wopts.num_tables = 4;
+  wopts.shape = JoinGraphShape::kCycle;
+  wopts.order_by_probability = 0.4;
+  Workload w = GenerateWorkload(wopts, &rng);
+  CostModel model;
+  Distribution memory({{25, 0.3}, {400, 0.4}, {6000, 0.3}});
+  OptimizeResult bushy =
+      OptimizeBushyLec(w.query, w.catalog, model, memory);
+  OptimizeResult left =
+      OptimizeLecStatic(w.query, w.catalog, model, memory);
+  EXPECT_LT(bushy.objective, left.objective * 0.85);
+  EXPECT_GT(CountBushyJoins(bushy.plan), 0);
+}
+
+TEST(BushyTest, PointMassReducesToBushyLsc) {
+  Rng rng(7);
+  WorkloadOptions wopts;
+  wopts.num_tables = 5;
+  Workload w = GenerateWorkload(wopts, &rng);
+  CostModel model;
+  OptimizeResult lec = OptimizeBushyLec(w.query, w.catalog, model,
+                                        Distribution::PointMass(450));
+  OptimizeResult lsc = OptimizeBushyLsc(w.query, w.catalog, model, 450);
+  EXPECT_NEAR(lec.objective, lsc.objective, 1e-9 * lsc.objective);
+}
+
+}  // namespace
+}  // namespace lec

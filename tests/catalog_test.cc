@@ -1,0 +1,56 @@
+#include "catalog/catalog.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace lec {
+namespace {
+
+TEST(CatalogTest, AddAndLookup) {
+  Catalog c;
+  TableId a = c.AddTable("A", 1000);
+  TableId b = c.AddTable("B", 400);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.table(a).name, "A");
+  EXPECT_DOUBLE_EQ(c.table(b).pages, 400);
+  EXPECT_EQ(c.FindByName("B"), b);
+  EXPECT_THROW(c.FindByName("missing"), std::out_of_range);
+}
+
+TEST(CatalogTest, RejectsNonPositivePages) {
+  Catalog c;
+  EXPECT_THROW(c.AddTable("bad", 0), std::invalid_argument);
+  EXPECT_THROW(c.AddTable("bad", -5), std::invalid_argument);
+}
+
+TEST(CatalogTest, SizeDistributionDefaultsToPointMass) {
+  Catalog c;
+  TableId a = c.AddTable("A", 1000);
+  Distribution d = c.table(a).SizeDistribution();
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.Mean(), 1000);
+}
+
+TEST(CatalogTest, ExplicitSizeDistribution) {
+  Catalog c;
+  Table t;
+  t.name = "U";
+  t.pages = 500;
+  t.pages_dist = Distribution::TwoPoint(100, 0.5, 900, 0.5);
+  TableId id = c.AddTable(std::move(t));
+  EXPECT_DOUBLE_EQ(c.table(id).SizeDistribution().Mean(), 500);
+  EXPECT_EQ(c.table(id).SizeDistribution().size(), 2u);
+}
+
+TEST(CatalogTest, RejectsNonPositiveSizeDistribution) {
+  Catalog c;
+  Table t;
+  t.name = "bad";
+  t.pages = 10;
+  t.pages_dist = Distribution::TwoPoint(-5, 0.5, 10, 0.5);
+  EXPECT_THROW(c.AddTable(std::move(t)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lec

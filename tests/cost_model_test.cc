@@ -1,0 +1,189 @@
+#include "cost/cost_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace lec {
+namespace {
+
+// Example 1.1 sizes: A = 1,000,000 pages, B = 400,000 pages.
+constexpr double kA = 1'000'000;
+constexpr double kB = 400'000;
+
+TEST(CostModelTest, SortMergeThreeRegimes) {
+  CostModel m;
+  // sqrt(1e6) = 1000, cbrt(1e6) = 100.
+  EXPECT_DOUBLE_EQ(m.JoinCost(JoinMethod::kSortMerge, kA, kB, 2000),
+                   2 * (kA + kB));
+  EXPECT_DOUBLE_EQ(m.JoinCost(JoinMethod::kSortMerge, kA, kB, 700),
+                   4 * (kA + kB));
+  EXPECT_DOUBLE_EQ(m.JoinCost(JoinMethod::kSortMerge, kA, kB, 50),
+                   6 * (kA + kB));
+}
+
+TEST(CostModelTest, SortMergeBoundariesAreRightContinuousDown) {
+  CostModel m;
+  // M > sqrt(L) strictly for the cheap regime; at exactly sqrt(L) we pay 4x.
+  EXPECT_DOUBLE_EQ(m.JoinCost(JoinMethod::kSortMerge, kA, kB, 1000),
+                   4 * (kA + kB));
+  EXPECT_DOUBLE_EQ(m.JoinCost(JoinMethod::kSortMerge, kA, kB, 1000.01),
+                   2 * (kA + kB));
+  EXPECT_DOUBLE_EQ(m.JoinCost(JoinMethod::kSortMerge, kA, kB, 100),
+                   6 * (kA + kB));
+}
+
+TEST(CostModelTest, SortMergeUsesLargerRelation) {
+  CostModel m;
+  // Swapping inputs must not change the cost (L = max).
+  EXPECT_DOUBLE_EQ(m.JoinCost(JoinMethod::kSortMerge, kA, kB, 700),
+                   m.JoinCost(JoinMethod::kSortMerge, kB, kA, 700));
+}
+
+TEST(CostModelTest, GraceHashUsesSmallerRelation) {
+  CostModel m;
+  // sqrt(400000) ~ 632.5 — Example 1.1's "greater than 633 pages".
+  EXPECT_DOUBLE_EQ(m.JoinCost(JoinMethod::kGraceHash, kA, kB, 700),
+                   2 * (kA + kB));
+  EXPECT_DOUBLE_EQ(m.JoinCost(JoinMethod::kGraceHash, kA, kB, 2000),
+                   2 * (kA + kB));
+  EXPECT_DOUBLE_EQ(m.JoinCost(JoinMethod::kGraceHash, kA, kB, 600),
+                   4 * (kA + kB));
+  // cbrt(400000) ~ 73.7.
+  EXPECT_DOUBLE_EQ(m.JoinCost(JoinMethod::kGraceHash, kA, kB, 50),
+                   6 * (kA + kB));
+  EXPECT_DOUBLE_EQ(m.JoinCost(JoinMethod::kGraceHash, kA, kB, 700),
+                   m.JoinCost(JoinMethod::kGraceHash, kB, kA, 700));
+}
+
+TEST(CostModelTest, NestedLoopTwoRegimes) {
+  CostModel m;
+  // S = min = 100; fits when M >= 102.
+  EXPECT_DOUBLE_EQ(m.JoinCost(JoinMethod::kNestedLoop, 1000, 100, 102),
+                   1100);
+  EXPECT_DOUBLE_EQ(m.JoinCost(JoinMethod::kNestedLoop, 1000, 100, 101),
+                   1000 + 1000 * 100);
+  // Outer is always the left input in the expensive regime.
+  EXPECT_DOUBLE_EQ(m.JoinCost(JoinMethod::kNestedLoop, 100, 1000, 101),
+                   100 + 100 * 1000);
+}
+
+TEST(CostModelTest, JoinCostValidation) {
+  CostModel m;
+  EXPECT_THROW(m.JoinCost(JoinMethod::kSortMerge, -1, 10, 100),
+               std::invalid_argument);
+  EXPECT_THROW(m.JoinCost(JoinMethod::kSortMerge, 10, 10, 0),
+               std::invalid_argument);
+}
+
+TEST(CostModelTest, SortCostZeroWhenFits) {
+  CostModel m;
+  EXPECT_DOUBLE_EQ(m.SortCost(1000, 1000), 0);
+  EXPECT_DOUBLE_EQ(m.SortCost(0, 50), 0);
+}
+
+TEST(CostModelTest, SortCostExample11Result) {
+  CostModel m;
+  // Example 1.1: sorting the 3000-page result with 2000 pages of memory:
+  // 2 runs, one merge pass -> 2 * 3000 * 2 = 12000 I/Os.
+  EXPECT_DOUBLE_EQ(m.SortCost(3000, 2000), 12000);
+  // With 700 pages: 5 runs still merge in one pass (fan-in 699).
+  EXPECT_DOUBLE_EQ(m.SortCost(3000, 700), 12000);
+}
+
+TEST(CostModelTest, SortCostExtraPassesWhenMemoryTiny) {
+  CostModel m;
+  // 1000 pages, 4 buffer pages: 250 runs; fan-in 3 -> ceil(log3 250) = 6.
+  EXPECT_DOUBLE_EQ(m.SortCost(1000, 4), 2.0 * 1000 * (1 + 6));
+}
+
+TEST(CostModelTest, SortCostValidation) {
+  CostModel m;
+  EXPECT_THROW(m.SortCost(-1, 10), std::invalid_argument);
+  EXPECT_THROW(m.SortCost(10, 0), std::invalid_argument);
+}
+
+TEST(CostModelTest, SortedInputDiscountOffByDefault) {
+  CostModel m;
+  EXPECT_DOUBLE_EQ(
+      m.JoinCost(JoinMethod::kSortMerge, kA, kB, 2000, true, true),
+      2 * (kA + kB));
+}
+
+TEST(CostModelTest, SortedInputDiscountWhenEnabled) {
+  CostModelOptions opts;
+  opts.sorted_input_discount = true;
+  CostModel m(opts);
+  // Both sorted: a single merge read of each side.
+  EXPECT_DOUBLE_EQ(
+      m.JoinCost(JoinMethod::kSortMerge, kA, kB, 2000, true, true), kA + kB);
+  // Only left sorted: left contributes 1x, right the regime multiplier.
+  EXPECT_DOUBLE_EQ(
+      m.JoinCost(JoinMethod::kSortMerge, kA, kB, 2000, true, false),
+      kA + 2 * kB);
+  // Discount never applies to hash join.
+  EXPECT_DOUBLE_EQ(
+      m.JoinCost(JoinMethod::kGraceHash, kA, kB, 2000, true, true),
+      2 * (kA + kB));
+}
+
+TEST(CostModelTest, MemoryBreakpointsMatchDiscontinuities) {
+  CostModel m;
+  std::vector<double> sm =
+      m.MemoryBreakpoints(JoinMethod::kSortMerge, kA, kB);
+  ASSERT_EQ(sm.size(), 2u);
+  EXPECT_DOUBLE_EQ(sm[0], std::cbrt(kA));
+  EXPECT_DOUBLE_EQ(sm[1], std::sqrt(kA));
+  std::vector<double> gh =
+      m.MemoryBreakpoints(JoinMethod::kGraceHash, kA, kB);
+  EXPECT_DOUBLE_EQ(gh[1], std::sqrt(kB));
+  std::vector<double> nl =
+      m.MemoryBreakpoints(JoinMethod::kNestedLoop, 1000, 100);
+  ASSERT_EQ(nl.size(), 1u);
+  EXPECT_DOUBLE_EQ(nl[0], 102);
+}
+
+// Property: at each breakpoint the cost actually changes, and between
+// breakpoints it is constant.
+class BreakpointPropertyTest
+    : public ::testing::TestWithParam<JoinMethod> {};
+
+TEST_P(BreakpointPropertyTest, CostsConstantBetweenBreakpoints) {
+  CostModel m;
+  JoinMethod method = GetParam();
+  double left = 90'000, right = 250'000;
+  std::vector<double> bps = m.MemoryBreakpoints(method, left, right);
+  ASSERT_FALSE(bps.empty());
+  std::vector<double> probes;
+  probes.push_back(bps.front() / 2);
+  for (size_t i = 0; i + 1 < bps.size(); ++i) {
+    probes.push_back((bps[i] + bps[i + 1]) / 2);
+  }
+  probes.push_back(bps.back() * 2);
+  // Costs at consecutive probes differ (a breakpoint separates them)...
+  for (size_t i = 0; i + 1 < probes.size(); ++i) {
+    EXPECT_NE(m.JoinCost(method, left, right, probes[i]),
+              m.JoinCost(method, left, right, probes[i + 1]));
+  }
+  // ...but tiny perturbations within a cell do not change the cost.
+  for (double p : probes) {
+    EXPECT_EQ(m.JoinCost(method, left, right, p),
+              m.JoinCost(method, left, right, p * 1.0001));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, BreakpointPropertyTest,
+                         ::testing::ValuesIn(kAllJoinMethods));
+
+TEST(CostModelTest, FactorsMonotoneInMemory) {
+  EXPECT_EQ(CostModel::SortMergeFactor(2000, 1e6), 2);
+  EXPECT_EQ(CostModel::SortMergeFactor(500, 1e6), 4);
+  EXPECT_EQ(CostModel::SortMergeFactor(10, 1e6), 6);
+  EXPECT_EQ(CostModel::GraceHashFactor(700, 4e5), 2);
+  EXPECT_EQ(CostModel::GraceHashFactor(600, 4e5), 4);
+  EXPECT_EQ(CostModel::GraceHashFactor(10, 4e5), 6);
+}
+
+}  // namespace
+}  // namespace lec

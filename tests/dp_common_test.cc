@@ -1,0 +1,176 @@
+#include "optimizer/dp_common.h"
+
+#include <gtest/gtest.h>
+
+#include "optimizer/exhaustive.h"
+#include "query/generator.h"
+
+namespace lec {
+namespace {
+
+struct ChainFixture {
+  Catalog catalog;
+  Query query;
+  OptimizerOptions options;
+
+  ChainFixture() {
+    catalog.AddTable("A", 100);
+    catalog.AddTable("B", 200);
+    catalog.AddTable("C", 400);
+    query.AddTable(0);
+    query.AddTable(1);
+    query.AddTable(2);
+    query.AddPredicate(0, 1, 0.01);
+    query.AddPredicate(1, 2, 0.001);
+  }
+};
+
+TEST(DpContextTest, TablePagesFromCatalogMeans) {
+  ChainFixture f;
+  DpContext ctx(f.query, f.catalog, f.options);
+  EXPECT_DOUBLE_EQ(ctx.TablePages(0), 100);
+  EXPECT_DOUBLE_EQ(ctx.TablePages(2), 400);
+}
+
+TEST(DpContextTest, SubsetPagesMultipliesSizesAndSelectivities) {
+  ChainFixture f;
+  DpContext ctx(f.query, f.catalog, f.options);
+  EXPECT_DOUBLE_EQ(ctx.SubsetPages(0b001), 100);
+  EXPECT_DOUBLE_EQ(ctx.SubsetPages(0b011), 100 * 200 * 0.01);
+  EXPECT_DOUBLE_EQ(ctx.SubsetPages(0b110), 200 * 400 * 0.001);
+  // Disconnected subset {A, C}: no internal predicate applies.
+  EXPECT_DOUBLE_EQ(ctx.SubsetPages(0b101), 100 * 400);
+  EXPECT_DOUBLE_EQ(ctx.SubsetPages(0b111), 100 * 200 * 400 * 0.01 * 0.001);
+}
+
+TEST(DpContextTest, CrossProductRules) {
+  ChainFixture f;
+  DpContext ctx(f.query, f.catalog, f.options);
+  EXPECT_FALSE(ctx.CrossProductForbidden(0b001, 1));  // A-B connected
+  EXPECT_TRUE(ctx.CrossProductForbidden(0b001, 2));   // A x C is cross
+  OptimizerOptions allow;
+  allow.avoid_cross_products = false;
+  DpContext ctx2(f.query, f.catalog, allow);
+  EXPECT_FALSE(ctx2.CrossProductForbidden(0b001, 2));
+}
+
+TEST(DpContextTest, CrossProductsAllowedWhenGraphDisconnected) {
+  Catalog catalog;
+  catalog.AddTable("A", 10);
+  catalog.AddTable("B", 10);
+  catalog.AddTable("C", 10);
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  q.AddTable(2);
+  q.AddPredicate(0, 1, 0.1);  // C is isolated
+  OptimizerOptions opts;
+  DpContext ctx(q, catalog, opts);
+  EXPECT_FALSE(ctx.CrossProductForbidden(0b011, 2));
+}
+
+TEST(DpContextTest, JoinOutputOrderRules) {
+  // NL preserves the outer's order.
+  EXPECT_EQ(DpContext::JoinOutputOrder(JoinMethod::kNestedLoop, 3,
+                                       kUnsorted),
+            3);
+  EXPECT_EQ(DpContext::JoinOutputOrder(JoinMethod::kNestedLoop, kUnsorted,
+                                       kUnsorted),
+            kUnsorted);
+  // SM emits its key's order.
+  EXPECT_EQ(DpContext::JoinOutputOrder(JoinMethod::kSortMerge, 3, 1), 1);
+  // GH destroys order.
+  EXPECT_EQ(DpContext::JoinOutputOrder(JoinMethod::kGraceHash, 3,
+                                       kUnsorted),
+            kUnsorted);
+}
+
+TEST(DpContextTest, RejectsOversizedQueries) {
+  Catalog catalog;
+  Query q;
+  for (int i = 0; i < 21; ++i) {
+    catalog.AddTable("T" + std::to_string(i), 10);
+    q.AddTable(i);
+  }
+  OptimizerOptions opts;
+  EXPECT_THROW(DpContext(q, catalog, opts), std::invalid_argument);
+}
+
+TEST(ExhaustiveTest, PlanCountForTwoTables) {
+  Catalog catalog;
+  catalog.AddTable("A", 10);
+  catalog.AddTable("B", 20);
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  q.AddPredicate(0, 1, 0.1);
+  OptimizerOptions opts;
+  std::vector<PlanPtr> plans = EnumerateLeftDeepPlans(q, catalog, opts);
+  // 2 orders x 3 methods.
+  EXPECT_EQ(plans.size(), 6u);
+}
+
+TEST(ExhaustiveTest, CrossProductsPrunedForConnectedQuery) {
+  ChainFixture f;
+  std::vector<PlanPtr> plans =
+      EnumerateLeftDeepPlans(f.query, f.catalog, f.options);
+  for (const PlanPtr& p : plans) {
+    // Every join node must have at least one predicate (no cross joins).
+    std::vector<const PlanNode*> stack = {p.get()};
+    while (!stack.empty()) {
+      const PlanNode* n = stack.back();
+      stack.pop_back();
+      if (n->kind == PlanNode::Kind::kJoin) {
+        EXPECT_FALSE(n->predicates.empty());
+        stack.push_back(n->left.get());
+        stack.push_back(n->right.get());
+      } else if (n->kind == PlanNode::Kind::kSort) {
+        stack.push_back(n->left.get());
+      }
+    }
+  }
+}
+
+TEST(ExhaustiveTest, EnforcersDoubleTheSortMergeCandidates) {
+  Catalog catalog;
+  catalog.AddTable("A", 10);
+  catalog.AddTable("B", 20);
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  q.AddPredicate(0, 1, 0.1);
+  OptimizerOptions plain;
+  OptimizerOptions with_enforcers;
+  with_enforcers.consider_sort_enforcers = true;
+  size_t plain_count =
+      EnumerateLeftDeepPlans(q, catalog, plain).size();
+  size_t enforcer_count =
+      EnumerateLeftDeepPlans(q, catalog, with_enforcers).size();
+  // Each SM candidate (2 of 6) gains a sorted-inner variant.
+  EXPECT_EQ(plain_count, 6u);
+  EXPECT_EQ(enforcer_count, 8u);
+}
+
+TEST(ExhaustiveTest, TopKOrderedAscending) {
+  ChainFixture f;
+  auto top = ExhaustiveTopK(
+      f.query, f.catalog, f.options,
+      [](const PlanPtr& p) { return p->est_pages; }, 5);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_LE(top[i - 1].second, top[i].second);
+  }
+}
+
+TEST(ExhaustiveTest, SingleTableQuery) {
+  Catalog catalog;
+  catalog.AddTable("A", 10);
+  Query q;
+  q.AddTable(0);
+  OptimizerOptions opts;
+  std::vector<PlanPtr> plans = EnumerateLeftDeepPlans(q, catalog, opts);
+  ASSERT_EQ(plans.size(), 1u);
+  EXPECT_EQ(plans[0]->kind, PlanNode::Kind::kAccess);
+}
+
+}  // namespace
+}  // namespace lec

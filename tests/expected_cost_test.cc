@@ -1,0 +1,220 @@
+#include "cost/expected_cost.h"
+
+#include <gtest/gtest.h>
+
+#include "dist/builders.h"
+
+namespace lec {
+namespace {
+
+// A two-table setup mirroring Example 1.1.
+struct Example11 {
+  Catalog catalog;
+  Query query;
+  CostModel model;
+  Distribution memory = Distribution::TwoPoint(2000, 0.8, 700, 0.2);
+  // selectivity chosen so the result is 3000 pages: 3000 / (1e6 * 4e5).
+  double selectivity = 3000.0 / (1e6 * 4e5);
+
+  Example11() {
+    catalog.AddTable("A", 1'000'000);
+    catalog.AddTable("B", 400'000);
+    query.AddTable(0);
+    query.AddTable(1);
+    query.AddPredicate(0, 1, selectivity);
+    query.RequireOrder(0);
+  }
+
+  PlanPtr Plan1() const {  // sort-merge; output already ordered
+    return MakeJoin(MakeAccess(0, 1e6), MakeAccess(1, 4e5),
+                    JoinMethod::kSortMerge, {0}, /*order=*/0, 3000);
+  }
+  PlanPtr Plan2() const {  // Grace hash then sort
+    PlanPtr join = MakeJoin(MakeAccess(0, 1e6), MakeAccess(1, 4e5),
+                            JoinMethod::kGraceHash, {0}, kUnsorted, 3000);
+    return MakeSort(join, 0);
+  }
+};
+
+TEST(ExpectedCostTest, FixedSizesMatchesManualMix) {
+  CostModel model;
+  Distribution memory = Distribution::TwoPoint(2000, 0.8, 700, 0.2);
+  double ec = ExpectedJoinCostFixedSizes(model, JoinMethod::kSortMerge, 1e6,
+                                         4e5, memory);
+  // 80%: 2 passes (2x), 20%: below sqrt(1e6)=1000 -> 4x.
+  EXPECT_DOUBLE_EQ(ec, 0.8 * 2 * 1.4e6 + 0.2 * 4 * 1.4e6);
+}
+
+TEST(ExpectedCostTest, PointMassMemoryReducesToSpecificCost) {
+  CostModel model;
+  Distribution memory = Distribution::PointMass(500);
+  for (JoinMethod m : kAllJoinMethods) {
+    EXPECT_DOUBLE_EQ(
+        ExpectedJoinCostFixedSizes(model, m, 1000, 2000, memory),
+        model.JoinCost(m, 1000, 2000, 500));
+  }
+}
+
+TEST(ExpectedCostTest, DistributedSizesTripleEnumeration) {
+  CostModel model;
+  Distribution left = Distribution::TwoPoint(100, 0.5, 1000, 0.5);
+  Distribution right = Distribution::PointMass(500);
+  Distribution memory = Distribution::TwoPoint(30, 0.5, 40, 0.5);
+  double ec =
+      ExpectedJoinCost(model, JoinMethod::kSortMerge, left, right, memory);
+  double manual = 0;
+  for (double l : {100.0, 1000.0}) {
+    for (double m : {30.0, 40.0}) {
+      manual +=
+          0.25 * model.JoinCost(JoinMethod::kSortMerge, l, 500, m);
+    }
+  }
+  EXPECT_DOUBLE_EQ(ec, manual);
+}
+
+TEST(ExpectedCostTest, SortCostExpectation) {
+  CostModel model;
+  Distribution memory = Distribution::TwoPoint(2000, 0.8, 700, 0.2);
+  // Both memory values give 12000 for 3000 pages (one merge pass).
+  EXPECT_DOUBLE_EQ(ExpectedSortCostFixedSize(model, 3000, memory), 12000);
+  Distribution pages = Distribution::TwoPoint(1000, 0.5, 3000, 0.5);
+  // 1000 pages fit in 2000 (cost 0) but not in 700.
+  double expected = 0.5 * (0.8 * 0 + 0.2 * model.SortCost(1000, 700)) +
+                    0.5 * 12000;
+  EXPECT_DOUBLE_EQ(ExpectedSortCost(model, pages, memory), expected);
+}
+
+TEST(ExpectedCostTest, RealizationAtMeans) {
+  Example11 ex;
+  Realization r = Realization::AtMeans(ex.query, ex.catalog, 1500);
+  ASSERT_EQ(r.table_pages.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.table_pages[0], 1e6);
+  EXPECT_DOUBLE_EQ(r.selectivity[0], ex.selectivity);
+  EXPECT_DOUBLE_EQ(r.memory_by_phase[0], 1500);
+}
+
+TEST(ExpectedCostTest, RealizedPlanCostExample11Plan1) {
+  Example11 ex;
+  Realization r = Realization::AtMeans(ex.query, ex.catalog, 2000);
+  // scans (1e6 + 4e5) + SM join 2*(1.4e6); no final sort (already ordered).
+  EXPECT_DOUBLE_EQ(RealizedPlanCost(ex.Plan1(), ex.query, ex.model, r),
+                   1.4e6 + 2 * 1.4e6);
+  r.memory_by_phase[0] = 700;
+  EXPECT_DOUBLE_EQ(RealizedPlanCost(ex.Plan1(), ex.query, ex.model, r),
+                   1.4e6 + 4 * 1.4e6);
+}
+
+TEST(ExpectedCostTest, RealizedPlanCostExample11Plan2) {
+  Example11 ex;
+  Realization r = Realization::AtMeans(ex.query, ex.catalog, 2000);
+  // scans + GH join 2x + sort of the 3000-page result.
+  EXPECT_DOUBLE_EQ(RealizedPlanCost(ex.Plan2(), ex.query, ex.model, r),
+                   1.4e6 + 2 * 1.4e6 + 12000);
+  r.memory_by_phase[0] = 700;  // still above sqrt(400000) ~ 632.5
+  EXPECT_DOUBLE_EQ(RealizedPlanCost(ex.Plan2(), ex.query, ex.model, r),
+                   1.4e6 + 2 * 1.4e6 + 12000);
+}
+
+TEST(ExpectedCostTest, StaticExpectedCostIsMixtureOfRealized) {
+  Example11 ex;
+  double ec1 = PlanExpectedCostStatic(ex.Plan1(), ex.query, ex.catalog,
+                                      ex.model, ex.memory);
+  EXPECT_DOUBLE_EQ(ec1, 1.4e6 + (0.8 * 2 + 0.2 * 4) * 1.4e6);
+  double ec2 = PlanExpectedCostStatic(ex.Plan2(), ex.query, ex.catalog,
+                                      ex.model, ex.memory);
+  EXPECT_DOUBLE_EQ(ec2, 1.4e6 + 2 * 1.4e6 + 12000);
+  // The paper's punchline: Plan 2 is cheaper in expectation...
+  EXPECT_LT(ec2, ec1);
+  // ...but Plan 1 is cheaper at the mode and at the mean.
+  EXPECT_LT(PlanCostAtMemory(ex.Plan1(), ex.query, ex.catalog, ex.model,
+                             2000),
+            PlanCostAtMemory(ex.Plan2(), ex.query, ex.catalog, ex.model,
+                             2000));
+  EXPECT_LT(PlanCostAtMemory(ex.Plan1(), ex.query, ex.catalog, ex.model,
+                             1740),
+            PlanCostAtMemory(ex.Plan2(), ex.query, ex.catalog, ex.model,
+                             1740));
+}
+
+TEST(ExpectedCostTest, DynamicWithStaticChainEqualsStatic) {
+  Example11 ex;
+  std::vector<double> states = {700, 2000};
+  MarkovChain chain = MarkovChain::Static(states);
+  for (const PlanPtr& plan : {ex.Plan1(), ex.Plan2()}) {
+    EXPECT_NEAR(PlanExpectedCostDynamic(plan, ex.query, ex.catalog, ex.model,
+                                        chain, ex.memory),
+                PlanExpectedCostStatic(plan, ex.query, ex.catalog, ex.model,
+                                       ex.memory),
+                1e-6);
+  }
+}
+
+TEST(ExpectedCostTest, DynamicUsesPerPhaseMarginals) {
+  // Three-table chain; memory starts high and always collapses to low after
+  // the first phase. Phase 0 joins should be costed at the high memory,
+  // phase 1 at the low memory.
+  Catalog catalog;
+  catalog.AddTable("A", 10000);
+  catalog.AddTable("B", 10000);
+  catalog.AddTable("C", 10000);
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  q.AddTable(2);
+  q.AddPredicate(0, 1, 1e-4);  // AB result: 10000 pages
+  q.AddPredicate(1, 2, 1e-4);
+  CostModel model;
+  // States 40 and 200: sqrt(10000)=100, so 200 -> 2 passes, 40 -> 4 passes.
+  MarkovChain collapse({40, 200}, {{1, 0}, {1, 0}});
+  Distribution initial = Distribution::PointMass(200);
+  PlanPtr ab = MakeJoin(MakeAccess(0, 10000), MakeAccess(1, 10000),
+                        JoinMethod::kSortMerge, {0}, 0, 10000);
+  PlanPtr abc =
+      MakeJoin(ab, MakeAccess(2, 10000), JoinMethod::kSortMerge, {1}, 1,
+               10000);
+  double ec =
+      PlanExpectedCostDynamic(abc, q, catalog, model, collapse, initial);
+  double scans = 30000;
+  double phase0 = 2 * 20000;  // M=200 > sqrt(10000)
+  double phase1 = 4 * 20000;  // M=40 in (cbrt, sqrt]
+  EXPECT_DOUBLE_EQ(ec, scans + phase0 + phase1);
+}
+
+TEST(ExpectedCostTest, MultiParamReducesToStaticWhenPointMasses) {
+  Example11 ex;
+  for (const PlanPtr& plan : {ex.Plan1(), ex.Plan2()}) {
+    EXPECT_NEAR(PlanExpectedCostMultiParam(plan, ex.query, ex.catalog,
+                                           ex.model, ex.memory, 32),
+                PlanExpectedCostStatic(plan, ex.query, ex.catalog, ex.model,
+                                       ex.memory),
+                1e-6);
+  }
+}
+
+TEST(ExpectedCostTest, MaterializationChargeAddsIntermediateIo) {
+  Catalog catalog;
+  catalog.AddTable("A", 100);
+  catalog.AddTable("B", 100);
+  catalog.AddTable("C", 100);
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  q.AddTable(2);
+  q.AddPredicate(0, 1, 0.01);  // AB: 100 pages
+  q.AddPredicate(1, 2, 0.01);
+  PlanPtr ab = MakeJoin(MakeAccess(0, 100), MakeAccess(1, 100),
+                        JoinMethod::kGraceHash, {0}, kUnsorted, 100);
+  PlanPtr abc = MakeJoin(ab, MakeAccess(2, 100), JoinMethod::kGraceHash, {1},
+                         kUnsorted, 100);
+  CostModel plain;
+  CostModelOptions mat_opts;
+  mat_opts.charge_materialization = true;
+  CostModel charged(mat_opts);
+  Realization r = Realization::AtMeans(q, catalog, 1000);
+  double without = RealizedPlanCost(abc, q, plain, r);
+  double with = RealizedPlanCost(abc, q, charged, r);
+  EXPECT_DOUBLE_EQ(with - without, 2 * 100);  // write + re-read AB
+}
+
+}  // namespace
+}  // namespace lec

@@ -1,0 +1,100 @@
+#include "cost/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/expected_cost.h"
+#include "optimizer/algorithm_c.h"
+
+namespace lec {
+namespace {
+
+struct Example11Fixture {
+  Catalog catalog;
+  Query query;
+  CostModel model;
+  Distribution memory = Distribution::TwoPoint(2000, 0.8, 700, 0.2);
+
+  Example11Fixture() {
+    catalog.AddTable("A", 1'000'000);
+    catalog.AddTable("B", 400'000);
+    query.AddTable(0);
+    query.AddTable(1);
+    query.AddPredicate(0, 1, 3000.0 / (1e6 * 4e5));
+    query.RequireOrder(0);
+  }
+};
+
+TEST(ExplainTest, TotalMatchesPlanExpectedCost) {
+  Example11Fixture f;
+  OptimizeResult lec = OptimizeLecStatic(f.query, f.catalog, f.model,
+                                         f.memory);
+  PlanDiagnostics d =
+      ExplainPlan(lec.plan, f.query, f.catalog, f.model, f.memory);
+  EXPECT_NEAR(d.total_expected_cost,
+              PlanExpectedCostStatic(lec.plan, f.query, f.catalog, f.model,
+                                     f.memory),
+              1e-9 * d.total_expected_cost);
+}
+
+TEST(ExplainTest, RegimeProbabilitiesSumToOne) {
+  Example11Fixture f;
+  PlanPtr plan1 = MakeJoin(MakeAccess(0, 1e6), MakeAccess(1, 4e5),
+                           JoinMethod::kSortMerge, {0}, 0, 3000);
+  PlanDiagnostics d =
+      ExplainPlan(plan1, f.query, f.catalog, f.model, f.memory);
+  for (const OperatorDiagnostics& op : d.operators) {
+    double mass = 0;
+    for (const CostRegime& r : op.regimes) mass += r.probability;
+    EXPECT_NEAR(mass, 1.0, 1e-9) << op.description;
+  }
+}
+
+TEST(ExplainTest, SortMergeJoinShowsBothRegimes) {
+  Example11Fixture f;
+  PlanPtr plan1 = MakeJoin(MakeAccess(0, 1e6), MakeAccess(1, 4e5),
+                           JoinMethod::kSortMerge, {0}, 0, 3000);
+  PlanDiagnostics d =
+      ExplainPlan(plan1, f.query, f.catalog, f.model, f.memory);
+  // Operators bottom-up: scan A, scan B, SM join.
+  ASSERT_EQ(d.operators.size(), 3u);
+  const OperatorDiagnostics& join = d.operators.back();
+  // Memory straddles sqrt(1e6) = 1000: two regimes with mass 0.2 / 0.8.
+  ASSERT_EQ(join.regimes.size(), 2u);
+  EXPECT_DOUBLE_EQ(join.regimes[0].probability, 0.2);
+  EXPECT_DOUBLE_EQ(join.regimes[0].cost, 4 * 1.4e6);
+  EXPECT_DOUBLE_EQ(join.regimes[1].probability, 0.8);
+  EXPECT_DOUBLE_EQ(join.regimes[1].cost, 2 * 1.4e6);
+  EXPECT_GT(join.cost_stddev, 0);
+  // The expected cost is the regime mixture.
+  EXPECT_DOUBLE_EQ(join.expected_cost, 0.2 * 5.6e6 + 0.8 * 2.8e6);
+}
+
+TEST(ExplainTest, HedgedPlanHasZeroSpreadHere) {
+  // The LEC plan's Grace hash sits entirely in the 2-pass regime under
+  // this distribution — EXPLAIN shows why it was chosen.
+  Example11Fixture f;
+  OptimizeResult lec = OptimizeLecStatic(f.query, f.catalog, f.model,
+                                         f.memory);
+  PlanDiagnostics d =
+      ExplainPlan(lec.plan, f.query, f.catalog, f.model, f.memory);
+  for (const OperatorDiagnostics& op : d.operators) {
+    EXPECT_NEAR(op.cost_stddev, 0, 1e-9) << op.description;
+  }
+}
+
+TEST(ExplainTest, RenderingMentionsEveryOperatorAndTotal) {
+  Example11Fixture f;
+  OptimizeResult lec = OptimizeLecStatic(f.query, f.catalog, f.model,
+                                         f.memory);
+  std::string text =
+      ExplainPlan(lec.plan, f.query, f.catalog, f.model, f.memory)
+          .ToString();
+  EXPECT_NE(text.find("Scan(A"), std::string::npos);
+  EXPECT_NE(text.find("Scan(B"), std::string::npos);
+  EXPECT_NE(text.find("GHJoin"), std::string::npos);
+  EXPECT_NE(text.find("Sort"), std::string::npos);
+  EXPECT_NE(text.find("total EC"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lec

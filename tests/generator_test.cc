@@ -1,0 +1,130 @@
+#include "query/generator.h"
+
+#include <gtest/gtest.h>
+
+namespace lec {
+namespace {
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  WorkloadOptions opts;
+  opts.num_tables = 5;
+  Rng a(42), b(42);
+  Workload w1 = GenerateWorkload(opts, &a);
+  Workload w2 = GenerateWorkload(opts, &b);
+  ASSERT_EQ(w1.catalog.size(), w2.catalog.size());
+  for (size_t i = 0; i < w1.catalog.size(); ++i) {
+    EXPECT_DOUBLE_EQ(w1.catalog.table(static_cast<TableId>(i)).pages,
+                     w2.catalog.table(static_cast<TableId>(i)).pages);
+  }
+}
+
+TEST(GeneratorTest, ChainShape) {
+  WorkloadOptions opts;
+  opts.num_tables = 5;
+  opts.shape = JoinGraphShape::kChain;
+  Rng rng(1);
+  Workload w = GenerateWorkload(opts, &rng);
+  EXPECT_EQ(w.query.num_predicates(), 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(w.query.predicate(i).left, i);
+    EXPECT_EQ(w.query.predicate(i).right, i + 1);
+  }
+  EXPECT_TRUE(w.query.IsConnected(w.query.AllTables()));
+}
+
+TEST(GeneratorTest, StarShape) {
+  WorkloadOptions opts;
+  opts.num_tables = 6;
+  opts.shape = JoinGraphShape::kStar;
+  Rng rng(2);
+  Workload w = GenerateWorkload(opts, &rng);
+  EXPECT_EQ(w.query.num_predicates(), 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(w.query.predicate(i).left, 0);
+  }
+}
+
+TEST(GeneratorTest, CycleShape) {
+  WorkloadOptions opts;
+  opts.num_tables = 4;
+  opts.shape = JoinGraphShape::kCycle;
+  Rng rng(3);
+  Workload w = GenerateWorkload(opts, &rng);
+  EXPECT_EQ(w.query.num_predicates(), 4);
+}
+
+TEST(GeneratorTest, CliqueShape) {
+  WorkloadOptions opts;
+  opts.num_tables = 5;
+  opts.shape = JoinGraphShape::kClique;
+  Rng rng(4);
+  Workload w = GenerateWorkload(opts, &rng);
+  EXPECT_EQ(w.query.num_predicates(), 10);
+}
+
+TEST(GeneratorTest, RandomShapeConnectedWithExtraEdges) {
+  WorkloadOptions opts;
+  opts.num_tables = 7;
+  opts.shape = JoinGraphShape::kRandom;
+  opts.extra_edges = 3;
+  Rng rng(5);
+  Workload w = GenerateWorkload(opts, &rng);
+  EXPECT_EQ(w.query.num_predicates(), 6 + 3);
+  EXPECT_TRUE(w.query.IsConnected(w.query.AllTables()));
+}
+
+TEST(GeneratorTest, PagesWithinBounds) {
+  WorkloadOptions opts;
+  opts.num_tables = 10;
+  opts.min_pages = 50;
+  opts.max_pages = 5000;
+  Rng rng(6);
+  Workload w = GenerateWorkload(opts, &rng);
+  for (size_t i = 0; i < w.catalog.size(); ++i) {
+    double p = w.catalog.table(static_cast<TableId>(i)).pages;
+    EXPECT_GE(p, 50 * (1 - 1e-9));
+    EXPECT_LE(p, 5000 * (1 + 1e-9));
+  }
+}
+
+TEST(GeneratorTest, SelectivitySpreadMakesDistributions) {
+  WorkloadOptions opts;
+  opts.num_tables = 3;
+  opts.selectivity_spread = 5.0;
+  Rng rng(7);
+  Workload w = GenerateWorkload(opts, &rng);
+  for (int i = 0; i < w.query.num_predicates(); ++i) {
+    EXPECT_EQ(w.query.predicate(i).selectivity.size(), 3u);
+  }
+}
+
+TEST(GeneratorTest, TableSizeSpreadMakesDistributions) {
+  WorkloadOptions opts;
+  opts.num_tables = 3;
+  opts.table_size_spread = 4.0;
+  Rng rng(8);
+  Workload w = GenerateWorkload(opts, &rng);
+  for (size_t i = 0; i < w.catalog.size(); ++i) {
+    EXPECT_TRUE(
+        w.catalog.table(static_cast<TableId>(i)).pages_dist.has_value());
+  }
+}
+
+TEST(GeneratorTest, OrderByProbabilityOne) {
+  WorkloadOptions opts;
+  opts.num_tables = 4;
+  opts.order_by_probability = 1.0;
+  Rng rng(9);
+  Workload w = GenerateWorkload(opts, &rng);
+  EXPECT_TRUE(w.query.required_order().has_value());
+}
+
+TEST(GeneratorTest, RejectsTinyQueries) {
+  WorkloadOptions opts;
+  opts.num_tables = 1;
+  Rng rng(10);
+  EXPECT_THROW(GenerateWorkload(opts, &rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lec

@@ -1,0 +1,152 @@
+// Hybrid hash join [Sha86]: the continuous-cost extension method.
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "cost/expected_cost.h"
+#include "dist/builders.h"
+#include "optimizer/algorithm_c.h"
+#include "optimizer/algorithm_d.h"
+#include "optimizer/exhaustive.h"
+#include "optimizer/system_r.h"
+#include "query/generator.h"
+
+namespace lec {
+namespace {
+
+OptimizerOptions WithHybrid() {
+  OptimizerOptions opts;
+  opts.join_methods = {JoinMethod::kNestedLoop, JoinMethod::kSortMerge,
+                       JoinMethod::kGraceHash, JoinMethod::kHybridHash};
+  return opts;
+}
+
+TEST(HybridHashTest, FormulaEndpoints) {
+  CostModel m;
+  // Build side fully resident: one read of each input.
+  EXPECT_DOUBLE_EQ(m.JoinCost(JoinMethod::kHybridHash, 1000, 400, 400),
+                   1400);
+  EXPECT_DOUBLE_EQ(m.JoinCost(JoinMethod::kHybridHash, 1000, 400, 5000),
+                   1400);
+  // Memory -> 0: nothing resident, degenerating to Grace's deepest regime.
+  EXPECT_NEAR(m.JoinCost(JoinMethod::kHybridHash, 1000, 400, 1e-9),
+              6 * 1400, 1.0);
+  // Halfway residency in the top regime: 2 - 0.75 = 1.25 passes.
+  EXPECT_DOUBLE_EQ(m.JoinCost(JoinMethod::kHybridHash, 1000, 400, 300),
+                   1.25 * 1400);
+}
+
+TEST(HybridHashTest, CostContinuousAndMonotoneAboveSqrtF) {
+  // Within the top Grace regime (M > sqrt(F) = 20) the cost is continuous
+  // and Lipschitz in memory — the defining contrast with GH/SM, whose cost
+  // jumps by a whole 2x(|A|+|B|) pass at the thresholds.
+  CostModel m;
+  double prev = std::numeric_limits<double>::infinity();
+  for (double mem = 21; mem <= 500; mem += 1) {
+    double c = m.JoinCost(JoinMethod::kHybridHash, 1000, 400, mem);
+    EXPECT_LE(c, prev + 1e-9);
+    if (prev != std::numeric_limits<double>::infinity()) {
+      EXPECT_LE(prev - c, 1400.0 / 400 + 1e-9) << "jump at " << mem;
+    }
+    prev = c;
+  }
+}
+
+TEST(HybridHashTest, DominatesGraceEverywhere) {
+  CostModel m;
+  for (double mem : {2.0, 10.0, 50.0, 200.0, 633.0, 5000.0}) {
+    EXPECT_LE(m.JoinCost(JoinMethod::kHybridHash, 1e6, 4e5, mem),
+              m.JoinCost(JoinMethod::kGraceHash, 1e6, 4e5, mem) + 1e-6)
+        << "memory " << mem;
+  }
+}
+
+TEST(HybridHashTest, BreakpointsIncludeResidencyKink) {
+  CostModel m;
+  std::vector<double> bps =
+      m.MemoryBreakpoints(JoinMethod::kHybridHash, 1000, 400);
+  ASSERT_EQ(bps.size(), 3u);
+  EXPECT_DOUBLE_EQ(bps[0], std::cbrt(400.0));
+  EXPECT_DOUBLE_EQ(bps[1], std::sqrt(400.0));
+  EXPECT_DOUBLE_EQ(bps[2], 400);
+}
+
+TEST(HybridHashTest, WidenedPlanSpaceNeverHurts) {
+  CostModel model;
+  Distribution memory({{30, 0.3}, {300, 0.4}, {3000, 0.3}});
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    WorkloadOptions wopts;
+    wopts.num_tables = 4 + static_cast<int>(seed % 2);
+    wopts.order_by_probability = 0.4;
+    Workload w = GenerateWorkload(wopts, &rng);
+    double base =
+        OptimizeLecStatic(w.query, w.catalog, model, memory).objective;
+    double with = OptimizeLecStatic(w.query, w.catalog, model, memory,
+                                    WithHybrid())
+                      .objective;
+    EXPECT_LE(with, base + 1e-9 * base) << "seed " << seed;
+  }
+}
+
+TEST(HybridHashTest, DpStillMatchesExhaustiveWithHybrid) {
+  Rng rng(3);
+  WorkloadOptions wopts;
+  wopts.num_tables = 4;
+  wopts.order_by_probability = 1.0;
+  Workload w = GenerateWorkload(wopts, &rng);
+  CostModel model;
+  Distribution memory({{40, 0.5}, {800, 0.5}});
+  OptimizerOptions opts = WithHybrid();
+  OptimizeResult dp =
+      OptimizeLecStatic(w.query, w.catalog, model, memory, opts);
+  OptimizeResult oracle = ExhaustiveBest(
+      w.query, w.catalog, opts, [&](const PlanPtr& p) {
+        return PlanExpectedCostStatic(p, w.query, w.catalog, model, memory);
+      });
+  EXPECT_NEAR(dp.objective, oracle.objective, 1e-9 * oracle.objective);
+}
+
+TEST(HybridHashTest, AlgorithmDFallsBackToNaiveForHybrid) {
+  Rng rng(4);
+  WorkloadOptions wopts;
+  wopts.num_tables = 4;
+  wopts.selectivity_spread = 4.0;
+  Workload w = GenerateWorkload(wopts, &rng);
+  CostModel model;
+  Distribution memory({{40, 0.5}, {800, 0.5}});
+  OptimizerOptions opts = WithHybrid();
+  opts.use_fast_ec = true;
+  // Must not throw (hybrid steps take the naive path) and must agree with
+  // the all-naive configuration.
+  OptimizeResult fast =
+      OptimizeAlgorithmD(w.query, w.catalog, model, memory, opts);
+  opts.use_fast_ec = false;
+  OptimizeResult naive =
+      OptimizeAlgorithmD(w.query, w.catalog, model, memory, opts);
+  EXPECT_NEAR(fast.objective, naive.objective, 1e-6 * naive.objective);
+}
+
+TEST(HybridHashTest, ChosenWhenMemoryComparableToBuildSide) {
+  // A=1000, B=400, M=300: hybrid keeps 3/4 of the build side resident
+  // (1.25 passes = 1750 I/Os) and beats GH/SM (2800) and NL (starved:
+  // 401000). Both LSC and LEC land on it.
+  Catalog catalog;
+  catalog.AddTable("A", 1000);
+  catalog.AddTable("B", 400);
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  q.AddPredicate(0, 1, 1e-4);
+  CostModel model;
+  OptimizeResult lsc = OptimizeLsc(q, catalog, model, 300, WithHybrid());
+  ASSERT_EQ(lsc.plan->kind, PlanNode::Kind::kJoin);
+  EXPECT_EQ(lsc.plan->method, JoinMethod::kHybridHash);
+  EXPECT_DOUBLE_EQ(lsc.objective, 1400 + 1.25 * 1400);  // scans + join
+  OptimizeResult lec = OptimizeLecStatic(
+      q, catalog, model, Distribution::TwoPoint(300, 0.5, 250, 0.5),
+      WithHybrid());
+  EXPECT_EQ(lec.plan->method, JoinMethod::kHybridHash);
+}
+
+}  // namespace
+}  // namespace lec

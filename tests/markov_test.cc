@@ -1,0 +1,159 @@
+#include "dist/markov.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "dist/builders.h"
+#include "util/rng.h"
+
+namespace lec {
+namespace {
+
+TEST(MarkovTest, StaticChainNeverMoves) {
+  MarkovChain chain = MarkovChain::Static({100, 200, 300});
+  Distribution d({{100, 0.5}, {300, 0.5}});
+  Distribution after = chain.MarginalAfter(d, 10);
+  EXPECT_TRUE(after == d);
+}
+
+TEST(MarkovTest, RowsAreNormalized) {
+  MarkovChain chain({1, 2}, {{2, 2}, {1, 3}});
+  EXPECT_DOUBLE_EQ(chain.transition()[0][0], 0.5);
+  EXPECT_DOUBLE_EQ(chain.transition()[1][1], 0.75);
+}
+
+TEST(MarkovTest, ValidatesInput) {
+  EXPECT_THROW(MarkovChain({}, {}), std::invalid_argument);
+  EXPECT_THROW(MarkovChain({2, 1}, {{1, 0}, {0, 1}}), std::invalid_argument);
+  EXPECT_THROW(MarkovChain({1, 2}, {{1, 0}}), std::invalid_argument);
+  EXPECT_THROW(MarkovChain({1, 2}, {{1}, {1}}), std::invalid_argument);
+  EXPECT_THROW(MarkovChain({1, 2}, {{0, 0}, {0, 1}}), std::invalid_argument);
+  EXPECT_THROW(MarkovChain({1, 2}, {{-1, 2}, {0, 1}}), std::invalid_argument);
+}
+
+TEST(MarkovTest, StepConservesMass) {
+  MarkovChain chain = MarkovChain::Drift({100, 200, 300, 400}, 0.5);
+  Distribution d = Distribution::PointMass(200);
+  Distribution next = chain.Step(d);
+  double total = 0;
+  for (const Bucket& b : next.buckets()) total += b.prob;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(next.PrLeq(100), 0.25);
+  EXPECT_DOUBLE_EQ(next.PrLeq(200) - next.PrLeq(100), 0.5);
+}
+
+TEST(MarkovTest, StepRejectsOffStateValues) {
+  MarkovChain chain = MarkovChain::Static({100, 200});
+  Distribution d = Distribution::PointMass(150);
+  EXPECT_THROW(chain.Step(d), std::invalid_argument);
+}
+
+TEST(MarkovTest, DriftReflectsAtBoundaries) {
+  MarkovChain chain = MarkovChain::Drift({1, 2, 3}, 0.0);
+  Distribution at_low = chain.Step(Distribution::PointMass(1));
+  EXPECT_DOUBLE_EQ(at_low.PrLeq(2) - at_low.PrLeq(1), 1.0);  // all mass at 2
+  Distribution at_high = chain.Step(Distribution::PointMass(3));
+  EXPECT_DOUBLE_EQ(at_high.PrLeq(2), 1.0);
+}
+
+TEST(MarkovTest, RedrawFromConvergesToTargetInOneFullRedraw) {
+  Distribution target({{100, 0.3}, {500, 0.7}});
+  MarkovChain chain = MarkovChain::RedrawFrom(target, 1.0);
+  Distribution start = Distribution::PointMass(100);
+  Distribution next = chain.Step(start);
+  EXPECT_LT(next.CdfDistance(target), 1e-12);
+}
+
+TEST(MarkovTest, StationaryOfRedrawIsTarget) {
+  Distribution target({{100, 0.3}, {500, 0.7}});
+  MarkovChain chain = MarkovChain::RedrawFrom(target, 0.25);
+  Distribution pi = chain.Stationary();
+  EXPECT_LT(pi.CdfDistance(target), 1e-9);
+}
+
+TEST(MarkovTest, StationaryOfSymmetricDriftIsUniformish) {
+  MarkovChain chain = MarkovChain::Drift({1, 2, 3, 4, 5}, 0.5);
+  Distribution pi = chain.Stationary();
+  // Reflecting random walk: interior states carry twice the boundary mass.
+  EXPECT_NEAR(pi.PrLeq(1), 1.0 / 8, 1e-6);
+  EXPECT_NEAR(pi.PrLeq(2) - pi.PrLeq(1), 2.0 / 8, 1e-6);
+}
+
+TEST(MarkovTest, MarginalAfterZeroIsInitial) {
+  MarkovChain chain = MarkovChain::Drift({1, 2, 3}, 0.9);
+  Distribution d({{1, 0.5}, {3, 0.5}});
+  EXPECT_TRUE(chain.MarginalAfter(d, 0) == d);
+}
+
+TEST(MarkovTest, TrajectoryStatesAreValidAndLengthCorrect) {
+  MarkovChain chain = MarkovChain::Drift({10, 20, 30}, 0.5);
+  Distribution init = Distribution::PointMass(20);
+  Rng rng(42);
+  std::vector<double> traj = chain.SampleTrajectory(init, 8, &rng);
+  ASSERT_EQ(traj.size(), 8u);
+  for (double v : traj) {
+    EXPECT_TRUE(v == 10 || v == 20 || v == 30);
+  }
+  EXPECT_DOUBLE_EQ(traj[0], 20);
+  // Adjacent states differ by at most one step.
+  for (size_t i = 1; i < traj.size(); ++i) {
+    EXPECT_LE(std::abs(traj[i] - traj[i - 1]), 10.0);
+  }
+}
+
+TEST(MarkovTest, TrajectoryMarginalsMatchStepDistribution) {
+  MarkovChain chain = MarkovChain::Drift({10, 20, 30}, 0.3);
+  Distribution init({{10, 0.5}, {30, 0.5}});
+  Rng rng(7);
+  const int kTrials = 30000;
+  int phase2_at_20 = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<double> traj = chain.SampleTrajectory(init, 3, &rng);
+    if (traj[2] == 20) ++phase2_at_20;
+  }
+  Distribution analytic = chain.MarginalAfter(init, 2);
+  double expected = analytic.PrLeq(20) - analytic.PrLeq(10);
+  EXPECT_NEAR(static_cast<double>(phase2_at_20) / kTrials, expected, 0.01);
+}
+
+// Chapman-Kolmogorov: marginals compose over phase counts.
+class MarkovPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MarkovPropertyTest, MarginalsCompose) {
+  Rng rng(GetParam());
+  size_t n = static_cast<size_t>(rng.UniformInt(2, 6));
+  std::vector<double> states;
+  double v = 0;
+  for (size_t i = 0; i < n; ++i) states.push_back(v += rng.Uniform(1, 100));
+  std::vector<std::vector<double>> t(n, std::vector<double>(n));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) t[i][j] = rng.Uniform(0.01, 1.0);
+  }
+  MarkovChain chain(states, t);
+  std::vector<Bucket> init;
+  for (size_t i = 0; i < n; ++i) {
+    init.push_back({states[i], rng.Uniform(0.1, 1.0)});
+  }
+  Distribution d(std::move(init));
+  for (size_t a : {0u, 1u, 2u, 3u}) {
+    for (size_t b : {0u, 1u, 2u}) {
+      Distribution lhs = chain.MarginalAfter(d, a + b);
+      Distribution rhs =
+          chain.MarginalAfter(chain.MarginalAfter(d, a), b);
+      EXPECT_LT(lhs.CdfDistance(rhs), 1e-12) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MarkovPropertyTest,
+                         ::testing::Range<uint64_t>(50, 60));
+
+TEST(MarkovTest, SingleStateChainIsFixed) {
+  MarkovChain chain = MarkovChain::Drift({42}, 0.5);
+  Distribution d = Distribution::PointMass(42);
+  EXPECT_TRUE(chain.Step(d) == d);
+}
+
+}  // namespace
+}  // namespace lec

@@ -1,0 +1,110 @@
+#include "optimizer/parametric.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/expected_cost.h"
+#include "dist/builders.h"
+#include "optimizer/algorithm_c.h"
+#include "optimizer/system_r.h"
+#include "query/generator.h"
+
+namespace lec {
+namespace {
+
+struct Example11Fixture {
+  Catalog catalog;
+  Query query;
+  CostModel model;
+  Distribution memory = Distribution::TwoPoint(2000, 0.8, 700, 0.2);
+
+  Example11Fixture() {
+    catalog.AddTable("A", 1'000'000);
+    catalog.AddTable("B", 400'000);
+    query.AddTable(0);
+    query.AddTable(1);
+    query.AddPredicate(0, 1, 3000.0 / (1e6 * 4e5));
+    query.RequireOrder(0);
+  }
+};
+
+TEST(ParametricTest, CompilesOnePlanPerBucket) {
+  Example11Fixture f;
+  ParametricPlanSet set = ParametricPlanSet::Compile(f.query, f.catalog,
+                                                     f.model, f.memory);
+  EXPECT_EQ(set.num_buckets(), 2u);
+  // Example 1.1: SM is best at 2000, GH+sort at 700 — two distinct plans.
+  EXPECT_EQ(set.num_distinct_plans(), 2u);
+}
+
+TEST(ParametricTest, LookupPicksNearestBucket) {
+  Example11Fixture f;
+  ParametricPlanSet set = ParametricPlanSet::Compile(f.query, f.catalog,
+                                                     f.model, f.memory);
+  // Exactly at a representative.
+  EXPECT_EQ(set.PlanFor(2000)->method, JoinMethod::kSortMerge);
+  EXPECT_EQ(set.PlanFor(700)->kind, PlanNode::Kind::kSort);
+  // Nearest-bucket behaviour between and beyond representatives.
+  EXPECT_EQ(set.PlanFor(1900)->method, JoinMethod::kSortMerge);
+  EXPECT_EQ(set.PlanFor(710)->kind, PlanNode::Kind::kSort);
+  EXPECT_EQ(set.PlanFor(50)->kind, PlanNode::Kind::kSort);
+  EXPECT_EQ(set.PlanFor(1e7)->method, JoinMethod::kSortMerge);
+}
+
+TEST(ParametricTest, StartupLookupMatchesPerBucketLsc) {
+  Example11Fixture f;
+  ParametricPlanSet set = ParametricPlanSet::Compile(f.query, f.catalog,
+                                                     f.model, f.memory);
+  double ec = ParametricStartupExpectedCost(set, f.query, f.catalog,
+                                            f.model, f.memory);
+  double manual = 0;
+  for (const Bucket& m : f.memory.buckets()) {
+    OptimizeResult lsc =
+        OptimizeLsc(f.query, f.catalog, f.model, m.value);
+    manual += m.prob * lsc.objective;
+  }
+  EXPECT_NEAR(ec, manual, 1e-9 * manual);
+}
+
+// The full strategy ordering: start-up lookup <= LEC <= LSC-at-mode, since
+// the lookup strategy gets to observe the parameter.
+class StrategyOrderingTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StrategyOrderingTest, LookupBeatsLecBeatsLsc) {
+  Rng rng(GetParam());
+  WorkloadOptions wopts;
+  wopts.num_tables = static_cast<int>(3 + GetParam() % 4);
+  wopts.shape = static_cast<JoinGraphShape>(GetParam() % 5);
+  wopts.order_by_probability = 0.4;
+  Workload w = GenerateWorkload(wopts, &rng);
+  CostModel model;
+  Distribution memory({{25, 0.25}, {250, 0.25}, {2500, 0.25},
+                       {25000, 0.25}});
+  ParametricPlanSet set =
+      ParametricPlanSet::Compile(w.query, w.catalog, model, memory);
+  double lookup_ec = ParametricStartupExpectedCost(set, w.query, w.catalog,
+                                                   model, memory);
+  double lec_ec =
+      OptimizeLecStatic(w.query, w.catalog, model, memory).objective;
+  OptimizeResult lsc = OptimizeLscAtEstimate(w.query, w.catalog, model,
+                                             memory, PointEstimate::kMode);
+  double lsc_ec =
+      PlanExpectedCostStatic(lsc.plan, w.query, w.catalog, model, memory);
+  EXPECT_LE(lookup_ec, lec_ec + 1e-9 * lec_ec);
+  EXPECT_LE(lec_ec, lsc_ec + 1e-9 * lsc_ec);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrategyOrderingTest,
+                         ::testing::Range<uint64_t>(700, 720));
+
+TEST(ParametricTest, SingleBucketDegeneratesToLsc) {
+  Example11Fixture f;
+  Distribution point = Distribution::PointMass(1500);
+  ParametricPlanSet set =
+      ParametricPlanSet::Compile(f.query, f.catalog, f.model, point);
+  EXPECT_EQ(set.num_buckets(), 1u);
+  OptimizeResult lsc = OptimizeLsc(f.query, f.catalog, f.model, 1500);
+  EXPECT_TRUE(PlanEquals(set.PlanFor(99999), lsc.plan));
+}
+
+}  // namespace
+}  // namespace lec

@@ -1,0 +1,126 @@
+#include "plan/plan.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "plan/printer.h"
+#include "query/query.h"
+
+namespace lec {
+namespace {
+
+PlanPtr TwoJoinPlan() {
+  PlanPtr a = MakeAccess(0, 100);
+  PlanPtr b = MakeAccess(1, 200);
+  PlanPtr c = MakeAccess(2, 300);
+  PlanPtr ab = MakeJoin(a, b, JoinMethod::kSortMerge, {0}, /*order=*/0, 50);
+  return MakeJoin(ab, c, JoinMethod::kGraceHash, {1}, kUnsorted, 10);
+}
+
+TEST(PlanTest, AccessNodeBasics) {
+  PlanPtr a = MakeAccess(3, 42);
+  EXPECT_EQ(a->kind, PlanNode::Kind::kAccess);
+  EXPECT_EQ(a->table_pos, 3);
+  EXPECT_EQ(a->tables, TableSet{1} << 3);
+  EXPECT_EQ(a->order, kUnsorted);
+  EXPECT_DOUBLE_EQ(a->est_pages, 42);
+}
+
+TEST(PlanTest, JoinNodeCombinesTableSets) {
+  PlanPtr p = TwoJoinPlan();
+  EXPECT_EQ(p->tables, 0b111u);
+  EXPECT_EQ(p->left->tables, 0b011u);
+  EXPECT_EQ(CountJoins(p), 2);
+}
+
+TEST(PlanTest, JoinRejectsOverlap) {
+  PlanPtr a = MakeAccess(0, 100);
+  PlanPtr b = MakeAccess(0, 100);
+  EXPECT_THROW(MakeJoin(a, b, JoinMethod::kNestedLoop, {}, kUnsorted, 1),
+               std::invalid_argument);
+  EXPECT_THROW(MakeJoin(nullptr, b, JoinMethod::kNestedLoop, {}, kUnsorted,
+                        1),
+               std::invalid_argument);
+}
+
+TEST(PlanTest, SortNodePreservesTablesAndPages) {
+  PlanPtr p = TwoJoinPlan();
+  PlanPtr s = MakeSort(p, 1);
+  EXPECT_EQ(s->kind, PlanNode::Kind::kSort);
+  EXPECT_EQ(s->tables, p->tables);
+  EXPECT_EQ(s->order, 1);
+  EXPECT_DOUBLE_EQ(s->est_pages, p->est_pages);
+  EXPECT_EQ(CountJoins(s), 2);
+  EXPECT_THROW(MakeSort(nullptr, 0), std::invalid_argument);
+}
+
+TEST(PlanTest, JoinOrderPermutation) {
+  PlanPtr p = TwoJoinPlan();
+  EXPECT_EQ(JoinOrder(p), (std::vector<QueryPos>{0, 1, 2}));
+  EXPECT_EQ(JoinOrder(MakeSort(p, 0)), (std::vector<QueryPos>{0, 1, 2}));
+}
+
+TEST(PlanTest, PlanEqualsStructural) {
+  PlanPtr p1 = TwoJoinPlan();
+  PlanPtr p2 = TwoJoinPlan();
+  EXPECT_TRUE(PlanEquals(p1, p2));
+  EXPECT_TRUE(PlanEquals(p1, p1));
+  // Different method.
+  PlanPtr p3 = MakeJoin(p1->left, MakeAccess(2, 300),
+                        JoinMethod::kNestedLoop, {1}, kUnsorted, 10);
+  EXPECT_FALSE(PlanEquals(p1, p3));
+  // Different predicate list.
+  PlanPtr p4 = MakeJoin(p1->left, MakeAccess(2, 300), JoinMethod::kGraceHash,
+                        {0}, kUnsorted, 10);
+  EXPECT_FALSE(PlanEquals(p1, p4));
+  // Sort-wrapped differs from bare.
+  EXPECT_FALSE(PlanEquals(p1, MakeSort(p1, 0)));
+  EXPECT_FALSE(PlanEquals(p1, nullptr));
+}
+
+TEST(PlanTest, JoinMethodNames) {
+  EXPECT_EQ(ToString(JoinMethod::kNestedLoop), "NL");
+  EXPECT_EQ(ToString(JoinMethod::kSortMerge), "SM");
+  EXPECT_EQ(ToString(JoinMethod::kGraceHash), "GH");
+}
+
+TEST(PlanPrinterTest, InlineRendering) {
+  Catalog catalog;
+  catalog.AddTable("A", 100);
+  catalog.AddTable("B", 200);
+  catalog.AddTable("C", 300);
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  q.AddTable(2);
+  q.AddPredicate(0, 1, 0.01);
+  q.AddPredicate(1, 2, 0.01);
+  PlanPtr p = TwoJoinPlan();
+  EXPECT_EQ(PlanToString(p, q, catalog), "((A SM B) GH C)");
+  EXPECT_EQ(PlanToString(MakeSort(p, 0), q, catalog),
+            "Sort(((A SM B) GH C))");
+}
+
+TEST(PlanPrinterTest, TreeRenderingMentionsEveryOperator) {
+  Catalog catalog;
+  catalog.AddTable("A", 100);
+  catalog.AddTable("B", 200);
+  catalog.AddTable("C", 300);
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  q.AddTable(2);
+  q.AddPredicate(0, 1, 0.01);
+  q.AddPredicate(1, 2, 0.01);
+  std::string tree = PlanToTreeString(MakeSort(TwoJoinPlan(), 1), q, catalog);
+  EXPECT_NE(tree.find("Sort on p1"), std::string::npos);
+  EXPECT_NE(tree.find("SMJoin on p0"), std::string::npos);
+  EXPECT_NE(tree.find("GHJoin on p1"), std::string::npos);
+  EXPECT_NE(tree.find("Scan A"), std::string::npos);
+  EXPECT_NE(tree.find("Scan C"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lec

@@ -1,0 +1,117 @@
+#include "query/query.h"
+
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+
+namespace lec {
+namespace {
+
+Query ChainQuery(int n) {
+  Query q;
+  for (int i = 0; i < n; ++i) q.AddTable(i);
+  for (int i = 0; i + 1 < n; ++i) q.AddPredicate(i, i + 1, 0.001);
+  return q;
+}
+
+TEST(QueryTest, SetHelpers) {
+  EXPECT_EQ(SetSize(0b1011), 3);
+  EXPECT_TRUE(Contains(0b1011, 0));
+  EXPECT_FALSE(Contains(0b1011, 2));
+  std::vector<QueryPos> members = Members(0b1011);
+  EXPECT_EQ(members, (std::vector<QueryPos>{0, 1, 3}));
+  EXPECT_TRUE(Members(0).empty());
+}
+
+TEST(QueryTest, AllTablesMask) {
+  Query q = ChainQuery(4);
+  EXPECT_EQ(q.AllTables(), 0b1111u);
+}
+
+TEST(QueryTest, PredicateValidation) {
+  Query q = ChainQuery(3);
+  EXPECT_THROW(q.AddPredicate(0, 0, 0.5), std::invalid_argument);
+  EXPECT_THROW(q.AddPredicate(0, 5, 0.5), std::invalid_argument);
+  EXPECT_THROW(q.AddPredicate(0, 2, 0.0), std::invalid_argument);
+  EXPECT_THROW(q.AddPredicate(0, 2, 1.5), std::invalid_argument);
+  EXPECT_NO_THROW(q.AddPredicate(0, 2, 1.0));
+}
+
+TEST(QueryTest, RequireOrderValidation) {
+  Query q = ChainQuery(3);
+  EXPECT_FALSE(q.required_order().has_value());
+  q.RequireOrder(1);
+  EXPECT_EQ(*q.required_order(), 1);
+  EXPECT_THROW(q.RequireOrder(7), std::invalid_argument);
+  EXPECT_THROW(q.RequireOrder(-1), std::invalid_argument);
+}
+
+TEST(QueryTest, ConnectingPredicatesChain) {
+  Query q = ChainQuery(4);  // predicates: 0:(0,1) 1:(1,2) 2:(2,3)
+  EXPECT_EQ(q.ConnectingPredicates(0b0001, 1), (std::vector<int>{0}));
+  EXPECT_EQ(q.ConnectingPredicates(0b0011, 2), (std::vector<int>{1}));
+  EXPECT_TRUE(q.ConnectingPredicates(0b0001, 3).empty());
+  // j already inside the subset -> nothing connects.
+  EXPECT_TRUE(q.ConnectingPredicates(0b0011, 1).empty());
+}
+
+TEST(QueryTest, ConnectingPredicatesMultiple) {
+  Query q;
+  for (int i = 0; i < 3; ++i) q.AddTable(i);
+  q.AddPredicate(0, 2, 0.1);
+  q.AddPredicate(1, 2, 0.2);
+  std::vector<int> preds = q.ConnectingPredicates(0b011, 2);
+  EXPECT_EQ(preds, (std::vector<int>{0, 1}));
+}
+
+TEST(QueryTest, InternalPredicates) {
+  Query q = ChainQuery(4);
+  EXPECT_EQ(q.InternalPredicates(0b0111), (std::vector<int>{0, 1}));
+  EXPECT_TRUE(q.InternalPredicates(0b0101).empty());
+  EXPECT_EQ(q.InternalPredicates(q.AllTables()),
+            (std::vector<int>{0, 1, 2}));
+}
+
+TEST(QueryTest, IsConnected) {
+  Query q = ChainQuery(4);
+  EXPECT_TRUE(q.IsConnected(0b0011));
+  EXPECT_TRUE(q.IsConnected(0b0111));
+  EXPECT_FALSE(q.IsConnected(0b0101));  // {0, 2} not adjacent
+  EXPECT_TRUE(q.IsConnected(0b0001));   // singleton
+  EXPECT_TRUE(q.IsConnected(0));        // empty set, vacuously
+}
+
+TEST(QueryTest, MeanSelectivityIsProductOfMeans) {
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  q.AddTable(2);
+  q.AddPredicate(0, 1, Distribution::TwoPoint(0.1, 0.5, 0.3, 0.5));
+  q.AddPredicate(1, 2, 0.5);
+  EXPECT_DOUBLE_EQ(q.MeanSelectivity({0}), 0.2);
+  EXPECT_DOUBLE_EQ(q.MeanSelectivity({0, 1}), 0.1);
+  EXPECT_DOUBLE_EQ(q.MeanSelectivity({}), 1.0);
+}
+
+TEST(QueryTest, PredicateTouchesAndOther) {
+  JoinPredicate p{1, 3, Distribution::PointMass(0.5)};
+  EXPECT_TRUE(p.Touches(1));
+  EXPECT_TRUE(p.Touches(3));
+  EXPECT_FALSE(p.Touches(2));
+  EXPECT_EQ(p.Other(1), 3);
+  EXPECT_EQ(p.Other(3), 1);
+}
+
+TEST(QueryTest, DistributionalSelectivityValidation) {
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  EXPECT_THROW(q.AddPredicate(0, 1, Distribution::TwoPoint(0.5, 0.5, 1.5,
+                                                           0.5)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lec

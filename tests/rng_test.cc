@@ -1,0 +1,104 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+namespace lec {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform01(), b.Uniform01());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Uniform01() != b.Uniform01()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(10, 20);
+    EXPECT_GE(v, 10);
+    EXPECT_LT(v, 20);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(6);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(1, 3);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 1;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, LogUniformBoundsAndValidation) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.LogUniform(10, 1000);
+    EXPECT_GE(v, 10 * (1 - 1e-12));
+    EXPECT_LE(v, 1000 * (1 + 1e-12));
+  }
+  EXPECT_THROW(rng.LogUniform(0, 10), std::invalid_argument);
+  EXPECT_THROW(rng.LogUniform(10, 5), std::invalid_argument);
+}
+
+TEST(RngTest, SampleIndexFollowsWeights) {
+  Rng rng(8);
+  std::vector<double> weights = {1, 0, 3};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[rng.SampleIndex(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / 20000.0, 0.25, 0.02);
+  EXPECT_THROW(rng.SampleIndex({0, 0}), std::invalid_argument);
+  EXPECT_THROW(rng.SampleIndex({-1, 2}), std::invalid_argument);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(9);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng a(10), b(10);
+  Rng child_a = a.Fork();
+  Rng child_b = b.Fork();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(child_a.Uniform01(), child_b.Uniform01());
+  }
+}
+
+TEST(RngTest, ForkDivergesFromParent) {
+  Rng a(10);
+  Rng child = a.Fork();
+  bool differs = false;
+  for (int i = 0; i < 5; ++i) {
+    if (a.Uniform01() != child.Uniform01()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace lec

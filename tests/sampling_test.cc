@@ -1,0 +1,134 @@
+#include "optimizer/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include "dist/builders.h"
+#include "query/generator.h"
+
+namespace lec {
+namespace {
+
+TEST(SamplingTest, PointMassSelectivityHasZeroEvpi) {
+  Catalog catalog;
+  catalog.AddTable("A", 1000);
+  catalog.AddTable("B", 200);
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  q.AddPredicate(0, 1, 0.001);
+  CostModel model;
+  SamplingDecision d = EvaluateSampling(q, catalog, model,
+                                        Distribution::PointMass(500), 0);
+  EXPECT_NEAR(d.Evpi(), 0, 1e-9);
+  EXPECT_FALSE(d.ShouldSample(1.0));
+}
+
+TEST(SamplingTest, EvpiPositiveWhenPlanDependsOnSelectivity) {
+  // The selectivity decides whether the intermediate fits in memory, so
+  // knowing it flips the join method: perfect information has real value.
+  Catalog catalog;
+  catalog.AddTable("A", 2000);
+  catalog.AddTable("B", 2000);
+  catalog.AddTable("C", 400);
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  q.AddTable(2);
+  // A⋈B result: 40 pages or 4000 pages depending on σ. At 40 pages the
+  // follow-up join with C can run as an in-memory nested loop; at 4000
+  // pages (min side C=400 > M-2) only hashing stays cheap — so the best
+  // second-join method depends on σ and perfect information pays.
+  q.AddPredicate(0, 1, Distribution::TwoPoint(1e-5, 0.5, 1e-3, 0.5));
+  q.AddPredicate(1, 2, 0.002);
+  CostModel model;
+  Distribution memory = Distribution::PointMass(300);
+  SamplingDecision d = EvaluateSampling(q, catalog, model, memory, 0);
+  EXPECT_GT(d.Evpi(), 0);
+  EXPECT_TRUE(d.ShouldSample(d.Evpi() / 2));
+  EXPECT_FALSE(d.ShouldSample(d.Evpi() * 2));
+}
+
+TEST(SamplingTest, EvpiNonNegativeProperty) {
+  // EVPI >= 0 always: information can't hurt a rational optimizer.
+  CostModel model;
+  Distribution memory({{40, 0.5}, {800, 0.5}});
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    Rng rng(seed);
+    WorkloadOptions wopts;
+    wopts.num_tables = 3 + static_cast<int>(seed % 2);
+    wopts.selectivity_spread = 8.0;
+    Workload w = GenerateWorkload(wopts, &rng);
+    for (int p = 0; p < w.query.num_predicates(); ++p) {
+      SamplingDecision d =
+          EvaluateSampling(w.query, w.catalog, model, memory, p);
+      EXPECT_GE(d.Evpi(), -1e-6 * d.ec_without_sampling)
+          << "seed=" << seed << " predicate=" << p;
+    }
+  }
+}
+
+TEST(SamplingTest, WiderUncertaintyWeaklyMoreValuable) {
+  Catalog catalog;
+  catalog.AddTable("A", 2000);
+  catalog.AddTable("B", 2000);
+  Query base;
+  base.AddTable(0);
+  base.AddTable(1);
+  base.AddPredicate(0, 1, 0.001);
+  CostModel model;
+  Distribution memory = Distribution::PointMass(300);
+  double prev = -1;
+  for (double spread : {1.0, 3.0, 10.0, 30.0}) {
+    Query q = base.WithSelectivity(
+        0, UncertainSelectivity(1e-4, spread));
+    SamplingDecision d = EvaluateSampling(q, catalog, model, memory, 0);
+    EXPECT_GE(d.Evpi() + 1e-9, prev) << "spread=" << spread;
+    prev = d.Evpi();
+  }
+}
+
+TEST(SamplingTest, ValidatesPredicateIndex) {
+  Catalog catalog;
+  catalog.AddTable("A", 10);
+  catalog.AddTable("B", 10);
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  q.AddPredicate(0, 1, 0.1);
+  CostModel model;
+  EXPECT_THROW(EvaluateSampling(q, catalog, model,
+                                Distribution::PointMass(100), 5),
+               std::invalid_argument);
+}
+
+TEST(QueryWithSelectivityTest, ReplacesOnlyTargetPredicate) {
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  q.AddTable(2);
+  q.AddPredicate(0, 1, 0.1);
+  q.AddPredicate(1, 2, 0.2);
+  Query modified = q.WithSelectivity(0, Distribution::PointMass(0.5));
+  EXPECT_DOUBLE_EQ(modified.predicate(0).selectivity.Mean(), 0.5);
+  EXPECT_DOUBLE_EQ(modified.predicate(1).selectivity.Mean(), 0.2);
+  EXPECT_DOUBLE_EQ(q.predicate(0).selectivity.Mean(), 0.1);  // original
+  EXPECT_THROW(q.WithSelectivity(0, Distribution::PointMass(2.0)),
+               std::invalid_argument);
+}
+
+TEST(QueryCrossingPredicatesTest, FindsPredicatesAcrossSets) {
+  Query q;
+  for (int i = 0; i < 4; ++i) q.AddTable(i);
+  q.AddPredicate(0, 1, 0.1);
+  q.AddPredicate(1, 2, 0.1);
+  q.AddPredicate(2, 3, 0.1);
+  EXPECT_EQ(q.CrossingPredicates(0b0011, 0b1100), (std::vector<int>{1}));
+  EXPECT_EQ(q.CrossingPredicates(0b0101, 0b1010),
+            (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(q.CrossingPredicates(0b0001, 0b1000).empty());
+  EXPECT_THROW(q.CrossingPredicates(0b0011, 0b0010),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lec

@@ -1,0 +1,220 @@
+#include "optimizer/system_r.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/expected_cost.h"
+#include "optimizer/exhaustive.h"
+#include "plan/printer.h"
+#include "query/generator.h"
+
+namespace lec {
+namespace {
+
+// Theorem 2.1: "The System R optimizer computes the LSC left-deep plan for
+// a specific setting of the parameters." Verified against the exhaustive
+// oracle across seeded random workloads, shapes, and memory values.
+struct Tc {
+  uint64_t seed;
+  JoinGraphShape shape;
+  int tables;
+};
+
+class SystemRTheoremTest : public ::testing::TestWithParam<Tc> {};
+
+TEST_P(SystemRTheoremTest, MatchesExhaustiveLsc) {
+  Tc tc = GetParam();
+  Rng rng(tc.seed);
+  WorkloadOptions wopts;
+  wopts.num_tables = tc.tables;
+  wopts.shape = tc.shape;
+  wopts.order_by_probability = 0.5;
+  Workload w = GenerateWorkload(wopts, &rng);
+  CostModel model;
+  OptimizerOptions opts;
+  for (double memory : {20.0, 500.0, 5000.0}) {
+    OptimizeResult dp = OptimizeLsc(w.query, w.catalog, model, memory, opts);
+    OptimizeResult oracle = ExhaustiveBest(
+        w.query, w.catalog, opts, [&](const PlanPtr& p) {
+          return PlanCostAtMemory(p, w.query, w.catalog, model, memory);
+        });
+    EXPECT_NEAR(dp.objective, oracle.objective,
+                1e-9 * std::max(1.0, oracle.objective))
+        << "memory=" << memory << " query="
+        << PlanToString(dp.plan, w.query, w.catalog);
+    // The DP's claimed objective equals the plan's independently computed
+    // cost.
+    EXPECT_NEAR(dp.objective,
+                PlanCostAtMemory(dp.plan, w.query, w.catalog, model, memory),
+                1e-9 * std::max(1.0, dp.objective));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, SystemRTheoremTest,
+    ::testing::Values(Tc{1, JoinGraphShape::kChain, 4},
+                      Tc{2, JoinGraphShape::kChain, 5},
+                      Tc{3, JoinGraphShape::kStar, 4},
+                      Tc{4, JoinGraphShape::kStar, 5},
+                      Tc{5, JoinGraphShape::kCycle, 4},
+                      Tc{6, JoinGraphShape::kClique, 4},
+                      Tc{7, JoinGraphShape::kRandom, 5},
+                      Tc{8, JoinGraphShape::kChain, 3},
+                      Tc{9, JoinGraphShape::kClique, 5},
+                      Tc{10, JoinGraphShape::kRandom, 4}));
+
+TEST(SystemRTest, TwoTableJoinPicksCheapestMethod) {
+  Catalog catalog;
+  catalog.AddTable("A", 1000);
+  catalog.AddTable("B", 50);
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  q.AddPredicate(0, 1, 0.001);
+  CostModel model;
+  // Plenty of memory: NL with inner in memory costs |A|+|B| at the join,
+  // beating SM/GH multiples.
+  OptimizeResult r = OptimizeLsc(q, catalog, model, 500);
+  ASSERT_EQ(r.plan->kind, PlanNode::Kind::kJoin);
+  EXPECT_EQ(r.plan->method, JoinMethod::kNestedLoop);
+  // join (1050) + scans (1050).
+  EXPECT_DOUBLE_EQ(r.objective, 2 * 1050);
+}
+
+TEST(SystemRTest, OrderByMakesSortMergeWin) {
+  // Example 1.1 structure: with ORDER BY on the join key and high memory,
+  // SM avoids the final sort.
+  Catalog catalog;
+  catalog.AddTable("A", 1'000'000);
+  catalog.AddTable("B", 400'000);
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  q.AddPredicate(0, 1, 3000.0 / (1e6 * 4e5));
+  q.RequireOrder(0);
+  CostModel model;
+  OptimizeResult r = OptimizeLsc(q, catalog, model, 2000);
+  ASSERT_EQ(r.plan->kind, PlanNode::Kind::kJoin);
+  EXPECT_EQ(r.plan->method, JoinMethod::kSortMerge);
+  EXPECT_EQ(r.plan->order, 0);
+}
+
+TEST(SystemRTest, LowMemoryFlipsToHashPlusSort) {
+  // Example 1.1 at 700 pages: SM needs 4 passes but GH only 2, so GH + sort
+  // wins even with the ORDER BY.
+  Catalog catalog;
+  catalog.AddTable("A", 1'000'000);
+  catalog.AddTable("B", 400'000);
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  q.AddPredicate(0, 1, 3000.0 / (1e6 * 4e5));
+  q.RequireOrder(0);
+  CostModel model;
+  OptimizeResult r = OptimizeLsc(q, catalog, model, 700);
+  ASSERT_EQ(r.plan->kind, PlanNode::Kind::kSort);
+  EXPECT_EQ(r.plan->left->method, JoinMethod::kGraceHash);
+}
+
+TEST(SystemRTest, PointEstimateSelection) {
+  Catalog catalog;
+  catalog.AddTable("A", 1'000'000);
+  catalog.AddTable("B", 400'000);
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  q.AddPredicate(0, 1, 3000.0 / (1e6 * 4e5));
+  q.RequireOrder(0);
+  CostModel model;
+  Distribution memory = Distribution::TwoPoint(2000, 0.8, 700, 0.2);
+  // Mode = 2000 and mean = 1740 both exceed sqrt(1e6): LSC picks Plan 1
+  // (sort-merge) either way — the paper's setup.
+  for (PointEstimate est : {PointEstimate::kMean, PointEstimate::kMode}) {
+    OptimizeResult r =
+        OptimizeLscAtEstimate(q, catalog, model, memory, est);
+    ASSERT_EQ(r.plan->kind, PlanNode::Kind::kJoin);
+    EXPECT_EQ(r.plan->method, JoinMethod::kSortMerge);
+  }
+}
+
+TEST(SystemRTest, RestrictedJoinMethods) {
+  Catalog catalog;
+  catalog.AddTable("A", 1000);
+  catalog.AddTable("B", 50);
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  q.AddPredicate(0, 1, 0.001);
+  CostModel model;
+  OptimizerOptions opts;
+  opts.join_methods = {JoinMethod::kSortMerge};
+  OptimizeResult r = OptimizeLsc(q, catalog, model, 500, opts);
+  EXPECT_EQ(r.plan->method, JoinMethod::kSortMerge);
+}
+
+TEST(SystemRTest, CrossProductForbiddenForConnectedQuery) {
+  // Chain query: subsets {0,2} are unreachable without a cross product, but
+  // a plan must still be found via connected enumeration.
+  Catalog catalog;
+  catalog.AddTable("A", 100);
+  catalog.AddTable("B", 100);
+  catalog.AddTable("C", 100);
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  q.AddTable(2);
+  q.AddPredicate(0, 1, 0.01);
+  q.AddPredicate(1, 2, 0.01);
+  CostModel model;
+  OptimizeResult r = OptimizeLsc(q, catalog, model, 1000);
+  EXPECT_TRUE(r.plan != nullptr);
+  // Join order must be chain-contiguous: the middle table can't come last
+  // ... actually it can come first; just verify no cross join nodes.
+  std::vector<QueryPos> order = JoinOrder(r.plan);
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(SystemRTest, DisconnectedQueryAllowsCrossProducts) {
+  Catalog catalog;
+  catalog.AddTable("A", 10);
+  catalog.AddTable("B", 10);
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  // No predicates at all: pure cross product.
+  CostModel model;
+  OptimizeResult r = OptimizeLsc(q, catalog, model, 100);
+  ASSERT_TRUE(r.plan != nullptr);
+  EXPECT_EQ(r.plan->kind, PlanNode::Kind::kJoin);
+  EXPECT_TRUE(r.plan->predicates.empty());
+  // SM is excluded for cross products; NL/GH remain.
+  EXPECT_NE(r.plan->method, JoinMethod::kSortMerge);
+}
+
+TEST(SystemRTest, SingleTableQuery) {
+  Catalog catalog;
+  catalog.AddTable("A", 123);
+  Query q;
+  q.AddTable(0);
+  CostModel model;
+  OptimizeResult r = OptimizeLsc(q, catalog, model, 100);
+  EXPECT_EQ(r.plan->kind, PlanNode::Kind::kAccess);
+  EXPECT_DOUBLE_EQ(r.objective, 123);
+}
+
+TEST(SystemRTest, CandidateCountGrowsWithQuerySize) {
+  CostModel model;
+  size_t prev = 0;
+  for (int n : {3, 4, 5, 6}) {
+    Rng rng(100 + static_cast<uint64_t>(n));
+    WorkloadOptions wopts;
+    wopts.num_tables = n;
+    wopts.shape = JoinGraphShape::kClique;
+    Workload w = GenerateWorkload(wopts, &rng);
+    OptimizeResult r = OptimizeLsc(w.query, w.catalog, model, 1000);
+    EXPECT_GT(r.candidates_considered, prev);
+    prev = r.candidates_considered;
+  }
+}
+
+}  // namespace
+}  // namespace lec
