@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Builds every bench_* target and runs them all, recording wall-clock
+# timings (and each bench's exit status) as JSON — the start of the perf
+# trajectory across PRs.
+#
+# Usage:  bench/run_all.sh [label]
+#   label   suffix for the output file, default "seed" -> BENCH_seed.json
+#
+# Environment:
+#   BUILD_DIR   build directory (default: build)
+#   OUT_DIR     where to write the JSON (default: repo root)
+set -u
+
+cd "$(dirname "$0")/.."
+# Restrict the label (and hostname below) to JSON-safe characters.
+LABEL="$(printf '%s' "${1:-seed}" | tr -cd 'A-Za-z0-9._-')"
+LABEL="${LABEL:-seed}"
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT_DIR="${OUT_DIR:-.}"
+OUT="${OUT_DIR}/BENCH_${LABEL}.json"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null || exit 1
+cmake --build "$BUILD_DIR" --target benches -j "$(nproc)" >/dev/null || exit 1
+
+benches=()
+for src in bench/bench_*.cc; do
+  name="$(basename "$src" .cc)"
+  [ -x "$BUILD_DIR/$name" ] && benches+=("$name")
+done
+
+echo "Running ${#benches[@]} benches -> $OUT"
+{
+  echo "{"
+  printf '  "label": "%s",\n' "$LABEL"
+  printf '  "hostname": "%s",\n' "$(hostname | tr -cd 'A-Za-z0-9._-')"
+  printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  echo '  "benches": ['
+} > "$OUT"
+
+first=1
+for name in "${benches[@]}"; do
+  echo "== $name"
+  start=$(date +%s.%N)
+  "$BUILD_DIR/$name" > "$BUILD_DIR/$name.out" 2>&1
+  status=$?
+  end=$(date +%s.%N)
+  secs=$(echo "$end $start" | awk '{printf "%.3f", $1 - $2}')
+  [ $first -eq 0 ] && echo "    ," >> "$OUT"
+  first=0
+  printf '    {"name": "%s", "seconds": %s, "exit": %d}\n' \
+    "$name" "$secs" "$status" >> "$OUT"
+done
+
+{
+  echo "  ]"
+  echo "}"
+} >> "$OUT"
+echo "Wrote $OUT"

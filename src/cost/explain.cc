@@ -1,8 +1,11 @@
 #include "cost/explain.h"
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <sstream>
+#include <stdexcept>
 
 #include "cost/expected_cost.h"
 

@@ -1,0 +1,122 @@
+#include "dist/builders.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace lec {
+
+namespace {
+
+/// Standard normal CDF.
+double Phi(double z) { return 0.5 * (1.0 + std::erf(z / std::sqrt(2.0))); }
+
+}  // namespace
+
+Distribution UniformBuckets(double lo, double hi, size_t n) {
+  if (n == 0) throw std::invalid_argument("need at least one bucket");
+  if (!(lo <= hi)) throw std::invalid_argument("requires lo <= hi");
+  std::vector<Bucket> out;
+  out.reserve(n);
+  double p = 1.0 / static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    double v = lo + (static_cast<double>(i) + 0.5) * (hi - lo) /
+                        static_cast<double>(n);
+    out.push_back({v, p});
+  }
+  return Distribution(std::move(out));
+}
+
+Distribution DiscretizedNormal(double mean, double stddev, double lo,
+                               double hi, size_t n) {
+  if (n == 0) throw std::invalid_argument("need at least one bucket");
+  if (!(lo <= hi)) throw std::invalid_argument("requires lo <= hi");
+  if (stddev < 0) throw std::invalid_argument("stddev must be non-negative");
+  if (stddev == 0 || lo == hi) {
+    return Distribution::PointMass(std::clamp(mean, lo, hi));
+  }
+  std::vector<Bucket> out;
+  out.reserve(n);
+  double prev_cdf = Phi((lo - mean) / stddev);
+  for (size_t i = 0; i < n; ++i) {
+    double upper =
+        lo + (static_cast<double>(i) + 1.0) * (hi - lo) / static_cast<double>(n);
+    double cdf = Phi((upper - mean) / stddev);
+    double mass = cdf - prev_cdf;
+    prev_cdf = cdf;
+    double mid = lo + (static_cast<double>(i) + 0.5) * (hi - lo) /
+                          static_cast<double>(n);
+    if (mass > 0) out.push_back({mid, mass});
+  }
+  if (out.empty()) {
+    // The whole range is many sigmas away from the mean; collapse to the
+    // nearest endpoint rather than fail.
+    return Distribution::PointMass(std::clamp(mean, lo, hi));
+  }
+  return Distribution(std::move(out));
+}
+
+Distribution DiscretizedLogNormal(double mu, double sigma, double lo,
+                                  double hi, size_t n) {
+  if (n == 0) throw std::invalid_argument("need at least one bucket");
+  if (!(lo > 0 && lo < hi)) {
+    throw std::invalid_argument("requires 0 < lo < hi");
+  }
+  if (sigma < 0) throw std::invalid_argument("sigma must be non-negative");
+  if (sigma == 0) {
+    return Distribution::PointMass(std::clamp(std::exp(mu), lo, hi));
+  }
+  double log_lo = std::log(lo), log_hi = std::log(hi);
+  std::vector<Bucket> out;
+  out.reserve(n);
+  double prev_cdf = Phi((log_lo - mu) / sigma);
+  for (size_t i = 0; i < n; ++i) {
+    double log_upper = log_lo + (static_cast<double>(i) + 1.0) *
+                                    (log_hi - log_lo) / static_cast<double>(n);
+    double cdf = Phi((log_upper - mu) / sigma);
+    double mass = cdf - prev_cdf;
+    prev_cdf = cdf;
+    double log_mid = log_lo + (static_cast<double>(i) + 0.5) *
+                                  (log_hi - log_lo) / static_cast<double>(n);
+    if (mass > 0) out.push_back({std::exp(log_mid), mass});
+  }
+  if (out.empty()) {
+    return Distribution::PointMass(std::clamp(std::exp(mu), lo, hi));
+  }
+  return Distribution(std::move(out));
+}
+
+Distribution FromSamples(const std::vector<double>& samples,
+                         size_t max_buckets) {
+  if (samples.empty()) {
+    throw std::invalid_argument("need at least one sample");
+  }
+  std::vector<Bucket> out;
+  out.reserve(samples.size());
+  for (double s : samples) out.push_back({s, 1.0});
+  return Distribution(std::move(out)).Rebucket(max_buckets);
+}
+
+Distribution BimodalMemory(double high_pages, double p_high,
+                           double low_pages) {
+  if (!(p_high >= 0.0 && p_high <= 1.0)) {
+    throw std::invalid_argument("p_high must be in [0, 1]");
+  }
+  return Distribution::TwoPoint(high_pages, p_high, low_pages, 1.0 - p_high);
+}
+
+Distribution UncertainSelectivity(double center, double spread) {
+  if (!(center > 0.0 && center <= 1.0)) {
+    throw std::invalid_argument("selectivity must be in (0, 1]");
+  }
+  if (!(spread >= 1.0)) {
+    throw std::invalid_argument("spread must be >= 1");
+  }
+  if (spread == 1.0) return Distribution::PointMass(center);
+  return Distribution({{center / spread, 0.25},
+                       {center, 0.5},
+                       {std::min(center * spread, 1.0), 0.25}});
+}
+
+}  // namespace lec

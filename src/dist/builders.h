@@ -1,0 +1,57 @@
+// Convenience constructors for common parameter distributions.
+//
+// The paper leaves open where the bucketed distributions come from ("we
+// assume that the system has some way of estimating these probabilities",
+// §3.1). These builders cover the sources used throughout the examples,
+// benchmarks and tests: uniform bucketings of a range, discretizations of
+// normal / log-normal densities, empirical distributions from observed
+// samples, and the two stylized shapes of the paper — Example 1.1's bimodal
+// memory and the order-of-magnitude selectivity uncertainty of §3.6.
+#ifndef LECOPT_DIST_BUILDERS_H_
+#define LECOPT_DIST_BUILDERS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/distribution.h"
+
+namespace lec {
+
+/// `n` equal-probability buckets at the midpoints of `n` equal slices of
+/// [lo, hi] — the discretized uniform distribution. Requires lo <= hi and
+/// n >= 1.
+Distribution UniformBuckets(double lo, double hi, size_t n);
+
+/// Discretized N(mean, stddev²) truncated to [lo, hi]: `n` equal-width
+/// cells, each carrying its cell's share of the normal CDF, located at the
+/// cell midpoint. A zero stddev yields a point mass at mean clamped into
+/// [lo, hi].
+Distribution DiscretizedNormal(double mean, double stddev, double lo,
+                               double hi, size_t n);
+
+/// Discretized log-normal (ln X ~ N(mu, sigma²)) truncated to [lo, hi]
+/// with `n` cells equal-width in log space, each located at its geometric
+/// midpoint. Requires 0 < lo < hi.
+Distribution DiscretizedLogNormal(double mu, double sigma, double lo,
+                                  double hi, size_t n);
+
+/// Empirical distribution of the samples, reduced to at most `max_buckets`
+/// buckets. The mean of the result equals the sample mean (Rebucket
+/// collapses cells to conditional means).
+Distribution FromSamples(const std::vector<double>& samples,
+                         size_t max_buckets);
+
+/// Example 1.1's memory model: `high_pages` with probability `p_high`,
+/// `low_pages` otherwise.
+Distribution BimodalMemory(double high_pages, double p_high,
+                           double low_pages);
+
+/// Order-of-magnitude selectivity uncertainty (§3.6): mass 1/2 at the
+/// estimate and 1/4 at estimate/spread and estimate·spread (the latter
+/// clamped to 1). `center` must be in (0, 1]; `spread` >= 1, with
+/// spread == 1 meaning the selectivity is known exactly.
+Distribution UncertainSelectivity(double center, double spread);
+
+}  // namespace lec
+
+#endif  // LECOPT_DIST_BUILDERS_H_

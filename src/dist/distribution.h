@@ -1,0 +1,198 @@
+// Bucketed probability distributions — the core abstraction of the library.
+//
+// Chu–Halpern–Seshadri define every optimization problem over discrete
+// probability distributions on the uncertain parameters: EC(p) = Σ_v
+// C(p, v)·Pr(v) (§3.1). A Distribution is the paper's "bucketed"
+// approximation of an arbitrary (possibly continuous) parameter
+// distribution: a finite set of (value, probability) buckets, sorted by
+// value, with probabilities normalized to sum to one. Instances are
+// immutable; every transformation (Map, ProductWith, MixWith, Rebucket)
+// returns a new Distribution, so they can be shared freely across
+// optimizer, cost, and simulation layers.
+#ifndef LECOPT_DIST_DISTRIBUTION_H_
+#define LECOPT_DIST_DISTRIBUTION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lec {
+
+class Rng;
+
+/// One bucket of a discrete distribution: Pr(X = value) = prob.
+struct Bucket {
+  double value = 0;
+  double prob = 0;
+
+  friend bool operator==(const Bucket& a, const Bucket& b) {
+    return a.value == b.value && a.prob == b.prob;
+  }
+};
+
+/// How Rebucket chooses its cells (§3.7 discusses the trade-off; the
+/// level-set strategy of that section needs query context and lives in
+/// optimizer/bucketing.h).
+enum class RebucketStrategy {
+  /// Uniform slices of [Min, Max].
+  kEqualWidth,
+  /// Quantile slices carrying roughly equal probability mass.
+  kEqualProb,
+};
+
+/// An immutable discrete distribution over doubles.
+///
+/// Invariants established at construction and relied upon everywhere:
+///   * at least one bucket;
+///   * bucket values strictly ascending (duplicates merged), all finite;
+///   * probabilities positive (zero-mass buckets dropped) and normalized
+///     so that Σ prob = 1.
+class Distribution {
+ public:
+  /// Validates, sorts, merges duplicate values, drops zero-mass buckets
+  /// and normalizes. Throws std::invalid_argument on an empty input, a
+  /// negative or non-finite probability, a non-finite value, or zero total
+  /// mass.
+  explicit Distribution(std::vector<Bucket> buckets);
+
+  /// The degenerate distribution Pr(X = value) = 1.
+  static Distribution PointMass(double value);
+
+  /// Two-bucket distribution; the paper's Example 1.1 memory model. Order
+  /// of the two points is irrelevant; a zero-probability point is dropped
+  /// (so TwoPoint(a, 1, b, 0) is a point mass at a).
+  static Distribution TwoPoint(double v1, double p1, double v2, double p2);
+
+  // -- Bucket access --------------------------------------------------------
+
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+  size_t size() const { return buckets_.size(); }
+  const Bucket& bucket(size_t i) const { return buckets_.at(i); }
+  /// Alias of bucket(); some call sites prefer STL-ish naming.
+  const Bucket& get(size_t i) const { return buckets_.at(i); }
+
+  // -- Moments and summary statistics ---------------------------------------
+
+  double Mean() const { return mean_; }
+  double Variance() const;
+  double StdDev() const;
+  /// Value of the highest-probability bucket (smallest such value on ties).
+  double Mode() const;
+  double Min() const { return buckets_.front().value; }
+  double Max() const { return buckets_.back().value; }
+
+  /// Σ_i prob_i · f(value_i) — expectation of an arbitrary functional.
+  template <typename F>
+  double Expect(F&& f) const {
+    double e = 0;
+    for (const Bucket& b : buckets_) e += b.prob * f(b.value);
+    return e;
+  }
+
+  // -- CDF queries (O(log n) via precomputed prefix sums) -------------------
+
+  /// Pr(X <= x).
+  double PrLeq(double x) const;
+  /// Pr(X < x).
+  double PrLt(double x) const;
+  /// Pr(X >= x).
+  double PrGeq(double x) const { return 1.0 - PrLt(x); }
+  /// Pr(X > x).
+  double PrGt(double x) const { return 1.0 - PrLeq(x); }
+  /// Pr(lo < X <= hi); zero when hi <= lo.
+  double PrInLeftOpen(double lo, double hi) const;
+
+  // -- Partial expectations (§3.6's F_b / G_b building blocks) --------------
+
+  /// Σ_{v <= x} v·Pr(X = v).
+  double PartialExpectationLeq(double x) const;
+  /// Σ_{v < x} v·Pr(X = v).
+  double PartialExpectationLt(double x) const;
+  /// Σ_{v >= x} v·Pr(X = v).
+  double PartialExpectationGeq(double x) const;
+  /// Σ_{v > x} v·Pr(X = v).
+  double PartialExpectationGt(double x) const;
+
+  /// E[X | X <= x]; throws std::domain_error when Pr(X <= x) = 0.
+  double ConditionalMeanLeq(double x) const;
+  /// E[X | X >= x]; throws std::domain_error when Pr(X >= x) = 0.
+  double ConditionalMeanGeq(double x) const;
+
+  /// Pr(X <= Y) for Y ~ other, independent of X. Ties count.
+  double PrLeqIndependent(const Distribution& other) const;
+
+  // -- Transformations ------------------------------------------------------
+
+  /// Distribution of f(X); colliding images are merged.
+  template <typename F>
+  Distribution Map(F&& f) const {
+    std::vector<Bucket> out;
+    out.reserve(buckets_.size());
+    for (const Bucket& b : buckets_) out.push_back({f(b.value), b.prob});
+    return Distribution(std::move(out));
+  }
+
+  /// Distribution of f(X, Y) for independent X ~ this, Y ~ other. The
+  /// support is the full cross product (merged on collisions), so the
+  /// result has up to size()·other.size() buckets; rebucket afterwards to
+  /// keep the §3.6.3 propagation linear.
+  template <typename F>
+  Distribution ProductWith(const Distribution& other, F&& f) const {
+    std::vector<Bucket> out;
+    out.reserve(buckets_.size() * other.buckets_.size());
+    for (const Bucket& a : buckets_) {
+      for (const Bucket& b : other.buckets_) {
+        out.push_back({f(a.value, b.value), a.prob * b.prob});
+      }
+    }
+    return Distribution(std::move(out));
+  }
+
+  /// Mixture w·this + (1-w)·other; throws unless 0 <= w <= 1.
+  Distribution MixWith(const Distribution& other, double w) const;
+
+  /// Reduces to at most `max_buckets` buckets (§3.6.3). Each cell of the
+  /// chosen partition collapses to its conditional mean, so the overall
+  /// mean is preserved exactly. Returns *this unchanged when it already
+  /// fits the budget.
+  Distribution Rebucket(size_t max_buckets,
+                        RebucketStrategy strategy =
+                            RebucketStrategy::kEqualWidth) const;
+
+  /// Kolmogorov distance sup_x |F_this(x) - F_other(x)| — the natural
+  /// measure of bucketing error. Symmetric, in [0, 1].
+  double CdfDistance(const Distribution& other) const;
+
+  // -- Sampling and rendering -----------------------------------------------
+
+  /// Draws one value by inverse-CDF; deterministic given the Rng state.
+  double Sample(Rng* rng) const;
+
+  /// "{v1: p1, v2: p2, ...}" with default stream formatting.
+  std::string ToString() const;
+
+  /// Exact bucket-wise equality (same support, same probabilities).
+  friend bool operator==(const Distribution& a, const Distribution& b) {
+    return a.buckets_ == b.buckets_;
+  }
+  friend bool operator!=(const Distribution& a, const Distribution& b) {
+    return !(a == b);
+  }
+
+ private:
+  /// Index of the last bucket with value <= x, or -1.
+  ptrdiff_t UpperIndexLeq(double x) const;
+  /// Index of the last bucket with value < x, or -1.
+  ptrdiff_t UpperIndexLt(double x) const;
+
+  std::vector<Bucket> buckets_;
+  /// cum_prob_[i] = Σ_{j<=i} prob_j; the final entry is clamped to 1.
+  std::vector<double> cum_prob_;
+  /// cum_pe_[i] = Σ_{j<=i} value_j·prob_j.
+  std::vector<double> cum_pe_;
+  double mean_ = 0;
+};
+
+}  // namespace lec
+
+#endif  // LECOPT_DIST_DISTRIBUTION_H_

@@ -1,0 +1,195 @@
+#include "dist/markov.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace lec {
+
+MarkovChain::MarkovChain(std::vector<double> states,
+                         std::vector<std::vector<double>> transition)
+    : states_(std::move(states)), transition_(std::move(transition)) {
+  if (states_.empty()) {
+    throw std::invalid_argument("chain needs at least one state");
+  }
+  for (size_t i = 0; i < states_.size(); ++i) {
+    if (!std::isfinite(states_[i])) {
+      throw std::invalid_argument("states must be finite");
+    }
+    if (i > 0 && states_[i] <= states_[i - 1]) {
+      throw std::invalid_argument("states must be strictly ascending");
+    }
+  }
+  if (transition_.size() != states_.size()) {
+    throw std::invalid_argument("transition matrix must have |S| rows");
+  }
+  for (std::vector<double>& row : transition_) {
+    if (row.size() != states_.size()) {
+      throw std::invalid_argument("transition matrix must have |S| columns");
+    }
+    double total = 0;
+    for (double w : row) {
+      if (!std::isfinite(w) || w < 0) {
+        throw std::invalid_argument(
+            "transition weights must be finite and non-negative");
+      }
+      total += w;
+    }
+    if (total <= 0) {
+      throw std::invalid_argument("every row needs positive total weight");
+    }
+    for (double& w : row) w /= total;
+  }
+}
+
+MarkovChain MarkovChain::Static(std::vector<double> states) {
+  size_t n = states.size();
+  std::vector<std::vector<double>> t(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) t[i][i] = 1.0;
+  return MarkovChain(std::move(states), std::move(t));
+}
+
+MarkovChain MarkovChain::Drift(std::vector<double> states, double p_stay) {
+  if (!(p_stay >= 0.0 && p_stay <= 1.0)) {
+    throw std::invalid_argument("p_stay must be in [0, 1]");
+  }
+  size_t n = states.size();
+  std::vector<std::vector<double>> t(n, std::vector<double>(n, 0.0));
+  double p_move = 1.0 - p_stay;
+  for (size_t i = 0; i < n; ++i) {
+    if (n == 1) {
+      t[i][i] = 1.0;
+    } else if (i == 0) {
+      t[i][i] = p_stay;
+      t[i][i + 1] = p_move;
+    } else if (i + 1 == n) {
+      t[i][i] = p_stay;
+      t[i][i - 1] = p_move;
+    } else {
+      t[i][i] = p_stay;
+      t[i][i - 1] = p_move / 2;
+      t[i][i + 1] = p_move / 2;
+    }
+  }
+  return MarkovChain(std::move(states), std::move(t));
+}
+
+MarkovChain MarkovChain::RedrawFrom(const Distribution& target,
+                                    double redraw_prob) {
+  if (!(redraw_prob >= 0.0 && redraw_prob <= 1.0)) {
+    throw std::invalid_argument("redraw_prob must be in [0, 1]");
+  }
+  size_t n = target.size();
+  std::vector<double> states;
+  states.reserve(n);
+  for (const Bucket& b : target.buckets()) states.push_back(b.value);
+  std::vector<std::vector<double>> t(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      t[i][j] = redraw_prob * target.bucket(j).prob;
+    }
+    t[i][i] += 1.0 - redraw_prob;
+  }
+  return MarkovChain(std::move(states), std::move(t));
+}
+
+ptrdiff_t MarkovChain::StateIndex(double value) const {
+  auto it = std::lower_bound(states_.begin(), states_.end(), value);
+  if (it == states_.end() || *it != value) return -1;
+  return it - states_.begin();
+}
+
+std::vector<double> MarkovChain::ToStateVector(const Distribution& d) const {
+  std::vector<double> p(states_.size(), 0.0);
+  for (const Bucket& b : d.buckets()) {
+    ptrdiff_t i = StateIndex(b.value);
+    if (i < 0) {
+      throw std::invalid_argument(
+          "distribution has mass outside the chain's states");
+    }
+    p[static_cast<size_t>(i)] += b.prob;
+  }
+  return p;
+}
+
+Distribution MarkovChain::Step(const Distribution& d) const {
+  return MarginalAfter(d, 1);
+}
+
+Distribution MarkovChain::MarginalAfter(const Distribution& d,
+                                        size_t phases) const {
+  std::vector<double> p = ToStateVector(d);
+  if (phases == 0) return d;
+  // Iterate the raw state vector and build a Distribution only once at the
+  // end: this runs per candidate plan in the dynamic optimizer.
+  std::vector<double> next(p.size());
+  for (size_t t = 0; t < phases; ++t) {
+    for (size_t j = 0; j < states_.size(); ++j) {
+      double mass = 0;
+      for (size_t i = 0; i < states_.size(); ++i) {
+        if (p[i] > 0) mass += p[i] * transition_[i][j];
+      }
+      next[j] = mass;
+    }
+    p.swap(next);
+  }
+  std::vector<Bucket> out;
+  out.reserve(states_.size());
+  for (size_t j = 0; j < states_.size(); ++j) {
+    if (p[j] > 0) out.push_back({states_[j], p[j]});
+  }
+  return Distribution(std::move(out));
+}
+
+Distribution MarkovChain::Stationary() const {
+  size_t n = states_.size();
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  // Damped power iteration: pi <- pi (I + T) / 2. Damping keeps periodic
+  // chains from oscillating and does not change the fixed point.
+  for (int iter = 0; iter < 100000; ++iter) {
+    for (size_t j = 0; j < n; ++j) {
+      double m = 0;
+      for (size_t i = 0; i < n; ++i) m += pi[i] * transition_[i][j];
+      next[j] = 0.5 * (pi[j] + m);
+    }
+    double diff = 0;
+    for (size_t j = 0; j < n; ++j) {
+      diff = std::max(diff, std::fabs(next[j] - pi[j]));
+    }
+    pi.swap(next);
+    if (diff < 1e-15) break;
+  }
+  std::vector<Bucket> out;
+  out.reserve(n);
+  for (size_t j = 0; j < n; ++j) {
+    if (pi[j] > 0) out.push_back({states_[j], pi[j]});
+  }
+  return Distribution(std::move(out));
+}
+
+std::vector<double> MarkovChain::SampleTrajectory(const Distribution& initial,
+                                                  size_t length,
+                                                  Rng* rng) const {
+  std::vector<double> traj;
+  if (length == 0) return traj;
+  traj.reserve(length);
+  double v = initial.Sample(rng);
+  ptrdiff_t state = StateIndex(v);
+  if (state < 0) {
+    throw std::invalid_argument(
+        "initial distribution has mass outside the chain's states");
+  }
+  traj.push_back(v);
+  for (size_t t = 1; t < length; ++t) {
+    state = static_cast<ptrdiff_t>(
+        rng->SampleIndex(transition_[static_cast<size_t>(state)]));
+    traj.push_back(states_[static_cast<size_t>(state)]);
+  }
+  return traj;
+}
+
+}  // namespace lec

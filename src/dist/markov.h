@@ -1,0 +1,81 @@
+// Markov model of dynamically changing parameters (§3.5).
+//
+// "The amount of memory may change during the execution of the query" — the
+// paper models a dynamic parameter as a Markov chain over a finite set of
+// values (states). Phase t of a plan is then charged under the chain's
+// t-step marginal (Theorem 3.4 shows this is exact by linearity of
+// expectation, regardless of cross-phase correlation). The chain is also
+// what the execution simulator samples memory trajectories from.
+#ifndef LECOPT_DIST_MARKOV_H_
+#define LECOPT_DIST_MARKOV_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dist/distribution.h"
+
+namespace lec {
+
+class Rng;
+
+/// A time-homogeneous Markov chain over an ascending set of double-valued
+/// states. Rows of the transition matrix are normalized at construction.
+class MarkovChain {
+ public:
+  /// `transition[i][j]` is the (unnormalized) rate of moving from states[i]
+  /// to states[j]. Throws std::invalid_argument when states are empty, not
+  /// strictly ascending or non-finite, when the matrix is not |S|×|S|, or
+  /// when any row has a negative entry or no positive entry.
+  MarkovChain(std::vector<double> states,
+              std::vector<std::vector<double>> transition);
+
+  /// Identity chain: the parameter never changes (reduces §3.5 to the
+  /// static model).
+  static MarkovChain Static(std::vector<double> states);
+
+  /// Reflecting random walk: stay with probability `p_stay`, otherwise move
+  /// to an adjacent state (both directions equally likely; at the extremes
+  /// the whole move probability goes inward).
+  static MarkovChain Drift(std::vector<double> states, double p_stay);
+
+  /// With probability `redraw_prob` forget the current state and redraw
+  /// from `target`, else stay. Its stationary distribution is `target`.
+  static MarkovChain RedrawFrom(const Distribution& target,
+                                double redraw_prob);
+
+  /// One-phase push-forward of `d` (whose support must lie on the states).
+  Distribution Step(const Distribution& d) const;
+
+  /// `phases`-step marginal; MarginalAfter(d, 0) is d itself.
+  Distribution MarginalAfter(const Distribution& d, size_t phases) const;
+
+  /// A stationary distribution π = πT, found by damped power iteration
+  /// (the damping makes it converge even for periodic chains).
+  Distribution Stationary() const;
+
+  /// Samples a state sequence of the given length: element 0 is drawn from
+  /// `initial`, each subsequent element from the transition row of its
+  /// predecessor. Length 0 yields an empty vector.
+  std::vector<double> SampleTrajectory(const Distribution& initial,
+                                       size_t length, Rng* rng) const;
+
+  const std::vector<double>& states() const { return states_; }
+  const std::vector<std::vector<double>>& transition() const {
+    return transition_;
+  }
+  size_t num_states() const { return states_.size(); }
+
+ private:
+  /// Probability-vector view of `d` over the states; throws when some of
+  /// d's support is not a state.
+  std::vector<double> ToStateVector(const Distribution& d) const;
+  /// Index of `value` among the states; -1 when absent.
+  ptrdiff_t StateIndex(double value) const;
+
+  std::vector<double> states_;
+  std::vector<std::vector<double>> transition_;
+};
+
+}  // namespace lec
+
+#endif  // LECOPT_DIST_MARKOV_H_

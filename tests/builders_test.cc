@@ -1,5 +1,6 @@
 #include "dist/builders.h"
 
+#include <cmath>
 #include <stdexcept>
 
 #include <gtest/gtest.h>
