@@ -36,7 +36,10 @@ void PrintAccuracyTable() {
   Workload w;
   for (int i = 0; i < 5; ++i) {
     Table t;
-    t.name = "T" + std::to_string(i);
+    // Built in two steps: GCC 12's -Wrestrict false-fires on the inlined
+    // "T" + std::to_string(i) concatenation (PR 105329).
+    t.name = "T";
+    t.name += std::to_string(i);
     t.pages = 110;
     t.pages_dist = DiscretizedLogNormal(std::log(100), 0.9, 8, 1500, 48);
     w.query.AddTable(w.catalog.AddTable(std::move(t)));
@@ -50,7 +53,8 @@ void PrintAccuracyTable() {
   exact.size_mode = SizePropagationMode::kExactThenRebucket;
   double ref =
       OptimizeAlgorithmD(w.query, w.catalog, model, memory, exact).objective;
-  for (size_t b : {1u, 8u, 27u, 64u, 125u, 343u}) {
+  static constexpr size_t kBudgets[] = {1, 8, 27, 64, 125, 343};
+  for (size_t b : kBudgets) {
     OptimizerOptions opts;
     opts.size_buckets = b;
     OptimizeResult r =

@@ -38,6 +38,7 @@ echo "Running ${#benches[@]} benches -> $OUT"
 } > "$OUT"
 
 first=1
+any_fail=0
 for name in "${benches[@]}"; do
   echo "== $name"
   start=$(date +%s.%N)
@@ -49,6 +50,10 @@ for name in "${benches[@]}"; do
   first=0
   printf '    {"name": "%s", "seconds": %s, "exit": %d}\n' \
     "$name" "$secs" "$status" >> "$OUT"
+  if [ "$status" -ne 0 ]; then
+    echo "!! $name exited with status $status"
+    any_fail=1
+  fi
 done
 
 {
@@ -56,3 +61,6 @@ done
   echo "}"
 } >> "$OUT"
 echo "Wrote $OUT"
+# Nonzero exit when any bench failed, so CI smoke runs actually gate; the
+# JSON above is still written in full either way.
+exit "$any_fail"

@@ -1,0 +1,135 @@
+// The costing-regime policies: one struct per way of charging an operator.
+//
+// Every regime exposes the same statically-dispatched shape —
+// JoinCost(method, left_pages, right_pages, left_sorted, right_sorted,
+// phase_idx) and SortCost(pages, phase_idx) — so a single policy type
+// serves both consumers of operator costs: the optimizer DP cores
+// (RunDp/RunBushyDp, via optimizer/cost_providers.h) and the plan-costing
+// walks in expected_cost.cc. Keeping them here in the cost layer means a
+// regime fix (marginal clamping, EC dispatch) lands in optimizer and
+// plan-costing simultaneously; there is deliberately no second copy.
+#ifndef LECOPT_COST_COST_POLICIES_H_
+#define LECOPT_COST_COST_POLICIES_H_
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "cost/ec_cache.h"
+#include "cost/expected_cost.h"
+#include "dist/distribution.h"
+
+namespace lec {
+
+/// Specific cost at one memory value — System R / LSC (§2.2).
+struct LscCostProvider {
+  const CostModel& model;
+  double memory;
+
+  double JoinCost(JoinMethod m, double left_pages, double right_pages,
+                  bool left_sorted, bool right_sorted, int) const {
+    return model.JoinCost(m, left_pages, right_pages, memory, left_sorted,
+                          right_sorted);
+  }
+  double SortCost(double pages, int) const {
+    return model.SortCost(pages, memory);
+  }
+};
+
+/// Specific cost with a realized per-phase memory trajectory (C(p, v) for
+/// one point v of the parameter space; out-of-range phases clamp to the
+/// last value).
+struct RealizedCostProvider {
+  const CostModel& model;
+  const std::vector<double>& memory_by_phase;
+
+  double MemoryAt(int idx) const {
+    if (memory_by_phase.empty()) {
+      throw std::invalid_argument("realization has no memory values");
+    }
+    size_t i = std::min<size_t>(static_cast<size_t>(std::max(idx, 0)),
+                                memory_by_phase.size() - 1);
+    return memory_by_phase[i];
+  }
+  double JoinCost(JoinMethod m, double left_pages, double right_pages,
+                  bool left_sorted, bool right_sorted, int phase_idx) const {
+    return model.JoinCost(m, left_pages, right_pages, MemoryAt(phase_idx),
+                          left_sorted, right_sorted);
+  }
+  double SortCost(double pages, int phase_idx) const {
+    return model.SortCost(pages, MemoryAt(phase_idx));
+  }
+};
+
+/// Expected cost under one static memory distribution — Algorithm C (§3.4).
+struct LecStaticCostProvider {
+  const CostModel& model;
+  const Distribution& memory;
+
+  double JoinCost(JoinMethod m, double left_pages, double right_pages,
+                  bool left_sorted, bool right_sorted, int) const {
+    return ExpectedJoinCostFixedSizes(model, m, left_pages, right_pages,
+                                      memory, left_sorted, right_sorted);
+  }
+  double SortCost(double pages, int) const {
+    return ExpectedSortCostFixedSize(model, pages, memory);
+  }
+};
+
+/// Expected cost under per-phase Markov marginals — dynamic Algorithm C
+/// (§3.5). `marginals[t]` is the memory distribution in force during join
+/// phase t; out-of-range phases clamp to the last marginal.
+struct LecDynamicCostProvider {
+  const CostModel& model;
+  const std::vector<Distribution>& marginals;
+
+  const Distribution& MarginalAt(int idx) const {
+    size_t i = std::min<size_t>(static_cast<size_t>(std::max(idx, 0)),
+                                marginals.size() - 1);
+    return marginals[i];
+  }
+  double JoinCost(JoinMethod m, double left_pages, double right_pages,
+                  bool left_sorted, bool right_sorted, int phase_idx) const {
+    return ExpectedJoinCostFixedSizes(model, m, left_pages, right_pages,
+                                      MarginalAt(phase_idx), left_sorted,
+                                      right_sorted);
+  }
+  double SortCost(double pages, int phase_idx) const {
+    return ExpectedSortCostFixedSize(model, pages, MarginalAt(phase_idx));
+  }
+};
+
+/// Expected cost under one static memory distribution, optionally memoized
+/// per operator through an EcCache (the Algorithm A/B candidate-scoring
+/// regime behind PlanExpectedCostStaticCached).
+struct LecStaticMemoizedCostProvider {
+  const CostModel& model;
+  const Distribution& memory;
+  EcCache* cache;  // may be null: plain per-operator evaluation
+
+  double JoinCost(JoinMethod m, double left_pages, double right_pages,
+                  bool left_sorted, bool right_sorted, int) const {
+    auto compute = [&]() {
+      return ExpectedJoinCostFixedSizes(model, m, left_pages, right_pages,
+                                        memory, left_sorted, right_sorted);
+    };
+    return cache != nullptr
+               ? cache->JoinEcFixedSizes(m, left_sorted, right_sorted,
+                                         left_pages, right_pages, memory,
+                                         compute)
+               : compute();
+  }
+  double SortCost(double pages, int) const {
+    auto compute = [&]() {
+      return ExpectedSortCostFixedSize(model, pages, memory);
+    };
+    return cache != nullptr
+               ? cache->SortEcFixedSize(pages, memory, compute)
+               : compute();
+  }
+};
+
+}  // namespace lec
+
+#endif  // LECOPT_COST_COST_POLICIES_H_

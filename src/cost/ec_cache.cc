@@ -1,0 +1,99 @@
+#include "cost/ec_cache.h"
+
+namespace lec {
+
+namespace {
+
+/// splitmix64 finalizer — diffuses the packed key fields.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+size_t EcCache::KeyHash::operator()(const Key& k) const {
+  uint64_t h = Mix(k.op_bits);
+  h = Mix(h ^ k.left_id);
+  h = Mix(h ^ k.right_id);
+  h = Mix(h ^ k.memory_id);
+  return static_cast<size_t>(h);
+}
+
+EcCache::Key EcCache::MakeKey(Op op, JoinMethod method, bool left_sorted,
+                              bool right_sorted, uint64_t left_id,
+                              uint64_t right_id, uint64_t memory_id) {
+  Key key;
+  key.op_bits = static_cast<uint64_t>(op) |
+                (static_cast<uint64_t>(method) << 8) |
+                (static_cast<uint64_t>(left_sorted) << 16) |
+                (static_cast<uint64_t>(right_sorted) << 17);
+  key.left_id = left_id;
+  key.right_id = right_id;
+  key.memory_id = memory_id;
+  return key;
+}
+
+std::shared_ptr<const Distribution> EcCache::Intern(const Distribution& d) {
+  std::vector<std::shared_ptr<const Distribution>>& bucket =
+      interned_[d.ContentHash()];
+  for (const std::shared_ptr<const Distribution>& existing : bucket) {
+    if (*existing == d) return existing;
+  }
+  bucket.push_back(std::make_shared<const Distribution>(d));
+  return bucket.back();
+}
+
+const double* EcCache::Find(const Key& key, const Distribution* left,
+                            const Distribution* right, double left_pages,
+                            double right_pages, const Distribution& memory) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  const Entry& e = it->second;
+  bool match = *e.memory == memory &&
+               (left != nullptr ? (e.left && *e.left == *left)
+                                : (!e.left && e.left_pages == left_pages)) &&
+               (right != nullptr
+                    ? (e.right && *e.right == *right)
+                    : (!e.right && e.right_pages == right_pages));
+  if (!match) {
+    ++stats_.misses;
+    ++stats_.collisions;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return &e.value;
+}
+
+void EcCache::Store(const Key& key, const Distribution* left,
+                    const Distribution* right, double left_pages,
+                    double right_pages, const Distribution& memory,
+                    double value) {
+  if (map_.size() >= max_entries_) {
+    // Epoch flush: drop everything rather than tracking per-entry age;
+    // the next epoch re-warms from the current working set.
+    map_.clear();
+    interned_.clear();
+    ++stats_.flushes;
+  }
+  Entry e{left != nullptr ? Intern(*left) : nullptr,
+          right != nullptr ? Intern(*right) : nullptr,
+          left_pages,
+          right_pages,
+          Intern(memory),
+          value};
+  map_.insert_or_assign(key, std::move(e));
+}
+
+void EcCache::Clear() {
+  map_.clear();
+  interned_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace lec

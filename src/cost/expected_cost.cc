@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "cost/cost_policies.h"
+#include "cost/ec_cache.h"
 #include "cost/size_propagation.h"
 
 namespace lec {
@@ -75,122 +77,56 @@ double ExpectedSortCost(const CostModel& model, const Distribution& pages,
 
 namespace {
 
-double MemoryForPhase(const std::vector<double>& memory_by_phase,
-                      int phase_idx) {
-  if (memory_by_phase.empty()) {
-    throw std::invalid_argument("realization has no memory values");
-  }
-  size_t i = std::min<size_t>(static_cast<size_t>(std::max(phase_idx, 0)),
-                              memory_by_phase.size() - 1);
-  return memory_by_phase[i];
-}
-
 struct WalkResult {
   double pages = 0;
   int joins = 0;
   double cost = 0;
 };
 
-/// Recursively costs `node`. `base_joins` is the number of joins executed
-/// before this subtree starts (0-based phase of its first join); for right
-/// subtrees it is the consuming join's phase, so enforcer sorts are charged
-/// under that phase's memory.
-WalkResult WalkRealized(const PlanPtr& node, const Query& query,
-                        const CostModel& model, const Realization& real,
-                        int base_joins) {
+/// The one scalar-size plan-walk skeleton. Recursively costs `node` with
+/// sizes taken from `sizes` (table pages + selectivities; memory is the
+/// policy's business) and each operator charged via the shared
+/// cost/cost_policies.h regime structs — the same types RunDp dispatches
+/// through. `base_joins` is the number of joins executed before this
+/// subtree starts (0-based phase of its first join); for right subtrees it
+/// is the consuming join's phase, so enforcer sorts are charged under that
+/// phase's memory. A root-level ORDER BY sort runs alongside the final
+/// join's phase. (WalkMultiParam below keeps its own walk: its per-node
+/// size is a Distribution, not a double.)
+template <typename CostPolicy>
+WalkResult WalkPlan(const PlanPtr& node, const CostModel& model,
+                    const Realization& sizes, const CostPolicy& cost,
+                    int base_joins) {
   WalkResult out;
   switch (node->kind) {
     case PlanNode::Kind::kAccess: {
-      out.pages = real.table_pages.at(node->table_pos);
+      out.pages = sizes.table_pages.at(node->table_pos);
       out.cost = model.ScanCost(out.pages);
       return out;
     }
     case PlanNode::Kind::kSort: {
-      WalkResult child =
-          WalkRealized(node->left, query, model, real, base_joins);
-      // A root-level ORDER BY sort runs alongside the final join's phase;
-      // an enforcer below a join runs in the consuming join's phase.
+      WalkResult child = WalkPlan(node->left, model, sizes, cost, base_joins);
       int phase_idx = std::max(base_joins + child.joins - 1, base_joins);
-      double mem = MemoryForPhase(real.memory_by_phase, phase_idx);
       out.pages = child.pages;
       out.joins = child.joins;
-      out.cost = child.cost + model.SortCost(child.pages, mem);
+      out.cost = child.cost + cost.SortCost(child.pages, phase_idx);
       return out;
     }
     case PlanNode::Kind::kJoin: {
-      WalkResult l = WalkRealized(node->left, query, model, real, base_joins);
+      WalkResult l = WalkPlan(node->left, model, sizes, cost, base_joins);
       int join_idx = base_joins + l.joins;
-      WalkResult r = WalkRealized(node->right, query, model, real, join_idx);
+      WalkResult r = WalkPlan(node->right, model, sizes, cost, join_idx);
       double sel = 1.0;
-      for (int p : node->predicates) sel *= real.selectivity.at(p);
+      for (int p : node->predicates) sel *= sizes.selectivity.at(p);
       out.pages = l.pages * r.pages * sel;
       out.joins = l.joins + r.joins + 1;
-      double mem = MemoryForPhase(real.memory_by_phase, join_idx);
-      OrderId key = node->method == JoinMethod::kSortMerge ? node->order
-                                                           : kUnsorted;
-      bool ls = key != kUnsorted && node->left->order == key;
-      bool rs = key != kUnsorted && node->right->order == key;
+      JoinSortedness srt = JoinInputSortedness(*node);
       out.cost = l.cost + r.cost +
-                 model.JoinCost(node->method, l.pages, r.pages, mem, ls, rs);
+                 cost.JoinCost(node->method, l.pages, r.pages,
+                               srt.left_sorted, srt.right_sorted, join_idx);
       if (model.options().charge_materialization &&
           node->left->kind == PlanNode::Kind::kJoin) {
         out.cost += 2.0 * l.pages;  // child result written then re-read
-      }
-      return out;
-    }
-  }
-  throw std::logic_error("unknown plan node kind");
-}
-
-/// Per-phase expected walk for the dynamic case (§3.5): sizes at means,
-/// each join/sort charged its expected cost under its phase's marginal.
-WalkResult WalkDynamic(const PlanPtr& node, const Query& query,
-                       const CostModel& model, const Realization& means,
-                       const std::vector<Distribution>& marginals,
-                       int base_joins) {
-  WalkResult out;
-  auto marginal_at = [&marginals](int idx) -> const Distribution& {
-    size_t i = std::min<size_t>(static_cast<size_t>(std::max(idx, 0)),
-                                marginals.size() - 1);
-    return marginals[i];
-  };
-  switch (node->kind) {
-    case PlanNode::Kind::kAccess: {
-      out.pages = means.table_pages.at(node->table_pos);
-      out.cost = model.ScanCost(out.pages);
-      return out;
-    }
-    case PlanNode::Kind::kSort: {
-      WalkResult child =
-          WalkDynamic(node->left, query, model, means, marginals, base_joins);
-      int phase_idx = std::max(base_joins + child.joins - 1, base_joins);
-      out.pages = child.pages;
-      out.joins = child.joins;
-      out.cost = child.cost + ExpectedSortCostFixedSize(model, child.pages,
-                                                        marginal_at(phase_idx));
-      return out;
-    }
-    case PlanNode::Kind::kJoin: {
-      WalkResult l =
-          WalkDynamic(node->left, query, model, means, marginals, base_joins);
-      int join_idx = base_joins + l.joins;
-      WalkResult r =
-          WalkDynamic(node->right, query, model, means, marginals, join_idx);
-      double sel = 1.0;
-      for (int p : node->predicates) sel *= means.selectivity.at(p);
-      out.pages = l.pages * r.pages * sel;
-      out.joins = l.joins + r.joins + 1;
-      OrderId key = node->method == JoinMethod::kSortMerge ? node->order
-                                                           : kUnsorted;
-      bool ls = key != kUnsorted && node->left->order == key;
-      bool rs = key != kUnsorted && node->right->order == key;
-      out.cost = l.cost + r.cost +
-                 ExpectedJoinCostFixedSizes(model, node->method, l.pages,
-                                            r.pages, marginal_at(join_idx),
-                                            ls, rs);
-      if (model.options().charge_materialization &&
-          node->left->kind == PlanNode::Kind::kJoin) {
-        out.cost += 2.0 * l.pages;
       }
       return out;
     }
@@ -235,13 +171,10 @@ DistWalkResult WalkMultiParam(const PlanPtr& node, const Query& query,
       out.pages =
           JoinSizeDistribution(l.pages, r.pages, sel, size_buckets);
       out.joins = l.joins + r.joins + 1;
-      OrderId key = node->method == JoinMethod::kSortMerge ? node->order
-                                                           : kUnsorted;
-      bool ls = key != kUnsorted && node->left->order == key;
-      bool rs = key != kUnsorted && node->right->order == key;
+      JoinSortedness srt = JoinInputSortedness(*node);
       out.ec = l.ec + r.ec +
                ExpectedJoinCost(model, node->method, l.pages, r.pages, memory,
-                                ls, rs);
+                                srt.left_sorted, srt.right_sorted);
       if (model.options().charge_materialization &&
           node->left->kind == PlanNode::Kind::kJoin) {
         out.ec += 2.0 * l.pages.Mean();
@@ -254,9 +187,11 @@ DistWalkResult WalkMultiParam(const PlanPtr& node, const Query& query,
 
 }  // namespace
 
-double RealizedPlanCost(const PlanPtr& plan, const Query& query,
+double RealizedPlanCost(const PlanPtr& plan, const Query&,
                         const CostModel& model, const Realization& real) {
-  return WalkRealized(plan, query, model, real, 0).cost;
+  return WalkPlan(plan, model, real,
+                  RealizedCostProvider{model, real.memory_by_phase}, 0)
+      .cost;
 }
 
 double PlanCostAtMemory(const PlanPtr& plan, const Query& query,
@@ -278,6 +213,17 @@ double PlanExpectedCostStatic(const PlanPtr& plan, const Query& query,
   return ec;
 }
 
+double PlanExpectedCostStaticCached(const PlanPtr& plan, const Query& query,
+                                    const Catalog& catalog,
+                                    const CostModel& model,
+                                    const Distribution& memory,
+                                    EcCache* cache) {
+  Realization means = Realization::AtMeans(query, catalog, memory.Mean());
+  return WalkPlan(plan, model, means,
+                  LecStaticMemoizedCostProvider{model, memory, cache}, 0)
+      .cost;
+}
+
 double PlanExpectedCostDynamic(const PlanPtr& plan, const Query& query,
                                const Catalog& catalog, const CostModel& model,
                                const MarkovChain& chain,
@@ -294,7 +240,9 @@ double PlanExpectedCostDynamic(const PlanPtr& plan, const Query& query,
     cur = chain.Step(cur);
   }
   Realization means = Realization::AtMeans(query, catalog, 1.0);
-  return WalkDynamic(plan, query, model, means, marginals, 0).cost;
+  return WalkPlan(plan, model, means,
+                  LecDynamicCostProvider{model, marginals}, 0)
+      .cost;
 }
 
 double PlanExpectedCostMultiParam(const PlanPtr& plan, const Query& query,

@@ -99,10 +99,8 @@ Walk Recurse(const PlanPtr& node, const Query& query, const Catalog& catalog,
       desc << ToString(node->method) << "Join(" << l.pages << " pg x "
            << r.pages << " pg -> " << out.pages << " pg)";
       d.description = desc.str();
-      OrderId key = node->method == JoinMethod::kSortMerge ? node->order
-                                                           : kUnsorted;
-      bool ls = key != kUnsorted && node->left->order == key;
-      bool rs = key != kUnsorted && node->right->order == key;
+      JoinSortedness srt = JoinInputSortedness(*node);
+      bool ls = srt.left_sorted, rs = srt.right_sorted;
       double lp = l.pages, rp = r.pages;
       JoinMethod method = node->method;
       d.regimes = RegimesFromBreakpoints(
@@ -147,6 +145,11 @@ std::string PlanDiagnostics::ToString() const {
     }
   }
   os << "total EC = " << total_expected_cost << "\n";
+  if (optimize_seconds >= 0) {
+    os << "optimized in " << optimize_seconds * 1e3 << " ms ("
+       << candidates_considered << " candidates, " << cost_evaluations
+       << " cost evaluations)\n";
+  }
   return os.str();
 }
 

@@ -44,6 +44,15 @@ struct PlanDiagnostics {
   std::vector<OperatorDiagnostics> operators;  ///< bottom-up order
   double total_expected_cost = 0;
 
+  /// Optimizer provenance: wall time in seconds (< 0 = not available) and
+  /// the uniform work counters. The cost layer does not know about
+  /// OptimizeResult; lec::ExplainResult (optimizer/optimizer.h) fills
+  /// these from the result that produced the plan, so EXPLAIN, bench and
+  /// service throughput quote one measurement.
+  double optimize_seconds = -1;
+  size_t candidates_considered = 0;
+  size_t cost_evaluations = 0;
+
   /// Multi-line human-readable rendering.
   std::string ToString() const;
 };

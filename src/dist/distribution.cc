@@ -1,6 +1,7 @@
 #include "dist/distribution.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <sstream>
@@ -72,6 +73,18 @@ Distribution::Distribution(std::vector<Bucket> buckets) {
   // The sum of normalized probabilities is 1 up to rounding; pin the final
   // cumulative so PrLeq(Max) is exactly 1.
   cum_prob_.back() = 1.0;
+
+  // FNV-1a over the normalized buckets' bit patterns. Buckets are immutable
+  // after construction, so the hash is computed exactly once.
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](double d) {
+    h = (h ^ std::bit_cast<uint64_t>(d)) * 1099511628211ull;
+  };
+  for (const Bucket& b : buckets_) {
+    mix(b.value);
+    mix(b.prob);
+  }
+  hash_ = h;
 }
 
 Distribution Distribution::PointMass(double value) {

@@ -13,6 +13,7 @@
 #define LECOPT_DIST_DISTRIBUTION_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -171,6 +172,12 @@ class Distribution {
   /// "{v1: p1, v2: p2, ...}" with default stream formatting.
   std::string ToString() const;
 
+  /// 64-bit content hash over the normalized buckets (bit patterns of value
+  /// and probability), computed once at construction. Equal distributions
+  /// hash equally, so (hash, operator==) gives cheap identity for
+  /// memoization keys such as the expected-cost cache in cost/ec_cache.h.
+  uint64_t ContentHash() const { return hash_; }
+
   /// Exact bucket-wise equality (same support, same probabilities).
   friend bool operator==(const Distribution& a, const Distribution& b) {
     return a.buckets_ == b.buckets_;
@@ -191,6 +198,7 @@ class Distribution {
   /// cum_pe_[i] = Σ_{j<=i} value_j·prob_j.
   std::vector<double> cum_pe_;
   double mean_ = 0;
+  uint64_t hash_ = 0;
 };
 
 }  // namespace lec

@@ -2,7 +2,7 @@
 
 #include <limits>
 
-#include "cost/expected_cost.h"
+#include "optimizer/cost_providers.h"
 #include "optimizer/system_r.h"
 
 namespace lec {
@@ -31,6 +31,7 @@ OptimizeResult OptimizeAlgorithmA(const Query& query, const Catalog& catalog,
                                   const CostModel& model,
                                   const Distribution& memory,
                                   const OptimizerOptions& options) {
+  WallTimer timer;
   OptimizeResult result;
   std::vector<PlanPtr> candidates;
   for (const Bucket& m : memory.buckets()) {
@@ -48,16 +49,15 @@ OptimizeResult OptimizeAlgorithmA(const Query& query, const Catalog& catalog,
   }
   double best = std::numeric_limits<double>::infinity();
   for (const PlanPtr& c : candidates) {
-    // Costing a candidate is one plan walk per memory bucket: the
-    // O((n-1)·b²) post-pass of §3.2.
-    result.cost_evaluations += memory.size() * (CountJoins(c) + 1);
-    double ec = PlanExpectedCostStatic(c, query, catalog, model, memory);
+    double ec = ScoreCandidateStatic(c, query, catalog, model, memory,
+                                     options, &result.cost_evaluations);
     if (ec < best) {
       best = ec;
       result.plan = c;
     }
   }
   result.objective = best;
+  result.elapsed_seconds = timer.Seconds();
   return result;
 }
 

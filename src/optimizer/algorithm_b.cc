@@ -4,7 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
-#include "cost/expected_cost.h"
+#include "optimizer/cost_providers.h"
 
 namespace lec {
 
@@ -175,6 +175,7 @@ OptimizeResult OptimizeAlgorithmB(const Query& query, const Catalog& catalog,
                                   const CostModel& model,
                                   const Distribution& memory, size_t c,
                                   const OptimizerOptions& options) {
+  WallTimer timer;
   OptimizeResult result;
   std::vector<PlanPtr> candidates;
   for (const Bucket& m : memory.buckets()) {
@@ -196,14 +197,15 @@ OptimizeResult OptimizeAlgorithmB(const Query& query, const Catalog& catalog,
   }
   double best = std::numeric_limits<double>::infinity();
   for (const PlanPtr& cand : candidates) {
-    result.cost_evaluations += memory.size() * (CountJoins(cand) + 1);
-    double ec = PlanExpectedCostStatic(cand, query, catalog, model, memory);
+    double ec = ScoreCandidateStatic(cand, query, catalog, model, memory,
+                                     options, &result.cost_evaluations);
     if (ec < best) {
       best = ec;
       result.plan = cand;
     }
   }
   result.objective = best;
+  result.elapsed_seconds = timer.Seconds();
   return result;
 }
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <vector>
 
-#include "cost/expected_cost.h"
+#include "optimizer/cost_providers.h"
 
 namespace lec {
 
@@ -11,15 +11,11 @@ OptimizeResult OptimizeLecStatic(const Query& query, const Catalog& catalog,
                                  const CostModel& model,
                                  const Distribution& memory,
                                  const OptimizerOptions& options) {
+  WallTimer timer;
   DpContext ctx(query, catalog, options);
-  JoinCostFn join_cost = [&model, &memory](JoinMethod m, double l, double r,
-                                           bool ls, bool rs, int) {
-    return ExpectedJoinCostFixedSizes(model, m, l, r, memory, ls, rs);
-  };
-  SortCostFn sort_cost = [&model, &memory](double pages, int) {
-    return ExpectedSortCostFixedSize(model, pages, memory);
-  };
-  return RunDp(ctx, join_cost, sort_cost);
+  OptimizeResult result = RunDp(ctx, LecStaticCostProvider{model, memory});
+  result.elapsed_seconds = timer.Seconds();
+  return result;
 }
 
 OptimizeResult OptimizeLecDynamic(const Query& query, const Catalog& catalog,
@@ -27,6 +23,7 @@ OptimizeResult OptimizeLecDynamic(const Query& query, const Catalog& catalog,
                                   const MarkovChain& chain,
                                   const Distribution& initial,
                                   const OptimizerOptions& options) {
+  WallTimer timer;
   DpContext ctx(query, catalog, options);
   int phases = std::max(query.num_tables() - 1, 1);
   std::vector<Distribution> marginals;
@@ -36,21 +33,10 @@ OptimizeResult OptimizeLecDynamic(const Query& query, const Catalog& catalog,
     marginals.push_back(cur);
     cur = chain.Step(cur);
   }
-  auto marginal_at = [&marginals](int idx) -> const Distribution& {
-    size_t i = std::min<size_t>(static_cast<size_t>(std::max(idx, 0)),
-                                marginals.size() - 1);
-    return marginals[i];
-  };
-  JoinCostFn join_cost = [&model, marginal_at](JoinMethod m, double l,
-                                               double r, bool ls, bool rs,
-                                               int phase_idx) {
-    return ExpectedJoinCostFixedSizes(model, m, l, r, marginal_at(phase_idx),
-                                      ls, rs);
-  };
-  SortCostFn sort_cost = [&model, marginal_at](double pages, int phase_idx) {
-    return ExpectedSortCostFixedSize(model, pages, marginal_at(phase_idx));
-  };
-  return RunDp(ctx, join_cost, sort_cost);
+  OptimizeResult result =
+      RunDp(ctx, LecDynamicCostProvider{model, marginals});
+  result.elapsed_seconds = timer.Seconds();
+  return result;
 }
 
 }  // namespace lec

@@ -1,8 +1,10 @@
 #include "optimizer/algorithm_d.h"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
+#include "cost/ec_cache.h"
 #include "cost/expected_cost.h"
 #include "cost/fast_expected_cost.h"
 
@@ -27,10 +29,20 @@ OptimizeResult OptimizeAlgorithmD(const Query& query, const Catalog& catalog,
                                   const CostModel& model,
                                   const Distribution& memory,
                                   const OptimizerOptions& options) {
+  WallTimer timer;
   DpContext ctx(query, catalog, options);
   int n = ctx.num_tables();
   size_t num_subsets = size_t{1} << n;
   OptimizeResult result;
+  result.candidates_by_phase.assign(static_cast<size_t>(std::max(n - 1, 1)),
+                                    0);
+  EcCache* cache = options.ec_cache;
+  // Memoized expected sort cost (enforcers and the final ORDER BY).
+  auto sort_ec = [&](const Distribution& pages) {
+    auto compute = [&]() { return ExpectedSortCost(model, pages, memory); };
+    return cache != nullptr ? cache->SortEc(pages, memory, compute)
+                            : compute();
+  };
 
   // Size distribution per subset (independent of join order; computed once
   // per subset as §3.6.3 recommends).
@@ -101,27 +113,35 @@ OptimizeResult OptimizeAlgorithmD(const Query& query, const Catalog& catalog,
               std::vector<InnerAlt> inners = {{false, 0.0}};
               if (method == JoinMethod::kSortMerge &&
                   options.consider_sort_enforcers) {
-                inners.push_back(
-                    {true, ExpectedSortCost(model, right_size, memory)});
+                inners.push_back({true, sort_ec(right_size)});
               }
               for (const InnerAlt& inner : inners) {
                 ++result.candidates_considered;
+                ++result.candidates_by_phase[static_cast<size_t>(size - 2)];
                 bool ls = key != kUnsorted && left_order == key;
                 bool rs = inner.sorted;
-                double step_ec;
-                if (options.use_fast_ec &&
-                    FastPathValid(model, method, ls, rs)) {
-                  step_ec = FastExpectedJoinCost(method, left_size,
-                                                 right_size, memory);
-                  result.cost_evaluations += left_size.size() +
-                                             right_size.size() +
-                                             memory.size();
-                } else {
-                  step_ec = ExpectedJoinCost(model, method, left_size,
-                                             right_size, memory, ls, rs);
+                // The evaluation counters tick only when the formulas
+                // actually run; a cache hit skips both the work and the
+                // counter — cost_evaluations is the measure of work done.
+                auto compute_step = [&]() -> double {
+                  if (options.use_fast_ec &&
+                      FastPathValid(model, method, ls, rs)) {
+                    result.cost_evaluations += left_size.size() +
+                                               right_size.size() +
+                                               memory.size();
+                    return FastExpectedJoinCost(method, left_size, right_size,
+                                                memory);
+                  }
                   result.cost_evaluations +=
                       left_size.size() * right_size.size() * memory.size();
-                }
+                  return ExpectedJoinCost(model, method, left_size,
+                                          right_size, memory, ls, rs);
+                };
+                double step_ec =
+                    cache != nullptr
+                        ? cache->JoinEc(method, ls, rs, left_size, right_size,
+                                        memory, compute_step)
+                        : compute_step();
                 double total = left.ec + right.ec + inner.extra_ec + step_ec;
                 OrderId out_order =
                     DpContext::JoinOutputOrder(method, left_order, key);
@@ -150,7 +170,7 @@ OptimizeResult OptimizeAlgorithmD(const Query& query, const Catalog& catalog,
     double total = entry.ec;
     PlanPtr plan = entry.plan;
     if (query.required_order() && order != *query.required_order()) {
-      total += ExpectedSortCost(model, size_dist[query.AllTables()], memory);
+      total += sort_ec(size_dist[query.AllTables()]);
       plan = MakeSort(plan, *query.required_order());
     }
     if (total < best) {
@@ -159,6 +179,7 @@ OptimizeResult OptimizeAlgorithmD(const Query& query, const Catalog& catalog,
     }
   }
   result.objective = best;
+  result.elapsed_seconds = timer.Seconds();
   return result;
 }
 

@@ -4,16 +4,16 @@
 #include <map>
 #include <stdexcept>
 
-#include "cost/expected_cost.h"
+#include "optimizer/cost_providers.h"
 
 namespace lec {
 
 namespace {
 
-/// Shared bushy DP, parameterized by the step-costing callbacks (phase is
-/// always 0: static memory only).
-OptimizeResult RunBushyDp(const DpContext& ctx, const JoinCostFn& join_cost,
-                          const SortCostFn& sort_cost) {
+/// Shared bushy DP, statically parameterized on the cost provider like
+/// RunDp (phase is always 0: static memory only).
+template <DpCostProvider P>
+OptimizeResult RunBushyDp(const DpContext& ctx, const P& cost) {
   const Query& query = ctx.query();
   const OptimizerOptions& opts = ctx.options();
   int n = ctx.num_tables();
@@ -57,18 +57,15 @@ OptimizeResult RunBushyDp(const DpContext& ctx, const JoinCostFn& join_cost,
                 ++result.cost_evaluations;
                 bool ls = key != kUnsorted && left_order == key;
                 bool rs = key != kUnsorted && right_order == key;
-                double step = join_cost(method, left_pages, right_pages, ls,
-                                        rs, /*phase_idx=*/0);
+                double step = cost.JoinCost(method, left_pages, right_pages,
+                                            ls, rs, /*phase_idx=*/0);
                 OrderId out_order =
                     DpContext::JoinOutputOrder(method, left_order, key);
                 DpEntry e;
                 e.plan = MakeJoin(left.plan, right.plan, method, preds,
                                   out_order, out_pages);
                 e.cost = left.cost + right.cost + step;
-                auto it = table[s].find(out_order);
-                if (it == table[s].end() || e.cost < it->second.cost) {
-                  table[s][out_order] = std::move(e);
-                }
+                internal::RetainBest(&table[s], out_order, std::move(e));
               }
             }
           }
@@ -87,7 +84,7 @@ OptimizeResult RunBushyDp(const DpContext& ctx, const JoinCostFn& join_cost,
     PlanPtr plan = entry.plan;
     if (query.required_order() && order != *query.required_order()) {
       ++result.cost_evaluations;
-      total += sort_cost(ctx.SubsetPages(query.AllTables()), 0);
+      total += cost.SortCost(ctx.SubsetPages(query.AllTables()), 0);
       plan = MakeSort(plan, *query.required_order());
     }
     if (total < best) {
@@ -149,30 +146,23 @@ const std::vector<PlanPtr>& BushyPlansFor(
 OptimizeResult OptimizeBushyLsc(const Query& query, const Catalog& catalog,
                                 const CostModel& model, double memory,
                                 const OptimizerOptions& options) {
+  WallTimer timer;
   DpContext ctx(query, catalog, options);
-  JoinCostFn join_cost = [&model, memory](JoinMethod m, double l, double r,
-                                          bool ls, bool rs, int) {
-    return model.JoinCost(m, l, r, memory, ls, rs);
-  };
-  SortCostFn sort_cost = [&model, memory](double pages, int) {
-    return model.SortCost(pages, memory);
-  };
-  return RunBushyDp(ctx, join_cost, sort_cost);
+  OptimizeResult result = RunBushyDp(ctx, LscCostProvider{model, memory});
+  result.elapsed_seconds = timer.Seconds();
+  return result;
 }
 
 OptimizeResult OptimizeBushyLec(const Query& query, const Catalog& catalog,
                                 const CostModel& model,
                                 const Distribution& memory,
                                 const OptimizerOptions& options) {
+  WallTimer timer;
   DpContext ctx(query, catalog, options);
-  JoinCostFn join_cost = [&model, &memory](JoinMethod m, double l, double r,
-                                           bool ls, bool rs, int) {
-    return ExpectedJoinCostFixedSizes(model, m, l, r, memory, ls, rs);
-  };
-  SortCostFn sort_cost = [&model, &memory](double pages, int) {
-    return ExpectedSortCostFixedSize(model, pages, memory);
-  };
-  return RunBushyDp(ctx, join_cost, sort_cost);
+  OptimizeResult result =
+      RunBushyDp(ctx, LecStaticCostProvider{model, memory});
+  result.elapsed_seconds = timer.Seconds();
+  return result;
 }
 
 std::vector<PlanPtr> EnumerateBushyPlans(const Query& query,

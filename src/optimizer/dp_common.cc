@@ -7,7 +7,7 @@ namespace lec {
 
 DpContext::DpContext(const Query& query, const Catalog& catalog,
                      const OptimizerOptions& options)
-    : query_(&query), catalog_(&catalog), options_(&options) {
+    : query_(&query), catalog_(&catalog), options_(options) {
   int n = query.num_tables();
   if (n < 1) throw std::invalid_argument("query has no tables");
   if (n > 20) throw std::invalid_argument("DP limited to 20 relations");
@@ -30,7 +30,7 @@ DpContext::DpContext(const Query& query, const Catalog& catalog,
 }
 
 bool DpContext::CrossProductForbidden(TableSet subset, QueryPos j) const {
-  if (!options_->avoid_cross_products) return false;
+  if (!options_.avoid_cross_products) return false;
   if (!query_connected_) return false;
   return query_->ConnectingPredicates(subset, j).empty();
 }
@@ -47,131 +47,6 @@ OrderId DpContext::JoinOutputOrder(JoinMethod method, OrderId left_order,
       return kUnsorted;  // partitioning destroys order
   }
   return kUnsorted;
-}
-
-namespace {
-
-/// Keeps `entry` if it is the best seen for its order.
-void Retain(OrderMap* node, OrderId order, DpEntry entry) {
-  auto it = node->find(order);
-  if (it == node->end() || entry.cost < it->second.cost) {
-    (*node)[order] = std::move(entry);
-  }
-}
-
-}  // namespace
-
-OptimizeResult RunDp(const DpContext& ctx, const JoinCostFn& join_cost,
-                     const SortCostFn& sort_cost) {
-  const Query& query = ctx.query();
-  const OptimizerOptions& opts = ctx.options();
-  int n = ctx.num_tables();
-  size_t num_subsets = size_t{1} << n;
-  std::vector<OrderMap> table(num_subsets);
-  OptimizeResult result;
-
-  // Depth 1: access paths. (With a single access method per relation the
-  // LEC access path of Algorithm C's base case is just the scan.)
-  for (QueryPos p = 0; p < n; ++p) {
-    TableSet s = TableSet{1} << p;
-    double pages = ctx.TablePages(p);
-    DpEntry e;
-    e.plan = MakeAccess(p, pages);
-    e.cost = pages;  // sequential scan, memory-independent
-    table[s][kUnsorted] = std::move(e);
-  }
-
-  // Depths 2..n, in subset-size order (phase of the join = size - 2).
-  for (int size = 2; size <= n; ++size) {
-    for (TableSet s = 1; s < num_subsets; ++s) {
-      if (SetSize(s) != size) continue;
-      int phase_idx = size - 2;
-      double out_pages = ctx.SubsetPages(s);
-      for (QueryPos j : Members(s)) {
-        TableSet sj = s & ~(TableSet{1} << j);
-        const OrderMap& left_entries = table[sj];
-        if (left_entries.empty()) continue;
-        if (ctx.CrossProductForbidden(sj, j)) continue;
-        const OrderMap& right_entries = table[TableSet{1} << j];
-        const DpEntry& right = right_entries.at(kUnsorted);
-        std::vector<int> preds = ctx.ConnectingPredicates(sj, j);
-        double left_pages = ctx.SubsetPages(sj);
-        double right_pages = ctx.TablePages(j);
-
-        for (const auto& [left_order, left] : left_entries) {
-          for (JoinMethod method : opts.join_methods) {
-            // Sort-merge may key on any connecting predicate; other methods
-            // use a single canonical candidate.
-            std::vector<int> keys;
-            if (method == JoinMethod::kSortMerge) {
-              if (preds.empty()) continue;  // SM needs an equi-join key
-              keys = preds;
-            } else {
-              keys.push_back(kUnsorted);
-            }
-            for (int key : keys) {
-              // Inner-side alternatives: raw scan, plus an explicit sort
-              // enforcer when the options allow and SM could benefit.
-              struct InnerAlt {
-                bool sorted;
-                double extra_cost;
-              };
-              std::vector<InnerAlt> inners = {{false, 0.0}};
-              if (method == JoinMethod::kSortMerge &&
-                  opts.consider_sort_enforcers) {
-                ++result.cost_evaluations;
-                inners.push_back({true, sort_cost(right_pages, phase_idx)});
-              }
-              for (const InnerAlt& inner : inners) {
-                ++result.candidates_considered;
-                ++result.cost_evaluations;
-                bool left_sorted = key != kUnsorted && left_order == key;
-                double step = join_cost(method, left_pages, right_pages,
-                                        left_sorted, inner.sorted, phase_idx);
-                double total = left.cost + right.cost + inner.extra_cost +
-                               step;
-                OrderId out_order =
-                    DpContext::JoinOutputOrder(method, left_order, key);
-                PlanPtr right_plan = right.plan;
-                if (inner.sorted) right_plan = MakeSort(right_plan, key);
-                DpEntry e;
-                e.plan = MakeJoin(left.plan, right_plan, method, preds,
-                                  out_order, out_pages);
-                e.cost = total;
-                Retain(&table[s], out_order, std::move(e));
-              }
-            }
-          }
-        }
-      }
-    }
-  }
-
-  // Root: enforce the query's ORDER BY if present, then take the minimum.
-  const OrderMap& roots = table[query.AllTables()];
-  if (roots.empty()) {
-    throw std::runtime_error(
-        "no plan found (disconnected query with cross products forbidden?)");
-  }
-  double best = std::numeric_limits<double>::infinity();
-  PlanPtr best_plan;
-  int last_phase = std::max(n - 2, 0);
-  for (const auto& [order, entry] : roots) {
-    double total = entry.cost;
-    PlanPtr plan = entry.plan;
-    if (query.required_order() && order != *query.required_order()) {
-      ++result.cost_evaluations;
-      total += sort_cost(ctx.SubsetPages(query.AllTables()), last_phase);
-      plan = MakeSort(plan, *query.required_order());
-    }
-    if (total < best) {
-      best = total;
-      best_plan = plan;
-    }
-  }
-  result.plan = best_plan;
-  result.objective = best;
-  return result;
 }
 
 }  // namespace lec

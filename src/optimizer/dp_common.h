@@ -13,9 +13,14 @@
 #ifndef LECOPT_OPTIMIZER_DP_COMMON_H_
 #define LECOPT_OPTIMIZER_DP_COMMON_H_
 
+#include <algorithm>
+#include <concepts>
 #include <cstddef>
 #include <functional>
+#include <iterator>
+#include <limits>
 #include <map>
+#include <stdexcept>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -23,15 +28,20 @@
 #include "cost/size_propagation.h"
 #include "plan/plan.h"
 #include "query/query.h"
+#include "util/wall_timer.h"
 
 namespace lec {
 
+class EcCache;
+
 /// Knobs shared by every optimizer in the family.
 struct OptimizerOptions {
-  /// Join algorithms to consider at each step.
-  std::vector<JoinMethod> join_methods = {JoinMethod::kNestedLoop,
-                                          JoinMethod::kSortMerge,
-                                          JoinMethod::kGraceHash};
+  /// Join algorithms to consider at each step; defaults to the paper's
+  /// three. (Initialized from the static array rather than a braced list:
+  /// GCC 12's -Wdangling-pointer false-fires on the inlined
+  /// initializer_list backing store.)
+  std::vector<JoinMethod> join_methods = std::vector<JoinMethod>(
+      std::begin(kAllJoinMethods), std::end(kAllJoinMethods));
   /// System R heuristic: never introduce a cross product unless the query
   /// graph itself is disconnected.
   bool avoid_cross_products = true;
@@ -44,6 +54,15 @@ struct OptimizerOptions {
   SizePropagationMode size_mode = SizePropagationMode::kCubeRootPrebucket;
   /// Algorithm D: use the §3.6 linear-time EC paths when valid.
   bool use_fast_ec = true;
+  /// Optional expected-cost memo cache (borrowed, not owned; see
+  /// cost/ec_cache.h for the identity and thread-safety contract). Used by
+  /// Algorithm D's inner loop — where cached and uncached runs return
+  /// bit-identical objectives (the same computation is memoized) — and by
+  /// Algorithm A/B candidate scoring, where enabling the cache switches to
+  /// the per-operator summation of PlanExpectedCostStaticCached: equal to
+  /// the uncached walk up to floating-point association order, not bit
+  /// pattern. Either way only real formula runs tick cost_evaluations.
+  EcCache* ec_cache = nullptr;
 };
 
 /// Result of one optimizer invocation. `objective` is whatever the
@@ -58,6 +77,14 @@ struct OptimizeResult {
   /// Invocations of the underlying cost formulas; the paper's complexity
   /// statements (Theorems 3.2/3.3) are in these units.
   size_t cost_evaluations = 0;
+  /// Wall-clock seconds this optimization took. Stamped by every Optimize*
+  /// entry point (and re-stamped by the lec::Optimizer facade with its full
+  /// span), so EXPLAIN, bench and service throughput all read one source.
+  double elapsed_seconds = 0;
+  /// candidates_considered broken down by join phase (the join forming a
+  /// subset of size s runs in phase s-2; §3.5). Filled by the DP-based
+  /// strategies; left empty by strategies without a linear phase structure.
+  std::vector<size_t> candidates_by_phase;
 };
 
 /// How a candidate join step is costed. `phase_idx` is the 0-based phase in
@@ -78,7 +105,7 @@ class DpContext {
 
   const Query& query() const { return *query_; }
   const Catalog& catalog() const { return *catalog_; }
-  const OptimizerOptions& options() const { return *options_; }
+  const OptimizerOptions& options() const { return options_; }
 
   int num_tables() const { return query_->num_tables(); }
 
@@ -108,7 +135,9 @@ class DpContext {
  private:
   const Query* query_;
   const Catalog* catalog_;
-  const OptimizerOptions* options_;
+  /// Held by value (it is small) so a DpContext outlives any temporary it
+  /// was constructed from.
+  OptimizerOptions options_;
   std::vector<double> table_pages_;
   std::vector<double> subset_pages_;
   bool query_connected_ = true;
@@ -124,13 +153,180 @@ struct DpEntry {
 /// Per-subset DP state keyed by output order (interesting orders).
 using OrderMap = std::map<OrderId, DpEntry>;
 
+/// How RunDp's cost provider is shaped: a join-step cost and a sort cost,
+/// both phase-aware. Concrete providers (one per strategy, defined next to
+/// each entry point) dispatch statically — no std::function erasure on the
+/// per-candidate hot path. The erased JoinCostFn/SortCostFn API below is
+/// kept as a thin adapter for tests and one-off callers.
+template <typename P>
+concept DpCostProvider =
+    requires(const P& p, JoinMethod m, double pages, bool sorted, int phase) {
+      { p.JoinCost(m, pages, pages, sorted, sorted, phase) }
+          -> std::convertible_to<double>;
+      { p.SortCost(pages, phase) } -> std::convertible_to<double>;
+    };
+
+namespace internal {
+
+/// Keeps `entry` if it is the best seen for its order.
+inline void RetainBest(OrderMap* node, OrderId order, DpEntry entry) {
+  auto it = node->find(order);
+  if (it == node->end() || entry.cost < it->second.cost) {
+    (*node)[order] = std::move(entry);
+  }
+}
+
+}  // namespace internal
+
 /// Runs the shared single-best DP: one entry per (subset, order), costing
-/// via the callbacks. This single routine *is* System R (LSC) when the
-/// callbacks evaluate at one memory value and Algorithm C (LEC) when they
-/// evaluate expected costs — the paper's point that the extension is "a
+/// via the provider. This single routine *is* System R (LSC) when the
+/// provider evaluates at one memory value and Algorithm C (LEC) when it
+/// evaluates expected costs — the paper's point that the extension is "a
 /// relatively small and localized change" (§3.3).
-OptimizeResult RunDp(const DpContext& ctx, const JoinCostFn& join_cost,
-                     const SortCostFn& sort_cost);
+/// Note on timing: RunDp does not stamp elapsed_seconds — the public
+/// Optimize* entry points own that field (their span includes context
+/// construction and any per-phase precomputation). Direct RunDp callers
+/// that want a time wrap the call in a WallTimer themselves.
+template <DpCostProvider P>
+OptimizeResult RunDp(const DpContext& ctx, const P& cost) {
+  const Query& query = ctx.query();
+  const OptimizerOptions& opts = ctx.options();
+  int n = ctx.num_tables();
+  size_t num_subsets = size_t{1} << n;
+  std::vector<OrderMap> table(num_subsets);
+  OptimizeResult result;
+  result.candidates_by_phase.assign(static_cast<size_t>(std::max(n - 1, 1)),
+                                    0);
+
+  // Depth 1: access paths. (With a single access method per relation the
+  // LEC access path of Algorithm C's base case is just the scan.)
+  for (QueryPos p = 0; p < n; ++p) {
+    TableSet s = TableSet{1} << p;
+    double pages = ctx.TablePages(p);
+    DpEntry e;
+    e.plan = MakeAccess(p, pages);
+    e.cost = pages;  // sequential scan, memory-independent
+    table[s][kUnsorted] = std::move(e);
+  }
+
+  // Depths 2..n, in subset-size order (phase of the join = size - 2).
+  for (int size = 2; size <= n; ++size) {
+    for (TableSet s = 1; s < num_subsets; ++s) {
+      if (SetSize(s) != size) continue;
+      int phase_idx = size - 2;
+      double out_pages = ctx.SubsetPages(s);
+      for (QueryPos j : Members(s)) {
+        TableSet sj = s & ~(TableSet{1} << j);
+        const OrderMap& left_entries = table[sj];
+        if (left_entries.empty()) continue;
+        if (ctx.CrossProductForbidden(sj, j)) continue;
+        const OrderMap& right_entries = table[TableSet{1} << j];
+        const DpEntry& right = right_entries.at(kUnsorted);
+        std::vector<int> preds = ctx.ConnectingPredicates(sj, j);
+        double left_pages = ctx.SubsetPages(sj);
+        double right_pages = ctx.TablePages(j);
+
+        for (const auto& [left_order, left] : left_entries) {
+          for (JoinMethod method : opts.join_methods) {
+            // Sort-merge may key on any connecting predicate; other methods
+            // use a single canonical candidate.
+            std::vector<int> keys;
+            if (method == JoinMethod::kSortMerge) {
+              if (preds.empty()) continue;  // SM needs an equi-join key
+              keys = preds;
+            } else {
+              keys.push_back(kUnsorted);
+            }
+            for (int key : keys) {
+              // Inner-side alternatives: raw scan, plus an explicit sort
+              // enforcer when the options allow and SM could benefit.
+              struct InnerAlt {
+                bool sorted;
+                double extra_cost;
+              };
+              std::vector<InnerAlt> inners = {{false, 0.0}};
+              if (method == JoinMethod::kSortMerge &&
+                  opts.consider_sort_enforcers) {
+                ++result.cost_evaluations;
+                inners.push_back(
+                    {true, cost.SortCost(right_pages, phase_idx)});
+              }
+              for (const InnerAlt& inner : inners) {
+                ++result.candidates_considered;
+                ++result.candidates_by_phase[static_cast<size_t>(phase_idx)];
+                ++result.cost_evaluations;
+                bool left_sorted = key != kUnsorted && left_order == key;
+                double step =
+                    cost.JoinCost(method, left_pages, right_pages,
+                                  left_sorted, inner.sorted, phase_idx);
+                double total =
+                    left.cost + right.cost + inner.extra_cost + step;
+                OrderId out_order =
+                    DpContext::JoinOutputOrder(method, left_order, key);
+                PlanPtr right_plan = right.plan;
+                if (inner.sorted) right_plan = MakeSort(right_plan, key);
+                DpEntry e;
+                e.plan = MakeJoin(left.plan, right_plan, method, preds,
+                                  out_order, out_pages);
+                e.cost = total;
+                internal::RetainBest(&table[s], out_order, std::move(e));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Root: enforce the query's ORDER BY if present, then take the minimum.
+  const OrderMap& roots = table[query.AllTables()];
+  if (roots.empty()) {
+    throw std::runtime_error(
+        "no plan found (disconnected query with cross products forbidden?)");
+  }
+  double best = std::numeric_limits<double>::infinity();
+  PlanPtr best_plan;
+  int last_phase = std::max(n - 2, 0);
+  for (const auto& [order, entry] : roots) {
+    double total = entry.cost;
+    PlanPtr plan = entry.plan;
+    if (query.required_order() && order != *query.required_order()) {
+      ++result.cost_evaluations;
+      total += cost.SortCost(ctx.SubsetPages(query.AllTables()), last_phase);
+      plan = MakeSort(plan, *query.required_order());
+    }
+    if (total < best) {
+      best = total;
+      best_plan = plan;
+    }
+  }
+  result.plan = best_plan;
+  result.objective = best;
+  return result;
+}
+
+/// Adapter keeping the historical type-erased API: wraps the two
+/// std::functions in a provider. Pays one indirect call per candidate, so
+/// the hot strategies use concrete providers instead; bench_opt_scaling
+/// measures the difference.
+struct ErasedCostProvider {
+  const JoinCostFn& join_cost;
+  const SortCostFn& sort_cost;
+
+  double JoinCost(JoinMethod m, double left_pages, double right_pages,
+                  bool left_sorted, bool right_sorted, int phase_idx) const {
+    return join_cost(m, left_pages, right_pages, left_sorted, right_sorted,
+                     phase_idx);
+  }
+  double SortCost(double pages, int phase_idx) const {
+    return sort_cost(pages, phase_idx);
+  }
+};
+
+inline OptimizeResult RunDp(const DpContext& ctx, const JoinCostFn& join_cost,
+                            const SortCostFn& sort_cost) {
+  return RunDp(ctx, ErasedCostProvider{join_cost, sort_cost});
+}
 
 }  // namespace lec
 

@@ -1,0 +1,189 @@
+#include "optimizer/optimizer.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "optimizer/algorithm_a.h"
+#include "optimizer/algorithm_b.h"
+#include "optimizer/algorithm_c.h"
+#include "optimizer/algorithm_d.h"
+#include "optimizer/bushy.h"
+#include "optimizer/parametric.h"
+#include "optimizer/randomized.h"
+#include "optimizer/sampling.h"
+#include "util/rng.h"
+
+namespace lec {
+
+namespace {
+
+struct StrategyInfo {
+  StrategyId id;
+  std::string_view name;
+};
+
+constexpr StrategyInfo kStrategyInfo[] = {
+    {StrategyId::kLsc, "lsc"},
+    {StrategyId::kAlgorithmA, "algorithm_a"},
+    {StrategyId::kAlgorithmB, "algorithm_b"},
+    {StrategyId::kLecStatic, "lec_static"},
+    {StrategyId::kLecDynamic, "lec_dynamic"},
+    {StrategyId::kAlgorithmD, "algorithm_d"},
+    {StrategyId::kBushyLsc, "bushy_lsc"},
+    {StrategyId::kBushyLec, "bushy_lec"},
+    {StrategyId::kParametric, "parametric"},
+    {StrategyId::kRandomized, "randomized"},
+    {StrategyId::kSampling, "sampling"},
+};
+
+void RequireCore(const OptimizeRequest& r) {
+  if (r.query == nullptr || r.catalog == nullptr || r.model == nullptr ||
+      r.memory == nullptr) {
+    throw std::invalid_argument(
+        "OptimizeRequest needs query, catalog, model and memory");
+  }
+}
+
+}  // namespace
+
+const std::vector<StrategyId>& AllStrategies() {
+  static const std::vector<StrategyId> all = [] {
+    std::vector<StrategyId> v;
+    for (const StrategyInfo& info : kStrategyInfo) v.push_back(info.id);
+    return v;
+  }();
+  return all;
+}
+
+std::string_view StrategyName(StrategyId id) {
+  for (const StrategyInfo& info : kStrategyInfo) {
+    if (info.id == id) return info.name;
+  }
+  throw std::invalid_argument("unknown StrategyId");
+}
+
+std::optional<StrategyId> ParseStrategy(std::string_view name) {
+  for (const StrategyInfo& info : kStrategyInfo) {
+    if (info.name == name) return info.id;
+  }
+  return std::nullopt;
+}
+
+Optimizer::Optimizer() {
+  Register(StrategyId::kLsc, [](const OptimizeRequest& r) {
+    return OptimizeLscAtEstimate(*r.query, *r.catalog, *r.model, *r.memory,
+                                 r.lsc_estimate, r.options);
+  });
+  Register(StrategyId::kAlgorithmA, [](const OptimizeRequest& r) {
+    return OptimizeAlgorithmA(*r.query, *r.catalog, *r.model, *r.memory,
+                              r.options);
+  });
+  Register(StrategyId::kAlgorithmB, [](const OptimizeRequest& r) {
+    return OptimizeAlgorithmB(*r.query, *r.catalog, *r.model, *r.memory,
+                              r.top_c, r.options);
+  });
+  Register(StrategyId::kLecStatic, [](const OptimizeRequest& r) {
+    return OptimizeLecStatic(*r.query, *r.catalog, *r.model, *r.memory,
+                             r.options);
+  });
+  Register(StrategyId::kLecDynamic, [](const OptimizeRequest& r) {
+    if (r.chain == nullptr) {
+      throw std::invalid_argument("lec_dynamic needs a MarkovChain");
+    }
+    return OptimizeLecDynamic(*r.query, *r.catalog, *r.model, *r.chain,
+                              *r.memory, r.options);
+  });
+  Register(StrategyId::kAlgorithmD, [](const OptimizeRequest& r) {
+    return OptimizeAlgorithmD(*r.query, *r.catalog, *r.model, *r.memory,
+                              r.options);
+  });
+  Register(StrategyId::kBushyLsc, [](const OptimizeRequest& r) {
+    return OptimizeBushyLsc(*r.query, *r.catalog, *r.model, r.memory->Mean(),
+                            r.options);
+  });
+  Register(StrategyId::kBushyLec, [](const OptimizeRequest& r) {
+    return OptimizeBushyLec(*r.query, *r.catalog, *r.model, *r.memory,
+                            r.options);
+  });
+  Register(StrategyId::kParametric, [](const OptimizeRequest& r) {
+    // The plan table is the strategy's real product; as an OptimizeResult
+    // it reports the start-up lookup EC as objective and the plan compiled
+    // for the distribution's mean as the representative plan.
+    ParametricPlanSet set = ParametricPlanSet::Compile(
+        *r.query, *r.catalog, *r.model, *r.memory, r.options);
+    OptimizeResult result;
+    result.plan = set.PlanFor(r.memory->Mean());
+    result.objective = ParametricStartupExpectedCost(set, *r.query,
+                                                     *r.catalog, *r.model,
+                                                     *r.memory);
+    result.candidates_considered = set.candidates_considered();
+    result.cost_evaluations = set.cost_evaluations();
+    return result;
+  });
+  Register(StrategyId::kRandomized, [](const OptimizeRequest& r) {
+    RandomizedOptions ropts;
+    ropts.restarts = r.randomized_restarts;
+    ropts.patience = r.randomized_patience;
+    ropts.plan_options = r.options;
+    Rng rng(r.seed);
+    return OptimizeRandomizedLec(*r.query, *r.catalog, *r.model, *r.memory,
+                                 &rng, ropts);
+  });
+  Register(StrategyId::kSampling, [](const OptimizeRequest& r) {
+    // Value-of-information analysis: the plan is Algorithm D's (what runs
+    // when sampling is skipped); the objective is the EVPI of the probed
+    // predicate — what perfect knowledge of it would save.
+    SamplingDecision decision =
+        EvaluateSampling(*r.query, *r.catalog, *r.model, *r.memory,
+                         r.sample_predicate, r.options);
+    OptimizeResult result;
+    result.plan = decision.plan_without_sampling;
+    result.objective = decision.Evpi();
+    result.candidates_considered = decision.candidates_considered;
+    result.cost_evaluations = decision.cost_evaluations;
+    return result;
+  });
+}
+
+OptimizeResult Optimizer::Optimize(StrategyId id,
+                                   const OptimizeRequest& request) const {
+  WallTimer timer;
+  RequireCore(request);
+  auto it = registry_.find(id);
+  if (it == registry_.end()) {
+    throw std::invalid_argument("strategy not registered: " +
+                                std::string(StrategyName(id)));
+  }
+  OptimizeResult result = it->second(request);
+  result.elapsed_seconds = timer.Seconds();
+  return result;
+}
+
+void Optimizer::Register(StrategyId id, StrategyFn fn) {
+  registry_[id] = std::move(fn);
+}
+
+bool Optimizer::IsRegistered(StrategyId id) const {
+  return registry_.find(id) != registry_.end();
+}
+
+std::vector<StrategyId> Optimizer::RegisteredStrategies() const {
+  std::vector<StrategyId> out;
+  out.reserve(registry_.size());
+  for (const auto& [id, fn] : registry_) out.push_back(id);
+  return out;
+}
+
+PlanDiagnostics ExplainResult(const OptimizeResult& result,
+                              const Query& query, const Catalog& catalog,
+                              const CostModel& model,
+                              const Distribution& memory) {
+  PlanDiagnostics out =
+      ExplainPlan(result.plan, query, catalog, model, memory);
+  out.optimize_seconds = result.elapsed_seconds;
+  out.candidates_considered = result.candidates_considered;
+  out.cost_evaluations = result.cost_evaluations;
+  return out;
+}
+
+}  // namespace lec

@@ -20,6 +20,8 @@ ParametricPlanSet ParametricPlanSet::Compile(const Query& query,
     OptimizeResult r = OptimizeLsc(query, catalog, model, m.value, options);
     set.representatives_.push_back(m.value);
     set.plans_.push_back(r.plan);
+    set.candidates_considered_ += r.candidates_considered;
+    set.cost_evaluations_ += r.cost_evaluations;
   }
   return set;
 }

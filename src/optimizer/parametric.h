@@ -43,6 +43,10 @@ class ParametricPlanSet {
   size_t num_buckets() const { return representatives_.size(); }
   /// Number of structurally distinct plans in the table.
   size_t num_distinct_plans() const;
+  /// Work counters summed over the per-bucket LSC invocations, in the same
+  /// units as OptimizeResult.
+  size_t candidates_considered() const { return candidates_considered_; }
+  size_t cost_evaluations() const { return cost_evaluations_; }
 
   const std::vector<double>& representatives() const {
     return representatives_;
@@ -54,6 +58,8 @@ class ParametricPlanSet {
 
   std::vector<double> representatives_;  // ascending
   std::vector<PlanPtr> plans_;           // parallel to representatives_
+  size_t candidates_considered_ = 0;
+  size_t cost_evaluations_ = 0;
 };
 
 /// Expected cost of the start-up lookup strategy when the true memory is

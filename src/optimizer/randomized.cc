@@ -176,6 +176,7 @@ OptimizeResult OptimizeRandomizedLec(const Query& query,
                                      const CostModel& model,
                                      const Distribution& memory, Rng* rng,
                                      const RandomizedOptions& options) {
+  WallTimer timer;
   int n = query.num_tables();
   OptimizeResult best;
   best.objective = std::numeric_limits<double>::infinity();
@@ -227,6 +228,7 @@ OptimizeResult OptimizeRandomizedLec(const Query& query,
   }
   best.candidates_considered = total_orders;
   best.cost_evaluations = total_evals;
+  best.elapsed_seconds = timer.Seconds();
   return best;
 }
 

@@ -14,16 +14,22 @@ SamplingDecision EvaluateSampling(const Query& query, const Catalog& catalog,
     throw std::invalid_argument("unknown predicate");
   }
   SamplingDecision out;
-  out.ec_without_sampling =
-      OptimizeAlgorithmD(query, catalog, model, memory, options).objective;
+  OptimizeResult without =
+      OptimizeAlgorithmD(query, catalog, model, memory, options);
+  out.ec_without_sampling = without.objective;
+  out.plan_without_sampling = without.plan;
+  out.candidates_considered = without.candidates_considered;
+  out.cost_evaluations = without.cost_evaluations;
   const Distribution& sel = query.predicate(predicate).selectivity;
   double with = 0;
   for (const Bucket& s : sel.buckets()) {
     Query pinned =
         query.WithSelectivity(predicate, Distribution::PointMass(s.value));
-    with += s.prob *
-            OptimizeAlgorithmD(pinned, catalog, model, memory, options)
-                .objective;
+    OptimizeResult pinned_result =
+        OptimizeAlgorithmD(pinned, catalog, model, memory, options);
+    with += s.prob * pinned_result.objective;
+    out.candidates_considered += pinned_result.candidates_considered;
+    out.cost_evaluations += pinned_result.cost_evaluations;
   }
   out.ec_with_perfect_info = with;
   return out;

@@ -28,6 +28,13 @@ struct SamplingDecision {
   double ec_without_sampling = 0;
   /// E_σ of the expected cost when σ is revealed before optimization.
   double ec_with_perfect_info = 0;
+  /// The plan behind ec_without_sampling — what runs when sampling is
+  /// skipped (Algorithm D's full-distribution plan).
+  PlanPtr plan_without_sampling;
+  /// Work counters summed over all b_σ + 1 Algorithm D invocations, in the
+  /// same units as OptimizeResult.
+  size_t candidates_considered = 0;
+  size_t cost_evaluations = 0;
 
   /// Expected value of perfect information about the predicate.
   double Evpi() const { return ec_without_sampling - ec_with_perfect_info; }

@@ -1,19 +1,17 @@
 #include "optimizer/system_r.h"
 
+#include "optimizer/cost_providers.h"
+
 namespace lec {
 
 OptimizeResult OptimizeLsc(const Query& query, const Catalog& catalog,
                            const CostModel& model, double memory,
                            const OptimizerOptions& options) {
+  WallTimer timer;
   DpContext ctx(query, catalog, options);
-  JoinCostFn join_cost = [&model, memory](JoinMethod m, double l, double r,
-                                          bool ls, bool rs, int) {
-    return model.JoinCost(m, l, r, memory, ls, rs);
-  };
-  SortCostFn sort_cost = [&model, memory](double pages, int) {
-    return model.SortCost(pages, memory);
-  };
-  return RunDp(ctx, join_cost, sort_cost);
+  OptimizeResult result = RunDp(ctx, LscCostProvider{model, memory});
+  result.elapsed_seconds = timer.Seconds();
+  return result;
 }
 
 OptimizeResult OptimizeLscAtEstimate(const Query& query,

@@ -103,4 +103,12 @@ bool PlanEquals(const PlanPtr& a, const PlanPtr& b) {
   return false;
 }
 
+JoinSortedness JoinInputSortedness(const PlanNode& node) {
+  JoinSortedness s;
+  s.key = node.method == JoinMethod::kSortMerge ? node.order : kUnsorted;
+  s.left_sorted = s.key != kUnsorted && node.left->order == s.key;
+  s.right_sorted = s.key != kUnsorted && node.right->order == s.key;
+  return s;
+}
+
 }  // namespace lec

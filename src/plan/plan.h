@@ -90,6 +90,16 @@ std::vector<QueryPos> JoinOrder(const PlanPtr& plan);
 /// Structural equality (same shape, methods, predicates, orders).
 bool PlanEquals(const PlanPtr& a, const PlanPtr& b);
 
+/// For a join node: the sort-merge key it merges on (kUnsorted for other
+/// methods) and whether each input already arrives in that order — what
+/// every cost walk feeds to the sorted-input discount.
+struct JoinSortedness {
+  OrderId key = kUnsorted;
+  bool left_sorted = false;
+  bool right_sorted = false;
+};
+JoinSortedness JoinInputSortedness(const PlanNode& node);
+
 }  // namespace lec
 
 #endif  // LECOPT_PLAN_PLAN_H_

@@ -1,0 +1,96 @@
+#include "service/batch_driver.h"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "cost/ec_cache.h"
+#include "util/wall_timer.h"
+
+namespace lec {
+
+namespace {
+
+/// Everything one worker accumulates; merged single-threaded after join.
+struct WorkerState {
+  size_t queries = 0;
+  size_t candidates_considered = 0;
+  size_t cost_evaluations = 0;
+  EcCache cache;
+  std::exception_ptr error;
+};
+
+}  // namespace
+
+BatchReport RunBatch(const std::vector<Workload>& workload,
+                     const BatchOptions& options) {
+  int threads = std::max(options.num_threads, 1);
+  if (workload.size() < static_cast<size_t>(threads)) {
+    threads = static_cast<int>(std::max<size_t>(workload.size(), 1));
+  }
+
+  const Optimizer optimizer;  // read-only after construction; shared
+  BatchReport report;
+  report.queries = workload.size();
+  report.threads_used = threads;
+  report.objectives.assign(workload.size(), 0.0);
+  std::vector<WorkerState> states(threads);
+
+  WallTimer timer;
+  auto worker = [&](int tid) {
+    WorkerState& state = states[tid];
+    // One request copy per worker, not per query — only the query/catalog
+    // pointers change between items. The cache override also guards
+    // against a caller-supplied shared EcCache in the template: EcCache is
+    // not thread-safe, so that would be a data race across workers.
+    OptimizeRequest request = options.request;
+    request.options.ec_cache = options.use_ec_cache ? &state.cache : nullptr;
+    try {
+      for (size_t i = static_cast<size_t>(tid); i < workload.size();
+           i += static_cast<size_t>(threads)) {
+        request.query = &workload[i].query;
+        request.catalog = &workload[i].catalog;
+        OptimizeResult r = optimizer.Optimize(options.strategy, request);
+        report.objectives[i] = r.objective;
+        ++state.queries;
+        state.candidates_considered += r.candidates_considered;
+        state.cost_evaluations += r.cost_evaluations;
+      }
+    } catch (...) {
+      state.error = std::current_exception();
+    }
+  };
+
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (std::thread& t : pool) t.join();
+  }
+  report.wall_seconds = timer.Seconds();
+
+  for (const WorkerState& state : states) {
+    if (state.error) std::rethrow_exception(state.error);
+  }
+  for (const WorkerState& state : states) {
+    report.queries_per_thread.push_back(state.queries);
+    report.candidates_considered += state.candidates_considered;
+    report.cost_evaluations += state.cost_evaluations;
+    report.ec_cache_hits += state.cache.stats().hits;
+    report.ec_cache_misses += state.cache.stats().misses;
+  }
+  for (double objective : report.objectives) {
+    report.objective_sum += objective;
+  }
+  if (report.wall_seconds > 0) {
+    report.queries_per_sec =
+        static_cast<double>(report.queries) / report.wall_seconds;
+    report.cost_evaluations_per_sec =
+        static_cast<double>(report.cost_evaluations) / report.wall_seconds;
+  }
+  return report;
+}
+
+}  // namespace lec

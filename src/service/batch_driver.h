@@ -1,0 +1,80 @@
+// Multithreaded batch optimization driver — the service layer.
+//
+// The ROADMAP north star is a production-scale service pushing heavy query
+// traffic through the optimizer. This driver is that seam: it shards a
+// workload of (catalog, query) pairs across N worker threads, each running
+// any registered strategy through the lec::Optimizer facade with a private
+// expected-cost memo cache, and reports aggregate throughput
+// (queries/sec, cost_evaluations/sec) plus a thread-count-invariant
+// objective checksum.
+//
+// Determinism: sharding is static (query i goes to worker i mod N) and
+// every per-query objective is recorded by input index, then reduced in
+// input order — so objectives, their sum, and the chosen plans are
+// identical for any thread count. Wall-clock fields change with threads,
+// and so do the *work* counters when use_ec_cache is on: splitting the
+// corpus across N private caches loses cross-query hits, so
+// cost_evaluations / ec_cache_hits / ec_cache_misses drift upward with N.
+// Compare evaluation throughput across thread counts with the cache off.
+#ifndef LECOPT_SERVICE_BATCH_DRIVER_H_
+#define LECOPT_SERVICE_BATCH_DRIVER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "optimizer/optimizer.h"
+#include "query/generator.h"
+
+namespace lec {
+
+struct BatchOptions {
+  /// Which registered strategy every worker runs.
+  StrategyId strategy = StrategyId::kLecStatic;
+  /// Worker threads; values < 1 are treated as 1.
+  int num_threads = 1;
+  /// Give each worker a private EC memo cache (see cost/ec_cache.h). Only
+  /// strategies that consult the cache benefit — Algorithm D's inner loop
+  /// and Algorithm A/B candidate scoring; for the others (e.g. lec_static)
+  /// the cache is allocated but inert and the reported stats stay 0.
+  /// Objectives stay bit-identical for Algorithm D (memoization only); for
+  /// Algorithm A/B the cached scoring walk reassociates the floating-point
+  /// summation, so low-order objective bits may differ from an uncached
+  /// run. Results never depend on thread count either way.
+  bool use_ec_cache = true;
+  /// Request template applied to every workload item; `query`/`catalog`
+  /// are filled per item and `options.ec_cache` is always overridden by
+  /// the driver (per-worker cache when use_ec_cache, else null — a shared
+  /// caller-supplied cache would race across workers). Everything else is
+  /// passed through.
+  OptimizeRequest request;
+};
+
+struct BatchReport {
+  size_t queries = 0;
+  int threads_used = 1;
+  double wall_seconds = 0;
+  double queries_per_sec = 0;
+  /// Aggregate optimizer counters over the whole batch.
+  size_t candidates_considered = 0;
+  size_t cost_evaluations = 0;
+  double cost_evaluations_per_sec = 0;
+  /// Per-query objectives, indexed like the input workload.
+  std::vector<double> objectives;
+  /// Σ objectives in input order — a thread-count-invariant checksum.
+  double objective_sum = 0;
+  /// Merged per-worker EC cache stats (zero when use_ec_cache is off).
+  size_t ec_cache_hits = 0;
+  size_t ec_cache_misses = 0;
+  /// Queries each worker processed (size = threads_used).
+  std::vector<size_t> queries_per_thread;
+};
+
+/// Optimizes every workload item under options.strategy and returns the
+/// aggregate report. Rethrows the first worker exception (by input order of
+/// worker id) after all threads have joined.
+BatchReport RunBatch(const std::vector<Workload>& workload,
+                     const BatchOptions& options);
+
+}  // namespace lec
+
+#endif  // LECOPT_SERVICE_BATCH_DRIVER_H_

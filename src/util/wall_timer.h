@@ -1,0 +1,30 @@
+// Monotonic wall-clock stopwatch.
+//
+// Every Optimize* entry point stamps OptimizeResult::elapsed_seconds with
+// one of these, so EXPLAIN output, the bench tables and the service-layer
+// throughput report all quote the same measurement.
+#ifndef LECOPT_UTIL_WALL_TIMER_H_
+#define LECOPT_UTIL_WALL_TIMER_H_
+
+#include <chrono>
+
+namespace lec {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Seconds elapsed since construction.
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace lec
+
+#endif  // LECOPT_UTIL_WALL_TIMER_H_

@@ -4,6 +4,7 @@
 
 #include "cost/expected_cost.h"
 #include "optimizer/algorithm_c.h"
+#include "optimizer/optimizer.h"  // ExplainResult
 
 namespace lec {
 namespace {
@@ -94,6 +95,25 @@ TEST(ExplainTest, RenderingMentionsEveryOperatorAndTotal) {
   EXPECT_NE(text.find("GHJoin"), std::string::npos);
   EXPECT_NE(text.find("Sort"), std::string::npos);
   EXPECT_NE(text.find("total EC"), std::string::npos);
+  // Plain ExplainPlan has no optimizer provenance to report.
+  EXPECT_EQ(text.find("optimized in"), std::string::npos);
+}
+
+TEST(ExplainTest, ExplainResultCarriesOptimizerProvenance) {
+  Example11Fixture f;
+  OptimizeResult lec = OptimizeLecStatic(f.query, f.catalog, f.model,
+                                         f.memory);
+  PlanDiagnostics d =
+      ExplainResult(lec, f.query, f.catalog, f.model, f.memory);
+  EXPECT_EQ(d.optimize_seconds, lec.elapsed_seconds);
+  // GE, not GT: a coarse steady_clock may legitimately measure 0 on a
+  // 3-table optimization.
+  EXPECT_GE(d.optimize_seconds, 0.0);
+  EXPECT_EQ(d.candidates_considered, lec.candidates_considered);
+  EXPECT_EQ(d.cost_evaluations, lec.cost_evaluations);
+  std::string text = d.ToString();
+  EXPECT_NE(text.find("optimized in"), std::string::npos);
+  EXPECT_NE(text.find("candidates"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,222 @@
+// The strategy registry facade: every registered strategy must return a
+// bit-identical plan and objective to its legacy direct entry point across
+// a seeded query corpus, and the registry metadata (names, parsing,
+// registration) must be consistent.
+#include "optimizer/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/expected_cost.h"
+#include "optimizer/algorithm_a.h"
+#include "optimizer/algorithm_b.h"
+#include "optimizer/algorithm_c.h"
+#include "optimizer/algorithm_d.h"
+#include "optimizer/bushy.h"
+#include "optimizer/parametric.h"
+#include "optimizer/randomized.h"
+#include "optimizer/sampling.h"
+#include "query/generator.h"
+
+namespace lec {
+namespace {
+
+struct Corpus {
+  std::vector<Workload> workloads;
+  Distribution memory = Distribution::PointMass(0);
+  MarkovChain chain = MarkovChain::Static({0});
+  CostModel model;
+};
+
+Corpus MakeCorpus() {
+  Corpus c;
+  Rng rng(99);
+  const struct {
+    JoinGraphShape shape;
+    int tables;
+    double order_by;
+  } specs[] = {
+      {JoinGraphShape::kChain, 4, 0.0},  {JoinGraphShape::kChain, 5, 1.0},
+      {JoinGraphShape::kStar, 4, 0.5},   {JoinGraphShape::kCycle, 4, 1.0},
+      {JoinGraphShape::kClique, 4, 0.0}, {JoinGraphShape::kRandom, 5, 0.5},
+  };
+  for (const auto& spec : specs) {
+    WorkloadOptions wopts;
+    wopts.num_tables = spec.tables;
+    wopts.shape = spec.shape;
+    wopts.order_by_probability = spec.order_by;
+    wopts.selectivity_spread = 3.0;
+    wopts.table_size_spread = 2.0;
+    c.workloads.push_back(GenerateWorkload(wopts, &rng));
+  }
+  c.memory = Distribution(
+      {{100, 0.2}, {400, 0.3}, {1200, 0.3}, {4000, 0.2}});
+  c.chain = MarkovChain::Drift({100, 400, 1200, 4000}, 0.6);
+  return c;
+}
+
+OptimizeRequest BaseRequest(const Corpus& c, const Workload& w) {
+  OptimizeRequest req;
+  req.query = &w.query;
+  req.catalog = &w.catalog;
+  req.model = &c.model;
+  req.memory = &c.memory;
+  req.chain = &c.chain;
+  return req;
+}
+
+void ExpectSameResult(const OptimizeResult& facade,
+                      const OptimizeResult& legacy, const char* label) {
+  EXPECT_TRUE(PlanEquals(facade.plan, legacy.plan)) << label;
+  EXPECT_EQ(facade.objective, legacy.objective) << label;  // bit-identical
+  EXPECT_EQ(facade.candidates_considered, legacy.candidates_considered)
+      << label;
+  EXPECT_EQ(facade.cost_evaluations, legacy.cost_evaluations) << label;
+}
+
+TEST(OptimizerFacadeTest, ParityAcrossCorpus) {
+  Corpus c = MakeCorpus();
+  Optimizer optimizer;
+  for (const Workload& w : c.workloads) {
+    OptimizeRequest req = BaseRequest(c, w);
+
+    ExpectSameResult(optimizer.Optimize(StrategyId::kLsc, req),
+                     OptimizeLscAtEstimate(w.query, w.catalog, c.model,
+                                           c.memory, PointEstimate::kMean),
+                     "lsc");
+    {
+      OptimizeRequest mode_req = req;
+      mode_req.lsc_estimate = PointEstimate::kMode;
+      ExpectSameResult(optimizer.Optimize(StrategyId::kLsc, mode_req),
+                       OptimizeLscAtEstimate(w.query, w.catalog, c.model,
+                                             c.memory, PointEstimate::kMode),
+                       "lsc@mode");
+    }
+    ExpectSameResult(
+        optimizer.Optimize(StrategyId::kAlgorithmA, req),
+        OptimizeAlgorithmA(w.query, w.catalog, c.model, c.memory), "a");
+    ExpectSameResult(
+        optimizer.Optimize(StrategyId::kAlgorithmB, req),
+        OptimizeAlgorithmB(w.query, w.catalog, c.model, c.memory, 3), "b");
+    ExpectSameResult(
+        optimizer.Optimize(StrategyId::kLecStatic, req),
+        OptimizeLecStatic(w.query, w.catalog, c.model, c.memory), "c");
+    ExpectSameResult(optimizer.Optimize(StrategyId::kLecDynamic, req),
+                     OptimizeLecDynamic(w.query, w.catalog, c.model, c.chain,
+                                        c.memory),
+                     "c-dynamic");
+    ExpectSameResult(
+        optimizer.Optimize(StrategyId::kAlgorithmD, req),
+        OptimizeAlgorithmD(w.query, w.catalog, c.model, c.memory), "d");
+    ExpectSameResult(optimizer.Optimize(StrategyId::kBushyLsc, req),
+                     OptimizeBushyLsc(w.query, w.catalog, c.model,
+                                      c.memory.Mean()),
+                     "bushy-lsc");
+    ExpectSameResult(
+        optimizer.Optimize(StrategyId::kBushyLec, req),
+        OptimizeBushyLec(w.query, w.catalog, c.model, c.memory),
+        "bushy-lec");
+
+    {
+      OptimizeResult facade = optimizer.Optimize(StrategyId::kRandomized,
+                                                 req);
+      Rng rng(req.seed);
+      RandomizedOptions ropts;
+      OptimizeResult legacy = OptimizeRandomizedLec(w.query, w.catalog,
+                                                    c.model, c.memory, &rng,
+                                                    ropts);
+      ExpectSameResult(facade, legacy, "randomized");
+    }
+    {
+      OptimizeResult facade = optimizer.Optimize(StrategyId::kParametric,
+                                                 req);
+      ParametricPlanSet set = ParametricPlanSet::Compile(
+          w.query, w.catalog, c.model, c.memory);
+      EXPECT_TRUE(PlanEquals(facade.plan, set.PlanFor(c.memory.Mean())));
+      EXPECT_EQ(facade.objective,
+                ParametricStartupExpectedCost(set, w.query, w.catalog,
+                                              c.model, c.memory));
+    }
+    {
+      OptimizeResult facade = optimizer.Optimize(StrategyId::kSampling, req);
+      SamplingDecision decision = EvaluateSampling(
+          w.query, w.catalog, c.model, c.memory, req.sample_predicate);
+      EXPECT_EQ(facade.objective, decision.Evpi());
+      EXPECT_TRUE(PlanEquals(
+          facade.plan,
+          OptimizeAlgorithmD(w.query, w.catalog, c.model, c.memory).plan));
+    }
+  }
+}
+
+TEST(OptimizerFacadeTest, EveryStrategyIsRegistered) {
+  Optimizer optimizer;
+  for (StrategyId id : AllStrategies()) {
+    EXPECT_TRUE(optimizer.IsRegistered(id)) << StrategyName(id);
+  }
+  EXPECT_EQ(optimizer.RegisteredStrategies().size(), AllStrategies().size());
+}
+
+TEST(OptimizerFacadeTest, NamesRoundTrip) {
+  for (StrategyId id : AllStrategies()) {
+    std::string_view name = StrategyName(id);
+    EXPECT_FALSE(name.empty());
+    auto parsed = ParseStrategy(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, id);
+  }
+  EXPECT_FALSE(ParseStrategy("no_such_strategy").has_value());
+}
+
+TEST(OptimizerFacadeTest, StampsElapsedWallTime) {
+  Corpus c = MakeCorpus();
+  Optimizer optimizer;
+  OptimizeRequest req = BaseRequest(c, c.workloads[0]);
+  OptimizeResult r = optimizer.Optimize(StrategyId::kLecStatic, req);
+  // GE, not GT: a coarse steady_clock may measure 0 on a small query.
+  EXPECT_GE(r.elapsed_seconds, 0.0);
+  // Legacy entry points stamp it too (one source of truth for bench).
+  OptimizeResult legacy = OptimizeLecStatic(c.workloads[0].query,
+                                            c.workloads[0].catalog, c.model,
+                                            c.memory);
+  EXPECT_GE(legacy.elapsed_seconds, 0.0);
+}
+
+TEST(OptimizerFacadeTest, FillsPerPhaseCounters) {
+  Corpus c = MakeCorpus();
+  Optimizer optimizer;
+  const Workload& w = c.workloads[1];  // chain, 5 tables
+  OptimizeRequest req = BaseRequest(c, w);
+  OptimizeResult r = optimizer.Optimize(StrategyId::kLecStatic, req);
+  ASSERT_EQ(r.candidates_by_phase.size(),
+            static_cast<size_t>(w.query.num_tables() - 1));
+  size_t total = 0;
+  for (size_t n : r.candidates_by_phase) total += n;
+  EXPECT_EQ(total, r.candidates_considered);
+}
+
+TEST(OptimizerFacadeTest, ValidatesRequests) {
+  Corpus c = MakeCorpus();
+  Optimizer optimizer;
+  OptimizeRequest empty;
+  EXPECT_THROW(optimizer.Optimize(StrategyId::kLsc, empty),
+               std::invalid_argument);
+  OptimizeRequest no_chain = BaseRequest(c, c.workloads[0]);
+  no_chain.chain = nullptr;
+  EXPECT_THROW(optimizer.Optimize(StrategyId::kLecDynamic, no_chain),
+               std::invalid_argument);
+}
+
+TEST(OptimizerFacadeTest, RegisterOverridesStrategy) {
+  Corpus c = MakeCorpus();
+  Optimizer optimizer;
+  optimizer.Register(StrategyId::kLsc, [](const OptimizeRequest&) {
+    OptimizeResult r;
+    r.objective = -1;
+    return r;
+  });
+  OptimizeRequest req = BaseRequest(c, c.workloads[0]);
+  EXPECT_EQ(optimizer.Optimize(StrategyId::kLsc, req).objective, -1);
+}
+
+}  // namespace
+}  // namespace lec

@@ -1,0 +1,133 @@
+// The batch service driver: thread-count-invariant results, correct
+// sharding, aggregate counters, and strategy routing through the facade.
+#include "service/batch_driver.h"
+
+#include <gtest/gtest.h>
+
+#include "dist/builders.h"
+#include "optimizer/algorithm_c.h"
+#include "query/generator.h"
+
+namespace lec {
+namespace {
+
+std::vector<Workload> MakeCorpus(size_t count) {
+  std::vector<Workload> corpus;
+  Rng rng(7);
+  for (size_t i = 0; i < count; ++i) {
+    WorkloadOptions wopts;
+    wopts.num_tables = 4 + static_cast<int>(i % 2);
+    wopts.shape = i % 2 == 0 ? JoinGraphShape::kChain : JoinGraphShape::kStar;
+    wopts.order_by_probability = 0.5;
+    corpus.push_back(GenerateWorkload(wopts, &rng));
+  }
+  return corpus;
+}
+
+TEST(BatchDriverTest, ObjectivesMatchDirectOptimization) {
+  std::vector<Workload> corpus = MakeCorpus(8);
+  CostModel model;
+  Distribution memory = UniformBuckets(50, 2000, 4);
+  BatchOptions opts;
+  opts.strategy = StrategyId::kLecStatic;
+  opts.num_threads = 2;
+  opts.request.model = &model;
+  opts.request.memory = &memory;
+  BatchReport report = RunBatch(corpus, opts);
+  ASSERT_EQ(report.objectives.size(), corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    OptimizeResult direct = OptimizeLecStatic(corpus[i].query,
+                                              corpus[i].catalog, model,
+                                              memory);
+    EXPECT_EQ(report.objectives[i], direct.objective) << "query " << i;
+  }
+}
+
+TEST(BatchDriverTest, ThreadCountInvariant) {
+  std::vector<Workload> corpus = MakeCorpus(12);
+  CostModel model;
+  Distribution memory = UniformBuckets(50, 2000, 4);
+  BatchOptions opts;
+  opts.strategy = StrategyId::kAlgorithmD;
+  opts.request.model = &model;
+  opts.request.memory = &memory;
+
+  opts.num_threads = 1;
+  BatchReport one = RunBatch(corpus, opts);
+  for (int threads : {2, 4}) {
+    opts.num_threads = threads;
+    BatchReport many = RunBatch(corpus, opts);
+    EXPECT_EQ(many.objective_sum, one.objective_sum) << threads;
+    EXPECT_EQ(many.objectives, one.objectives) << threads;
+    EXPECT_EQ(many.queries, corpus.size());
+    EXPECT_EQ(many.threads_used, threads);
+  }
+}
+
+TEST(BatchDriverTest, ShardsCoverEveryQueryOnce) {
+  std::vector<Workload> corpus = MakeCorpus(10);
+  CostModel model;
+  Distribution memory = UniformBuckets(50, 2000, 4);
+  BatchOptions opts;
+  opts.num_threads = 3;
+  opts.request.model = &model;
+  opts.request.memory = &memory;
+  BatchReport report = RunBatch(corpus, opts);
+  ASSERT_EQ(report.queries_per_thread.size(), 3u);
+  size_t total = 0;
+  for (size_t q : report.queries_per_thread) total += q;
+  EXPECT_EQ(total, corpus.size());
+  EXPECT_GT(report.wall_seconds, 0.0);
+  EXPECT_GT(report.queries_per_sec, 0.0);
+  EXPECT_GT(report.cost_evaluations, 0u);
+}
+
+TEST(BatchDriverTest, MoreThreadsThanQueriesClamps) {
+  std::vector<Workload> corpus = MakeCorpus(2);
+  CostModel model;
+  Distribution memory = UniformBuckets(50, 2000, 4);
+  BatchOptions opts;
+  opts.num_threads = 16;
+  opts.request.model = &model;
+  opts.request.memory = &memory;
+  BatchReport report = RunBatch(corpus, opts);
+  EXPECT_EQ(report.threads_used, 2);
+  EXPECT_EQ(report.queries, 2u);
+}
+
+TEST(BatchDriverTest, EcCacheStatsSurface) {
+  std::vector<Workload> corpus = MakeCorpus(6);
+  CostModel model;
+  Distribution memory = UniformBuckets(50, 2000, 4);
+  BatchOptions opts;
+  opts.strategy = StrategyId::kAlgorithmD;
+  opts.num_threads = 2;
+  opts.use_ec_cache = true;
+  opts.request.model = &model;
+  opts.request.memory = &memory;
+  BatchReport cached = RunBatch(corpus, opts);
+  EXPECT_GT(cached.ec_cache_hits, 0u);
+  EXPECT_GT(cached.ec_cache_misses, 0u);
+
+  opts.use_ec_cache = false;
+  BatchReport plain = RunBatch(corpus, opts);
+  EXPECT_EQ(plain.ec_cache_hits, 0u);
+  EXPECT_EQ(plain.ec_cache_misses, 0u);
+  // Identical objectives either way; the cache only removes duplicate work.
+  EXPECT_EQ(plain.objectives, cached.objectives);
+  EXPECT_GT(plain.cost_evaluations, cached.cost_evaluations);
+}
+
+TEST(BatchDriverTest, EmptyWorkload) {
+  CostModel model;
+  Distribution memory = UniformBuckets(50, 2000, 4);
+  BatchOptions opts;
+  opts.request.model = &model;
+  opts.request.memory = &memory;
+  BatchReport report = RunBatch({}, opts);
+  EXPECT_EQ(report.queries, 0u);
+  EXPECT_EQ(report.objective_sum, 0.0);
+}
+
+}  // namespace
+}  // namespace lec
