@@ -1,0 +1,311 @@
+// E17 — True-regret scoring of every strategy against the exhaustive
+// oracle, plus Monte-Carlo ground-truthing of the analytic EC (§3.1, §4).
+//
+// A 500-workload seeded corpus spanning all five join-graph shapes
+// (n <= 7) is solved by the exhaustive plan-space oracle; each strategy's
+// returned plan is then re-scored under the oracle's objective, giving
+// *true regret* — distance from the real optimum, not from another
+// heuristic. The exact DP families must land on the optimum (this bench
+// exits nonzero when they do not, so the CI smoke run gates on it); the
+// candidate-set heuristics A/B and the randomized search are graded by
+// their regret distribution. Every 25th workload's LEC plan is also
+// Monte-Carlo validated: the 99% CLT interval over sampled executions must
+// cover the analytic EC in both the static and Markov-dynamic regimes.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "optimizer/optimizer.h"
+#include "query/generator.h"
+#include "util/wall_timer.h"
+#include "verify/fuzz_driver.h"
+#include "verify/mc_validator.h"
+#include "verify/oracle.h"
+#include "verify/tolerance.h"
+
+using namespace lec;
+
+namespace {
+
+struct CorpusItem {
+  Workload workload;
+  Distribution memory = Distribution::PointMass(0);
+  MarkovChain chain = MarkovChain::Static({0});
+  JoinGraphShape shape = JoinGraphShape::kChain;
+};
+
+struct RegretStats {
+  std::string name;
+  std::vector<double> normalized;  // regret / optimum, one per query
+  size_t optimal = 0;
+
+  void Add(double regret, double optimum) {
+    double rel = optimum > 0 ? regret / optimum : 0.0;
+    normalized.push_back(rel);
+    if (rel <= verify::kOracleRelTol) ++optimal;
+  }
+  double Mean() const {
+    double s = 0;
+    for (double r : normalized) s += r;
+    return normalized.empty() ? 0 : s / static_cast<double>(normalized.size());
+  }
+  double Quantile(double q) const {
+    if (normalized.empty()) return 0;
+    std::vector<double> v = normalized;
+    std::sort(v.begin(), v.end());
+    size_t i = static_cast<size_t>(q * static_cast<double>(v.size() - 1));
+    return v[i];
+  }
+  double Max() const { return Quantile(1.0); }
+};
+
+}  // namespace
+
+int main() {
+  CostModel model;
+  constexpr size_t kCorpusSize = 500;
+  // n caps keep the dense shapes' exhaustive enumerations tractable while
+  // chains stretch to the full n = 7.
+  constexpr struct {
+    JoinGraphShape shape;
+    int max_tables;
+  } kShapes[] = {
+      {JoinGraphShape::kChain, 7},  {JoinGraphShape::kStar, 6},
+      {JoinGraphShape::kCycle, 6},  {JoinGraphShape::kClique, 5},
+      {JoinGraphShape::kRandom, 6},
+  };
+
+  Rng rng(20260729);
+  std::vector<CorpusItem> corpus;
+  corpus.reserve(kCorpusSize);
+  for (size_t i = 0; i < kCorpusSize; ++i) {
+    const auto& spec = kShapes[i % std::size(kShapes)];
+    WorkloadOptions wopts;
+    wopts.shape = spec.shape;
+    wopts.num_tables = static_cast<int>(rng.UniformInt(3, spec.max_tables));
+    wopts.selectivity_spread = (i % 2 == 0) ? 3.0 : 1.0;
+    wopts.table_size_spread = (i % 3 == 0) ? 2.0 : 1.0;
+    wopts.order_by_probability = 0.5;
+    if (spec.shape == JoinGraphShape::kRandom) {
+      wopts.extra_edges = static_cast<int>(rng.UniformInt(0, 2));
+    }
+    CorpusItem item;
+    item.shape = spec.shape;
+    item.workload = GenerateWorkload(wopts, &rng);
+    // Same environment recipe the fuzz invariants certify.
+    verify::MemoryEnvironment env = verify::MakeMemoryEnvironment(&rng);
+    item.memory = std::move(env.memory);
+    item.chain = std::move(env.chain);
+    corpus.push_back(std::move(item));
+  }
+
+  bench::Header("E17", "true regret vs the exhaustive oracle "
+                       "(500 workloads, all five shapes, n <= 7)");
+
+  Optimizer optimizer;
+  const StrategyId kGraded[] = {StrategyId::kLsc, StrategyId::kAlgorithmA,
+                                StrategyId::kAlgorithmB,
+                                StrategyId::kLecStatic,
+                                StrategyId::kRandomized};
+  std::vector<RegretStats> stats(std::size(kGraded));
+  for (size_t s = 0; s < std::size(kGraded); ++s) {
+    stats[s].name = std::string(StrategyName(kGraded[s]));
+  }
+
+  int failures = 0;
+  size_t plans_enumerated = 0;
+  size_t dynamic_checked = 0;
+  size_t d_checked = 0;
+  WallTimer timer;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    const CorpusItem& item = corpus[i];
+    const Workload& w = item.workload;
+
+    // One enumeration pass scores all three scalar regimes; best/worst
+    // suffice, so the per-plan spectrum is not collected.
+    verify::OracleOptions oopt;
+    oopt.objective = verify::OracleObjective::kLecStatic;
+    oopt.collect_spectrum = false;
+    verify::OracleOptions lopt = oopt;
+    lopt.objective = verify::OracleObjective::kLscAtMean;
+    verify::OracleOptions dopt = oopt;
+    dopt.objective = verify::OracleObjective::kLecDynamic;
+    dopt.chain = &item.chain;
+    std::vector<verify::OracleResult> oracles = verify::SolveOracleMany(
+        w.query, w.catalog, model, item.memory, {lopt, oopt, dopt});
+    const verify::OracleResult& lsc_oracle = oracles[0];
+    const verify::OracleResult& oracle = oracles[1];
+    const verify::OracleResult& dyn_oracle = oracles[2];
+    plans_enumerated += oracle.plans_enumerated;
+
+    OptimizeRequest req;
+    req.query = &w.query;
+    req.catalog = &w.catalog;
+    req.model = &model;
+    req.memory = &item.memory;
+    req.chain = &item.chain;
+
+    for (size_t s = 0; s < std::size(kGraded); ++s) {
+      OptimizeResult r = optimizer.Optimize(kGraded[s], req);
+      double ec = verify::OraclePlanObjective(r.plan, w.query, w.catalog,
+                                              model, item.memory, oopt);
+      double regret = oracle.Regret(ec);
+      stats[s].Add(std::max(regret, 0.0), oracle.best_objective);
+      if (!verify::NoBetterThan(ec, oracle.best_objective)) {
+        std::printf("FAIL: %s beat the oracle on workload %zu (%.17g < "
+                    "%.17g)\n",
+                    stats[s].name.c_str(), i, ec, oracle.best_objective);
+        ++failures;
+      }
+      // The exact static DP must *hit* the optimum.
+      if (kGraded[s] == StrategyId::kLecStatic &&
+          !verify::ApproxEqual(r.objective, oracle.best_objective,
+                               verify::kOracleRelTol)) {
+        std::printf("FAIL: lec_static missed the oracle optimum on workload "
+                    "%zu (%.17g vs %.17g)\n",
+                    i, r.objective, oracle.best_objective);
+        ++failures;
+      }
+      // ... and so must LSC under its own (specific-cost) objective — the
+      // same result the regret row above already computed.
+      if (kGraded[s] == StrategyId::kLsc &&
+          !verify::ApproxEqual(r.objective, lsc_oracle.best_objective,
+                               verify::kOracleRelTol)) {
+        std::printf("FAIL: lsc missed its oracle on workload %zu\n", i);
+        ++failures;
+      }
+      // A/B's stated objective must agree with re-scoring their plan on
+      // equal terms (their regret is legitimately nonzero; inconsistent
+      // self-reporting would not be).
+      if ((kGraded[s] == StrategyId::kAlgorithmA ||
+           kGraded[s] == StrategyId::kAlgorithmB) &&
+          !verify::ApproxEqual(r.objective, ec,
+                               verify::kSummationReassociationRelTol)) {
+        std::printf("FAIL: %s stated objective disagrees with its plan's EC "
+                    "on workload %zu (%.17g vs %.17g)\n",
+                    stats[s].name.c_str(), i, r.objective, ec);
+        ++failures;
+      }
+    }
+    // Algorithm D: under *exact* size propagation its objective must match
+    // the joint-enumeration EC. (Under the default lossy bucketing the
+    // DP-internal and plan-walk evaluators legitimately diverge — regret
+    // must be measured in one evaluator; see DESIGN.md "Verification".)
+    if (w.query.num_tables() <= 4) {
+      OptimizeRequest dreq = req;
+      dreq.options.size_buckets = 4096;
+      dreq.options.size_mode = SizePropagationMode::kExactThenRebucket;
+      OptimizeResult d = optimizer.Optimize(StrategyId::kAlgorithmD, dreq);
+      try {
+        double ec = verify::ExactMultiParamEc(d.plan, w.query, w.catalog,
+                                              model, item.memory);
+        ++d_checked;
+        if (!verify::ApproxEqual(d.objective, ec,
+                                 verify::kBucketedEvaluatorRelTol)) {
+          std::printf("FAIL: algorithm_d objective disagrees with the exact "
+                      "joint EC on workload %zu (%.17g vs %.17g)\n",
+                      i, d.objective, ec);
+          ++failures;
+        }
+      } catch (const std::invalid_argument&) {
+        // joint support too large for exact enumeration; skip
+      }
+    }
+    // Dynamic DP against the dynamic oracle.
+    {
+      OptimizeResult dyn = optimizer.Optimize(StrategyId::kLecDynamic, req);
+      ++dynamic_checked;
+      if (!verify::ApproxEqual(dyn.objective, dyn_oracle.best_objective,
+                               verify::kOracleRelTol)) {
+        std::printf("FAIL: lec_dynamic missed its oracle on workload %zu\n",
+                    i);
+        ++failures;
+      }
+    }
+  }
+  double oracle_seconds = timer.Seconds();
+
+  std::printf("%-12s %12s %12s %12s %14s\n", "strategy", "mean regret",
+              "p95 regret", "max regret", "optimal");
+  bench::Rule();
+  for (const RegretStats& s : stats) {
+    std::printf("%-12s %11.4f%% %11.4f%% %11.4f%% %9zu/%zu\n",
+                s.name.c_str(), 100 * s.Mean(), 100 * s.Quantile(0.95),
+                100 * s.Max(), s.optimal, s.normalized.size());
+  }
+  std::printf(
+      "\n%zu plans enumerated across %zu oracle solves (+%zu dynamic, %zu "
+      "exact algorithm_d checks) in %.2fs\n",
+      plans_enumerated, corpus.size(), dynamic_checked, d_checked,
+      oracle_seconds);
+  std::printf("Expectation: lsc/lec_static/lec_dynamic sit at zero regret "
+              "under their own objectives\n(exact DP = oracle, Theorems "
+              "2.1/3.3/3.4); A/B regret is small but nonzero;\nrandomized "
+              "regret depends on its budget.\n");
+
+  // --- Monte-Carlo CI coverage over sampled plans -------------------------
+  bench::Header("E17b", "99% CLT interval covers the analytic EC "
+                        "(static + Markov-dynamic)");
+  std::printf("%-10s %6s %16s %16s %12s %8s\n", "workload", "regime",
+              "analytic EC", "empirical mean", "half-width", "covers");
+  bench::Rule();
+  size_t mc_checked = 0;
+  size_t mc_covered = 0;
+  timer = WallTimer();
+  for (size_t i = 0; i < corpus.size(); i += 25) {
+    const CorpusItem& item = corpus[i];
+    const Workload& w = item.workload;
+    PlanPtr plan =
+        optimizer
+            .Optimize(StrategyId::kLecStatic,
+                      [&] {
+                        OptimizeRequest req;
+                        req.query = &w.query;
+                        req.catalog = &w.catalog;
+                        req.model = &model;
+                        req.memory = &item.memory;
+                        return req;
+                      }())
+            .plan;
+    for (int regime = 0; regime < 2; ++regime) {
+      verify::McOptions mc;
+      mc.samples = 4000;
+      mc.confidence = 0.99;
+      mc.seed = 0x45313762ULL + i;
+      if (regime == 1) mc.chain = &item.chain;
+      // The same gate policy as the fuzz's I6 (strict coverage, 16x
+      // escalation on a miss, fail only on a persistent material bias) —
+      // one seeded draw misses its 99% interval ~1% of the time, so a
+      // strictly-gating bench would spuriously fail CI on any corpus
+      // reshuffle.
+      verify::EscalatedCheck check = verify::CheckPlanEcWithEscalation(
+          plan, w.query, w.catalog, model, item.memory, mc);
+      ++mc_checked;
+      std::printf("%-10zu %6s %16.6g %16.6g %12.4g %8s\n", i,
+                  regime == 0 ? "static" : "dynamic", check.ci.analytic_ec,
+                  check.ci.empirical_mean, check.ci.half_width,
+                  check.ci.Covers()
+                      ? (check.escalated ? "yes(esc)" : "yes")
+                      : "NO");
+      if (check.ok) {
+        if (check.ci.Covers()) ++mc_covered;
+      } else {
+        std::printf("FAIL: analytic EC materially outside the escalated CI "
+                    "on workload %zu (%s)\n",
+                    i, regime == 0 ? "static" : "dynamic");
+        ++failures;
+      }
+    }
+  }
+  std::printf("\n%zu/%zu intervals covered in %.2fs\n", mc_covered,
+              mc_checked, timer.Seconds());
+
+  if (failures > 0) {
+    std::printf("\nE17 FAILED: %d verification failure(s)\n", failures);
+    return 1;
+  }
+  std::printf("\nE17 ok: all oracle and CI checks passed\n");
+  return 0;
+}

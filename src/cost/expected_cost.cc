@@ -5,6 +5,7 @@
 
 #include "cost/cost_policies.h"
 #include "cost/ec_cache.h"
+#include "cost/plan_walk.h"
 #include "cost/size_propagation.h"
 
 namespace lec {
@@ -77,62 +78,9 @@ double ExpectedSortCost(const CostModel& model, const Distribution& pages,
 
 namespace {
 
-struct WalkResult {
-  double pages = 0;
-  int joins = 0;
-  double cost = 0;
-};
-
-/// The one scalar-size plan-walk skeleton. Recursively costs `node` with
-/// sizes taken from `sizes` (table pages + selectivities; memory is the
-/// policy's business) and each operator charged via the shared
-/// cost/cost_policies.h regime structs — the same types RunDp dispatches
-/// through. `base_joins` is the number of joins executed before this
-/// subtree starts (0-based phase of its first join); for right subtrees it
-/// is the consuming join's phase, so enforcer sorts are charged under that
-/// phase's memory. A root-level ORDER BY sort runs alongside the final
-/// join's phase. (WalkMultiParam below keeps its own walk: its per-node
-/// size is a Distribution, not a double.)
-template <typename CostPolicy>
-WalkResult WalkPlan(const PlanPtr& node, const CostModel& model,
-                    const Realization& sizes, const CostPolicy& cost,
-                    int base_joins) {
-  WalkResult out;
-  switch (node->kind) {
-    case PlanNode::Kind::kAccess: {
-      out.pages = sizes.table_pages.at(node->table_pos);
-      out.cost = model.ScanCost(out.pages);
-      return out;
-    }
-    case PlanNode::Kind::kSort: {
-      WalkResult child = WalkPlan(node->left, model, sizes, cost, base_joins);
-      int phase_idx = std::max(base_joins + child.joins - 1, base_joins);
-      out.pages = child.pages;
-      out.joins = child.joins;
-      out.cost = child.cost + cost.SortCost(child.pages, phase_idx);
-      return out;
-    }
-    case PlanNode::Kind::kJoin: {
-      WalkResult l = WalkPlan(node->left, model, sizes, cost, base_joins);
-      int join_idx = base_joins + l.joins;
-      WalkResult r = WalkPlan(node->right, model, sizes, cost, join_idx);
-      double sel = 1.0;
-      for (int p : node->predicates) sel *= sizes.selectivity.at(p);
-      out.pages = l.pages * r.pages * sel;
-      out.joins = l.joins + r.joins + 1;
-      JoinSortedness srt = JoinInputSortedness(*node);
-      out.cost = l.cost + r.cost +
-                 cost.JoinCost(node->method, l.pages, r.pages,
-                               srt.left_sorted, srt.right_sorted, join_idx);
-      if (model.options().charge_materialization &&
-          node->left->kind == PlanNode::Kind::kJoin) {
-        out.cost += 2.0 * l.pages;  // child result written then re-read
-      }
-      return out;
-    }
-  }
-  throw std::logic_error("unknown plan node kind");
-}
+// The scalar-size plan walk (WalkPlan) lives in cost/plan_walk.h so the
+// verification oracle can dispatch the same skeleton; only the
+// distribution-sized multi-parameter walk stays private here.
 
 struct DistWalkResult {
   Distribution pages = Distribution::PointMass(0);

@@ -1,0 +1,84 @@
+// The one scalar-size plan-costing walk, shared by every consumer that
+// charges a complete plan under a costing regime.
+//
+// WalkPlan recursively costs a plan with sizes taken from a Realization
+// (table pages + selectivities; memory is the policy's business) and each
+// operator charged through one of the cost/cost_policies.h regime structs —
+// the same statically-dispatched types the DP cores in
+// optimizer/dp_common.h consume. Historically this walk was private to
+// expected_cost.cc; the verification oracle (src/verify/oracle.h) also
+// needs to score arbitrary enumerated plans under arbitrary regimes, so the
+// skeleton lives here with exactly one definition.
+#ifndef LECOPT_COST_PLAN_WALK_H_
+#define LECOPT_COST_PLAN_WALK_H_
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cost/cost_model.h"
+#include "cost/expected_cost.h"
+#include "plan/plan.h"
+
+namespace lec {
+
+/// Accumulated state of a WalkPlan recursion over one subtree.
+struct PlanWalkResult {
+  double pages = 0;  ///< result size of the subtree under the realization
+  int joins = 0;     ///< join phases executed inside the subtree
+  double cost = 0;   ///< the subtree's cost under the policy
+};
+
+/// Costs `node` with sizes from `sizes` and operators charged via `cost`
+/// (any DpCostProvider-shaped policy: JoinCost(method, left_pages,
+/// right_pages, left_sorted, right_sorted, phase_idx) and SortCost(pages,
+/// phase_idx)). `base_joins` is the number of joins executed before this
+/// subtree starts (0-based phase of its first join); for right subtrees it
+/// is the consuming join's phase, so enforcer sorts are charged under that
+/// phase's memory. A root-level ORDER BY sort runs alongside the final
+/// join's phase. (Multi-parameter costing keeps its own walk inside
+/// expected_cost.cc: its per-node size is a Distribution, not a double.)
+template <typename CostPolicy>
+PlanWalkResult WalkPlan(const PlanPtr& node, const CostModel& model,
+                        const Realization& sizes, const CostPolicy& cost,
+                        int base_joins) {
+  PlanWalkResult out;
+  switch (node->kind) {
+    case PlanNode::Kind::kAccess: {
+      out.pages = sizes.table_pages.at(node->table_pos);
+      out.cost = model.ScanCost(out.pages);
+      return out;
+    }
+    case PlanNode::Kind::kSort: {
+      PlanWalkResult child =
+          WalkPlan(node->left, model, sizes, cost, base_joins);
+      int phase_idx = std::max(base_joins + child.joins - 1, base_joins);
+      out.pages = child.pages;
+      out.joins = child.joins;
+      out.cost = child.cost + cost.SortCost(child.pages, phase_idx);
+      return out;
+    }
+    case PlanNode::Kind::kJoin: {
+      PlanWalkResult l = WalkPlan(node->left, model, sizes, cost, base_joins);
+      int join_idx = base_joins + l.joins;
+      PlanWalkResult r = WalkPlan(node->right, model, sizes, cost, join_idx);
+      double sel = 1.0;
+      for (int p : node->predicates) sel *= sizes.selectivity.at(p);
+      out.pages = l.pages * r.pages * sel;
+      out.joins = l.joins + r.joins + 1;
+      JoinSortedness srt = JoinInputSortedness(*node);
+      out.cost = l.cost + r.cost +
+                 cost.JoinCost(node->method, l.pages, r.pages,
+                               srt.left_sorted, srt.right_sorted, join_idx);
+      if (model.options().charge_materialization &&
+          node->left->kind == PlanNode::Kind::kJoin) {
+        out.cost += 2.0 * l.pages;  // child result written then re-read
+      }
+      return out;
+    }
+  }
+  throw std::logic_error("unknown plan node kind");
+}
+
+}  // namespace lec
+
+#endif  // LECOPT_COST_PLAN_WALK_H_

@@ -8,7 +8,7 @@ namespace lec {
 namespace {
 
 void Extend(const DpContext& ctx, const PlanPtr& partial,
-            std::vector<PlanPtr>* out) {
+            const std::function<void(const PlanPtr&)>& visit) {
   const Query& query = ctx.query();
   const OptimizerOptions& opts = ctx.options();
   TableSet covered = partial->tables;
@@ -18,7 +18,7 @@ void Extend(const DpContext& ctx, const PlanPtr& partial,
         partial->order != *query.required_order()) {
       complete = MakeSort(partial, *query.required_order());
     }
-    out->push_back(complete);
+    visit(complete);
     return;
   }
   for (QueryPos j = 0; j < query.num_tables(); ++j) {
@@ -45,7 +45,7 @@ void Extend(const DpContext& ctx, const PlanPtr& partial,
               DpContext::JoinOutputOrder(method, partial->order, key);
           Extend(ctx,
                  MakeJoin(partial, inner, method, preds, order, out_pages),
-                 out);
+                 visit);
         }
       }
     }
@@ -54,36 +54,44 @@ void Extend(const DpContext& ctx, const PlanPtr& partial,
 
 }  // namespace
 
+void ForEachLeftDeepPlan(const Query& query, const Catalog& catalog,
+                         const OptimizerOptions& options,
+                         const std::function<void(const PlanPtr&)>& visit) {
+  DpContext ctx(query, catalog, options);
+  if (query.num_tables() == 1) {
+    visit(MakeAccess(0, ctx.TablePages(0)));
+    return;
+  }
+  for (QueryPos p = 0; p < query.num_tables(); ++p) {
+    Extend(ctx, MakeAccess(p, ctx.TablePages(p)), visit);
+  }
+}
+
 std::vector<PlanPtr> EnumerateLeftDeepPlans(const Query& query,
                                             const Catalog& catalog,
                                             const OptimizerOptions& options) {
-  DpContext ctx(query, catalog, options);
   std::vector<PlanPtr> out;
-  if (query.num_tables() == 1) {
-    out.push_back(MakeAccess(0, ctx.TablePages(0)));
-    return out;
-  }
-  for (QueryPos p = 0; p < query.num_tables(); ++p) {
-    Extend(ctx, MakeAccess(p, ctx.TablePages(p)), &out);
-  }
+  ForEachLeftDeepPlan(query, catalog, options,
+                      [&out](const PlanPtr& p) { out.push_back(p); });
   return out;
 }
 
 OptimizeResult ExhaustiveBest(const Query& query, const Catalog& catalog,
                               const OptimizerOptions& options,
                               const PlanObjectiveFn& objective) {
-  std::vector<PlanPtr> plans = EnumerateLeftDeepPlans(query, catalog, options);
   OptimizeResult result;
-  result.candidates_considered = plans.size();
   double best = std::numeric_limits<double>::infinity();
-  for (const PlanPtr& p : plans) {
+  // Streamed, not materialized: at the n = 7/8 ceiling the plan set runs
+  // to millions and only the current best needs to stay alive.
+  ForEachLeftDeepPlan(query, catalog, options, [&](const PlanPtr& p) {
+    ++result.candidates_considered;
     ++result.cost_evaluations;
     double c = objective(p);
     if (c < best) {
       best = c;
       result.plan = p;
     }
-  }
+  });
   result.objective = best;
   return result;
 }

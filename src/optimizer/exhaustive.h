@@ -25,6 +25,14 @@ std::vector<PlanPtr> EnumerateLeftDeepPlans(const Query& query,
                                             const Catalog& catalog,
                                             const OptimizerOptions& options);
 
+/// Visits every complete left-deep plan (same space as
+/// EnumerateLeftDeepPlans, same enumeration order) without materializing
+/// the whole set — a clique of 7 relations has millions of plans, and the
+/// verification oracle only needs each one long enough to score it.
+void ForEachLeftDeepPlan(const Query& query, const Catalog& catalog,
+                         const OptimizerOptions& options,
+                         const std::function<void(const PlanPtr&)>& visit);
+
 /// The plan minimizing `objective` over EnumerateLeftDeepPlans, with the
 /// number of plans enumerated in `candidates_considered`.
 OptimizeResult ExhaustiveBest(const Query& query, const Catalog& catalog,

@@ -66,10 +66,49 @@ Distribution ThreePointSpread(double center, double spread) {
 
 }  // namespace
 
-Workload GenerateWorkload(const WorkloadOptions& options, Rng* rng) {
+namespace {
+
+/// Central option validation: a malformed request is refused loudly, never
+/// silently clamped into a workload the caller did not ask for.
+void Validate(const WorkloadOptions& options) {
   if (options.num_tables < 2) {
     throw std::invalid_argument("need at least two tables");
   }
+  if (!(options.min_pages > 0) || !(options.max_pages > 0) ||
+      options.min_pages > options.max_pages) {
+    throw std::invalid_argument(
+        "page range must satisfy 0 < min_pages <= max_pages");
+  }
+  if (!(options.min_selectivity > 0) || !(options.max_selectivity > 0) ||
+      options.min_selectivity > options.max_selectivity) {
+    throw std::invalid_argument(
+        "selectivity range must satisfy 0 < min_selectivity <= "
+        "max_selectivity");
+  }
+  if (!(options.selectivity_spread >= 1.0) ||
+      !(options.table_size_spread >= 1.0)) {
+    throw std::invalid_argument(
+        "spreads are multiplicative and must be >= 1 (1 = certain)");
+  }
+  if (options.extra_edges < 0) {
+    throw std::invalid_argument("extra_edges must be non-negative");
+  }
+  if (options.extra_edges > 0 && options.shape != JoinGraphShape::kRandom) {
+    throw std::invalid_argument(
+        "extra_edges only applies to JoinGraphShape::kRandom; it would be "
+        "silently ignored for this shape");
+  }
+  if (!(options.order_by_probability >= 0.0) ||
+      !(options.order_by_probability <= 1.0)) {
+    throw std::invalid_argument(
+        "order_by_probability must be a probability in [0, 1]");
+  }
+}
+
+}  // namespace
+
+Workload GenerateWorkload(const WorkloadOptions& options, Rng* rng) {
+  Validate(options);
   Workload w;
   for (int i = 0; i < options.num_tables; ++i) {
     Table t;

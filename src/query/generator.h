@@ -56,6 +56,11 @@ struct Workload {
 };
 
 /// Generates one catalog+query pair. Deterministic given rng state.
+/// Validates the options and throws std::invalid_argument (rather than
+/// silently clamping) on: fewer than two tables, an empty or non-positive
+/// page or selectivity range (min > max), a spread below 1 or NaN, negative
+/// `extra_edges`, `extra_edges` on a shape other than kRandom (where it
+/// would be ignored), or an `order_by_probability` outside [0, 1].
 Workload GenerateWorkload(const WorkloadOptions& options, Rng* rng);
 
 }  // namespace lec

@@ -34,6 +34,7 @@ BatchReport RunBatch(const std::vector<Workload>& workload,
   report.queries = workload.size();
   report.threads_used = threads;
   report.objectives.assign(workload.size(), 0.0);
+  if (options.record_plans) report.plans.assign(workload.size(), nullptr);
   std::vector<WorkerState> states(threads);
 
   WallTimer timer;
@@ -52,6 +53,7 @@ BatchReport RunBatch(const std::vector<Workload>& workload,
         request.catalog = &workload[i].catalog;
         OptimizeResult r = optimizer.Optimize(options.strategy, request);
         report.objectives[i] = r.objective;
+        if (options.record_plans) report.plans[i] = std::move(r.plan);
         ++state.queries;
         state.candidates_considered += r.candidates_considered;
         state.cost_evaluations += r.cost_evaluations;

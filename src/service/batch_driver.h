@@ -41,6 +41,12 @@ struct BatchOptions {
   /// summation, so low-order objective bits may differ from an uncached
   /// run. Results never depend on thread count either way.
   bool use_ec_cache = true;
+  /// Also record each chosen plan, indexed like the input workload. Off by
+  /// default: retained plans keep whole subtree graphs alive, which a
+  /// throughput run has no use for. The verification subsystem turns it on
+  /// to assert thread-count invariance of the *plans*, not just the
+  /// objective checksum.
+  bool record_plans = false;
   /// Request template applied to every workload item; `query`/`catalog`
   /// are filled per item and `options.ec_cache` is always overridden by
   /// the driver (per-worker cache when use_ec_cache, else null — a shared
@@ -60,6 +66,9 @@ struct BatchReport {
   double cost_evaluations_per_sec = 0;
   /// Per-query objectives, indexed like the input workload.
   std::vector<double> objectives;
+  /// Per-query chosen plans (empty unless options.record_plans). Workers
+  /// write disjoint slots, so recording is race-free.
+  std::vector<PlanPtr> plans;
   /// Σ objectives in input order — a thread-count-invariant checksum.
   double objective_sum = 0;
   /// Merged per-worker EC cache stats (zero when use_ec_cache is off).

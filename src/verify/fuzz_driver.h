@@ -1,0 +1,137 @@
+// Metamorphic fuzzing of the whole optimizer stack.
+//
+// One fuzz round generates a seeded workload (one of the five
+// JoinGraphShapes, both uncertainty axes — selectivity spread and table
+// size spread — plus a seeded memory distribution and Markov chain) and
+// checks an invariant catalog that needs no reference implementation to
+// know the answer:
+//
+//   I1 oracle-optimality  — the exact DP families (lsc, lec_static,
+//      lec_dynamic) must hit the exhaustive oracle's optimum; A/B/D must
+//      score >= it (true regret is nonnegative) and their stated objective
+//      must agree with re-scoring their plan on equal terms.
+//   I2 degeneration       — collapsing the memory distribution to its mean
+//      must collapse lec_static onto lsc; with both spread axes at 1,
+//      algorithm_d must collapse onto lec_static (spread→1 converges to
+//      LSC through that chain).
+//   I3 mixture linearity  — EC under w·D + (1−w)·point(mean) must equal
+//      w·EC_D + (1−w)·C(p, mean) exactly (linearity of expectation over
+//      mixtures): the metamorphic form of "EC degenerates continuously".
+//   I4 rebucketing        — size-distribution propagation up the whole
+//      plan conserves probability mass and the mean (product of means
+//      under independence), and its support stays inside the exact
+//      min/max envelope.
+//   I5 service invariance — batch runs are thread-count invariant (bit:
+//      objectives and plans), EC-cache invariant (bit for Algorithm D,
+//      documented reassociation tolerance for A/B), and facade dispatch
+//      matches the direct entry point.
+//   I6 Monte-Carlo        — sampled executions agree with the analytic EC
+//      in the static and Markov-dynamic regimes: a violation is a 99.9%
+//      CLT-interval miss that is ALSO materially far from the mean
+//      (> 0.5% relative) and survives a 16x-escalated resample. Skewed
+//      cost distributions under-cover at small N, so a bare interval miss
+//      is a statistical event, not a bug signal; the strict Covers()
+//      contract is exercised deterministically in tests/verify_mc_test.cc
+//      and bench_verify_regret.
+//
+// Every violation carries the self-contained FuzzCase seed; `verify_repro
+// <seed>` (tools/) rebuilds the exact workload and re-runs the catalog
+// with full diagnostics.
+#ifndef LECOPT_VERIFY_FUZZ_DRIVER_H_
+#define LECOPT_VERIFY_FUZZ_DRIVER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dist/markov.h"
+#include "query/generator.h"
+
+namespace lec::verify {
+
+/// The seeded memory environment one fuzz round (and the E17 regret bench)
+/// hedges against: a handful of log-spaced memory buckets with random mass
+/// plus a drift chain over the same support. One recipe, shared, so the
+/// bench exercises exactly the world the fuzz invariants certify.
+struct MemoryEnvironment {
+  Distribution memory = Distribution::PointMass(0);
+  MarkovChain chain = MarkovChain::Static({0});
+};
+
+/// Draws the environment from `rng`: 3-5 log-uniform bucket values in
+/// [16, 4096] with Uniform(0.1, 1) mass, and a Drift chain with
+/// p_stay ~ Uniform(0.3, 0.9). Deterministic given the Rng state.
+MemoryEnvironment MakeMemoryEnvironment(Rng* rng);
+
+/// Everything needed to rebuild one fuzz round from scratch: the workload
+/// options that matter plus the master seed (which also derives the memory
+/// distribution and the Markov chain). Encode/Decode round-trip exactly.
+struct FuzzCase {
+  uint64_t seed = 1;
+  JoinGraphShape shape = JoinGraphShape::kChain;
+  int num_tables = 4;
+  double selectivity_spread = 1.0;  ///< 1 = certain; >1 three-point spread
+  double table_size_spread = 1.0;
+  bool order_by = false;  ///< query carries an ORDER BY
+
+  /// "f1:<shape>:<n>:<seed>:<sel_spread>:<size_spread>:<order_by>", e.g.
+  /// "f1:star:5:12345:3:1:1". Stable across releases — stored seeds from
+  /// CI artifacts must keep replaying.
+  std::string Encode() const;
+  /// Inverse of Encode; nullopt on malformed input — including numeric
+  /// fields with trailing junk, spreads below 1, and table counts outside
+  /// [2, 8] (the exhaustive-oracle ceiling the invariants rely on).
+  static std::optional<FuzzCase> Decode(std::string_view text);
+};
+
+/// One failed invariant, with the case that triggered it.
+struct FuzzViolation {
+  FuzzCase fuzz_case;
+  std::string invariant;  ///< catalog id, e.g. "I1:lec_static_oracle"
+  std::string detail;     ///< human-readable mismatch description
+};
+
+struct FuzzOptions {
+  int rounds = 50;
+  uint64_t base_seed = 20260729;
+  /// Run the Monte-Carlo CI invariant (I6); the most expensive check.
+  bool check_mc = true;
+  size_t mc_samples = 400;
+  /// Diagnostics sink: when true CheckCase stops at the first violation
+  /// of a case instead of collecting all of them.
+  bool stop_on_first = false;
+};
+
+struct FuzzReport {
+  int rounds_run = 0;
+  size_t invariants_checked = 0;
+  std::vector<FuzzViolation> violations;
+};
+
+/// Rebuilds the case's workload/distributions and runs the invariant
+/// catalog against it. `invariants_checked` (optional) accumulates how
+/// many individual checks ran.
+std::vector<FuzzViolation> CheckCase(const FuzzCase& fuzz_case,
+                                     const FuzzOptions& options,
+                                     size_t* invariants_checked = nullptr);
+
+/// Derives `options.rounds` cases spanning all five shapes and both spread
+/// axes from `base_seed` and checks each. Deterministic: the same options
+/// always fuzz the same cases.
+FuzzReport RunFuzz(const FuzzOptions& options);
+
+/// The deterministic case schedule RunFuzz walks, exposed for tools and
+/// tests (round i of base_seed s is CaseForRound(s, i)).
+FuzzCase CaseForRound(uint64_t base_seed, int round);
+
+/// Human-readable description of the case's world for repro diagnostics:
+/// the generated query shape, the memory environment, the static oracle's
+/// optimum / spectrum width, and each core strategy's objective. Expensive
+/// (one exhaustive solve); intended for `verify_repro`, not hot loops.
+std::string DescribeCase(const FuzzCase& fuzz_case);
+
+}  // namespace lec::verify
+
+#endif  // LECOPT_VERIFY_FUZZ_DRIVER_H_

@@ -1,0 +1,208 @@
+#include "verify/oracle.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "cost/cost_policies.h"
+#include "cost/plan_walk.h"
+#include "optimizer/bushy.h"
+#include "optimizer/exhaustive.h"
+
+namespace lec::verify {
+
+const char* ToString(OracleObjective objective) {
+  switch (objective) {
+    case OracleObjective::kLscAtMean:
+      return "lsc_at_mean";
+    case OracleObjective::kLecStatic:
+      return "lec_static";
+    case OracleObjective::kLecDynamic:
+      return "lec_dynamic";
+    case OracleObjective::kMultiParam:
+      return "multi_param";
+  }
+  return "unknown";
+}
+
+double OracleResult::NormalizedRegret(double objective) const {
+  double width = worst_objective - best_objective;
+  if (width <= 0) return 0;
+  return Regret(objective) / width;
+}
+
+namespace {
+
+/// Per-query scoring state, built once and applied to every enumerated
+/// plan. All scalar regimes dispatch WalkPlan through the same
+/// cost/cost_policies.h provider the corresponding DP core uses, so the
+/// oracle and the strategy under test disagree only when one of them is
+/// wrong — not because they costed plans differently.
+class Scorer {
+ public:
+  Scorer(const Query& query, const Catalog& catalog, const CostModel& model,
+         const Distribution& memory, const OracleOptions& options)
+      : query_(query),
+        catalog_(catalog),
+        model_(model),
+        memory_(memory),
+        options_(options),
+        // The realization only feeds sizes to the walk; memory is each
+        // provider's business, so the realization's memory slot is unused.
+        means_(Realization::AtMeans(query, catalog, 1.0)) {
+    if (options_.objective == OracleObjective::kLecDynamic) {
+      if (options_.chain == nullptr) {
+        throw std::invalid_argument(
+            "oracle: kLecDynamic requires OracleOptions::chain");
+      }
+      // Every complete plan for n relations has exactly n-1 join phases
+      // (PlanExpectedCostDynamic derives the same marginals per plan;
+      // hoisting them here avoids recomputing the chain push-forward for
+      // each of potentially millions of plans).
+      int phases = std::max(query.num_tables() - 1, 1);
+      marginals_.reserve(static_cast<size_t>(phases));
+      Distribution cur = memory;
+      for (int t = 0; t < phases; ++t) {
+        marginals_.push_back(cur);
+        cur = options_.chain->Step(cur);
+      }
+    }
+  }
+
+  double Score(const PlanPtr& plan) const {
+    switch (options_.objective) {
+      case OracleObjective::kLscAtMean:
+        return WalkPlan(plan, model_, means_,
+                        LscCostProvider{model_, memory_.Mean()}, 0)
+            .cost;
+      case OracleObjective::kLecStatic:
+        return WalkPlan(plan, model_, means_,
+                        LecStaticCostProvider{model_, memory_}, 0)
+            .cost;
+      case OracleObjective::kLecDynamic:
+        return WalkPlan(plan, model_, means_,
+                        LecDynamicCostProvider{model_, marginals_}, 0)
+            .cost;
+      case OracleObjective::kMultiParam:
+        return PlanExpectedCostMultiParam(plan, query_, catalog_, model_,
+                                          memory_, options_.size_buckets);
+    }
+    throw std::logic_error("unknown oracle objective");
+  }
+
+ private:
+  const Query& query_;
+  const Catalog& catalog_;
+  const CostModel& model_;
+  const Distribution& memory_;
+  const OracleOptions& options_;
+  Realization means_;
+  std::vector<Distribution> marginals_;
+};
+
+}  // namespace
+
+double OraclePlanObjective(const PlanPtr& plan, const Query& query,
+                           const Catalog& catalog, const CostModel& model,
+                           const Distribution& memory,
+                           const OracleOptions& options) {
+  return Scorer(query, catalog, model, memory, options).Score(plan);
+}
+
+namespace {
+
+/// Do two option sets enumerate the same plan space? (Costing knobs may
+/// differ; the enumeration-shaping ones may not.)
+bool SamePlanSpace(const OracleOptions& a, const OracleOptions& b) {
+  return a.include_bushy == b.include_bushy &&
+         a.max_tables == b.max_tables &&
+         a.optimizer.join_methods == b.optimizer.join_methods &&
+         a.optimizer.avoid_cross_products ==
+             b.optimizer.avoid_cross_products &&
+         a.optimizer.consider_sort_enforcers ==
+             b.optimizer.consider_sort_enforcers;
+}
+
+}  // namespace
+
+std::vector<OracleResult> SolveOracleMany(
+    const Query& query, const Catalog& catalog, const CostModel& model,
+    const Distribution& memory, const std::vector<OracleOptions>& options) {
+  if (options.empty()) {
+    throw std::invalid_argument("oracle: no objectives requested");
+  }
+  for (const OracleOptions& o : options) {
+    if (!SamePlanSpace(options.front(), o)) {
+      throw std::invalid_argument(
+          "oracle: all objectives in one solve must share the plan space "
+          "(include_bushy / max_tables / enumeration knobs)");
+    }
+  }
+  const OracleOptions& space = options.front();
+  if (query.num_tables() > space.max_tables) {
+    // Built up with += (not an operator+ chain): GCC 12's -Wrestrict
+    // false-fires on chained std::string concatenation.
+    std::string msg = "oracle: query has ";
+    msg += std::to_string(query.num_tables());
+    msg += " tables, above the exhaustive ceiling of ";
+    msg += std::to_string(space.max_tables);
+    throw std::invalid_argument(msg);
+  }
+
+  std::vector<Scorer> scorers;
+  scorers.reserve(options.size());
+  for (const OracleOptions& o : options) {
+    scorers.emplace_back(query, catalog, model, memory, o);
+  }
+  std::vector<OracleResult> results(options.size());
+  for (OracleResult& r : results) {
+    r.best_objective = std::numeric_limits<double>::infinity();
+    r.worst_objective = -std::numeric_limits<double>::infinity();
+  }
+
+  auto take = [&](const PlanPtr& plan) {
+    for (size_t i = 0; i < scorers.size(); ++i) {
+      OracleResult& r = results[i];
+      double objective = scorers[i].Score(plan);
+      ++r.plans_enumerated;
+      if (options[i].collect_spectrum) r.spectrum.push_back(objective);
+      if (objective < r.best_objective) {
+        r.best_objective = objective;
+        r.best_plan = plan;
+      }
+      r.worst_objective = std::max(r.worst_objective, objective);
+    }
+  };
+
+  if (space.include_bushy) {
+    // Bushy space strictly contains every left-deep tree (each left-deep
+    // join is the ordered split (S, {j})), so enumerating it alone covers
+    // both without double-counting the spectrum. Note the bushy enumerator
+    // does not emit inner-side sort enforcers; grade enforcer-enabled
+    // strategies against the left-deep oracle instead.
+    for (const PlanPtr& plan :
+         EnumerateBushyPlans(query, catalog, space.optimizer)) {
+      take(plan);
+    }
+  } else {
+    ForEachLeftDeepPlan(query, catalog, space.optimizer, take);
+  }
+
+  if (results.front().plans_enumerated == 0) {
+    throw std::runtime_error("oracle: no plan found for query");
+  }
+  for (OracleResult& r : results) {
+    std::sort(r.spectrum.begin(), r.spectrum.end());
+  }
+  return results;
+}
+
+OracleResult SolveOracle(const Query& query, const Catalog& catalog,
+                         const CostModel& model, const Distribution& memory,
+                         const OracleOptions& options) {
+  return std::move(
+      SolveOracleMany(query, catalog, model, memory, {options}).front());
+}
+
+}  // namespace lec::verify

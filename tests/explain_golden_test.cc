@@ -1,0 +1,119 @@
+// Golden-file tests for ExplainResult rendering, one per strategy family.
+//
+// EXPLAIN output is the library's human interface: regressions in operator
+// descriptions, regime tables, or the provenance line are invisible to
+// numeric tests. Each case optimizes a fixed seeded workload, renders the
+// diagnostics with the wall-time normalized to zero (the only
+// nondeterministic field), and compares byte-for-byte against
+// tests/golden/explain_<family>.txt.
+//
+// Regenerating after an intentional rendering change (see DESIGN.md,
+// "Verification"):
+//
+//   UPDATE_GOLDEN=1 ctest -R ExplainGolden
+//
+// then review the diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "optimizer/optimizer.h"
+#include "query/generator.h"
+
+namespace lec {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(LECOPT_SOURCE_DIR) + "/tests/golden/explain_" + name +
+         ".txt";
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class ExplainGoldenTest : public ::testing::Test {
+ protected:
+  ExplainGoldenTest() {
+    Rng rng(20260729);
+    WorkloadOptions wopts;
+    wopts.num_tables = 4;
+    wopts.shape = JoinGraphShape::kChain;
+    wopts.selectivity_spread = 3.0;
+    wopts.table_size_spread = 2.0;
+    wopts.order_by_probability = 1.0;
+    workload_ = GenerateWorkload(wopts, &rng);
+    memory_ = Distribution({{64, 0.25}, {512, 0.5}, {4096, 0.25}});
+    chain_ = MarkovChain::Drift({64, 512, 4096}, 0.6);
+  }
+
+  void CheckGolden(const std::string& name, StrategyId id) {
+    OptimizeRequest req;
+    req.query = &workload_.query;
+    req.catalog = &workload_.catalog;
+    req.model = &model_;
+    req.memory = &memory_;
+    req.chain = &chain_;
+    OptimizeResult result = optimizer_.Optimize(id, req);
+    PlanDiagnostics diag = ExplainResult(result, workload_.query,
+                                         workload_.catalog, model_, memory_);
+    // Wall time is the one nondeterministic diagnostic; pin it so the
+    // provenance line still renders (with its deterministic counters).
+    diag.optimize_seconds = 0;
+    std::string rendered = diag.ToString();
+    ASSERT_FALSE(rendered.empty());
+
+    std::string path = GoldenPath(name);
+    const char* update = std::getenv("UPDATE_GOLDEN");
+    if (update != nullptr && std::string(update) == "1") {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      ASSERT_TRUE(out.good()) << "cannot write " << path;
+      out << rendered;
+      GTEST_SKIP() << "regenerated " << path;
+    }
+    std::string golden = ReadFile(path);
+    ASSERT_FALSE(golden.empty())
+        << "missing golden file " << path
+        << "; generate it with UPDATE_GOLDEN=1 ctest -R ExplainGolden";
+    EXPECT_EQ(rendered, golden)
+        << "EXPLAIN rendering drifted from " << path
+        << "; if intentional, regenerate with UPDATE_GOLDEN=1 and review "
+           "the diff";
+  }
+
+  Workload workload_;
+  Distribution memory_ = Distribution::PointMass(0);
+  MarkovChain chain_ = MarkovChain::Static({0});
+  CostModel model_;
+  Optimizer optimizer_;
+};
+
+// One case per strategy family: the traditional point-estimate optimizer,
+// the candidate-set heuristics (B subsumes A's shape), the LEC DP family,
+// the multi-parameter family, and the bushy plan space.
+TEST_F(ExplainGoldenTest, Lsc) { CheckGolden("lsc", StrategyId::kLsc); }
+
+TEST_F(ExplainGoldenTest, CandidateFamily) {
+  CheckGolden("algorithm_b", StrategyId::kAlgorithmB);
+}
+
+TEST_F(ExplainGoldenTest, LecStatic) {
+  CheckGolden("lec_static", StrategyId::kLecStatic);
+}
+
+TEST_F(ExplainGoldenTest, MultiParam) {
+  CheckGolden("algorithm_d", StrategyId::kAlgorithmD);
+}
+
+TEST_F(ExplainGoldenTest, Bushy) {
+  CheckGolden("bushy_lec", StrategyId::kBushyLec);
+}
+
+}  // namespace
+}  // namespace lec

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace lec {
 namespace {
 
@@ -123,6 +125,65 @@ TEST(GeneratorTest, RejectsTinyQueries) {
   WorkloadOptions opts;
   opts.num_tables = 1;
   Rng rng(10);
+  EXPECT_THROW(GenerateWorkload(opts, &rng), std::invalid_argument);
+}
+
+TEST(GeneratorValidationTest, RejectsInvertedPageRange) {
+  WorkloadOptions opts;
+  opts.min_pages = 5000;
+  opts.max_pages = 50;
+  Rng rng(11);
+  EXPECT_THROW(GenerateWorkload(opts, &rng), std::invalid_argument);
+  opts.min_pages = 0;  // log-uniform needs a positive lower bound
+  opts.max_pages = 50;
+  EXPECT_THROW(GenerateWorkload(opts, &rng), std::invalid_argument);
+}
+
+TEST(GeneratorValidationTest, RejectsInvertedSelectivityRange) {
+  WorkloadOptions opts;
+  opts.min_selectivity = 1e-3;
+  opts.max_selectivity = 1e-6;
+  Rng rng(12);
+  EXPECT_THROW(GenerateWorkload(opts, &rng), std::invalid_argument);
+  opts.min_selectivity = -1e-6;
+  opts.max_selectivity = 1e-3;
+  EXPECT_THROW(GenerateWorkload(opts, &rng), std::invalid_argument);
+}
+
+TEST(GeneratorValidationTest, RejectsSubUnitOrNanSpreads) {
+  Rng rng(13);
+  WorkloadOptions opts;
+  opts.selectivity_spread = 0.5;  // spreads are multiplicative, >= 1
+  EXPECT_THROW(GenerateWorkload(opts, &rng), std::invalid_argument);
+  opts.selectivity_spread = 1.0;
+  opts.table_size_spread = -2.0;
+  EXPECT_THROW(GenerateWorkload(opts, &rng), std::invalid_argument);
+  opts.table_size_spread = std::nan("");
+  EXPECT_THROW(GenerateWorkload(opts, &rng), std::invalid_argument);
+}
+
+TEST(GeneratorValidationTest, RejectsExtraEdgesOnNonRandomShapes) {
+  Rng rng(14);
+  WorkloadOptions opts;
+  opts.extra_edges = 2;
+  for (JoinGraphShape shape :
+       {JoinGraphShape::kChain, JoinGraphShape::kStar, JoinGraphShape::kCycle,
+        JoinGraphShape::kClique}) {
+    opts.shape = shape;
+    EXPECT_THROW(GenerateWorkload(opts, &rng), std::invalid_argument);
+  }
+  opts.shape = JoinGraphShape::kRandom;  // the one shape that consumes them
+  EXPECT_NO_THROW(GenerateWorkload(opts, &rng));
+  opts.extra_edges = -1;
+  EXPECT_THROW(GenerateWorkload(opts, &rng), std::invalid_argument);
+}
+
+TEST(GeneratorValidationTest, RejectsOutOfRangeOrderByProbability) {
+  Rng rng(15);
+  WorkloadOptions opts;
+  opts.order_by_probability = 1.5;
+  EXPECT_THROW(GenerateWorkload(opts, &rng), std::invalid_argument);
+  opts.order_by_probability = -0.1;
   EXPECT_THROW(GenerateWorkload(opts, &rng), std::invalid_argument);
 }
 

@@ -7,6 +7,7 @@
 #include "dist/builders.h"
 #include "optimizer/algorithm_c.h"
 #include "query/generator.h"
+#include "verify/tolerance.h"
 
 namespace lec {
 namespace {
@@ -116,6 +117,59 @@ TEST(BatchDriverTest, EcCacheStatsSurface) {
   // Identical objectives either way; the cache only removes duplicate work.
   EXPECT_EQ(plain.objectives, cached.objectives);
   EXPECT_GT(plain.cost_evaluations, cached.cost_evaluations);
+}
+
+TEST(BatchDriverTest, AbCachedScoringWithinDocumentedTolerance) {
+  // Algorithm A/B cached scoring reassociates the EC summation, so the
+  // cache-on/off parity here is the documented relative tolerance from
+  // verify/tolerance.h — never exact equality (that expectation is a
+  // latent flake; Algorithm D's memoization-only guarantee stays bit-exact
+  // in EcCacheStatsSurface above).
+  std::vector<Workload> corpus = MakeCorpus(6);
+  CostModel model;
+  Distribution memory = UniformBuckets(50, 2000, 4);
+  BatchOptions opts;
+  opts.strategy = StrategyId::kAlgorithmA;
+  opts.num_threads = 2;
+  opts.request.model = &model;
+  opts.request.memory = &memory;
+  opts.use_ec_cache = false;
+  BatchReport plain = RunBatch(corpus, opts);
+  opts.use_ec_cache = true;
+  BatchReport cached = RunBatch(corpus, opts);
+  ASSERT_EQ(plain.objectives.size(), cached.objectives.size());
+  for (size_t i = 0; i < plain.objectives.size(); ++i) {
+    EXPECT_LE(
+        verify::RelativeError(plain.objectives[i], cached.objectives[i]),
+        verify::kSummationReassociationRelTol)
+        << "query " << i;
+  }
+  EXPECT_GT(cached.ec_cache_hits, 0u);
+}
+
+TEST(BatchDriverTest, RecordPlansIsThreadInvariant) {
+  std::vector<Workload> corpus = MakeCorpus(9);
+  CostModel model;
+  Distribution memory = UniformBuckets(50, 2000, 4);
+  BatchOptions opts;
+  opts.strategy = StrategyId::kLecStatic;
+  opts.record_plans = true;
+  opts.request.model = &model;
+  opts.request.memory = &memory;
+  opts.num_threads = 1;
+  BatchReport one = RunBatch(corpus, opts);
+  opts.num_threads = 3;
+  BatchReport three = RunBatch(corpus, opts);
+  ASSERT_EQ(one.plans.size(), corpus.size());
+  ASSERT_EQ(three.plans.size(), corpus.size());
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    ASSERT_NE(one.plans[i], nullptr) << "query " << i;
+    EXPECT_TRUE(PlanEquals(one.plans[i], three.plans[i])) << "query " << i;
+  }
+  // Off by default: no plans retained.
+  opts.record_plans = false;
+  BatchReport off = RunBatch(corpus, opts);
+  EXPECT_TRUE(off.plans.empty());
 }
 
 TEST(BatchDriverTest, EmptyWorkload) {

@@ -1,0 +1,144 @@
+// The metamorphic fuzz driver: seed encoding round-trips, the case
+// schedule covers the advertised space, and a seeded campaign across all
+// five shapes and both spread axes runs violation-free.
+#include "verify/fuzz_driver.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace lec::verify {
+namespace {
+
+TEST(FuzzCaseTest, EncodeDecodeRoundTrip) {
+  FuzzCase c;
+  c.seed = 987654321;
+  c.shape = JoinGraphShape::kClique;
+  c.num_tables = 4;
+  c.selectivity_spread = 3.0;
+  c.table_size_spread = 5.0;
+  c.order_by = true;
+  std::string encoded = c.Encode();
+  EXPECT_EQ(encoded, "f1:clique:4:987654321:3:5:1");
+  auto decoded = FuzzCase::Decode(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->seed, c.seed);
+  EXPECT_EQ(decoded->shape, c.shape);
+  EXPECT_EQ(decoded->num_tables, c.num_tables);
+  EXPECT_DOUBLE_EQ(decoded->selectivity_spread, c.selectivity_spread);
+  EXPECT_DOUBLE_EQ(decoded->table_size_spread, c.table_size_spread);
+  EXPECT_EQ(decoded->order_by, c.order_by);
+  // And the schedule's own cases round-trip too.
+  for (int round = 0; round < 10; ++round) {
+    FuzzCase scheduled = CaseForRound(42, round);
+    auto back = FuzzCase::Decode(scheduled.Encode());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->Encode(), scheduled.Encode());
+  }
+}
+
+TEST(FuzzCaseTest, DecodeRejectsMalformedSeeds) {
+  EXPECT_FALSE(FuzzCase::Decode("").has_value());
+  EXPECT_FALSE(FuzzCase::Decode("f2:chain:4:1:1:1:0").has_value());  // ver
+  EXPECT_FALSE(FuzzCase::Decode("f1:triangle:4:1:1:1:0").has_value());
+  EXPECT_FALSE(FuzzCase::Decode("f1:chain:4:1:1:1").has_value());  // short
+  EXPECT_FALSE(
+      FuzzCase::Decode("f1:chain:4:1:1:1:0:9").has_value());  // trailing
+  EXPECT_FALSE(FuzzCase::Decode("f1:chain:x:1:1:1:0").has_value());
+  EXPECT_FALSE(FuzzCase::Decode("f1:chain:1:1:1:1:0").has_value());  // n<2
+  EXPECT_FALSE(
+      FuzzCase::Decode("f1:chain:4:1:0.5:1:0").has_value());  // spread<1
+  // Trailing junk in a numeric field is malformed, not a prefix-parse.
+  EXPECT_FALSE(FuzzCase::Decode("f1:chain:4junk:1:1:1:0").has_value());
+  EXPECT_FALSE(FuzzCase::Decode("f1:chain:4:1:3.0abc:1:0").has_value());
+  EXPECT_FALSE(FuzzCase::Decode("f1:chain:4:1:1:1:0x").has_value());
+  // Above the exhaustive-oracle ceiling: reject at decode rather than
+  // aborting mid-replay.
+  EXPECT_FALSE(FuzzCase::Decode("f1:chain:9:1:1:1:0").has_value());
+  EXPECT_TRUE(FuzzCase::Decode("f1:chain:8:1:1:1:0").has_value());
+  // Non-finite spreads and stoull's negative-wraparound seeds are
+  // malformed, not silently-different worlds.
+  EXPECT_FALSE(FuzzCase::Decode("f1:chain:4:1:nan:1:0").has_value());
+  EXPECT_FALSE(FuzzCase::Decode("f1:chain:4:1:inf:1:0").has_value());
+  EXPECT_FALSE(FuzzCase::Decode("f1:chain:4:-1:1:1:0").has_value());
+}
+
+TEST(FuzzCaseTest, EncodeRoundTripsNonShortDecimalSpreads) {
+  // The seed format must replay the exact world: a spread that is not a
+  // short decimal has to survive Encode/Decode bit-for-bit.
+  FuzzCase c;
+  c.selectivity_spread = 1.0000000123;
+  c.table_size_spread = 2.7182818284590452;
+  auto back = FuzzCase::Decode(c.Encode());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->selectivity_spread, c.selectivity_spread);
+  EXPECT_EQ(back->table_size_spread, c.table_size_spread);
+}
+
+TEST(FuzzScheduleTest, CoversShapesSpreadsAndOrderBy) {
+  std::set<JoinGraphShape> shapes;
+  bool sel_spread_seen = false;
+  bool size_spread_seen = false;
+  bool order_by_seen = false;
+  bool no_order_by_seen = false;
+  for (int round = 0; round < 40; ++round) {
+    FuzzCase c = CaseForRound(20260729, round);
+    shapes.insert(c.shape);
+    sel_spread_seen |= c.selectivity_spread > 1.0;
+    size_spread_seen |= c.table_size_spread > 1.0;
+    order_by_seen |= c.order_by;
+    no_order_by_seen |= !c.order_by;
+    EXPECT_GE(c.num_tables, 3);
+    EXPECT_LE(c.num_tables, 6);
+  }
+  EXPECT_EQ(shapes.size(), 5u);  // all five JoinGraphShapes
+  EXPECT_TRUE(sel_spread_seen);
+  EXPECT_TRUE(size_spread_seen);
+  EXPECT_TRUE(order_by_seen);
+  EXPECT_TRUE(no_order_by_seen);
+  // The schedule is a pure function of (base_seed, round).
+  EXPECT_EQ(CaseForRound(7, 3).Encode(), CaseForRound(7, 3).Encode());
+}
+
+TEST(FuzzDriverTest, SeededCampaignRunsClean) {
+  FuzzOptions options;
+  options.rounds = 15;
+  options.base_seed = 20260729;
+  options.mc_samples = 150;
+  FuzzReport report = RunFuzz(options);
+  EXPECT_EQ(report.rounds_run, 15);
+  EXPECT_GT(report.invariants_checked, 200u);
+  for (const FuzzViolation& v : report.violations) {
+    ADD_FAILURE() << v.invariant << " on " << v.fuzz_case.Encode() << ": "
+                  << v.detail;
+  }
+}
+
+TEST(FuzzDriverTest, CheckCaseIsDeterministic) {
+  FuzzCase c = CaseForRound(99, 2);
+  FuzzOptions options;
+  options.mc_samples = 150;
+  size_t checked_a = 0;
+  size_t checked_b = 0;
+  std::vector<FuzzViolation> a = CheckCase(c, options, &checked_a);
+  std::vector<FuzzViolation> b = CheckCase(c, options, &checked_b);
+  EXPECT_EQ(checked_a, checked_b);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_TRUE(a.empty()) << a.front().invariant << ": " << a.front().detail;
+}
+
+TEST(FuzzDriverTest, McInvariantCanBeDisabled) {
+  FuzzCase c = CaseForRound(5, 0);
+  FuzzOptions with_mc;
+  with_mc.mc_samples = 150;
+  FuzzOptions without_mc;
+  without_mc.check_mc = false;
+  size_t with = 0;
+  size_t without = 0;
+  CheckCase(c, with_mc, &with);
+  CheckCase(c, without_mc, &without);
+  EXPECT_GT(with, without);  // the MC checks really ran
+}
+
+}  // namespace
+}  // namespace lec::verify

@@ -1,0 +1,213 @@
+// Monte-Carlo ground-truthing: CLT intervals must cover the analytic EC in
+// every regime where the analytic computation is exact, the exact joint
+// enumeration must agree with the cheaper evaluators where they coincide,
+// and the engine replay must be deterministic and sane.
+#include "verify/mc_validator.h"
+
+#include <gtest/gtest.h>
+
+#include "dist/builders.h"
+#include "optimizer/algorithm_c.h"
+#include "optimizer/system_r.h"
+#include "query/generator.h"
+#include "verify/tolerance.h"
+
+namespace lec::verify {
+namespace {
+
+Workload MakeWorkload(uint64_t seed, int tables, JoinGraphShape shape,
+                      double sel_spread = 1.0, double size_spread = 1.0) {
+  Rng rng(seed);
+  WorkloadOptions wopts;
+  wopts.num_tables = tables;
+  wopts.shape = shape;
+  wopts.selectivity_spread = sel_spread;
+  wopts.table_size_spread = size_spread;
+  wopts.order_by_probability = 0.5;
+  return GenerateWorkload(wopts, &rng);
+}
+
+TEST(ZForConfidenceTest, KnownQuantilesAndRejection) {
+  EXPECT_NEAR(ZForConfidence(0.95), 1.96, 1e-3);
+  EXPECT_NEAR(ZForConfidence(0.99), 2.5758, 1e-3);
+  EXPECT_GT(ZForConfidence(0.999), ZForConfidence(0.99));
+  EXPECT_THROW(ZForConfidence(0.5), std::invalid_argument);
+  EXPECT_THROW(ZForConfidence(1.0), std::invalid_argument);
+}
+
+TEST(McValidatorTest, StaticCiCoversAnalyticEc) {
+  CostModel model;
+  Distribution memory = UniformBuckets(50, 2000, 4);
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    Workload w = MakeWorkload(seed, 4, JoinGraphShape::kChain);
+    PlanPtr plan = OptimizeLecStatic(w.query, w.catalog, model, memory).plan;
+    McOptions mc;
+    mc.samples = 3000;
+    mc.seed = 100 + seed;
+    CiResult ci = ValidatePlanEc(plan, w.query, w.catalog, model, memory, mc);
+    EXPECT_TRUE(ci.Covers())
+        << "seed " << seed << ": analytic " << ci.analytic_ec << " outside ["
+        << ci.ci_lo() << ", " << ci.ci_hi() << "]";
+    EXPECT_EQ(ci.samples, 3000u);
+    EXPECT_DOUBLE_EQ(ci.confidence, 0.99);
+    EXPECT_GT(ci.analytic_ec, 0);
+  }
+}
+
+TEST(McValidatorTest, DynamicCiCoversAnalyticEc) {
+  CostModel model;
+  Distribution memory({{80, 0.5}, {900, 0.5}});
+  MarkovChain chain = MarkovChain::Drift({80, 900}, 0.6);
+  for (uint64_t seed : {5u, 6u, 7u}) {
+    Workload w = MakeWorkload(seed, 4, JoinGraphShape::kStar);
+    PlanPtr plan = OptimizeLecStatic(w.query, w.catalog, model, memory).plan;
+    McOptions mc;
+    mc.samples = 3000;
+    mc.seed = 200 + seed;
+    mc.chain = &chain;
+    CiResult ci = ValidatePlanEc(plan, w.query, w.catalog, model, memory, mc);
+    EXPECT_TRUE(ci.Covers())
+        << "seed " << seed << ": analytic " << ci.analytic_ec << " outside ["
+        << ci.ci_lo() << ", " << ci.ci_hi() << "]";
+  }
+}
+
+TEST(McValidatorTest, MultiParamCiCoversExactJointEc) {
+  CostModel model;
+  Distribution memory({{60, 0.4}, {700, 0.6}});
+  Workload w = MakeWorkload(8, 3, JoinGraphShape::kChain, 3.0, 2.0);
+  PlanPtr plan = OptimizeLecStatic(w.query, w.catalog, model, memory).plan;
+  McOptions mc;
+  mc.samples = 4000;
+  mc.seed = 300;
+  mc.sample_data_parameters = true;
+  CiResult ci = ValidatePlanEc(plan, w.query, w.catalog, model, memory, mc);
+  EXPECT_TRUE(ci.Covers())
+      << "analytic " << ci.analytic_ec << " outside [" << ci.ci_lo() << ", "
+      << ci.ci_hi() << "]";
+  // The reference really is the joint enumeration.
+  EXPECT_DOUBLE_EQ(ci.analytic_ec,
+                   ExactMultiParamEc(plan, w.query, w.catalog, model,
+                                     memory));
+}
+
+TEST(McValidatorTest, RejectsDynamicPlusDataSampling) {
+  CostModel model;
+  Distribution memory({{80, 0.5}, {900, 0.5}});
+  MarkovChain chain = MarkovChain::Drift({80, 900}, 0.6);
+  Workload w = MakeWorkload(9, 3, JoinGraphShape::kChain);
+  PlanPtr plan = OptimizeLsc(w.query, w.catalog, model, 80).plan;
+  McOptions mc;
+  mc.chain = &chain;
+  mc.sample_data_parameters = true;
+  EXPECT_THROW(ValidatePlanEc(plan, w.query, w.catalog, model, memory, mc),
+               std::invalid_argument);
+  McOptions too_few;
+  too_few.samples = 1;
+  EXPECT_THROW(
+      ValidatePlanEc(plan, w.query, w.catalog, model, memory, too_few),
+      std::invalid_argument);
+}
+
+TEST(McValidatorTest, PointMassEnvironmentIsExact) {
+  CostModel model;
+  Distribution memory = Distribution::PointMass(500);
+  Workload w = MakeWorkload(10, 4, JoinGraphShape::kCycle);
+  PlanPtr plan = OptimizeLsc(w.query, w.catalog, model, 500).plan;
+  McOptions mc;
+  mc.samples = 50;
+  CiResult ci = ValidatePlanEc(plan, w.query, w.catalog, model, memory, mc);
+  EXPECT_DOUBLE_EQ(ci.sample_stddev, 0.0);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+  EXPECT_DOUBLE_EQ(ci.empirical_mean, ci.analytic_ec);
+  EXPECT_TRUE(ci.Covers());
+}
+
+TEST(McValidatorTest, DeterministicGivenSeedAndTighterWithMoreSamples) {
+  CostModel model;
+  Distribution memory = UniformBuckets(5, 5000, 6);
+  Workload w = MakeWorkload(11, 4, JoinGraphShape::kChain);
+  // The LSC plan, not the LEC one: the LEC optimum often hedges into a
+  // memory-flat plan (zero cost variance), which would make the interval
+  // degenerate; a point-estimate plan straddles cost regimes.
+  PlanPtr plan = OptimizeLsc(w.query, w.catalog, model, memory.Mean()).plan;
+  McOptions mc;
+  mc.samples = 1000;
+  mc.seed = 42;
+  CiResult a = ValidatePlanEc(plan, w.query, w.catalog, model, memory, mc);
+  CiResult b = ValidatePlanEc(plan, w.query, w.catalog, model, memory, mc);
+  ASSERT_GT(a.half_width, 0.0);
+  EXPECT_DOUBLE_EQ(a.empirical_mean, b.empirical_mean);
+  EXPECT_DOUBLE_EQ(a.half_width, b.half_width);
+  // 16x the samples shrinks the interval roughly 4x; allow slack for the
+  // sample-stddev estimate moving.
+  mc.samples = 16000;
+  CiResult big = ValidatePlanEc(plan, w.query, w.catalog, model, memory, mc);
+  EXPECT_LT(big.half_width, 0.5 * a.half_width);
+}
+
+TEST(McValidatorTest, ExactJointEcReducesToStaticWhenDataIsCertain) {
+  CostModel model;
+  Distribution memory = UniformBuckets(50, 2000, 4);
+  Workload w = MakeWorkload(12, 4, JoinGraphShape::kChain);  // spreads = 1
+  PlanPtr plan = OptimizeLecStatic(w.query, w.catalog, model, memory).plan;
+  double joint = ExactMultiParamEc(plan, w.query, w.catalog, model, memory);
+  double static_ec =
+      PlanExpectedCostStatic(plan, w.query, w.catalog, model, memory);
+  EXPECT_LE(RelativeError(joint, static_ec), kSummationReassociationRelTol);
+}
+
+TEST(McValidatorTest, ExactJointEcRefusesHugeSupports) {
+  CostModel model;
+  Distribution memory = UniformBuckets(50, 2000, 4);
+  Workload w = MakeWorkload(13, 5, JoinGraphShape::kClique, 3.0, 3.0);
+  PlanPtr plan = OptimizeLecStatic(w.query, w.catalog, model, memory).plan;
+  EXPECT_THROW(ExactMultiParamEc(plan, w.query, w.catalog, model, memory,
+                                 /*max_combinations=*/1000),
+               std::invalid_argument);
+}
+
+TEST(EngineReplayTest, DeterministicAndSane) {
+  // Small chain query with a scaled-down catalog so the engine run is fast.
+  Catalog catalog;
+  catalog.AddTable("A", 60);
+  catalog.AddTable("B", 40);
+  catalog.AddTable("C", 30);
+  Query q;
+  q.AddTable(0);
+  q.AddTable(1);
+  q.AddTable(2);
+  q.AddPredicate(0, 1, 2e-4);
+  q.AddPredicate(1, 2, 3e-4);
+  CostModel model;
+  Distribution memory({{8, 0.5}, {64, 0.5}});
+  PlanPtr plan = OptimizeLsc(q, catalog, model, 32).plan;
+
+  Rng data_rng(7);
+  EngineReplay replay(q, catalog, &data_rng);
+  Rng mc_rng(8);
+  EngineReplayStats stats = replay.Replay(plan, q, memory, nullptr, 20,
+                                          &mc_rng);
+  EXPECT_EQ(stats.trials, 20u);
+  EXPECT_GT(stats.mean_io, 0);
+  EXPECT_LE(stats.min_io, stats.mean_io);
+  EXPECT_GE(stats.max_io, stats.mean_io);
+
+  Rng mc_rng2(8);
+  EngineReplayStats again = replay.Replay(plan, q, memory, nullptr, 20,
+                                          &mc_rng2);
+  EXPECT_DOUBLE_EQ(stats.mean_io, again.mean_io);
+  EXPECT_DOUBLE_EQ(stats.stddev_io, again.stddev_io);
+
+  // Markov trajectories work too, and a two-point memory really produces
+  // I/O variation across trials.
+  MarkovChain chain = MarkovChain::Drift({8, 64}, 0.5);
+  Rng mc_rng3(9);
+  EngineReplayStats dyn = replay.Replay(plan, q, memory, &chain, 20,
+                                        &mc_rng3);
+  EXPECT_GT(dyn.mean_io, 0);
+  EXPECT_GT(stats.stddev_io, 0);
+}
+
+}  // namespace
+}  // namespace lec::verify

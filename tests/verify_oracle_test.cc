@@ -1,0 +1,253 @@
+// The exhaustive plan-space oracle: the exact DP families must land on its
+// optimum (Theorems 2.1/3.3/3.4 by brute force), every strategy's plan
+// must score inside the spectrum, and the spectrum itself must be
+// well-formed.
+#include "verify/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/expected_cost.h"
+#include "optimizer/bushy.h"
+#include "optimizer/optimizer.h"
+#include "query/generator.h"
+#include "verify/tolerance.h"
+
+namespace lec::verify {
+namespace {
+
+struct Corpus {
+  std::vector<Workload> workloads;
+  Distribution memory = Distribution::PointMass(0);
+  MarkovChain chain = MarkovChain::Static({0});
+  CostModel model;
+};
+
+Corpus MakeCorpus() {
+  Corpus c;
+  Rng rng(515);
+  const struct {
+    JoinGraphShape shape;
+    int tables;
+  } specs[] = {
+      {JoinGraphShape::kChain, 5},  {JoinGraphShape::kStar, 4},
+      {JoinGraphShape::kCycle, 4},  {JoinGraphShape::kClique, 4},
+      {JoinGraphShape::kRandom, 5},
+  };
+  for (const auto& spec : specs) {
+    WorkloadOptions wopts;
+    wopts.num_tables = spec.tables;
+    wopts.shape = spec.shape;
+    wopts.order_by_probability = 0.5;
+    wopts.selectivity_spread = 3.0;
+    wopts.table_size_spread = 2.0;
+    c.workloads.push_back(GenerateWorkload(wopts, &rng));
+  }
+  c.memory = Distribution({{60, 0.3}, {400, 0.4}, {2500, 0.3}});
+  c.chain = MarkovChain::Drift({60, 400, 2500}, 0.5);
+  return c;
+}
+
+TEST(OracleTest, ExactDpFamiliesHitTheOptimum) {
+  Corpus c = MakeCorpus();
+  Optimizer optimizer;
+  for (const Workload& w : c.workloads) {
+    OptimizeRequest req;
+    req.query = &w.query;
+    req.catalog = &w.catalog;
+    req.model = &c.model;
+    req.memory = &c.memory;
+    req.chain = &c.chain;
+
+    OracleOptions oopt;
+    oopt.objective = OracleObjective::kLscAtMean;
+    OracleResult lsc_oracle =
+        SolveOracle(w.query, w.catalog, c.model, c.memory, oopt);
+    OptimizeResult lsc = optimizer.Optimize(StrategyId::kLsc, req);
+    EXPECT_TRUE(ApproxEqual(lsc.objective, lsc_oracle.best_objective,
+                            kOracleRelTol));
+
+    oopt.objective = OracleObjective::kLecStatic;
+    OracleResult lec_oracle =
+        SolveOracle(w.query, w.catalog, c.model, c.memory, oopt);
+    OptimizeResult lec = optimizer.Optimize(StrategyId::kLecStatic, req);
+    EXPECT_TRUE(ApproxEqual(lec.objective, lec_oracle.best_objective,
+                            kOracleRelTol));
+    // The oracle's chosen plan is as good as the DP's.
+    EXPECT_TRUE(ApproxEqual(
+        OraclePlanObjective(lec_oracle.best_plan, w.query, w.catalog,
+                            c.model, c.memory, oopt),
+        lec.objective, kOracleRelTol));
+
+    oopt.objective = OracleObjective::kLecDynamic;
+    oopt.chain = &c.chain;
+    OracleResult dyn_oracle =
+        SolveOracle(w.query, w.catalog, c.model, c.memory, oopt);
+    OptimizeResult dyn = optimizer.Optimize(StrategyId::kLecDynamic, req);
+    EXPECT_TRUE(ApproxEqual(dyn.objective, dyn_oracle.best_objective,
+                            kOracleRelTol));
+  }
+}
+
+TEST(OracleTest, SpectrumIsWellFormed) {
+  Corpus c = MakeCorpus();
+  const Workload& w = c.workloads[0];
+  OracleOptions oopt;
+  OracleResult oracle =
+      SolveOracle(w.query, w.catalog, c.model, c.memory, oopt);
+  ASSERT_GT(oracle.plans_enumerated, 1u);
+  ASSERT_EQ(oracle.spectrum.size(), oracle.plans_enumerated);
+  EXPECT_TRUE(std::is_sorted(oracle.spectrum.begin(), oracle.spectrum.end()));
+  EXPECT_DOUBLE_EQ(oracle.spectrum.front(), oracle.best_objective);
+  EXPECT_DOUBLE_EQ(oracle.spectrum.back(), oracle.worst_objective);
+  EXPECT_DOUBLE_EQ(oracle.Regret(oracle.best_objective), 0.0);
+  EXPECT_DOUBLE_EQ(oracle.NormalizedRegret(oracle.best_objective), 0.0);
+  EXPECT_DOUBLE_EQ(oracle.NormalizedRegret(oracle.worst_objective), 1.0);
+  ASSERT_NE(oracle.best_plan, nullptr);
+}
+
+TEST(OracleTest, EveryStrategyScoresInsideTheSpectrum) {
+  Corpus c = MakeCorpus();
+  Optimizer optimizer;
+  const Workload& w = c.workloads[0];  // chain: every strategy supports it
+  OptimizeRequest req;
+  req.query = &w.query;
+  req.catalog = &w.catalog;
+  req.model = &c.model;
+  req.memory = &c.memory;
+  req.chain = &c.chain;
+
+  OracleOptions left_deep;
+  left_deep.objective = OracleObjective::kLecStatic;
+  OracleResult oracle =
+      SolveOracle(w.query, w.catalog, c.model, c.memory, left_deep);
+  OracleOptions bushy = left_deep;
+  bushy.include_bushy = true;
+  OracleResult bushy_oracle =
+      SolveOracle(w.query, w.catalog, c.model, c.memory, bushy);
+  // Bushy space contains left-deep, so its optimum can only be better.
+  EXPECT_LE(bushy_oracle.best_objective,
+            oracle.best_objective * (1 + kOracleRelTol));
+  EXPECT_GT(bushy_oracle.plans_enumerated, oracle.plans_enumerated);
+
+  for (StrategyId id : AllStrategies()) {
+    OptimizeResult r = optimizer.Optimize(id, req);
+    // Bushy strategies may legitimately beat the left-deep optimum; grade
+    // them against the bushy oracle instead.
+    bool is_bushy =
+        id == StrategyId::kBushyLsc || id == StrategyId::kBushyLec;
+    const OracleResult& ref = is_bushy ? bushy_oracle : oracle;
+    double ec = OraclePlanObjective(r.plan, w.query, w.catalog, c.model,
+                                    c.memory, left_deep);
+    EXPECT_TRUE(NoBetterThan(ec, ref.best_objective))
+        << StrategyName(id) << ": " << ec << " vs " << ref.best_objective;
+    EXPECT_LE(ec, ref.worst_objective * (1 + kOracleRelTol))
+        << StrategyName(id);
+  }
+}
+
+TEST(OracleTest, BushyDpMatchesBushyOracle) {
+  Corpus c = MakeCorpus();
+  for (const Workload& w : c.workloads) {
+    OracleOptions oopt;
+    oopt.include_bushy = true;
+    oopt.objective = OracleObjective::kLecStatic;
+    OracleResult oracle =
+        SolveOracle(w.query, w.catalog, c.model, c.memory, oopt);
+    OptimizeResult dp =
+        OptimizeBushyLec(w.query, w.catalog, c.model, c.memory);
+    EXPECT_TRUE(
+        ApproxEqual(dp.objective, oracle.best_objective, kOracleRelTol));
+  }
+}
+
+TEST(OracleTest, DynamicWithIdentityChainEqualsStatic) {
+  Corpus c = MakeCorpus();
+  const Workload& w = c.workloads[1];
+  std::vector<double> states;
+  for (const Bucket& b : c.memory.buckets()) states.push_back(b.value);
+  MarkovChain identity = MarkovChain::Static(states);
+  OracleOptions dyn;
+  dyn.objective = OracleObjective::kLecDynamic;
+  dyn.chain = &identity;
+  OracleOptions stat;
+  stat.objective = OracleObjective::kLecStatic;
+  OracleResult dyn_oracle =
+      SolveOracle(w.query, w.catalog, c.model, c.memory, dyn);
+  OracleResult stat_oracle =
+      SolveOracle(w.query, w.catalog, c.model, c.memory, stat);
+  EXPECT_TRUE(ApproxEqual(dyn_oracle.best_objective,
+                          stat_oracle.best_objective, kOracleRelTol));
+}
+
+TEST(OracleTest, MultiParamObjectiveMatchesPlanWalk) {
+  Corpus c = MakeCorpus();
+  const Workload& w = c.workloads[3];  // clique with both spread axes
+  OracleOptions oopt;
+  oopt.objective = OracleObjective::kMultiParam;
+  oopt.size_buckets = 27;
+  OracleResult oracle =
+      SolveOracle(w.query, w.catalog, c.model, c.memory, oopt);
+  EXPECT_DOUBLE_EQ(
+      oracle.best_objective,
+      PlanExpectedCostMultiParam(oracle.best_plan, w.query, w.catalog,
+                                 c.model, c.memory, 27));
+}
+
+TEST(OracleTest, RefusesOversizedQueriesAndMissingChain) {
+  Rng rng(99);
+  WorkloadOptions wopts;
+  wopts.num_tables = 9;  // above the default max_tables = 8
+  Workload big = GenerateWorkload(wopts, &rng);
+  CostModel model;
+  Distribution memory = Distribution::PointMass(500);
+  OracleOptions oopt;
+  EXPECT_THROW(SolveOracle(big.query, big.catalog, model, memory, oopt),
+               std::invalid_argument);
+
+  wopts.num_tables = 3;
+  Workload small = GenerateWorkload(wopts, &rng);
+  oopt.objective = OracleObjective::kLecDynamic;  // no chain supplied
+  EXPECT_THROW(SolveOracle(small.query, small.catalog, model, memory, oopt),
+               std::invalid_argument);
+}
+
+TEST(OracleTest, ManySolvesMatchSingleSolvesOverOnePass) {
+  Corpus c = MakeCorpus();
+  const Workload& w = c.workloads[2];
+  OracleOptions stat;
+  stat.objective = OracleObjective::kLecStatic;
+  OracleOptions lsc = stat;
+  lsc.objective = OracleObjective::kLscAtMean;
+  lsc.collect_spectrum = false;
+  std::vector<OracleResult> many =
+      SolveOracleMany(w.query, w.catalog, c.model, c.memory, {stat, lsc});
+  OracleResult stat_single =
+      SolveOracle(w.query, w.catalog, c.model, c.memory, stat);
+  OracleResult lsc_single =
+      SolveOracle(w.query, w.catalog, c.model, c.memory, lsc);
+  EXPECT_DOUBLE_EQ(many[0].best_objective, stat_single.best_objective);
+  EXPECT_DOUBLE_EQ(many[0].worst_objective, stat_single.worst_objective);
+  EXPECT_EQ(many[0].spectrum, stat_single.spectrum);
+  EXPECT_DOUBLE_EQ(many[1].best_objective, lsc_single.best_objective);
+  // collect_spectrum off: best/worst still exact, spectrum skipped.
+  EXPECT_TRUE(many[1].spectrum.empty());
+  EXPECT_EQ(many[1].plans_enumerated, many[0].plans_enumerated);
+  // Mismatched plan spaces are refused.
+  OracleOptions bushy = stat;
+  bushy.include_bushy = true;
+  EXPECT_THROW(
+      SolveOracleMany(w.query, w.catalog, c.model, c.memory, {stat, bushy}),
+      std::invalid_argument);
+  EXPECT_THROW(SolveOracleMany(w.query, w.catalog, c.model, c.memory, {}),
+               std::invalid_argument);
+}
+
+TEST(OracleTest, ObjectiveNamesAreStable) {
+  EXPECT_STREQ(ToString(OracleObjective::kLscAtMean), "lsc_at_mean");
+  EXPECT_STREQ(ToString(OracleObjective::kLecStatic), "lec_static");
+  EXPECT_STREQ(ToString(OracleObjective::kLecDynamic), "lec_dynamic");
+  EXPECT_STREQ(ToString(OracleObjective::kMultiParam), "multi_param");
+}
+
+}  // namespace
+}  // namespace lec::verify

@@ -1,0 +1,106 @@
+// The documented FP comparison policy (verify/tolerance.h): helper
+// semantics, plus the regression test pinning the A/B cached-scoring
+// reassociation tolerance — the pair of computations that must never be
+// compared bit-for-bit (the cached walk sums per-operator ECs, the plain
+// walk sums per-bucket plan costs; equal in exact arithmetic only).
+#include "verify/tolerance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "cost/ec_cache.h"
+#include "cost/expected_cost.h"
+#include "dist/builders.h"
+#include "optimizer/algorithm_a.h"
+#include "optimizer/algorithm_b.h"
+#include "query/generator.h"
+
+namespace lec::verify {
+namespace {
+
+TEST(ToleranceTest, UlpDistanceBasics) {
+  EXPECT_EQ(UlpDistance(1.0, 1.0), 0u);
+  double next = std::nextafter(1.0, 2.0);
+  EXPECT_EQ(UlpDistance(1.0, next), 1u);
+  EXPECT_EQ(UlpDistance(next, 1.0), 1u);
+  EXPECT_EQ(UlpDistance(-1.0, std::nextafter(-1.0, -2.0)), 1u);
+  // Zero equals itself regardless of sign.
+  EXPECT_EQ(UlpDistance(0.0, -0.0), 0u);
+  // NaN and opposite-sign pairs are "infinitely" far.
+  constexpr uint64_t kFar = std::numeric_limits<uint64_t>::max();
+  EXPECT_EQ(UlpDistance(std::nan(""), 1.0), kFar);
+  EXPECT_EQ(UlpDistance(-1.0, 1.0), kFar);
+}
+
+TEST(ToleranceTest, RelativeErrorHasAbsoluteFloor) {
+  // Large magnitudes: plain relative error.
+  EXPECT_DOUBLE_EQ(RelativeError(200.0, 100.0), 0.5);
+  // Near zero the floor of 1 stops the ratio from exploding.
+  EXPECT_DOUBLE_EQ(RelativeError(1e-12, 0.0), 1e-12);
+}
+
+TEST(ToleranceTest, ApproxEqualAndNoBetterThan) {
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(ApproxEqual(1.0, 1.001));
+  double inf = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(ApproxEqual(inf, inf));
+  EXPECT_FALSE(ApproxEqual(inf, 1.0));
+  // NoBetterThan: candidate may exceed or equal the reference, and may dip
+  // below only within the tolerance.
+  EXPECT_TRUE(NoBetterThan(101.0, 100.0));
+  EXPECT_TRUE(NoBetterThan(100.0, 100.0));
+  EXPECT_TRUE(NoBetterThan(100.0 - 1e-8, 100.0));
+  EXPECT_FALSE(NoBetterThan(99.0, 100.0));
+}
+
+TEST(ToleranceTest, PinsTheDocumentedTolerances) {
+  // These constants are part of the verification contract: loosening them
+  // must be a reviewed decision, not a drive-by edit. See
+  // verify/tolerance.h for the derivation.
+  EXPECT_EQ(kSummationReassociationRelTol, 1e-9);
+  EXPECT_EQ(kOracleRelTol, 1e-9);
+}
+
+// The regression test this policy exists for: Algorithm A and B cached
+// candidate scoring must agree with the uncached walk *within the
+// documented tolerance* across a seeded corpus — and the same plan must be
+// chosen. (An exact-equality expectation here is a latent flake: the two
+// walks associate the same FP sum differently.)
+TEST(ToleranceTest, AbCachedScoringParityAcrossCorpus) {
+  CostModel model;
+  Distribution memory = UniformBuckets(40, 3000, 5);
+  Rng rng(2026);
+  for (int i = 0; i < 6; ++i) {
+    WorkloadOptions wopts;
+    wopts.num_tables = 4 + i % 2;
+    wopts.shape = i % 2 == 0 ? JoinGraphShape::kChain : JoinGraphShape::kStar;
+    wopts.order_by_probability = 0.5;
+    Workload w = GenerateWorkload(wopts, &rng);
+
+    EcCache cache;
+    OptimizerOptions cached_opts;
+    cached_opts.ec_cache = &cache;
+    OptimizeResult a_plain =
+        OptimizeAlgorithmA(w.query, w.catalog, model, memory);
+    OptimizeResult a_cached =
+        OptimizeAlgorithmA(w.query, w.catalog, model, memory, cached_opts);
+    EXPECT_TRUE(PlanEquals(a_plain.plan, a_cached.plan)) << "A, corpus " << i;
+    EXPECT_LE(RelativeError(a_plain.objective, a_cached.objective),
+              kSummationReassociationRelTol)
+        << "A, corpus " << i;
+
+    OptimizeResult b_plain =
+        OptimizeAlgorithmB(w.query, w.catalog, model, memory, 3);
+    OptimizeResult b_cached = OptimizeAlgorithmB(w.query, w.catalog, model,
+                                                 memory, 3, cached_opts);
+    EXPECT_TRUE(PlanEquals(b_plain.plan, b_cached.plan)) << "B, corpus " << i;
+    EXPECT_LE(RelativeError(b_plain.objective, b_cached.objective),
+              kSummationReassociationRelTol)
+        << "B, corpus " << i;
+  }
+}
+
+}  // namespace
+}  // namespace lec::verify

@@ -1,0 +1,125 @@
+// verify_fuzz — the metamorphic fuzz driver as a standalone binary.
+//
+//   verify_fuzz [--rounds=N] [--seed=S] [--no-mc] [--mc-samples=N]
+//               [--out=FILE]
+//
+// Runs N fuzz rounds (src/verify/fuzz_driver.h) and prints a summary. On
+// any invariant violation the encoded counterexample seeds are printed and
+// appended to --out (default: verify_counterexamples.txt) so CI can upload
+// them as artifacts, and the exit status is 1. Replay one with
+// `verify_repro <seed>`.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "verify/fuzz_driver.h"
+
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] != '=') return false;
+  *value = arg + len + 1;
+  return true;
+}
+
+/// Full-consumption numeric parse: "20260729extra" and "abc" are usage
+/// errors, not silently prefix-parsed campaigns of a different world (the
+/// same contract FuzzCase::Decode applies to seed fields). Digits only:
+/// strtoull accepts a leading '-' and wraps, so "-1" would otherwise pass
+/// as 2^64-1.
+bool ParseUint64(const char* text, uint64_t* out) {
+  if (text[0] < '0' || text[0] > '9') return false;
+  char* end = nullptr;
+  *out = std::strtoull(text, &end, 10);
+  return *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lec::verify::FuzzOptions options;
+  options.rounds = 100;
+  std::string out_path = "verify_counterexamples.txt";
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    uint64_t number = 0;
+    if (ParseFlag(argv[i], "--rounds", &value)) {
+      if (!ParseUint64(value, &number) || number > 1'000'000) {
+        std::fprintf(stderr, "verify_fuzz: bad --rounds value '%s'\n", value);
+        return 2;
+      }
+      options.rounds = static_cast<int>(number);
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      if (!ParseUint64(value, &number)) {
+        std::fprintf(stderr, "verify_fuzz: bad --seed value '%s'\n", value);
+        return 2;
+      }
+      options.base_seed = number;
+    } else if (ParseFlag(argv[i], "--mc-samples", &value)) {
+      if (!ParseUint64(value, &number) || number > 100'000'000) {
+        std::fprintf(stderr, "verify_fuzz: bad --mc-samples value '%s'\n",
+                     value);
+        return 2;
+      }
+      options.mc_samples = static_cast<size_t>(number);
+    } else if (ParseFlag(argv[i], "--out", &value)) {
+      out_path = value;
+    } else if (std::strcmp(argv[i], "--no-mc") == 0) {
+      options.check_mc = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: verify_fuzz [--rounds=N] [--seed=S] [--no-mc] "
+                   "[--mc-samples=N] [--out=FILE]\n");
+      return 2;
+    }
+  }
+  if (options.rounds <= 0) {
+    std::fprintf(stderr, "verify_fuzz: --rounds must be positive\n");
+    return 2;
+  }
+  if (options.mc_samples < 2) {
+    // The MC validator needs >= 2 samples for a variance estimate; catch
+    // it here as a usage error instead of an uncaught throw mid-campaign.
+    std::fprintf(stderr, "verify_fuzz: --mc-samples must be >= 2\n");
+    return 2;
+  }
+
+  std::printf("verify_fuzz: %d rounds from seed %llu (mc %s)\n",
+              options.rounds,
+              static_cast<unsigned long long>(options.base_seed),
+              options.check_mc ? "on" : "off");
+  lec::verify::FuzzReport report = lec::verify::RunFuzz(options);
+  std::printf("rounds run:         %d\n", report.rounds_run);
+  std::printf("invariants checked: %zu\n", report.invariants_checked);
+  std::printf("violations:         %zu\n", report.violations.size());
+  if (report.violations.empty()) return 0;
+
+  std::set<std::string> seeds;
+  for (const lec::verify::FuzzViolation& v : report.violations) {
+    std::string seed = v.fuzz_case.Encode();
+    std::printf("VIOLATION %s  case %s\n  %s\n", v.invariant.c_str(),
+                seed.c_str(), v.detail.c_str());
+    seeds.insert(seed);
+  }
+  std::ofstream out(out_path, std::ios::app);
+  for (const std::string& seed : seeds) out << seed << "\n";
+  out.flush();
+  if (out.good()) {
+    std::printf("wrote %zu counterexample seed(s) to %s; replay with "
+                "verify_repro <seed>\n",
+                seeds.size(), out_path.c_str());
+  } else {
+    // The seeds are the whole point of a failing campaign — losing them
+    // silently (unwritable path, full disk) must not look like success.
+    std::fprintf(stderr,
+                 "verify_fuzz: FAILED to write counterexample seeds to %s; "
+                 "copy them from the log above\n",
+                 out_path.c_str());
+  }
+  return 1;
+}
