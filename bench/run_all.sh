@@ -56,11 +56,84 @@ for name in "${benches[@]}"; do
   fi
 done
 
+# ---- perf-budget gate (bench/budgets.json) --------------------------------
+# Bench binaries emit machine-readable "BUDGET <metric> <value>" lines —
+# kernel/legacy ratios and steady-state allocation counts, chosen to be
+# stable across hardware (raw ns/op is informational only). The metrics are
+# recorded into the JSON and compared against the blessed values in
+# bench/budgets.json: a metric observed above blessed * 1.25 (a >25%
+# regression) fails the run, so the CI bench smoke gates on performance,
+# not just correctness.
+# Only the .out files of benches that ran THIS invocation: a stale .out
+# from a renamed/removed bench must neither resurrect dead metrics nor
+# fail the gate for a bench that never executed.
+metrics_file="$BUILD_DIR/budget_metrics.txt"
+: > "$metrics_file"
+for name in "${benches[@]}"; do
+  grep -h '^BUDGET ' "$BUILD_DIR/$name.out" 2>/dev/null || true
+done | awk '{print $2, $3}' >> "$metrics_file"
+
+budget_fail=0
+# Integrity of the metrics BEFORE anything is written to the JSON: a
+# non-numeric value (inf/nan from a broken timer) would render the
+# artifact unparseable and be coerced to 0 by the gate's awk — silently
+# passing — and duplicate names would produce duplicate JSON keys. Flag
+# both, then keep only well-formed first occurrences so the uploaded
+# artifact stays valid JSON even when the run fails.
+bad_values=$(awk '$2 !~ /^-?[0-9][0-9.eE+-]*$/ {print $1}' "$metrics_file")
+if [ -n "$bad_values" ]; then
+  echo "!! non-numeric BUDGET value(s): $bad_values"
+  budget_fail=1
+fi
+dup_names=$(awk '{print $1}' "$metrics_file" | sort | uniq -d)
+if [ -n "$dup_names" ]; then
+  echo "!! duplicate BUDGET metric name(s): $dup_names"
+  budget_fail=1
+fi
+awk '$2 ~ /^-?[0-9][0-9.eE+-]*$/ && !seen[$1]++' "$metrics_file" \
+  > "$metrics_file.clean"
+mv "$metrics_file.clean" "$metrics_file"
+
 {
-  echo "  ]"
+  echo "  ],"
+  echo '  "metrics": {'
+  first_m=1
+  while read -r name value; do
+    [ $first_m -eq 0 ] && echo "    ,"
+    first_m=0
+    printf '    "%s": %s\n' "$name" "$value"
+  done < "$metrics_file"
+  echo "  }"
   echo "}"
 } >> "$OUT"
 echo "Wrote $OUT"
-# Nonzero exit when any bench failed, so CI smoke runs actually gate; the
-# JSON above is still written in full either way.
-exit "$any_fail"
+
+if [ -f bench/budgets.json ]; then
+  while read -r name value; do
+    budget=$(grep -o "\"$name\"[[:space:]]*:[[:space:]]*[0-9.eE+-]*" \
+               bench/budgets.json | head -n1 | sed 's/.*://' | tr -d ' ')
+    [ -z "$budget" ] && continue
+    if [ "$(awk -v v="$value" -v b="$budget" \
+             'BEGIN { print (v > b * 1.25 + 1e-12) ? 1 : 0 }')" -eq 1 ]; then
+      echo "!! perf budget exceeded: $name = $value (blessed $budget, +25% allowed)"
+      budget_fail=1
+    fi
+  done < "$metrics_file"
+  # Reverse check: every blessed metric must have been observed this run —
+  # a metric that silently stops being emitted (renamed bench, dropped
+  # EmitBudget call) would otherwise disable its gate with CI still green.
+  while read -r name; do
+    if ! grep -q "^$name " "$metrics_file"; then
+      echo "!! blessed metric never emitted this run: $name"
+      budget_fail=1
+    fi
+  done < <(grep -o '"[A-Za-z0-9_]*"[[:space:]]*:' bench/budgets.json \
+             | sed 's/"//g; s/[[:space:]]*:$//' | grep -v '^_comment$')
+  [ "$budget_fail" -eq 0 ] && echo "perf budgets OK ($(wc -l < "$metrics_file") gated metrics)"
+fi
+
+# Nonzero exit when any bench failed or a perf budget regressed, so CI
+# smoke runs actually gate; the JSON above is still written in full either
+# way.
+[ "$any_fail" -ne 0 ] && exit "$any_fail"
+exit "$budget_fail"

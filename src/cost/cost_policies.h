@@ -63,17 +63,20 @@ struct RealizedCostProvider {
 };
 
 /// Expected cost under one static memory distribution — Algorithm C (§3.4).
+/// Sweeps the memory SoA view directly (AsView is two pointer loads): the
+/// per-candidate loop touches only the flat values/probs arrays.
 struct LecStaticCostProvider {
   const CostModel& model;
   const Distribution& memory;
 
   double JoinCost(JoinMethod m, double left_pages, double right_pages,
                   bool left_sorted, bool right_sorted, int) const {
-    return ExpectedJoinCostFixedSizes(model, m, left_pages, right_pages,
-                                      memory, left_sorted, right_sorted);
+    return ExpectedJoinCostFixedSizesView(model, m, left_pages, right_pages,
+                                          memory.AsView(), left_sorted,
+                                          right_sorted);
   }
   double SortCost(double pages, int) const {
-    return ExpectedSortCostFixedSize(model, pages, memory);
+    return ExpectedSortCostFixedSizeView(model, pages, memory.AsView());
   }
 };
 
@@ -91,12 +94,13 @@ struct LecDynamicCostProvider {
   }
   double JoinCost(JoinMethod m, double left_pages, double right_pages,
                   bool left_sorted, bool right_sorted, int phase_idx) const {
-    return ExpectedJoinCostFixedSizes(model, m, left_pages, right_pages,
-                                      MarginalAt(phase_idx), left_sorted,
-                                      right_sorted);
+    return ExpectedJoinCostFixedSizesView(model, m, left_pages, right_pages,
+                                          MarginalAt(phase_idx).AsView(),
+                                          left_sorted, right_sorted);
   }
   double SortCost(double pages, int phase_idx) const {
-    return ExpectedSortCostFixedSize(model, pages, MarginalAt(phase_idx));
+    return ExpectedSortCostFixedSizeView(model, pages,
+                                         MarginalAt(phase_idx).AsView());
   }
 };
 

@@ -36,31 +36,30 @@ EcCache::Key EcCache::MakeKey(Op op, JoinMethod method, bool left_sorted,
   return key;
 }
 
-std::shared_ptr<const Distribution> EcCache::Intern(const Distribution& d) {
-  std::vector<std::shared_ptr<const Distribution>>& bucket =
-      interned_[d.ContentHash()];
-  for (const std::shared_ptr<const Distribution>& existing : bucket) {
-    if (*existing == d) return existing;
+DistView EcCache::Intern(DistView d, uint64_t hash) {
+  std::vector<DistView>& bucket = interned_[hash];
+  for (const DistView& existing : bucket) {
+    if (ViewEquals(existing, d)) return existing;
   }
-  bucket.push_back(std::make_shared<const Distribution>(d));
+  bucket.push_back(CopyInto(d, &arena_));
   return bucket.back();
 }
 
-const double* EcCache::Find(const Key& key, const Distribution* left,
-                            const Distribution* right, double left_pages,
-                            double right_pages, const Distribution& memory) {
+const double* EcCache::Find(const Key& key, const DistView* left,
+                            const DistView* right, double left_pages,
+                            double right_pages, DistView memory) {
   auto it = map_.find(key);
   if (it == map_.end()) {
     ++stats_.misses;
     return nullptr;
   }
   const Entry& e = it->second;
-  bool match = *e.memory == memory &&
-               (left != nullptr ? (e.left && *e.left == *left)
-                                : (!e.left && e.left_pages == left_pages)) &&
-               (right != nullptr
-                    ? (e.right && *e.right == *right)
-                    : (!e.right && e.right_pages == right_pages));
+  bool match =
+      ViewEquals(e.memory, memory) &&
+      (left != nullptr ? (e.left.n > 0 && ViewEquals(e.left, *left))
+                       : (e.left.n == 0 && e.left_pages == left_pages)) &&
+      (right != nullptr ? (e.right.n > 0 && ViewEquals(e.right, *right))
+                        : (e.right.n == 0 && e.right_pages == right_pages));
   if (!match) {
     ++stats_.misses;
     ++stats_.collisions;
@@ -70,29 +69,31 @@ const double* EcCache::Find(const Key& key, const Distribution* left,
   return &e.value;
 }
 
-void EcCache::Store(const Key& key, const Distribution* left,
-                    const Distribution* right, double left_pages,
-                    double right_pages, const Distribution& memory,
-                    double value) {
+void EcCache::Store(const Key& key, const DistView* left,
+                    const DistView* right, double left_pages,
+                    double right_pages, DistView memory, double value) {
   if (map_.size() >= max_entries_) {
     // Epoch flush: drop everything rather than tracking per-entry age;
     // the next epoch re-warms from the current working set.
     map_.clear();
     interned_.clear();
+    arena_.Reset();
     ++stats_.flushes;
   }
-  Entry e{left != nullptr ? Intern(*left) : nullptr,
-          right != nullptr ? Intern(*right) : nullptr,
-          left_pages,
-          right_pages,
-          Intern(memory),
-          value};
-  map_.insert_or_assign(key, std::move(e));
+  Entry e;
+  e.left = left != nullptr ? Intern(*left, key.left_id) : DistView{};
+  e.right = right != nullptr ? Intern(*right, key.right_id) : DistView{};
+  e.left_pages = left_pages;
+  e.right_pages = right_pages;
+  e.memory = Intern(memory, key.memory_id);
+  e.value = value;
+  map_.insert_or_assign(key, e);
 }
 
 void EcCache::Clear() {
   map_.clear();
   interned_.clear();
+  arena_.Reset();
   stats_ = Stats{};
 }
 

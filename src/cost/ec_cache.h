@@ -8,34 +8,45 @@
 // memory buckets over plans that share most of their join steps. EcCache
 // memoizes those evaluations, keyed by content identity of the operands
 // (method, left/right distribution or fixed page count, memory
-// distribution, sorted flags) using Distribution::ContentHash.
+// distribution, sorted flags).
+//
+// Operands are identified by their 64-bit content hash
+// (Distribution::ContentHash / ViewContentHash — bit-compatible, so the
+// Distribution-level and DistView-level entry points share one map) and
+// stored as views *interned into the cache's own DistArena*: the (nearly
+// always identical) memory distribution and the recurring size
+// distributions are each copied once per cache, not once per entry, and a
+// warm cache serves hits without touching the heap at all.
 //
 // Correctness: a hit is verified against the stored operands with full
-// operator== before being served, so a 64-bit hash collision degrades to a
-// recompute, never to a wrong answer. Determinism: a cached value is the
-// exact double the original compute produced, so memoizing a computation
-// never changes its result — Algorithm D's objectives are bit-identical
-// with the cache on or off. (Algorithm A/B scoring additionally switches
-// to a per-operator summation when cached — see
+// bucket-wise equality before being served, so a 64-bit hash collision
+// degrades to a recompute, never to a wrong answer. Determinism: a cached
+// value is the exact double the original compute produced, so memoizing a
+// computation never changes its result — Algorithm D's objectives are
+// bit-identical with the cache on or off. (Algorithm A/B scoring
+// additionally switches to a per-operator summation when cached — see
 // PlanExpectedCostStaticCached — which is equal to the uncached walk only
 // up to floating-point association order.)
 //
 // Contract: one cache instance serves one (CostModel, OptimizerOptions)
 // context — the key identifies operands, not the cost formulas. The cache
 // is not thread-safe; give each worker thread its own instance (see
-// service/batch_driver.h) and merge the stats afterwards.
+// service/batch_driver.h) and merge the stats afterwards. Views passed to
+// the *View entry points are copied on store; the caller's arena may reset
+// freely afterwards.
 #ifndef LECOPT_COST_EC_CACHE_H_
 #define LECOPT_COST_EC_CACHE_H_
 
 #include <bit>
 #include <cstddef>
 #include <cstdint>
-#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "dist/arena.h"
 #include "dist/distribution.h"
+#include "dist/kernel.h"
 #include "plan/plan.h"
 
 namespace lec {
@@ -55,7 +66,7 @@ class EcCache {
   };
 
   /// `max_entries` bounds the memo map: when Store would exceed it, the
-  /// whole cache (entries + intern pool) is flushed and refilled — an
+  /// whole cache (entries + intern arena) is flushed and refilled — an
   /// epoch scheme that keeps long-lived workers (service batch driver) at
   /// bounded memory while preserving within-epoch hits. The default holds
   /// roughly a few hundred MB of worst-case entries; lower it for
@@ -69,9 +80,22 @@ class EcCache {
   double JoinEc(JoinMethod method, bool left_sorted, bool right_sorted,
                 const Distribution& left, const Distribution& right,
                 const Distribution& memory, F&& compute) {
+    return JoinEcView(method, left_sorted, right_sorted, left.AsView(),
+                      left.ContentHash(), right.AsView(), right.ContentHash(),
+                      memory.AsView(), memory.ContentHash(),
+                      std::forward<F>(compute));
+  }
+
+  /// View-level twin of JoinEc for the kernel hot path: hashes are passed
+  /// in because the caller (Algorithm D) computes them once per subset /
+  /// once per DP run, not once per candidate.
+  template <typename F>
+  double JoinEcView(JoinMethod method, bool left_sorted, bool right_sorted,
+                    DistView left, uint64_t left_hash, DistView right,
+                    uint64_t right_hash, DistView memory, uint64_t memory_hash,
+                    F&& compute) {
     Key key = MakeKey(Op::kJoinDist, method, left_sorted, right_sorted,
-                      left.ContentHash(), right.ContentHash(),
-                      memory.ContentHash());
+                      left_hash, right_hash, memory_hash);
     if (const double* v = Find(key, &left, &right, 0, 0, memory)) return *v;
     double value = std::forward<F>(compute)();
     Store(key, &left, &right, 0, 0, memory, value);
@@ -91,12 +115,13 @@ class EcCache {
                       std::bit_cast<uint64_t>(left_pages),
                       std::bit_cast<uint64_t>(right_pages),
                       memory.ContentHash());
+    DistView mv = memory.AsView();
     if (const double* v =
-            Find(key, nullptr, nullptr, left_pages, right_pages, memory)) {
+            Find(key, nullptr, nullptr, left_pages, right_pages, mv)) {
       return *v;
     }
     double value = std::forward<F>(compute)();
-    Store(key, nullptr, nullptr, left_pages, right_pages, memory, value);
+    Store(key, nullptr, nullptr, left_pages, right_pages, mv, value);
     return value;
   }
 
@@ -104,8 +129,16 @@ class EcCache {
   template <typename F>
   double SortEc(const Distribution& pages, const Distribution& memory,
                 F&& compute) {
+    return SortEcView(pages.AsView(), pages.ContentHash(), memory.AsView(),
+                      memory.ContentHash(), std::forward<F>(compute));
+  }
+
+  /// View-level twin of SortEc.
+  template <typename F>
+  double SortEcView(DistView pages, uint64_t pages_hash, DistView memory,
+                    uint64_t memory_hash, F&& compute) {
     Key key = MakeKey(Op::kSortDist, JoinMethod::kNestedLoop, false, false,
-                      pages.ContentHash(), 0, memory.ContentHash());
+                      pages_hash, 0, memory_hash);
     if (const double* v = Find(key, &pages, nullptr, 0, 0, memory)) return *v;
     double value = std::forward<F>(compute)();
     Store(key, &pages, nullptr, 0, 0, memory, value);
@@ -118,11 +151,12 @@ class EcCache {
                          F&& compute) {
     Key key = MakeKey(Op::kSortFixed, JoinMethod::kNestedLoop, false, false,
                       std::bit_cast<uint64_t>(pages), 0, memory.ContentHash());
-    if (const double* v = Find(key, nullptr, nullptr, pages, 0, memory)) {
+    DistView mv = memory.AsView();
+    if (const double* v = Find(key, nullptr, nullptr, pages, 0, mv)) {
       return *v;
     }
     double value = std::forward<F>(compute)();
-    Store(key, nullptr, nullptr, pages, 0, memory, value);
+    Store(key, nullptr, nullptr, pages, 0, mv, value);
     return value;
   }
 
@@ -147,16 +181,14 @@ class EcCache {
   };
 
   /// Stored operands for hit verification plus the memoized value. Fixed
-  /// operands are kept as scalars; distribution operands as pointers into
-  /// the intern pool, so the (nearly always identical) memory distribution
-  /// and the recurring size distributions are each stored once per cache,
-  /// not once per entry.
+  /// operands are kept as scalars; distribution operands as views interned
+  /// into the cache arena (n == 0 means "no operand in this slot").
   struct Entry {
-    std::shared_ptr<const Distribution> left;   // null for fixed sizes
-    std::shared_ptr<const Distribution> right;  // null for fixed / sorts
+    DistView left;   // empty for fixed sizes
+    DistView right;  // empty for fixed / sorts
     double left_pages = 0;
     double right_pages = 0;
-    std::shared_ptr<const Distribution> memory;
+    DistView memory;
     double value = 0;
   };
 
@@ -164,24 +196,24 @@ class EcCache {
                      bool right_sorted, uint64_t left_id, uint64_t right_id,
                      uint64_t memory_id);
 
-  /// Shared copy of `d` from the intern pool (inserted on first sight;
-  /// deduplicated by content hash + equality).
-  std::shared_ptr<const Distribution> Intern(const Distribution& d);
+  /// Arena-backed copy of `d` from the intern pool (inserted on first
+  /// sight; deduplicated by content hash + equality).
+  DistView Intern(DistView d, uint64_t hash);
 
   /// The cached value when the key is present and the operands verify;
   /// nullptr (after updating stats) otherwise.
-  const double* Find(const Key& key, const Distribution* left,
-                     const Distribution* right, double left_pages,
-                     double right_pages, const Distribution& memory);
-  void Store(const Key& key, const Distribution* left,
-             const Distribution* right, double left_pages, double right_pages,
-             const Distribution& memory, double value);
+  const double* Find(const Key& key, const DistView* left,
+                     const DistView* right, double left_pages,
+                     double right_pages, DistView memory);
+  void Store(const Key& key, const DistView* left, const DistView* right,
+             double left_pages, double right_pages, DistView memory,
+             double value);
 
   std::unordered_map<Key, Entry, KeyHash> map_;
-  /// Content-hash-keyed pool of distinct distributions seen by Store.
-  std::unordered_map<uint64_t,
-                     std::vector<std::shared_ptr<const Distribution>>>
-      interned_;
+  /// Content-hash-keyed pool of distinct interned views; storage lives in
+  /// arena_ and is released wholesale at flush/Clear.
+  std::unordered_map<uint64_t, std::vector<DistView>> interned_;
+  DistArena arena_{size_t{1} << 12};
   size_t max_entries_;
   Stats stats_;
 };

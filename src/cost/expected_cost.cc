@@ -26,14 +26,46 @@ Realization Realization::AtMeans(const Query& query, const Catalog& catalog,
   return r;
 }
 
+// The operator-level enumerations run on SoA views so the Distribution
+// wrappers and the kernel hot paths (ExpectedJoinCostView etc., consumed by
+// Algorithm D's arena pipeline) are one definition with identical
+// summation order.
+
+double ExpectedJoinCostFixedSizesView(const CostModel& model,
+                                      JoinMethod method, double left_pages,
+                                      double right_pages, DistView memory,
+                                      bool left_sorted, bool right_sorted) {
+  double ec = 0;
+  for (size_t i = 0; i < memory.n; ++i) {
+    ec += memory.probs[i] * model.JoinCost(method, left_pages, right_pages,
+                                           memory.values[i], left_sorted,
+                                           right_sorted);
+  }
+  return ec;
+}
+
 double ExpectedJoinCostFixedSizes(const CostModel& model, JoinMethod method,
                                   double left_pages, double right_pages,
                                   const Distribution& memory,
                                   bool left_sorted, bool right_sorted) {
+  return ExpectedJoinCostFixedSizesView(model, method, left_pages,
+                                        right_pages, memory.AsView(),
+                                        left_sorted, right_sorted);
+}
+
+double ExpectedJoinCostView(const CostModel& model, JoinMethod method,
+                            DistView left, DistView right, DistView memory,
+                            bool left_sorted, bool right_sorted) {
   double ec = 0;
-  for (const Bucket& m : memory.buckets()) {
-    ec += m.prob * model.JoinCost(method, left_pages, right_pages, m.value,
-                                  left_sorted, right_sorted);
+  for (size_t li = 0; li < left.n; ++li) {
+    for (size_t ri = 0; ri < right.n; ++ri) {
+      double p_lr = left.probs[li] * right.probs[ri];
+      for (size_t mi = 0; mi < memory.n; ++mi) {
+        ec += p_lr * memory.probs[mi] *
+              model.JoinCost(method, left.values[li], right.values[ri],
+                             memory.values[mi], left_sorted, right_sorted);
+      }
+    }
   }
   return ec;
 }
@@ -42,38 +74,39 @@ double ExpectedJoinCost(const CostModel& model, JoinMethod method,
                         const Distribution& left, const Distribution& right,
                         const Distribution& memory, bool left_sorted,
                         bool right_sorted) {
+  return ExpectedJoinCostView(model, method, left.AsView(), right.AsView(),
+                              memory.AsView(), left_sorted, right_sorted);
+}
+
+double ExpectedSortCostFixedSizeView(const CostModel& model, double pages,
+                                     DistView memory) {
   double ec = 0;
-  for (const Bucket& l : left.buckets()) {
-    for (const Bucket& r : right.buckets()) {
-      double p_lr = l.prob * r.prob;
-      for (const Bucket& m : memory.buckets()) {
-        ec += p_lr * m.prob *
-              model.JoinCost(method, l.value, r.value, m.value, left_sorted,
-                             right_sorted);
-      }
-    }
+  for (size_t i = 0; i < memory.n; ++i) {
+    ec += memory.probs[i] * model.SortCost(pages, memory.values[i]);
   }
   return ec;
 }
 
 double ExpectedSortCostFixedSize(const CostModel& model, double pages,
                                  const Distribution& memory) {
+  return ExpectedSortCostFixedSizeView(model, pages, memory.AsView());
+}
+
+double ExpectedSortCostView(const CostModel& model, DistView pages,
+                            DistView memory) {
   double ec = 0;
-  for (const Bucket& m : memory.buckets()) {
-    ec += m.prob * model.SortCost(pages, m.value);
+  for (size_t pi = 0; pi < pages.n; ++pi) {
+    for (size_t mi = 0; mi < memory.n; ++mi) {
+      ec += pages.probs[pi] * memory.probs[mi] *
+            model.SortCost(pages.values[pi], memory.values[mi]);
+    }
   }
   return ec;
 }
 
 double ExpectedSortCost(const CostModel& model, const Distribution& pages,
                         const Distribution& memory) {
-  double ec = 0;
-  for (const Bucket& p : pages.buckets()) {
-    for (const Bucket& m : memory.buckets()) {
-      ec += p.prob * m.prob * model.SortCost(p.value, m.value);
-    }
-  }
-  return ec;
+  return ExpectedSortCostView(model, pages.AsView(), memory.AsView());
 }
 
 namespace {

@@ -55,6 +55,24 @@ double ExpectedJoinCostFixedSizes(const CostModel& model, JoinMethod method,
                                   bool left_sorted = false,
                                   bool right_sorted = false);
 
+// DistView twins of the operator-level enumerations below/above: identical
+// summation order (the Distribution overloads are thin AsView wrappers), no
+// Distribution materialization — the kernel hot path of Algorithm D and the
+// cost_policies.h providers.
+double ExpectedJoinCostFixedSizesView(const CostModel& model,
+                                      JoinMethod method, double left_pages,
+                                      double right_pages, DistView memory,
+                                      bool left_sorted = false,
+                                      bool right_sorted = false);
+double ExpectedJoinCostView(const CostModel& model, JoinMethod method,
+                            DistView left, DistView right, DistView memory,
+                            bool left_sorted = false,
+                            bool right_sorted = false);
+double ExpectedSortCostFixedSizeView(const CostModel& model, double pages,
+                                     DistView memory);
+double ExpectedSortCostView(const CostModel& model, DistView pages,
+                            DistView memory);
+
 /// EC of one join with independent distributions over both input sizes and
 /// memory: full triple enumeration (the O(b_M b_|B_j| b_|A_j|) baseline of
 /// §3.6). The workhorse of Algorithm D; also the oracle for the fast paths.

@@ -6,6 +6,262 @@
 
 namespace lec {
 
+// ---------------------------------------------------------------------------
+// Kernel implementation: SoA sweeps against a precompiled memory profile.
+// Every accumulation below mirrors the legacy cursor code arithmetic step
+// for arithmetic step, so the two paths produce identical doubles; the only
+// structural change is that the per-element sqrt/cbrt calls are replaced by
+// compares against the profile's exact step thresholds.
+// ---------------------------------------------------------------------------
+
+EcMemoryProfile BuildEcMemoryProfile(DistView memory, DistArena* arena) {
+  EcMemoryProfile p;
+  p.memory = memory;
+  double* sqrt_step = arena->AllocDoubles(memory.n);
+  double* cbrt_step = arena->AllocDoubles(memory.n);
+  auto sqrt_fn = +[](double x) { return std::sqrt(x); };
+  auto cbrt_fn = +[](double x) { return std::cbrt(x); };
+  for (size_t i = 0; i < memory.n; ++i) {
+    double m = memory.values[i];
+    sqrt_step[i] = StepThreshold(m, sqrt_fn, m * m);
+    cbrt_step[i] = StepThreshold(m, cbrt_fn, m * m * m);
+  }
+  p.sqrt_step = sqrt_step;
+  p.cbrt_step = cbrt_step;
+  return p;
+}
+
+namespace {
+
+/// The sort-merge / Grace-hash pass-count weight
+/// g(x) = 2·Pr(M > √x) + 4·Pr(∛x < M ≤ √x) + 6·Pr(M ≤ ∛x),
+/// evaluated by two monotone threshold sweeps — no transcendentals.
+struct PassWeightSweep {
+  StepCdfSweep sqrt_sweep;
+  StepCdfSweep cbrt_sweep;
+
+  explicit PassWeightSweep(const EcMemoryProfile& m)
+      : sqrt_sweep{m.sqrt_step, m.memory.probs, m.memory.n, 0, 0},
+        cbrt_sweep{m.cbrt_step, m.memory.probs, m.memory.n, 0, 0} {}
+
+  double Advance(double x) {
+    double p_leq_sqrt = sqrt_sweep.Advance(x);
+    double p_leq_cbrt = cbrt_sweep.Advance(x);
+    return 2.0 * (1.0 - p_leq_sqrt) + 4.0 * (p_leq_sqrt - p_leq_cbrt) +
+           6.0 * p_leq_cbrt;
+  }
+};
+
+}  // namespace
+
+double FastEcSortMerge(DistView a, DistView b, const EcMemoryProfile& m) {
+  double ec = 0;
+  // Branch |A| <= |B| (larger = b): sweep b ascending.
+  {
+    PassWeightSweep g(m);
+    PrefixSweep a_prefix{a, /*strict=*/false, 0, 0, 0};
+    for (size_t k = 0; k < b.n; ++k) {
+      double x = b.values[k];
+      a_prefix.Advance(x);
+      double weight = g.Advance(x);
+      ec += b.probs[k] * weight * (a_prefix.pe + x * a_prefix.prob);
+    }
+  }
+  // Branch |A| > |B| (larger = a): sweep a ascending, strict prefix over B.
+  {
+    PassWeightSweep g(m);
+    PrefixSweep b_prefix{b, /*strict=*/true, 0, 0, 0};
+    for (size_t k = 0; k < a.n; ++k) {
+      double x = a.values[k];
+      b_prefix.Advance(x);
+      double weight = g.Advance(x);
+      ec += a.probs[k] * weight * (x * b_prefix.prob + b_prefix.pe);
+    }
+  }
+  return ec;
+}
+
+double FastEcGraceHash(DistView a, DistView b, const EcMemoryProfile& m) {
+  return FastEcGraceHash(a, b, m, ViewMean(a), ViewMean(b));
+}
+
+double FastEcGraceHash(DistView a, DistView b, const EcMemoryProfile& m,
+                       double a_mean, double b_mean) {
+  double ec = 0;
+  // Branch |A| <= |B| (smaller = a): sweep a; need suffix stats of B.
+  {
+    PassWeightSweep h(m);
+    PrefixSweep b_prefix{b, /*strict=*/true, 0, 0, 0};
+    for (size_t k = 0; k < a.n; ++k) {
+      double x = a.values[k];
+      b_prefix.Advance(x);
+      double pr_b_geq = 1.0 - b_prefix.prob;
+      double pe_b_geq = b_mean - b_prefix.pe;
+      double weight = h.Advance(x);
+      ec += a.probs[k] * weight * (x * pr_b_geq + pe_b_geq);
+    }
+  }
+  // Branch |A| > |B| (smaller = b): sweep b; need strict suffix of A.
+  {
+    PassWeightSweep h(m);
+    PrefixSweep a_prefix{a, /*strict=*/false, 0, 0, 0};
+    for (size_t k = 0; k < b.n; ++k) {
+      double x = b.values[k];
+      a_prefix.Advance(x);
+      double pr_a_gt = 1.0 - a_prefix.prob;
+      double pe_a_gt = a_mean - a_prefix.pe;
+      double weight = h.Advance(x);
+      ec += b.probs[k] * weight * (pe_a_gt + x * pr_a_gt);
+    }
+  }
+  return ec;
+}
+
+double FastEcNestedLoop(DistView a, DistView b, DistView m) {
+  return FastEcNestedLoop(a, b, m, ViewMean(a), ViewMean(b));
+}
+
+double FastEcNestedLoop(DistView a, DistView b, DistView m, double a_mean,
+                        double b_mean) {
+  double ec = 0;
+  // Branch |A| <= |B| (S = a): sweep a ascending. The memory threshold is
+  // S + 2 — one add, so no precompiled profile is needed.
+  {
+    size_t mi = 0;
+    double m_acc = 0;  // Pr(M < x + 2), strict
+    PrefixSweep b_prefix{b, /*strict=*/true, 0, 0, 0};
+    for (size_t k = 0; k < a.n; ++k) {
+      double x = a.values[k];
+      b_prefix.Advance(x);
+      double pr_b_geq = 1.0 - b_prefix.prob;
+      double pe_b_geq = b_mean - b_prefix.pe;
+      double bound = x + 2.0;
+      while (mi < m.n && m.values[mi] < bound) {
+        m_acc += m.probs[mi];
+        ++mi;
+      }
+      double p_small = m_acc;        // M < S + 2
+      double p_big = 1.0 - p_small;  // M >= S + 2
+      // M >= S+2: cost a + b;  M < S+2: cost a + a·b.
+      ec += a.probs[k] * (p_big * (x * pr_b_geq + pe_b_geq) +
+                          p_small * (x * pr_b_geq + x * pe_b_geq));
+    }
+  }
+  // Branch |A| > |B| (S = b): sweep b ascending.
+  {
+    size_t mi = 0;
+    double m_acc = 0;
+    PrefixSweep a_prefix{a, /*strict=*/false, 0, 0, 0};
+    for (size_t k = 0; k < b.n; ++k) {
+      double x = b.values[k];
+      a_prefix.Advance(x);
+      double pr_a_gt = 1.0 - a_prefix.prob;
+      double pe_a_gt = a_mean - a_prefix.pe;
+      double bound = x + 2.0;
+      while (mi < m.n && m.values[mi] < bound) {
+        m_acc += m.probs[mi];
+        ++mi;
+      }
+      double p_small = m_acc;
+      double p_big = 1.0 - p_small;
+      ec += b.probs[k] * (p_big * (pe_a_gt + x * pr_a_gt) +
+                          p_small * (pe_a_gt + pe_a_gt * x));
+    }
+  }
+  return ec;
+}
+
+double FastEcJoin(JoinMethod method, DistView left, DistView right,
+                  const EcMemoryProfile& memory, double left_mean,
+                  double right_mean) {
+  switch (method) {
+    case JoinMethod::kSortMerge:
+      return FastEcSortMerge(left, right, memory);
+    case JoinMethod::kNestedLoop:
+      return FastEcNestedLoop(left, right, memory.memory, left_mean,
+                              right_mean);
+    case JoinMethod::kGraceHash:
+      return FastEcGraceHash(left, right, memory, left_mean, right_mean);
+    case JoinMethod::kHybridHash:
+      throw std::invalid_argument(
+          "no fast path for hybrid hash (cost is piecewise-linear, not a "
+          "step function); use ExpectedJoinCost");
+  }
+  throw std::logic_error("unknown join method");
+}
+
+double FastEcJoin(JoinMethod method, DistView left, DistView right,
+                  const EcMemoryProfile& memory) {
+  return FastEcJoin(method, left, right, memory, ViewMean(left),
+                    ViewMean(right));
+}
+
+// ---------------------------------------------------------------------------
+// Distribution-level wrappers: build the profile in a per-thread scratch
+// arena (reset each call — these are leaf computations) and run the
+// kernels. Algorithm D bypasses these and holds one profile per DP run.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+DistArena& WrapperArena() {
+  thread_local DistArena arena(size_t{1} << 10);
+  return arena;
+}
+
+}  // namespace
+
+double FastExpectedSortMergeCost(const Distribution& left,
+                                 const Distribution& right,
+                                 const Distribution& memory) {
+  DistArena& arena = WrapperArena();
+  arena.Reset();
+  return FastEcSortMerge(left.AsView(), right.AsView(),
+                         BuildEcMemoryProfile(memory.AsView(), &arena));
+}
+
+double FastExpectedNestedLoopCost(const Distribution& left,
+                                  const Distribution& right,
+                                  const Distribution& memory) {
+  return FastEcNestedLoop(left.AsView(), right.AsView(), memory.AsView(),
+                          left.Mean(), right.Mean());
+}
+
+double FastExpectedGraceHashCost(const Distribution& left,
+                                 const Distribution& right,
+                                 const Distribution& memory) {
+  DistArena& arena = WrapperArena();
+  arena.Reset();
+  return FastEcGraceHash(left.AsView(), right.AsView(),
+                         BuildEcMemoryProfile(memory.AsView(), &arena),
+                         left.Mean(), right.Mean());
+}
+
+double FastExpectedJoinCost(JoinMethod method, const Distribution& left,
+                            const Distribution& right,
+                            const Distribution& memory) {
+  switch (method) {
+    case JoinMethod::kSortMerge:
+      return FastExpectedSortMergeCost(left, right, memory);
+    case JoinMethod::kNestedLoop:
+      return FastExpectedNestedLoopCost(left, right, memory);
+    case JoinMethod::kGraceHash:
+      return FastExpectedGraceHashCost(left, right, memory);
+    case JoinMethod::kHybridHash:
+      throw std::invalid_argument(
+          "no fast path for hybrid hash (cost is piecewise-linear, not a "
+          "step function); use ExpectedJoinCost");
+  }
+  throw std::logic_error("unknown join method");
+}
+
+// ---------------------------------------------------------------------------
+// Legacy cursor implementation — kept verbatim as the I7 parity reference
+// and the bench_dist_kernels (E18) baseline. Do not call on hot paths.
+// ---------------------------------------------------------------------------
+
+namespace legacy {
+
 namespace {
 
 /// Sweeping cursor over a distribution's CDF: Advance(x) returns
@@ -68,9 +324,8 @@ struct Totals {
   explicit Totals(const Distribution& d) : expectation(d.Mean()) {}
 };
 
-/// The sort-merge / Grace-hash pass-count weight:
-/// g(x) = 2·Pr(M > √x) + 4·Pr(∛x < M ≤ √x) + 6·Pr(M ≤ ∛x),
-/// evaluated by two monotone cursors.
+/// The sort-merge / Grace-hash pass-count weight, evaluated by two
+/// monotone cursors computing √x and ∛x per swept element.
 class PassWeight {
  public:
   explicit PassWeight(const Distribution& memory)
@@ -167,7 +422,7 @@ double FastExpectedNestedLoopCost(const Distribution& left,
 
   // Branch |A| <= |B| (S = a): sweep a ascending.
   {
-    CdfCursor m_lt(memory, /*strict=*/true);        // Pr(M < a + 2)
+    CdfCursor m_lt(memory, /*strict=*/true);         // Pr(M < a + 2)
     PrefixCursor b_prefix(b_dist, /*strict=*/true);  // prefix B < a
     for (const Bucket& a : a_dist.buckets()) {
       b_prefix.Advance(a.value);
@@ -202,11 +457,11 @@ double FastExpectedJoinCost(JoinMethod method, const Distribution& left,
                             const Distribution& memory) {
   switch (method) {
     case JoinMethod::kSortMerge:
-      return FastExpectedSortMergeCost(left, right, memory);
+      return legacy::FastExpectedSortMergeCost(left, right, memory);
     case JoinMethod::kNestedLoop:
-      return FastExpectedNestedLoopCost(left, right, memory);
+      return legacy::FastExpectedNestedLoopCost(left, right, memory);
     case JoinMethod::kGraceHash:
-      return FastExpectedGraceHashCost(left, right, memory);
+      return legacy::FastExpectedGraceHashCost(left, right, memory);
     case JoinMethod::kHybridHash:
       throw std::invalid_argument(
           "no fast path for hybrid hash (cost is piecewise-linear, not a "
@@ -214,5 +469,7 @@ double FastExpectedJoinCost(JoinMethod method, const Distribution& left,
   }
   throw std::logic_error("unknown join method");
 }
+
+}  // namespace legacy
 
 }  // namespace lec

@@ -8,6 +8,20 @@
 // suffix partial expectations plus two-pointer scans over M's CDF (the
 // thresholds √b, ∛b, b+2 are monotone in b, so each pointer only advances).
 //
+// Two implementations are provided:
+//
+//   * The primary entry points run the flat SoA kernels of dist/kernel.h:
+//     the memory distribution is precompiled once into an EcMemoryProfile
+//     whose *exact step thresholds* replace the per-swept-element sqrt/cbrt
+//     calls (x >= threshold_i classifies identically to m_i <= fl(f(x)) by
+//     construction — see StepThreshold), so the per-candidate sweep is
+//     branchy compares and multiply-adds only. Algorithm D builds the
+//     profile once per optimization and amortizes it over every candidate.
+//   * namespace legacy keeps the original Distribution-cursor
+//     implementation verbatim. It is the parity reference: fuzz invariant
+//     I7 (verify/fuzz_driver.h) and bench_dist_kernels (E18) hold the two
+//     paths together; it is not called on any hot path.
+//
 // These functions evaluate the *paper* formulas (default CostModelOptions,
 // unsorted inputs); tests verify exact agreement with ExpectedJoinCost.
 //
@@ -18,10 +32,53 @@
 #ifndef LECOPT_COST_FAST_EXPECTED_COST_H_
 #define LECOPT_COST_FAST_EXPECTED_COST_H_
 
+#include "dist/arena.h"
 #include "dist/distribution.h"
+#include "dist/kernel.h"
 #include "plan/plan.h"
 
 namespace lec {
+
+/// The memory distribution precompiled for the fast-EC sweeps: its view
+/// plus exact step thresholds for the √x and ∛x pass-count cursors
+/// (sqrt_step[i] is the smallest x with values[i] <= fl(sqrt(x)), ditto
+/// cbrt). Arrays live in the arena the profile was built in; rebuild after
+/// a reset. Building costs O(b_M) sqrt/cbrt evaluations — once per DP
+/// instance, not once per candidate.
+struct EcMemoryProfile {
+  DistView memory;
+  const double* sqrt_step = nullptr;
+  const double* cbrt_step = nullptr;
+};
+
+EcMemoryProfile BuildEcMemoryProfile(DistView memory, DistArena* arena);
+
+// -- View-level kernels (allocation- and transcendental-free sweeps) --------
+//
+// The nested-loop and Grace-hash sweeps need the inputs' means for their
+// suffix statistics. A Distribution caches its mean; a raw view does not,
+// so the primary overloads take the means explicitly — Algorithm D feeds
+// its per-subset mean table and pays nothing. The convenience overloads
+// without means recompute them (one O(n) pass each).
+
+double FastEcSortMerge(DistView left, DistView right,
+                       const EcMemoryProfile& memory);
+double FastEcNestedLoop(DistView left, DistView right, DistView memory,
+                        double left_mean, double right_mean);
+double FastEcNestedLoop(DistView left, DistView right, DistView memory);
+double FastEcGraceHash(DistView left, DistView right,
+                       const EcMemoryProfile& memory, double left_mean,
+                       double right_mean);
+double FastEcGraceHash(DistView left, DistView right,
+                       const EcMemoryProfile& memory);
+/// Dispatch over the three methods (kHybridHash throws, as below).
+double FastEcJoin(JoinMethod method, DistView left, DistView right,
+                  const EcMemoryProfile& memory, double left_mean,
+                  double right_mean);
+double FastEcJoin(JoinMethod method, DistView left, DistView right,
+                  const EcMemoryProfile& memory);
+
+// -- Distribution-level API (kernel-backed) ---------------------------------
 
 /// EC of a sort-merge join of A (left) and B (right) — §3.6.1.
 double FastExpectedSortMergeCost(const Distribution& left,
@@ -43,6 +100,25 @@ double FastExpectedGraceHashCost(const Distribution& left,
 double FastExpectedJoinCost(JoinMethod method, const Distribution& left,
                             const Distribution& right,
                             const Distribution& memory);
+
+// -- Legacy cursor implementation (parity reference, not a hot path) --------
+
+namespace legacy {
+
+double FastExpectedSortMergeCost(const Distribution& left,
+                                 const Distribution& right,
+                                 const Distribution& memory);
+double FastExpectedNestedLoopCost(const Distribution& left,
+                                  const Distribution& right,
+                                  const Distribution& memory);
+double FastExpectedGraceHashCost(const Distribution& left,
+                                 const Distribution& right,
+                                 const Distribution& memory);
+double FastExpectedJoinCost(JoinMethod method, const Distribution& left,
+                            const Distribution& right,
+                            const Distribution& memory);
+
+}  // namespace legacy
 
 }  // namespace lec
 

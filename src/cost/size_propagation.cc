@@ -38,4 +38,37 @@ Distribution JoinSizeDistribution(const Distribution& left,
       .Rebucket(max_buckets);
 }
 
+DistView CombinedSelectivityViewInto(const Query& query,
+                                     const std::vector<int>& preds,
+                                     size_t max_buckets, DistArena* arena) {
+  DistView combined = UnitPointMassView();
+  for (int i : preds) {
+    combined = RebucketInto(
+        ProductInto(combined, query.predicate(i).selectivity.AsView(), arena),
+        max_buckets, RebucketStrategy::kEqualWidth, arena);
+  }
+  return combined;
+}
+
+DistView JoinSizeViewInto(DistView left, DistView right, DistView selectivity,
+                          size_t max_buckets, SizePropagationMode mode,
+                          DistArena* arena) {
+  if (mode == SizePropagationMode::kCubeRootPrebucket) {
+    size_t per_input = std::max<size_t>(
+        1, static_cast<size_t>(std::floor(std::cbrt(
+               static_cast<double>(std::max<size_t>(max_buckets, 1))))));
+    DistView l = RebucketInto(left, per_input, RebucketStrategy::kEqualWidth,
+                              arena);
+    DistView r = RebucketInto(right, per_input,
+                              RebucketStrategy::kEqualWidth, arena);
+    DistView s = RebucketInto(selectivity, per_input,
+                              RebucketStrategy::kEqualWidth, arena);
+    return RebucketInto(ProductInto(ProductInto(l, r, arena), s, arena),
+                        max_buckets, RebucketStrategy::kEqualWidth, arena);
+  }
+  return RebucketInto(
+      ProductInto(ProductInto(left, right, arena), selectivity, arena),
+      max_buckets, RebucketStrategy::kEqualWidth, arena);
+}
+
 }  // namespace lec

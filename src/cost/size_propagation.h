@@ -11,7 +11,9 @@
 #include <cstddef>
 #include <vector>
 
+#include "dist/arena.h"
 #include "dist/distribution.h"
+#include "dist/kernel.h"
 #include "query/query.h"
 
 namespace lec {
@@ -40,6 +42,24 @@ Distribution JoinSizeDistribution(const Distribution& left,
                                   size_t max_buckets,
                                   SizePropagationMode mode =
                                       SizePropagationMode::kCubeRootPrebucket);
+
+// -- Arena kernel pipeline (Algorithm D's hot path) -------------------------
+//
+// The DistView twins mirror the Distribution pipeline above arithmetic step
+// for arithmetic step (same product order, same rebucket cells, same
+// normalization), writing every intermediate into the caller's arena. The
+// returned view may alias an *input* view when a rebucket was a no-op, so
+// inputs must outlive the result (or be arena-backed themselves).
+
+/// CombinedSelectivityDistribution on views.
+DistView CombinedSelectivityViewInto(const Query& query,
+                                     const std::vector<int>& preds,
+                                     size_t max_buckets, DistArena* arena);
+
+/// JoinSizeDistribution on views.
+DistView JoinSizeViewInto(DistView left, DistView right, DistView selectivity,
+                          size_t max_buckets, SizePropagationMode mode,
+                          DistArena* arena);
 
 }  // namespace lec
 

@@ -1,0 +1,55 @@
+#include "dist/arena.h"
+
+#include <algorithm>
+
+namespace lec {
+
+DistArena::DistArena(size_t initial_doubles) {
+  AddBlock(std::max<size_t>(initial_doubles, 64));
+}
+
+void DistArena::AddBlock(size_t min_slots) {
+  Block b;
+  size_t grown = blocks_.empty() ? min_slots : capacity_;  // double overall
+  b.capacity = std::max(min_slots, grown);
+  b.data = std::make_unique<double[]>(b.capacity);
+  capacity_ += b.capacity;
+  ++heap_allocations_;
+  blocks_.push_back(std::move(b));
+}
+
+void* DistArena::Alloc(size_t slots) {
+  if (slots == 0) slots = 1;  // keep returned pointers distinct and valid
+  // Invariant: the cursor always lives in the last block (the constructor
+  // makes one block, AddBlock appends-and-advances, Reset coalesces any
+  // multi-block state back to one), so exhaustion always means "append".
+  if (cursor_ + slots > blocks_[current_block_].capacity) {
+    AddBlock(slots);
+    current_block_ = blocks_.size() - 1;
+    cursor_ = 0;
+  }
+  double* out = blocks_[current_block_].data.get() + cursor_;
+  cursor_ += slots;
+  used_ += slots;
+  high_water_ = std::max(high_water_, used_);
+  return out;
+}
+
+void DistArena::Reset() {
+  if (blocks_.size() > 1) {
+    // Growth happened: coalesce into one block sized for the observed
+    // high-water mark — a single contiguous block has no boundary waste,
+    // so the HWM is exactly sufficient. This sheds the geometric-growth
+    // overshoot instead of pinning it; if a later instance needs more, the
+    // graceful-regrow + recoalesce cycle runs once more and settles.
+    size_t want = std::max<size_t>(high_water_, 64);
+    blocks_.clear();
+    capacity_ = 0;
+    AddBlock(want);
+  }
+  current_block_ = 0;
+  cursor_ = 0;
+  used_ = 0;
+}
+
+}  // namespace lec

@@ -60,10 +60,18 @@ Distribution::Distribution(std::vector<Bucket> buckets) {
     for (Bucket& b : buckets_) b.prob /= kept;
   }
 
+  FinalizeFromBuckets();
+}
+
+void Distribution::FinalizeFromBuckets() {
+  values_.reserve(buckets_.size());
+  probs_.reserve(buckets_.size());
   cum_prob_.reserve(buckets_.size());
   cum_pe_.reserve(buckets_.size());
   double cp = 0, cpe = 0;
   for (const Bucket& b : buckets_) {
+    values_.push_back(b.value);
+    probs_.push_back(b.prob);
     cp += b.prob;
     cpe += b.value * b.prob;
     cum_prob_.push_back(cp);
@@ -85,6 +93,23 @@ Distribution::Distribution(std::vector<Bucket> buckets) {
     mix(b.prob);
   }
   hash_ = h;
+}
+
+Distribution Distribution::FromNormalizedView(DistView view) {
+  if (view.n == 0) {
+    throw std::invalid_argument("distribution needs at least one bucket");
+  }
+  Distribution d(UninitTag{}, 0);
+  d.buckets_.reserve(view.n);
+  for (size_t i = 0; i < view.n; ++i) {
+    assert(view.probs[i] > 0 && std::isfinite(view.values[i]) &&
+           "view bucket violates the normalized contract");
+    assert((i == 0 || view.values[i - 1] < view.values[i]) &&
+           "view values must be strictly ascending");
+    d.buckets_.push_back({view.values[i], view.probs[i]});
+  }
+  d.FinalizeFromBuckets();
+  return d;
 }
 
 Distribution Distribution::PointMass(double value) {

@@ -12,6 +12,7 @@
 #ifndef LECOPT_DIST_DISTRIBUTION_H_
 #define LECOPT_DIST_DISTRIBUTION_H_
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -29,6 +30,18 @@ struct Bucket {
   friend bool operator==(const Bucket& a, const Bucket& b) {
     return a.value == b.value && a.prob == b.prob;
   }
+};
+
+/// A borrowed SoA slice of a normalized distribution: values strictly
+/// ascending, probs positive summing to ~1. POD on purpose — it is passed
+/// by value through the DP inner loops. Views do not own their storage:
+/// one from Distribution::AsView lives as long as the Distribution, one
+/// carved from a DistArena dies at that arena's reset. The flat kernels
+/// over views live in dist/kernel.h.
+struct DistView {
+  const double* values = nullptr;
+  const double* probs = nullptr;
+  size_t n = 0;
 };
 
 /// How Rebucket chooses its cells (§3.7 discusses the trade-off; the
@@ -64,13 +77,34 @@ class Distribution {
   /// (so TwoPoint(a, 1, b, 0) is a point mass at a).
   static Distribution TwoPoint(double v1, double p1, double v2, double p2);
 
+  /// Materializes a kernel output: the view must already be normalized
+  /// (values strictly ascending, probs positive summing to ~1 — exactly
+  /// what dist/kernel.h's FinishInto-based kernels emit). Skips the
+  /// validating sort/merge/normalize pipeline and copies the view straight
+  /// into owned storage, so kernel results cross the arena boundary in one
+  /// pass. Debug builds assert the contract; see dist/kernel.h.
+  static Distribution FromNormalizedView(DistView view);
+
   // -- Bucket access --------------------------------------------------------
 
   const std::vector<Bucket>& buckets() const { return buckets_; }
   size_t size() const { return buckets_.size(); }
-  const Bucket& bucket(size_t i) const { return buckets_.at(i); }
+  /// Unchecked in release builds (these sit in the DP hot loops); debug
+  /// builds assert the index. Out-of-range access in a release build is
+  /// undefined behavior, as with std::vector::operator[].
+  const Bucket& bucket(size_t i) const {
+    assert(i < buckets_.size() && "Distribution bucket index out of range");
+    return buckets_[i];
+  }
   /// Alias of bucket(); some call sites prefer STL-ish naming.
-  const Bucket& get(size_t i) const { return buckets_.at(i); }
+  const Bucket& get(size_t i) const { return bucket(i); }
+  const Bucket& operator[](size_t i) const { return bucket(i); }
+
+  /// Borrowed SoA view over the normalized buckets; valid as long as this
+  /// Distribution. Two pointer loads — cheap enough for per-candidate use.
+  DistView AsView() const {
+    return {values_.data(), probs_.data(), buckets_.size()};
+  }
 
   // -- Moments and summary statistics ---------------------------------------
 
@@ -187,12 +221,28 @@ class Distribution {
   }
 
  private:
+  /// For FromNormalizedView: members are filled in by hand. (A tag rather
+  /// than a plain default constructor — that would make `Distribution({})`
+  /// ambiguous against the std::vector<Bucket> overload.)
+  struct UninitTag {};
+  /// Two-argument on purpose: a one-argument tag constructor would become
+  /// an overload-resolution candidate for `Distribution({})`.
+  Distribution(UninitTag, int) {}
+
   /// Index of the last bucket with value <= x, or -1.
   ptrdiff_t UpperIndexLeq(double x) const;
   /// Index of the last bucket with value < x, or -1.
   ptrdiff_t UpperIndexLt(double x) const;
 
+  /// Recomputes the SoA mirror, cumulative arrays, mean and hash from
+  /// buckets_ (shared tail of both construction paths).
+  void FinalizeFromBuckets();
+
   std::vector<Bucket> buckets_;
+  /// SoA mirror of buckets_ backing AsView(); kept because the kernels
+  /// read values and probs as independent streams.
+  std::vector<double> values_;
+  std::vector<double> probs_;
   /// cum_prob_[i] = Σ_{j<=i} prob_j; the final entry is clamped to 1.
   std::vector<double> cum_prob_;
   /// cum_pe_[i] = Σ_{j<=i} value_j·prob_j.

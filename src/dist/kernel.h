@@ -1,0 +1,164 @@
+// Flat SoA distribution kernels over caller-owned scratch arenas.
+//
+// Distribution (dist/distribution.h) is the immutable boundary type: safe
+// to share across layers, but every transformation on it heap-allocates a
+// fresh bucket vector. The optimizer hot paths (Algorithm D's size
+// propagation, the fast-EC sweeps, the DP inner loops) derive millions of
+// short-lived intermediates per workload, so they run on the kernels here
+// instead: plain (values[], probs[]) views carved from a DistArena, with
+// per-DP-instance reset. A view is *not* an owner — it dies when its arena
+// resets; materialize through Distribution's view constructor at the
+// boundary.
+//
+// Bit-faithfulness contract: every kernel mirrors the corresponding
+// Distribution operation arithmetic step for arithmetic step (same sort,
+// same merge order, same normalization and dust pass), so the kernel path
+// and the legacy Distribution-returning path produce identical doubles on
+// identical inputs. Invariant I7 (verify/fuzz_driver.h) holds the two
+// paths together within verify/tolerance.h bounds; the mirrors keep the
+// slack unused in practice. (The one intentional deviation — precomputed
+// step thresholds in cost/fast_expected_cost.h — is classification-exact
+// by construction; see StepThreshold below.)
+#ifndef LECOPT_DIST_KERNEL_H_
+#define LECOPT_DIST_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dist/arena.h"
+#include "dist/distribution.h"
+
+namespace lec {
+
+// DistView itself is declared in dist/distribution.h (Distribution::AsView
+// returns one, and this header already depends on the boundary type).
+
+/// A point mass at 1.0 — the neutral element of the selectivity-combine
+/// pipeline. Backed by static storage, valid forever.
+DistView UnitPointMassView();
+
+// ---------------------------------------------------------------------------
+// Moments and identity.
+// ---------------------------------------------------------------------------
+
+/// Σ v_i p_i, accumulated in index order (matches Distribution::Mean).
+double ViewMean(DistView v);
+
+/// Σ p_i (≈1 for normalized views; exposed for conservation checks).
+double ViewTotalMass(DistView v);
+
+/// FNV-1a over the interleaved (value, prob) bit patterns — bit-compatible
+/// with Distribution::ContentHash on equal content, so EC-cache keys work
+/// across both representations.
+uint64_t ViewContentHash(DistView v);
+
+/// Exact bucket-wise equality.
+bool ViewEquals(DistView a, DistView b);
+
+// ---------------------------------------------------------------------------
+// Normalization (the Distribution-constructor pipeline, in place).
+// ---------------------------------------------------------------------------
+
+/// Turns `n` raw (value, prob) pairs into a normalized view: validate,
+/// sort by value, merge duplicates, drop non-positive mass, normalize to
+/// Σp = 1, then the constructor's dust pass (drop prob < 1e-12,
+/// renormalize once). Sorts `raw` in place; the SoA result is carved from
+/// `arena`. Mirrors Distribution's constructor exactly, including its
+/// throws (std::invalid_argument on non-finite values — e.g. an
+/// overflowing product — negative/non-finite probabilities, or zero total
+/// mass), so the kernel and legacy paths fail identically, never diverge
+/// silently.
+DistView FinishInto(Bucket* raw, size_t n, DistArena* arena);
+
+// ---------------------------------------------------------------------------
+// Transform kernels. All results are carved from the arena and normalized.
+// ---------------------------------------------------------------------------
+
+/// Copies `in` into the arena (used to pin an input across a reset scope).
+DistView CopyInto(DistView in, DistArena* arena);
+
+/// Distribution of X·Y for independent X ~ a, Y ~ b — the §3.6.3 size
+/// product. Mirrors Distribution::ProductWith(·, multiplies) + constructor.
+DistView ProductInto(DistView a, DistView b, DistArena* arena);
+
+/// Mixture w·a + (1-w)·b. Mirrors Distribution::MixWith + constructor.
+DistView MixInto(DistView a, DistView b, double w, DistArena* arena);
+
+/// Distribution of f(X); colliding images merge. Mirrors Distribution::Map.
+template <typename F>
+DistView MapInto(DistView in, F&& f, DistArena* arena) {
+  Bucket* raw = arena->AllocArray<Bucket>(in.n);
+  for (size_t i = 0; i < in.n; ++i) raw[i] = {f(in.values[i]), in.probs[i]};
+  return FinishInto(raw, in.n, arena);
+}
+
+/// Reduces `in` to at most `max_buckets` buckets — Distribution::Rebucket
+/// on views (cells collapse to conditional means; overall mean preserved).
+/// Returns `in` unchanged when it already fits the budget.
+DistView RebucketInto(DistView in, size_t max_buckets,
+                      RebucketStrategy strategy, DistArena* arena);
+
+// ---------------------------------------------------------------------------
+// Sweep primitives — the §3.6 prefix/suffix machinery, allocation-free.
+// ---------------------------------------------------------------------------
+
+/// Monotone prefix sweep over one view: Advance(x) accumulates probability
+/// and partial expectation of all buckets with value <= x (or < x when
+/// strict). x must be non-decreasing across calls, so a full sweep is O(n).
+struct PrefixSweep {
+  DistView d;
+  bool strict = false;
+  size_t i = 0;
+  double prob = 0;
+  double pe = 0;
+
+  void Advance(double x) {
+    while (i < d.n && (strict ? d.values[i] < x : d.values[i] <= x)) {
+      prob += d.probs[i];
+      pe += d.values[i] * d.probs[i];
+      ++i;
+    }
+  }
+};
+
+/// Monotone CDF sweep against a *precomputed threshold array*: Advance(x)
+/// accumulates probs[i] for every i with thresholds[i] <= x. With
+/// thresholds[i] = StepThreshold(values[i], f) this equals "accumulate
+/// while values[i] <= f(x)" without evaluating f per swept element — the
+/// trick that strips the sqrt/cbrt calls out of the fast-EC inner loop.
+struct StepCdfSweep {
+  const double* thresholds = nullptr;
+  const double* probs = nullptr;
+  size_t n = 0;
+  size_t i = 0;
+  double acc = 0;
+
+  double Advance(double x) {
+    while (i < n && x >= thresholds[i]) {
+      acc += probs[i];
+      ++i;
+    }
+    return acc;
+  }
+};
+
+/// The smallest double x with fl(f(x)) >= m, for a monotone non-negative
+/// f (sqrt, cbrt) and a guess x0 ≈ f⁻¹(m). Found by a short nextafter walk
+/// around the guess, so "m <= fl(f(x))" and "x >= StepThreshold(m, f, x0)"
+/// classify every x identically — including inputs sitting exactly on a
+/// cost-formula breakpoint. m <= 0 returns -infinity (always included).
+/// The walk is bounded; for pathological m (f⁻¹(m) under/overflows) it
+/// falls back to the raw guess, conservatively correct to ~1 ulp.
+///
+/// Exactness caveat: the equivalence requires fl(f) to be monotone over
+/// the walk's neighborhood. IEEE guarantees that for sqrt (correctly
+/// rounded); cbrt is only faithfully rounded by quality libms (glibc:
+/// monotone in practice, and tests/dist_kernel_test.cc property-checks
+/// 2000 random thresholds). On a libm where fl(cbrt) misbehaved, fuzz
+/// invariant I7 and bench_dist_kernels' built-in agreement check fail
+/// loudly rather than letting the sweep drift silently.
+double StepThreshold(double m, double (*f)(double), double x0);
+
+}  // namespace lec
+
+#endif  // LECOPT_DIST_KERNEL_H_

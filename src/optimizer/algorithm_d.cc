@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
 #include <stdexcept>
+#include <vector>
 
 #include "cost/ec_cache.h"
 #include "cost/expected_cost.h"
@@ -23,12 +25,258 @@ bool FastPathValid(const CostModel& model, JoinMethod method,
          (!left_sorted && !right_sorted);
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Kernel path: size propagation and EC evaluation on arena-backed SoA
+// views, decisions recorded in a flat DP table and the plan materialized
+// once at the end. Mirrors the legacy path candidate for candidate, so
+// objectives are bit-identical (I7 holds them together within
+// verify/tolerance.h bounds as a safety net).
+//
+// Known duplication: the candidate-enumeration nest below repeats
+// RunDpInto's shape (dp_common.h) with a distribution-valued cost seam —
+// per-subset views/hashes/means, the cache-or-compute step, D's
+// cost_evaluations accounting. Folding both into one template needs a
+// richer provider seam (per-(subset, j) context) than DpCostProvider
+// offers today; until that refactor, I7's plan/objective parity checks
+// are the tripwire that catches the two copies drifting apart.
+// ---------------------------------------------------------------------------
 
-OptimizeResult OptimizeAlgorithmD(const Query& query, const Catalog& catalog,
-                                  const CostModel& model,
-                                  const Distribution& memory,
-                                  const OptimizerOptions& options) {
+/// Reusable per-thread state of the kernel path; Prepare only grows.
+struct DScratch {
+  std::vector<DistView> size_view;
+  std::vector<uint64_t> size_hash;
+  std::vector<double> size_mean;
+  DpScratch dp;  // also supplies the predicate scratch via dp.preds()
+
+  void Prepare(size_t num_subsets) {
+    // Same retention policy as DpScratch::Prepare: a one-off outlier query
+    // must not pin its worst-case tables on the thread forever.
+    constexpr size_t kShrinkFloorSubsets = size_t{1} << 18;
+    if (size_view.size() > kShrinkFloorSubsets &&
+        num_subsets < size_view.size() / 4) {
+      size_view.clear();
+      size_view.shrink_to_fit();
+      size_hash.clear();
+      size_hash.shrink_to_fit();
+      size_mean.clear();
+      size_mean.shrink_to_fit();
+    }
+    if (size_view.size() < num_subsets) {
+      size_view.resize(num_subsets);
+      size_hash.resize(num_subsets);
+      size_mean.resize(num_subsets);
+    }
+  }
+};
+
+DScratch& ThreadLocalDScratch() {
+  thread_local DScratch scratch;
+  return scratch;
+}
+
+DistArena& ThreadLocalDArena() {
+  thread_local DistArena arena;
+  return arena;
+}
+
+PlanPtr BuildDPlan(const DpContext& ctx, DScratch& sc, TableSet s,
+                   OrderId order) {
+  // One shared decision-replay (dp_common.h); only the size annotation
+  // source differs: D stamps per-subset size-distribution means.
+  return ReplayDpDecisions(ctx, &sc.dp, s, order, [&sc](TableSet subset) {
+    return sc.size_mean[subset];
+  });
+}
+
+OptimizeResult OptimizeAlgorithmDKernel(const Query& query,
+                                        const Catalog& catalog,
+                                        const CostModel& model,
+                                        const Distribution& memory,
+                                        const OptimizerOptions& options) {
+  WallTimer timer;
+  DpContext ctx(query, catalog, options);
+  int n = ctx.num_tables();
+  size_t num_subsets = size_t{1} << n;
+  OptimizeResult result;
+  result.candidates_by_phase.assign(static_cast<size_t>(std::max(n - 1, 1)),
+                                    0);
+  EcCache* cache = options.ec_cache;
+  DistArena* arena = options.dist_arena != nullptr ? options.dist_arena
+                                                   : &ThreadLocalDArena();
+  arena->Reset();  // per-DP-instance reset: all views below die with us
+  DScratch& sc = ThreadLocalDScratch();
+  sc.Prepare(num_subsets);
+  sc.dp.Prepare(n, query.num_predicates());
+
+  DistView mem = memory.AsView();
+  uint64_t mem_hash = cache != nullptr ? memory.ContentHash() : 0;
+  EcMemoryProfile profile = BuildEcMemoryProfile(mem, arena);
+
+  // Memoized expected sort cost (enforcers and the final ORDER BY).
+  auto sort_ec = [&](TableSet s) {
+    auto compute = [&]() {
+      return ExpectedSortCostView(model, sc.size_view[s], mem);
+    };
+    return cache != nullptr
+               ? cache->SortEcView(sc.size_view[s], sc.size_hash[s], mem,
+                                   mem_hash, compute)
+               : compute();
+  };
+
+  // Size distribution per subset (independent of join order; computed once
+  // per subset as §3.6.3 recommends). Base-table views are copied into the
+  // arena — SizeDistribution() returns a temporary.
+  for (QueryPos p = 0; p < n; ++p) {
+    TableSet s = TableSet{1} << p;
+    Distribution base = catalog.table(query.table(p)).SizeDistribution();
+    DistView rebucketed =
+        RebucketInto(base.AsView(), options.size_buckets,
+                     RebucketStrategy::kEqualWidth, arena);
+    if (rebucketed.values == base.AsView().values) {
+      rebucketed = CopyInto(rebucketed, arena);  // un-alias the temporary
+    }
+    sc.size_view[s] = rebucketed;
+  }
+  for (int size = 2; size <= n; ++size) {
+    for (TableSet s = 1; s < num_subsets; ++s) {
+      if (SetSize(s) != size) continue;
+      // |S| = |S_j| · |A_j| · σ for any j ∈ S (every internal predicate is
+      // counted exactly once across the recursive decomposition), so one
+      // derivation per subset suffices (§3.6.3).
+      QueryPos j = *MemberRange(s).begin();
+      TableSet sj = s & ~(TableSet{1} << j);
+      query.ConnectingPredicatesInto(sj, j, &sc.dp.preds());
+      DistView sel = CombinedSelectivityViewInto(query, sc.dp.preds(),
+                                                 options.size_buckets, arena);
+      sc.size_view[s] =
+          JoinSizeViewInto(sc.size_view[sj], sc.size_view[TableSet{1} << j],
+                           sel, options.size_buckets, options.size_mode,
+                           arena);
+    }
+  }
+  for (TableSet s = 1; s < num_subsets; ++s) {
+    sc.size_mean[s] = ViewMean(sc.size_view[s]);
+    if (cache != nullptr) sc.size_hash[s] = ViewContentHash(sc.size_view[s]);
+  }
+
+  for (QueryPos p = 0; p < n; ++p) {
+    TableSet s = TableSet{1} << p;
+    // Scan cost linear in size.
+    sc.dp.RetainBest(s, kUnsorted, sc.size_mean[s], DpDecision{});
+  }
+
+  for (int size = 2; size <= n; ++size) {
+    for (TableSet s = 1; s < num_subsets; ++s) {
+      if (SetSize(s) != size) continue;
+      for (QueryPos j : MemberRange(s)) {
+        TableSet sj = s & ~(TableSet{1} << j);
+        uint16_t left_count = sc.dp.Count(sj);
+        if (left_count == 0) continue;
+        if (ctx.CrossProductForbidden(sj, j)) continue;
+        query.ConnectingPredicatesInto(sj, j, &sc.dp.preds());
+        const std::vector<int>& preds = sc.dp.preds();
+        TableSet rs_set = TableSet{1} << j;
+        DistView left_size = sc.size_view[sj];
+        DistView right_size = sc.size_view[rs_set];
+        double right_ec = sc.dp.Entries(rs_set)[0].cost;
+
+        const DpFlatEntry* lefts = sc.dp.Entries(sj);
+        for (uint16_t li = 0; li < left_count; ++li) {
+          OrderId left_order = lefts[li].order;
+          double left_ec = lefts[li].cost;
+          for (JoinMethod method : options.join_methods) {
+            bool sort_merge = method == JoinMethod::kSortMerge;
+            if (sort_merge && preds.empty()) continue;
+            size_t num_keys = sort_merge ? preds.size() : 1;
+            for (size_t ki = 0; ki < num_keys; ++ki) {
+              OrderId key = sort_merge ? preds[ki] : kUnsorted;
+              bool with_enforcer =
+                  sort_merge && options.consider_sort_enforcers;
+              double enforcer_ec = with_enforcer ? sort_ec(rs_set) : 0.0;
+              for (int inner = 0; inner < (with_enforcer ? 2 : 1); ++inner) {
+                bool rs = inner == 1;
+                ++result.candidates_considered;
+                ++result.candidates_by_phase[static_cast<size_t>(size - 2)];
+                bool ls = key != kUnsorted && left_order == key;
+                // The evaluation counters tick only when the formulas
+                // actually run; a cache hit skips both the work and the
+                // counter — cost_evaluations is the measure of work done.
+                auto compute_step = [&]() -> double {
+                  if (options.use_fast_ec &&
+                      FastPathValid(model, method, ls, rs)) {
+                    result.cost_evaluations +=
+                        left_size.n + right_size.n + mem.n;
+                    return FastEcJoin(method, left_size, right_size, profile,
+                                      sc.size_mean[sj],
+                                      sc.size_mean[rs_set]);
+                  }
+                  result.cost_evaluations +=
+                      left_size.n * right_size.n * mem.n;
+                  return ExpectedJoinCostView(model, method, left_size,
+                                              right_size, mem, ls, rs);
+                };
+                double step_ec =
+                    cache != nullptr
+                        ? cache->JoinEcView(method, ls, rs, left_size,
+                                            sc.size_hash[sj], right_size,
+                                            sc.size_hash[rs_set], mem,
+                                            mem_hash, compute_step)
+                        : compute_step();
+                double total =
+                    left_ec + right_ec + (rs ? enforcer_ec : 0.0) + step_ec;
+                OrderId out_order =
+                    DpContext::JoinOutputOrder(method, left_order, key);
+                DpDecision d;
+                d.j = static_cast<int16_t>(j);
+                d.key = static_cast<int16_t>(key);
+                d.left_order = static_cast<int16_t>(left_order);
+                d.method = method;
+                d.inner_sorted = rs;
+                sc.dp.RetainBest(s, out_order, total, d);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  TableSet all = query.AllTables();
+  uint16_t root_count = sc.dp.Count(all);
+  if (root_count == 0) throw std::runtime_error("no plan found for query");
+  const DpFlatEntry* roots = sc.dp.Entries(all);
+  double best = std::numeric_limits<double>::infinity();
+  OrderId best_order = kUnsorted;
+  bool best_needs_sort = false;
+  for (uint16_t ri = 0; ri < root_count; ++ri) {
+    double total = roots[ri].cost;
+    bool needs_sort =
+        query.required_order() && roots[ri].order != *query.required_order();
+    if (needs_sort) total += sort_ec(all);
+    if (total < best) {
+      best = total;
+      best_order = roots[ri].order;
+      best_needs_sort = needs_sort;
+    }
+  }
+  result.objective = best;
+  PlanPtr plan = BuildDPlan(ctx, sc, all, best_order);
+  if (best_needs_sort) plan = MakeSort(plan, *query.required_order());
+  result.plan = plan;
+  result.elapsed_seconds = timer.Seconds();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy path: the original Distribution-returning pipeline, preserved as
+// the I7 parity reference (options.use_dist_kernels = false).
+// ---------------------------------------------------------------------------
+
+OptimizeResult OptimizeAlgorithmDLegacy(const Query& query,
+                                        const Catalog& catalog,
+                                        const CostModel& model,
+                                        const Distribution& memory,
+                                        const OptimizerOptions& options) {
   WallTimer timer;
   DpContext ctx(query, catalog, options);
   int n = ctx.num_tables();
@@ -129,8 +377,8 @@ OptimizeResult OptimizeAlgorithmD(const Query& query, const Catalog& catalog,
                     result.cost_evaluations += left_size.size() +
                                                right_size.size() +
                                                memory.size();
-                    return FastExpectedJoinCost(method, left_size, right_size,
-                                                memory);
+                    return legacy::FastExpectedJoinCost(method, left_size,
+                                                        right_size, memory);
                   }
                   result.cost_evaluations +=
                       left_size.size() * right_size.size() * memory.size();
@@ -181,6 +429,25 @@ OptimizeResult OptimizeAlgorithmD(const Query& query, const Catalog& catalog,
   result.objective = best;
   result.elapsed_seconds = timer.Seconds();
   return result;
+}
+
+}  // namespace
+
+OptimizeResult OptimizeAlgorithmD(const Query& query, const Catalog& catalog,
+                                  const CostModel& model,
+                                  const Distribution& memory,
+                                  const OptimizerOptions& options) {
+  // Same memory valve as RunDp: the kernel path's flat decision table is
+  // dense, so a huge densely-predicated query routes to the sparse legacy
+  // pipeline instead of attempting a multi-GB slab.
+  size_t flat_entries =
+      (size_t{1} << query.num_tables()) *
+      (static_cast<size_t>(query.num_predicates()) + 1);
+  bool kernels = options.use_dist_kernels && flat_entries <= kMaxFlatDpEntries;
+  return kernels ? OptimizeAlgorithmDKernel(query, catalog, model, memory,
+                                            options)
+                 : OptimizeAlgorithmDLegacy(query, catalog, model, memory,
+                                            options);
 }
 
 }  // namespace lec

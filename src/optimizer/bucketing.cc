@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dist/arena.h"
+#include "dist/kernel.h"
 #include "query/query.h"
 
 namespace lec {
@@ -77,9 +79,19 @@ Distribution BucketMemory(const Distribution& fine, size_t b,
   if (b == 0) throw std::invalid_argument("b must be positive");
   switch (strategy) {
     case BucketingStrategy::kEqualWidth:
-      return fine.Rebucket(b, RebucketStrategy::kEqualWidth);
-    case BucketingStrategy::kEqualProb:
-      return fine.Rebucket(b, RebucketStrategy::kEqualProb);
+    case BucketingStrategy::kEqualProb: {
+      // Route through the arena kernel (bit-identical to fine.Rebucket) and
+      // materialize at the boundary; the no-op case hands `fine` back
+      // without a copy, matching Rebucket's return-*this contract.
+      RebucketStrategy rs = strategy == BucketingStrategy::kEqualWidth
+                                ? RebucketStrategy::kEqualWidth
+                                : RebucketStrategy::kEqualProb;
+      thread_local DistArena arena(size_t{1} << 10);
+      arena.Reset();
+      DistView out = RebucketInto(fine.AsView(), b, rs, &arena);
+      if (out.values == fine.AsView().values) return fine;
+      return Distribution::FromNormalizedView(out);
+    }
     case BucketingStrategy::kLevelSet:
       break;
   }

@@ -32,7 +32,66 @@ DpContext::DpContext(const Query& query, const Catalog& catalog,
 bool DpContext::CrossProductForbidden(TableSet subset, QueryPos j) const {
   if (!options_.avoid_cross_products) return false;
   if (!query_connected_) return false;
-  return query_->ConnectingPredicates(subset, j).empty();
+  return !query_->HasConnectingPredicate(subset, j);
+}
+
+void DpScratch::Prepare(int num_tables, int num_predicates) {
+  size_t num_subsets = size_t{1} << num_tables;
+  stride_ = static_cast<size_t>(num_predicates) + 1;
+  size_t want = num_subsets * stride_;
+  // The scratch is long-lived (thread-local in RunDp), so a one-off giant
+  // query must not pin its worst-case table forever: when the retained
+  // slab is both large in absolute terms (~100 MB at 24 B/entry) and 4x
+  // what this query needs, release it and size to fit. Same-shape repeats
+  // — the steady state the zero-allocation property is about — never
+  // trigger this.
+  constexpr size_t kShrinkFloorEntries = size_t{1} << 22;
+  if (entries_.size() > kShrinkFloorEntries && want < entries_.size() / 4) {
+    entries_.clear();
+    entries_.shrink_to_fit();
+  }
+  if (entries_.size() < want) entries_.resize(want);
+  counts_.assign(num_subsets, 0);  // reuses capacity once warmed
+  preds_.reserve(static_cast<size_t>(num_predicates));
+  best_root_order = kUnsorted;
+  root_needs_sort = false;
+}
+
+void DpScratch::RetainBest(TableSet s, OrderId order, double cost,
+                           const DpDecision& decision) {
+  DpFlatEntry* base = Entries(s);
+  uint16_t& count = Count(s);
+  // Entries stay sorted by order so iteration matches the legacy std::map
+  // walk; nodes hold a handful of orders, so linear scans win.
+  size_t pos = 0;
+  while (pos < count && base[pos].order < order) ++pos;
+  if (pos < count && base[pos].order == order) {
+    if (cost < base[pos].cost) {
+      base[pos].cost = cost;
+      base[pos].decision = decision;
+    }
+    return;
+  }
+  for (size_t i = count; i > pos; --i) base[i] = base[i - 1];
+  base[pos] = {cost, order, decision};
+  ++count;
+}
+
+DpScratch& ThreadLocalDpScratch() {
+  thread_local DpScratch scratch;
+  return scratch;
+}
+
+PlanPtr MaterializeDpPlan(const DpContext& ctx, DpScratch* scratch) {
+  // SubsetPages of a singleton is 1.0 * TablePages — bitwise identical to
+  // the leaf page count, so one lookup covers leaves and joins alike.
+  PlanPtr plan = ReplayDpDecisions(
+      ctx, scratch, ctx.query().AllTables(), scratch->best_root_order,
+      [&ctx](TableSet s) { return ctx.SubsetPages(s); });
+  if (scratch->root_needs_sort) {
+    plan = MakeSort(plan, *ctx.query().required_order());
+  }
+  return plan;
 }
 
 OrderId DpContext::JoinOutputOrder(JoinMethod method, OrderId left_order,

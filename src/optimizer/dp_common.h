@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <concepts>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <iterator>
 #include <limits>
@@ -26,6 +27,7 @@
 #include "catalog/catalog.h"
 #include "cost/cost_model.h"
 #include "cost/size_propagation.h"
+#include "dist/arena.h"
 #include "plan/plan.h"
 #include "query/query.h"
 #include "util/wall_timer.h"
@@ -54,6 +56,16 @@ struct OptimizerOptions {
   SizePropagationMode size_mode = SizePropagationMode::kCubeRootPrebucket;
   /// Algorithm D: use the §3.6 linear-time EC paths when valid.
   bool use_fast_ec = true;
+  /// Algorithm D: run size propagation and EC evaluation on the flat
+  /// arena-backed SoA kernels (dist/kernel.h) instead of the legacy
+  /// Distribution-returning pipeline. The two paths are held together by
+  /// fuzz invariant I7 (verify/fuzz_driver.h); off is the parity reference,
+  /// not a supported production configuration.
+  bool use_dist_kernels = true;
+  /// Algorithm D kernel path: borrowed scratch arena (reset per DP
+  /// instance). Null uses a per-thread arena; tests inject their own to pin
+  /// the steady-state-zero-allocation property.
+  DistArena* dist_arena = nullptr;
   /// Optional expected-cost memo cache (borrowed, not owned; see
   /// cost/ec_cache.h for the identity and thread-safety contract). Used by
   /// Algorithm D's inner loop — where cached and uncached runs return
@@ -178,17 +190,284 @@ inline void RetainBest(OrderMap* node, OrderId order, DpEntry entry) {
 
 }  // namespace internal
 
+// ---------------------------------------------------------------------------
+// Allocation-free DP core.
+//
+// The legacy RunDp below (kept as RunDpLegacy, the I7 parity reference)
+// spends its time in the allocator: a std::map node per retained entry, a
+// keys/inners vector and a MakeJoin plan tree per *candidate*, a Members /
+// ConnectingPredicates vector per subset visit. The rewritten core
+// separates concerns:
+//
+//   * RunDpInto computes the objective over flat per-subset entry tables
+//     owned by a reusable DpScratch — no plan construction at all. Each
+//     retained entry records the *decision* (joined relation, method, key,
+//     enforcer) that produced it. After one warm-up call the scratch is
+//     capacity-stable and a full run performs zero heap allocations
+//     (pinned by tests/dist_arena_test.cc with a counting operator new).
+//   * MaterializeDpPlan replays the recorded decisions into the same plan
+//     tree the legacy code built candidate by candidate — O(n) shared_ptr
+//     nodes once per optimization, at the result boundary.
+//
+// Candidate enumeration order, tie-breaking (strict <) and every counter
+// increment mirror RunDpLegacy exactly, so objectives and plans are
+// bit-identical between the two.
+// ---------------------------------------------------------------------------
+
+/// The decision that produced a retained DP entry.
+struct DpDecision {
+  int16_t j = -1;  ///< relation joined last; -1 marks an access leaf
+  int16_t key = kUnsorted;          ///< SM join key, else kUnsorted
+  int16_t left_order = kUnsorted;   ///< order of the outer subplan's entry
+  JoinMethod method = JoinMethod::kNestedLoop;
+  bool inner_sorted = false;  ///< explicit sort enforcer on the inner
+};
+
+/// One retained (subset, order) entry of the flat DP table.
+struct DpFlatEntry {
+  double cost = 0;
+  OrderId order = kUnsorted;
+  DpDecision decision;
+};
+
+/// Reusable storage for RunDpInto: flat per-subset entry tables (stride =
+/// num_predicates + 1, the most orders a node can retain) plus the scratch
+/// buffers the inner loop needs. Prepare() only grows, so a warmed scratch
+/// never re-allocates. Single-threaded, like the DP itself.
+class DpScratch {
+ public:
+  /// Sizes the tables for a query; reuses capacity when possible.
+  void Prepare(int num_tables, int num_predicates);
+
+  DpFlatEntry* Entries(TableSet s) { return entries_.data() + s * stride_; }
+  uint16_t& Count(TableSet s) { return counts_[s]; }
+
+  /// Retains (order, cost, decision) if it beats the current entry for
+  /// `order` (strict <, first-seen wins ties — RetainBest's contract).
+  void RetainBest(TableSet s, OrderId order, double cost,
+                  const DpDecision& decision);
+
+  /// Scratch for ConnectingPredicatesInto.
+  std::vector<int>& preds() { return preds_; }
+
+  /// Root decision recorded by RunDpInto for MaterializeDpPlan.
+  OrderId best_root_order = kUnsorted;
+  bool root_needs_sort = false;
+
+ private:
+  std::vector<DpFlatEntry> entries_;
+  std::vector<uint16_t> counts_;
+  std::vector<int> preds_;
+  size_t stride_ = 0;
+};
+
+/// The per-thread scratch RunDp runs on. Exposed so tests and benches can
+/// warm it explicitly; do not hold references across threads.
+DpScratch& ThreadLocalDpScratch();
+
+/// Replays one subtree of a DpScratch decision table into a plan tree.
+/// `subset_pages(s)` supplies the est_pages annotation for the node
+/// covering subset `s` — the scalar DP feeds DpContext's mean page counts,
+/// Algorithm D its per-subset size-distribution means. This is the ONE
+/// copy of the decision-replay logic; both materializers route through it.
+template <typename SubsetPagesFn>
+PlanPtr ReplayDpDecisions(const DpContext& ctx, DpScratch* scratch,
+                          TableSet s, OrderId order,
+                          const SubsetPagesFn& subset_pages) {
+  DpFlatEntry* base = scratch->Entries(s);
+  uint16_t count = scratch->Count(s);
+  const DpFlatEntry* entry = nullptr;
+  for (uint16_t i = 0; i < count; ++i) {
+    if (base[i].order == order) {
+      entry = &base[i];
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    throw std::logic_error("DP decision table missing a recorded entry");
+  }
+  const DpDecision& d = entry->decision;
+  if (d.j < 0) {
+    QueryPos p = *MemberRange(s).begin();
+    return MakeAccess(p, subset_pages(s));
+  }
+  QueryPos j = d.j;
+  TableSet sj = s & ~(TableSet{1} << j);
+  PlanPtr left = ReplayDpDecisions(ctx, scratch, sj, d.left_order,
+                                   subset_pages);
+  PlanPtr right = MakeAccess(j, subset_pages(TableSet{1} << j));
+  if (d.inner_sorted) right = MakeSort(right, d.key);
+  return MakeJoin(std::move(left), std::move(right), d.method,
+                  ctx.ConnectingPredicates(sj, j), order, subset_pages(s));
+}
+
+/// Replays the decisions recorded in `scratch` by the immediately
+/// preceding RunDpInto on `ctx` into a plan tree (including the final
+/// ORDER BY enforcer when one was charged).
+PlanPtr MaterializeDpPlan(const DpContext& ctx, DpScratch* scratch);
+
+/// The objective-only DP core: fills `result` (objective, counters; plan
+/// left null) using `scratch` for all mutable state. Steady-state
+/// allocation-free: after one warm-up call on a same-shape query, repeat
+/// calls never touch the heap. See RunDp for the semantics.
+template <DpCostProvider P>
+void RunDpInto(const DpContext& ctx, const P& cost, DpScratch* scratch,
+               OptimizeResult* result) {
+  const Query& query = ctx.query();
+  const OptimizerOptions& opts = ctx.options();
+  int n = ctx.num_tables();
+  size_t num_subsets = size_t{1} << n;
+  scratch->Prepare(n, query.num_predicates());
+  result->plan = nullptr;
+  result->objective = 0;
+  result->candidates_considered = 0;
+  result->cost_evaluations = 0;
+  result->elapsed_seconds = 0;
+  result->candidates_by_phase.assign(static_cast<size_t>(std::max(n - 1, 1)),
+                                     0);
+
+  // Depth 1: access paths (scan cost = pages, memory-independent).
+  for (QueryPos p = 0; p < n; ++p) {
+    TableSet s = TableSet{1} << p;
+    scratch->RetainBest(s, kUnsorted, ctx.TablePages(p), DpDecision{});
+  }
+
+  // Depths 2..n, in subset-size order (phase of the join = size - 2).
+  for (int size = 2; size <= n; ++size) {
+    for (TableSet s = 1; s < num_subsets; ++s) {
+      if (SetSize(s) != size) continue;
+      int phase_idx = size - 2;
+      for (QueryPos j : MemberRange(s)) {
+        TableSet sj = s & ~(TableSet{1} << j);
+        uint16_t left_count = scratch->Count(sj);
+        if (left_count == 0) continue;
+        if (ctx.CrossProductForbidden(sj, j)) continue;
+        query.ConnectingPredicatesInto(sj, j, &scratch->preds());
+        const std::vector<int>& preds = scratch->preds();
+        double left_pages = ctx.SubsetPages(sj);
+        double right_pages = ctx.TablePages(j);
+        double right_cost = scratch->Entries(TableSet{1} << j)[0].cost;
+
+        const DpFlatEntry* lefts = scratch->Entries(sj);
+        for (uint16_t li = 0; li < left_count; ++li) {
+          OrderId left_order = lefts[li].order;
+          double left_cost = lefts[li].cost;
+          for (JoinMethod method : opts.join_methods) {
+            // Sort-merge may key on any connecting predicate; other methods
+            // use a single canonical candidate.
+            bool sort_merge = method == JoinMethod::kSortMerge;
+            if (sort_merge && preds.empty()) continue;  // SM needs a key
+            size_t num_keys = sort_merge ? preds.size() : 1;
+            for (size_t ki = 0; ki < num_keys; ++ki) {
+              OrderId key = sort_merge ? preds[ki] : kUnsorted;
+              // Inner-side alternatives: raw scan, plus an explicit sort
+              // enforcer when the options allow and SM could benefit.
+              bool with_enforcer =
+                  sort_merge && opts.consider_sort_enforcers;
+              double enforcer_cost = 0;
+              if (with_enforcer) {
+                ++result->cost_evaluations;
+                enforcer_cost = cost.SortCost(right_pages, phase_idx);
+              }
+              for (int inner = 0; inner < (with_enforcer ? 2 : 1); ++inner) {
+                bool inner_sorted = inner == 1;
+                ++result->candidates_considered;
+                ++result->candidates_by_phase[static_cast<size_t>(phase_idx)];
+                ++result->cost_evaluations;
+                bool left_sorted = key != kUnsorted && left_order == key;
+                double step =
+                    cost.JoinCost(method, left_pages, right_pages,
+                                  left_sorted, inner_sorted, phase_idx);
+                double total = left_cost + right_cost +
+                               (inner_sorted ? enforcer_cost : 0.0) + step;
+                OrderId out_order =
+                    DpContext::JoinOutputOrder(method, left_order, key);
+                DpDecision d;
+                d.j = static_cast<int16_t>(j);
+                d.key = static_cast<int16_t>(key);
+                d.left_order = static_cast<int16_t>(left_order);
+                d.method = method;
+                d.inner_sorted = inner_sorted;
+                scratch->RetainBest(s, out_order, total, d);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Root: enforce the query's ORDER BY if present, then take the minimum.
+  TableSet all = query.AllTables();
+  uint16_t root_count = scratch->Count(all);
+  if (root_count == 0) {
+    throw std::runtime_error(
+        "no plan found (disconnected query with cross products forbidden?)");
+  }
+  const DpFlatEntry* roots = scratch->Entries(all);
+  double best = std::numeric_limits<double>::infinity();
+  int last_phase = std::max(n - 2, 0);
+  scratch->best_root_order = kUnsorted;
+  scratch->root_needs_sort = false;
+  for (uint16_t ri = 0; ri < root_count; ++ri) {
+    double total = roots[ri].cost;
+    bool needs_sort =
+        query.required_order() && roots[ri].order != *query.required_order();
+    if (needs_sort) {
+      ++result->cost_evaluations;
+      total += cost.SortCost(ctx.SubsetPages(all), last_phase);
+    }
+    if (total < best) {
+      best = total;
+      scratch->best_root_order = roots[ri].order;
+      scratch->root_needs_sort = needs_sort;
+    }
+  }
+  result->objective = best;
+}
+
 /// Runs the shared single-best DP: one entry per (subset, order), costing
 /// via the provider. This single routine *is* System R (LSC) when the
 /// provider evaluates at one memory value and Algorithm C (LEC) when it
 /// evaluates expected costs — the paper's point that the extension is "a
 /// relatively small and localized change" (§3.3).
+/// Runs on the thread-local scratch (objective core + one plan
+/// materialization); bit-identical to RunDpLegacy in objective, counters
+/// and plan.
 /// Note on timing: RunDp does not stamp elapsed_seconds — the public
 /// Optimize* entry points own that field (their span includes context
 /// construction and any per-phase precomputation). Direct RunDp callers
 /// that want a time wrap the call in a WallTimer themselves.
 template <DpCostProvider P>
+OptimizeResult RunDpLegacy(const DpContext& ctx, const P& cost);
+
+/// Above this many flat-table entries (~200 MB at 24 B each) RunDp routes
+/// to the sparse legacy DP instead of allocating a dense slab: a 2^n ×
+/// (P+1) table is the right trade for every realistic query (n ≤ 16ish),
+/// but an n=20 clique would want gigabytes where the map-based DP touches
+/// only the handful of retained entries. Results are bit-identical either
+/// way (I7), so this is purely a memory valve.
+inline constexpr size_t kMaxFlatDpEntries = size_t{1} << 23;
+
+template <DpCostProvider P>
 OptimizeResult RunDp(const DpContext& ctx, const P& cost) {
+  size_t flat_entries =
+      (size_t{1} << ctx.num_tables()) *
+      (static_cast<size_t>(ctx.query().num_predicates()) + 1);
+  if (flat_entries > kMaxFlatDpEntries) return RunDpLegacy(ctx, cost);
+  OptimizeResult result;
+  DpScratch* scratch = &ThreadLocalDpScratch();
+  RunDpInto(ctx, cost, scratch, &result);
+  result.plan = MaterializeDpPlan(ctx, scratch);
+  return result;
+}
+
+/// The pre-arena implementation, preserved verbatim: one std::map node per
+/// retained entry, a plan tree per candidate. It is the parity reference
+/// for fuzz invariant I7 and the baseline bench_dist_kernels (E18) and
+/// bench_opt_scaling measure RunDp against — do not call on hot paths.
+template <DpCostProvider P>
+OptimizeResult RunDpLegacy(const DpContext& ctx, const P& cost) {
   const Query& query = ctx.query();
   const OptimizerOptions& opts = ctx.options();
   int n = ctx.num_tables();

@@ -38,14 +38,30 @@ void Query::RequireOrder(OrderId p) {
 std::vector<int> Query::ConnectingPredicates(TableSet subset,
                                              QueryPos j) const {
   std::vector<int> out;
+  ConnectingPredicatesInto(subset, j, &out);
+  return out;
+}
+
+void Query::ConnectingPredicatesInto(TableSet subset, QueryPos j,
+                                     std::vector<int>* out) const {
+  out->clear();
   for (int i = 0; i < num_predicates(); ++i) {
     const JoinPredicate& p = predicates_[i];
     if (p.Touches(j) && Contains(subset, p.Other(j)) &&
         !Contains(subset, j)) {
-      out.push_back(i);
+      out->push_back(i);
     }
   }
-  return out;
+}
+
+bool Query::HasConnectingPredicate(TableSet subset, QueryPos j) const {
+  for (const JoinPredicate& p : predicates_) {
+    if (p.Touches(j) && Contains(subset, p.Other(j)) &&
+        !Contains(subset, j)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 std::vector<int> Query::CrossingPredicates(TableSet a, TableSet b) const {
@@ -123,6 +139,10 @@ std::vector<QueryPos> Members(TableSet s) {
     if (s & 1u) out.push_back(p);
   }
   return out;
+}
+
+QueryPos MemberRange::iterator::LowestBit(TableSet s) {
+  return static_cast<QueryPos>(std::countr_zero(s));
 }
 
 }  // namespace lec

@@ -76,6 +76,16 @@ class Query {
   /// equal to `j` — the predicates applied when joining B_j with A_j.
   std::vector<int> ConnectingPredicates(TableSet subset, QueryPos j) const;
 
+  /// ConnectingPredicates without the allocation: clears `out` and appends
+  /// (capacity reuse makes this free in steady state). For the DP inner
+  /// loops.
+  void ConnectingPredicatesInto(TableSet subset, QueryPos j,
+                                std::vector<int>* out) const;
+
+  /// True iff ConnectingPredicates(subset, j) would be non-empty — the
+  /// cross-product test, without materializing the list.
+  bool HasConnectingPredicate(TableSet subset, QueryPos j) const;
+
   /// Indices of predicates with one endpoint in `a` and the other in `b`
   /// (the sets must be disjoint) — the predicates applied by a bushy join
   /// of the two subplans.
@@ -111,6 +121,35 @@ bool Contains(TableSet s, QueryPos p);
 
 /// Iterates positions in `s`, ascending.
 std::vector<QueryPos> Members(TableSet s);
+
+/// Allocation-free ascending iteration over the positions in a TableSet —
+/// `for (QueryPos p : MemberRange(s))` in the DP hot loops, where the
+/// Members() vector would hit the allocator once per subset visit.
+class MemberRange {
+ public:
+  explicit MemberRange(TableSet s) : bits_(s) {}
+
+  class iterator {
+   public:
+    explicit iterator(TableSet rest) : rest_(rest) {}
+    QueryPos operator*() const { return LowestBit(rest_); }
+    iterator& operator++() {
+      rest_ &= rest_ - 1;  // clear lowest set bit
+      return *this;
+    }
+    bool operator!=(const iterator& o) const { return rest_ != o.rest_; }
+
+   private:
+    static QueryPos LowestBit(TableSet s);
+    TableSet rest_;
+  };
+
+  iterator begin() const { return iterator(bits_); }
+  iterator end() const { return iterator(0); }
+
+ private:
+  TableSet bits_;
+};
 
 }  // namespace lec
 

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "cost/cost_policies.h"
+#include "cost/fast_expected_cost.h"
 #include "cost/size_propagation.h"
 #include "optimizer/algorithm_a.h"
 #include "optimizer/algorithm_b.h"
@@ -116,6 +118,7 @@ class CaseChecker {
     CheckMixtureLinearity();     // I3
     CheckRebucketing();          // I4
     CheckServiceInvariance();    // I5
+    CheckKernelParity();         // I7 (cheap; runs before the MC resamples)
     if (options_.check_mc) CheckMonteCarlo();  // I6
     return std::move(violations_);
   }
@@ -451,6 +454,84 @@ class CaseChecker {
            "I5:facade_parity",
            FormatMismatch("facade vs direct lec_static objective",
                           via_facade.objective, direct.objective));
+  }
+
+  void CheckKernelParity() {
+    if (Stop()) return;
+    const Workload& w = ctx_.workload;
+    // (a) DP core: the flat decision-table RunDp against the legacy
+    // map-based DP, across the scalar costing regimes. The rewrite mirrors
+    // the legacy enumeration and tie-breaking, so plans must be
+    // structurally identical, not merely equal-cost.
+    OptimizerOptions opts;
+    DpContext dpctx(w.query, w.catalog, opts);
+    auto check_dp = [&](const char* id, const auto& provider) {
+      OptimizeResult neo = RunDp(dpctx, provider);
+      OptimizeResult old = RunDpLegacy(dpctx, provider);
+      Expect(ApproxEqual(neo.objective, old.objective, kKernelParityRelTol),
+             id,
+             FormatMismatch("RunDp vs RunDpLegacy objective", neo.objective,
+                            old.objective));
+      Expect(PlanEquals(neo.plan, old.plan) &&
+                 neo.candidates_considered == old.candidates_considered &&
+                 neo.cost_evaluations == old.cost_evaluations,
+             id, "RunDp plan/counters diverge from RunDpLegacy");
+    };
+    check_dp("I7:dp_lsc_parity",
+             LscCostProvider{ctx_.model, ctx_.memory.Mean()});
+    if (Stop()) return;
+    check_dp("I7:dp_lec_static_parity",
+             LecStaticCostProvider{ctx_.model, ctx_.memory});
+    if (Stop()) return;
+    {
+      int phases = std::max(w.query.num_tables() - 1, 1);
+      std::vector<Distribution> marginals;
+      marginals.reserve(static_cast<size_t>(phases));
+      Distribution cur = ctx_.memory;
+      for (int t = 0; t < phases; ++t) {
+        marginals.push_back(cur);
+        cur = ctx_.chain.Step(cur);
+      }
+      check_dp("I7:dp_lec_dynamic_parity",
+               LecDynamicCostProvider{ctx_.model, marginals});
+    }
+    if (Stop()) return;
+    // (b) Algorithm D: arena/SoA size propagation + threshold-swept fast
+    // EC against the legacy Distribution pipeline.
+    {
+      OptimizerOptions kernel_opts;
+      kernel_opts.use_dist_kernels = true;
+      OptimizerOptions legacy_opts;
+      legacy_opts.use_dist_kernels = false;
+      OptimizeResult k = OptimizeAlgorithmD(w.query, w.catalog, ctx_.model,
+                                            ctx_.memory, kernel_opts);
+      OptimizeResult l = OptimizeAlgorithmD(w.query, w.catalog, ctx_.model,
+                                            ctx_.memory, legacy_opts);
+      Expect(ApproxEqual(k.objective, l.objective, kKernelParityRelTol),
+             "I7:algorithm_d_kernel_parity",
+             FormatMismatch("algorithm_d kernel vs legacy objective",
+                            k.objective, l.objective));
+      Expect(PlanEquals(k.plan, l.plan), "I7:algorithm_d_kernel_plan",
+             "algorithm_d kernel path chose a different plan than legacy");
+    }
+    if (Stop()) return;
+    // (c) Operator level: the threshold-swept fast-EC kernels against the
+    // legacy cursor implementation on this case's own distributions.
+    {
+      Distribution a =
+          w.catalog.table(w.query.table(0)).SizeDistribution();
+      Distribution b = w.catalog.table(w.query.table(w.query.num_tables() - 1))
+                           .SizeDistribution();
+      for (JoinMethod m : kAllJoinMethods) {
+        double kernel_ec = FastExpectedJoinCost(m, a, b, ctx_.memory);
+        double legacy_ec = legacy::FastExpectedJoinCost(m, a, b, ctx_.memory);
+        Expect(ApproxEqual(kernel_ec, legacy_ec, kKernelParityRelTol),
+               "I7:fast_ec_kernel_parity",
+               FormatMismatch("fast-EC kernel vs legacy cursor", kernel_ec,
+                              legacy_ec));
+        if (Stop()) return;
+      }
+    }
   }
 
   void CheckMonteCarlo() {

@@ -25,6 +25,12 @@
 //      objectives and plans), EC-cache invariant (bit for Algorithm D,
 //      documented reassociation tolerance for A/B), and facade dispatch
 //      matches the direct entry point.
+//   I7 kernel parity      — objectives computed via the arena/SoA kernel
+//      path (dist/kernel.h: flat-table RunDp, Algorithm D's view pipeline,
+//      the threshold-swept fast-EC) must match the legacy
+//      Distribution-returning path (RunDpLegacy, use_dist_kernels=false,
+//      legacy::FastExpectedJoinCost) within kKernelParityRelTol, and the
+//      DP families must produce structurally identical plans.
 //   I6 Monte-Carlo        — sampled executions agree with the analytic EC
 //      in the static and Markov-dynamic regimes: a violation is a 99.9%
 //      CLT-interval miss that is ALSO materially far from the mean

@@ -38,6 +38,16 @@ inline constexpr double kSummationReassociationRelTol = 1e-9;
 /// honest together.
 inline constexpr double kOracleRelTol = 1e-9;
 
+/// Tolerance for "same objective computed via the arena kernel path vs the
+/// legacy Distribution-returning path" — fuzz invariant I7. The kernels
+/// mirror the legacy arithmetic step for step (dist/kernel.h documents the
+/// contract), so in practice the two sides are bit-identical; the bound
+/// exists because the fast-EC step thresholds are *classification*-exact
+/// but FP reassociation inside future kernel revisions (e.g. vectorized
+/// accumulation) may legitimately reorder sums. Same Higham basis as
+/// kSummationReassociationRelTol.
+inline constexpr double kKernelParityRelTol = 1e-9;
+
 /// Tolerance for comparing Algorithm D's bucketed objective against the
 /// exact joint-support enumeration under *exact* size propagation
 /// (kExactThenRebucket at a 4096-bucket budget): colliding products still

@@ -1,0 +1,265 @@
+// The SoA kernels (dist/kernel.h) against their Distribution mirrors.
+//
+// The kernels promise bit-faithfulness: same sort, same merge order, same
+// normalization as the Distribution constructor pipeline. These tests pin
+// that promise on the edge cases the fuzz corpus rarely concentrates on —
+// single buckets, point masses, rebucket budgets at both extremes, denormal
+// probabilities — plus the exact-classification contract of the fast-EC
+// step thresholds.
+#include "dist/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "cost/fast_expected_cost.h"
+#include "cost/size_propagation.h"
+#include "dist/arena.h"
+#include "dist/builders.h"
+#include "util/rng.h"
+
+namespace lec {
+namespace {
+
+std::vector<Bucket> RandomRawBuckets(Rng* rng, size_t n,
+                                     bool with_duplicates) {
+  std::vector<Bucket> out;
+  for (size_t i = 0; i < n; ++i) {
+    double v = rng->LogUniform(1, 1e6);
+    if (with_duplicates && i > 0 && rng->Uniform01() < 0.3) {
+      v = out[i - 1].value;  // exercise the merge path
+    }
+    out.push_back({v, rng->Uniform(0.0, 1.0)});  // zero-mass possible
+  }
+  return out;
+}
+
+void ExpectViewEqualsDistribution(DistView v, const Distribution& d) {
+  ASSERT_EQ(v.n, d.size());
+  for (size_t i = 0; i < v.n; ++i) {
+    EXPECT_EQ(v.values[i], d.bucket(i).value) << "value " << i;
+    EXPECT_EQ(v.probs[i], d.bucket(i).prob) << "prob " << i;
+  }
+}
+
+TEST(DistKernelTest, FinishIntoMirrorsConstructorBitForBit) {
+  DistArena arena;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    std::vector<Bucket> raw = RandomRawBuckets(&rng, 12, true);
+    // The constructor path first (it consumes a copy)...
+    Distribution d(raw);
+    // ...then the kernel on the same raw sequence.
+    arena.Reset();
+    Bucket* scratch = arena.AllocArray<Bucket>(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) scratch[i] = raw[i];
+    DistView v = FinishInto(scratch, raw.size(), &arena);
+    ExpectViewEqualsDistribution(v, d);
+    EXPECT_EQ(ViewContentHash(v), d.ContentHash());
+  }
+}
+
+TEST(DistKernelTest, ProductIntoMirrorsProductWith) {
+  DistArena arena;
+  auto mul = [](double a, double b) { return a * b; };
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    Distribution a(RandomRawBuckets(&rng, 1 + trial % 5, false));
+    Distribution b(RandomRawBuckets(&rng, 1 + (trial * 3) % 7, false));
+    Distribution want = a.ProductWith(b, mul);
+    arena.Reset();
+    DistView got = ProductInto(a.AsView(), b.AsView(), &arena);
+    ExpectViewEqualsDistribution(got, want);
+  }
+}
+
+TEST(DistKernelTest, PointMassKernels) {
+  DistArena arena;
+  Distribution point = Distribution::PointMass(42.0);
+  DistView pv = point.AsView();
+  // Product with a point mass scales the support.
+  Distribution other = Distribution::TwoPoint(2, 0.5, 3, 0.5);
+  DistView got = ProductInto(pv, other.AsView(), &arena);
+  ExpectViewEqualsDistribution(
+      got, point.ProductWith(other, [](double a, double b) { return a * b; }));
+  // Moments.
+  EXPECT_EQ(ViewMean(pv), 42.0);
+  EXPECT_EQ(ViewTotalMass(pv), 1.0);
+  // Rebucket of a single bucket is the identity view.
+  DistView rb = RebucketInto(pv, 4, RebucketStrategy::kEqualWidth, &arena);
+  EXPECT_EQ(rb.values, pv.values);  // returned unchanged, not copied
+}
+
+TEST(DistKernelTest, MixIntoMirrorsMixWith) {
+  DistArena arena;
+  Rng rng(11);
+  Distribution a(RandomRawBuckets(&rng, 6, false));
+  Distribution b(RandomRawBuckets(&rng, 4, false));
+  for (double w : {0.0, 0.25, 0.5, 1.0}) {
+    Distribution want = a.MixWith(b, w);
+    arena.Reset();
+    DistView got = MixInto(a.AsView(), b.AsView(), w, &arena);
+    ExpectViewEqualsDistribution(got, want);
+  }
+}
+
+TEST(DistKernelTest, MapIntoMergesCollidingImages) {
+  DistArena arena;
+  Distribution d = UniformBuckets(0, 10, 8);
+  auto f = [](double v) { return std::floor(v / 4.0); };  // forces collisions
+  Distribution want = d.Map(f);
+  DistView got = MapInto(d.AsView(), f, &arena);
+  ExpectViewEqualsDistribution(got, want);
+}
+
+TEST(DistKernelTest, RebucketIntoMirrorsRebucketAcrossBudgets) {
+  DistArena arena;
+  Rng rng(23);
+  Distribution d(RandomRawBuckets(&rng, 40, false));
+  for (RebucketStrategy strategy :
+       {RebucketStrategy::kEqualWidth, RebucketStrategy::kEqualProb}) {
+    // Budgets at both extremes: collapse-to-one, one-under, exact fit.
+    for (size_t budget : {size_t{1}, size_t{3}, d.size() - 1, d.size()}) {
+      Distribution want = d.Rebucket(budget, strategy);
+      arena.Reset();
+      DistView got = RebucketInto(d.AsView(), budget, strategy, &arena);
+      ExpectViewEqualsDistribution(got, want);
+      if (budget >= d.size()) {
+        EXPECT_EQ(got.values, d.AsView().values);  // identity, no copy
+      }
+    }
+  }
+}
+
+TEST(DistKernelTest, DenormalProbabilitiesFollowTheDustPass) {
+  // Probabilities below the constructor's 1e-12 relative-dust threshold —
+  // including actual denormals — are dropped identically by both paths.
+  DistArena arena;
+  std::vector<Bucket> raw = {{1.0, 1.0},
+                             {2.0, 1e-13},
+                             {3.0, 5e-324},  // smallest positive denormal
+                             {4.0, 0.5}};
+  Distribution d(raw);
+  Bucket* scratch = arena.AllocArray<Bucket>(raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) scratch[i] = raw[i];
+  DistView v = FinishInto(scratch, raw.size(), &arena);
+  ExpectViewEqualsDistribution(v, d);
+  EXPECT_EQ(v.n, 2u);  // only the two carrying real mass survive
+}
+
+TEST(DistKernelTest, CopyIntoAndEqualsAndHash) {
+  DistArena arena;
+  Distribution d = UniformBuckets(1, 100, 12);
+  DistView copy = CopyInto(d.AsView(), &arena);
+  EXPECT_NE(copy.values, d.AsView().values);
+  EXPECT_TRUE(ViewEquals(copy, d.AsView()));
+  EXPECT_EQ(ViewContentHash(copy), d.ContentHash());
+  DistView other = CopyInto(Distribution::PointMass(1).AsView(), &arena);
+  EXPECT_FALSE(ViewEquals(copy, other));
+}
+
+TEST(DistKernelTest, FromNormalizedViewRoundTrips) {
+  DistArena arena;
+  Rng rng(31);
+  Distribution d(RandomRawBuckets(&rng, 15, true));
+  Distribution back = Distribution::FromNormalizedView(d.AsView());
+  EXPECT_TRUE(back == d);
+  EXPECT_EQ(back.ContentHash(), d.ContentHash());
+  EXPECT_EQ(back.Mean(), d.Mean());
+  // And from an arena-built view.
+  DistView prod = ProductInto(d.AsView(), d.AsView(), &arena);
+  Distribution materialized = Distribution::FromNormalizedView(prod);
+  ExpectViewEqualsDistribution(prod, materialized);
+  EXPECT_THROW(Distribution::FromNormalizedView(DistView{}),
+               std::invalid_argument);
+}
+
+TEST(DistKernelTest, JoinSizeViewMirrorsJoinSizeDistribution) {
+  DistArena arena;
+  Rng rng(41);
+  Distribution l(RandomRawBuckets(&rng, 9, false));
+  Distribution r(RandomRawBuckets(&rng, 7, false));
+  Distribution s = UniformBuckets(0.01, 0.2, 5);
+  for (SizePropagationMode mode : {SizePropagationMode::kCubeRootPrebucket,
+                                   SizePropagationMode::kExactThenRebucket}) {
+    Distribution want = JoinSizeDistribution(l, r, s, 27, mode);
+    arena.Reset();
+    DistView got = JoinSizeViewInto(l.AsView(), r.AsView(), s.AsView(), 27,
+                                    mode, &arena);
+    ExpectViewEqualsDistribution(got, want);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Step thresholds: the one place the kernel path deviates structurally from
+// the legacy cursors. The contract is *exact classification*: for every
+// swept x, "x >= StepThreshold(m, f, guess)" must equal "m <= fl(f(x))".
+// ---------------------------------------------------------------------------
+
+TEST(DistKernelTest, StepThresholdClassifiesExactly) {
+  auto sqrt_fn = +[](double x) { return std::sqrt(x); };
+  auto cbrt_fn = +[](double x) { return std::cbrt(x); };
+  Rng rng(51);
+  for (int trial = 0; trial < 2000; ++trial) {
+    double m = rng.LogUniform(1e-3, 1e6);
+    double t2 = StepThreshold(m, sqrt_fn, m * m);
+    // At the threshold the predicate holds; one ulp below it must not.
+    EXPECT_GE(std::sqrt(t2), m);
+    EXPECT_LT(std::sqrt(std::nextafter(t2, 0.0)), m);
+    double t3 = StepThreshold(m, cbrt_fn, m * m * m);
+    EXPECT_GE(std::cbrt(t3), m);
+    EXPECT_LT(std::cbrt(std::nextafter(t3, 0.0)), m);
+  }
+  // Values sitting exactly on a breakpoint (the Example 1.1 shape).
+  EXPECT_EQ(StepThreshold(100.0, sqrt_fn, 1e4), 1e4);
+  // Non-positive m: every x qualifies.
+  EXPECT_EQ(StepThreshold(0.0, sqrt_fn, 0.0),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(DistKernelTest, FastEcKernelsBitMatchLegacyCursors) {
+  DistArena arena;
+  Rng rng(61);
+  for (int trial = 0; trial < 25; ++trial) {
+    Distribution a(RandomRawBuckets(&rng, 1 + trial % 12, false));
+    Distribution b(RandomRawBuckets(&rng, 1 + (trial * 5) % 12, false));
+    std::vector<Bucket> mb;
+    size_t mn = 1 + static_cast<size_t>(rng.UniformInt(0, 7));
+    for (size_t i = 0; i < mn; ++i) {
+      mb.push_back({rng.LogUniform(2, 5000), rng.Uniform(0.05, 1.0)});
+    }
+    Distribution m(std::move(mb));
+    arena.Reset();
+    EcMemoryProfile profile = BuildEcMemoryProfile(m.AsView(), &arena);
+    for (JoinMethod method : kAllJoinMethods) {
+      double kernel =
+          FastEcJoin(method, a.AsView(), b.AsView(), profile);
+      double cursor = legacy::FastExpectedJoinCost(method, a, b, m);
+      EXPECT_DOUBLE_EQ(kernel, cursor)
+          << ToString(method) << " trial=" << trial;
+    }
+  }
+}
+
+TEST(DistKernelTest, FastEcKernelsExactAtBreakpointMemories) {
+  // Memory buckets sitting exactly at the cost formulas' discontinuities —
+  // the adversarial case for the precomputed thresholds.
+  DistArena arena;
+  Distribution a = Distribution::PointMass(10000);
+  Distribution b = Distribution::PointMass(100);
+  Distribution m({{std::cbrt(10000.0), 0.25},
+                  {100, 0.25},
+                  {102, 0.25},
+                  {103, 0.25}});
+  EcMemoryProfile profile = BuildEcMemoryProfile(m.AsView(), &arena);
+  for (JoinMethod method : kAllJoinMethods) {
+    EXPECT_DOUBLE_EQ(FastEcJoin(method, a.AsView(), b.AsView(), profile),
+                     legacy::FastExpectedJoinCost(method, a, b, m))
+        << ToString(method);
+  }
+}
+
+}  // namespace
+}  // namespace lec

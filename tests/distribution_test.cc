@@ -281,5 +281,27 @@ TEST_P(DistributionPropertyTest, RebucketCdfErrorShrinksWithBuckets) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DistributionPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
 
+// bucket()/get()/operator[] are unchecked in release builds (they sit in
+// the DP hot loops — PR 4 removed the std::vector::at() bounds checks) and
+// assert in debug builds. The death test pins the debug diagnostic; the
+// in-range regression half runs in every build mode.
+TEST(DistributionTest, BucketAccessorsAgreeInRange) {
+  Distribution d = Distribution::TwoPoint(1.0, 0.25, 9.0, 0.75);
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(d.bucket(i), d.get(i));
+    EXPECT_EQ(d.bucket(i), d[i]);
+  }
+  EXPECT_DOUBLE_EQ(d[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(d[1].value, 9.0);
+}
+
+#ifndef NDEBUG
+TEST(DistributionDeathTest, OutOfRangeBucketAssertsInDebugBuilds) {
+  Distribution d = Distribution::PointMass(1.0);
+  EXPECT_DEATH((void)d.bucket(5), "out of range");
+  EXPECT_DEATH((void)d[2], "out of range");
+}
+#endif
+
 }  // namespace
 }  // namespace lec

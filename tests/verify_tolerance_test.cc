@@ -61,6 +61,7 @@ TEST(ToleranceTest, PinsTheDocumentedTolerances) {
   // verify/tolerance.h for the derivation.
   EXPECT_EQ(kSummationReassociationRelTol, 1e-9);
   EXPECT_EQ(kOracleRelTol, 1e-9);
+  EXPECT_EQ(kKernelParityRelTol, 1e-9);
 }
 
 // The regression test this policy exists for: Algorithm A and B cached
