@@ -1,6 +1,7 @@
 #include "dist/markov.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
@@ -43,6 +44,29 @@ MarkovChain::MarkovChain(std::vector<double> states,
     }
     for (double& w : row) w /= total;
   }
+}
+
+MarkovChain MarkovChain::FromNormalizedRows(
+    std::vector<double> states, std::vector<std::vector<double>> transition) {
+#ifndef NDEBUG
+  assert(!states.empty() && transition.size() == states.size());
+  for (size_t i = 1; i < states.size(); ++i) {
+    assert(std::isfinite(states[i]) && states[i] > states[i - 1]);
+  }
+  for (const std::vector<double>& row : transition) {
+    assert(row.size() == states.size());
+    double total = 0;
+    for (double w : row) {
+      assert(std::isfinite(w) && w >= 0);
+      total += w;
+    }
+    assert(std::abs(total - 1.0) <= 1e-9 && "rows must be pre-normalized");
+  }
+#endif
+  MarkovChain chain;
+  chain.states_ = std::move(states);
+  chain.transition_ = std::move(transition);
+  return chain;
 }
 
 MarkovChain MarkovChain::Static(std::vector<double> states) {

@@ -43,6 +43,17 @@ class MarkovChain {
   static MarkovChain RedrawFrom(const Distribution& target,
                                 double redraw_prob);
 
+  /// Trusted materializer for serialization (service/serde.h): the rows
+  /// must already be normalized — exactly what transition() of a
+  /// constructed chain returns. Skips the renormalizing division of the
+  /// validating constructor, whose quotient could perturb low-order bits,
+  /// so a deserialized chain is bit-identical to the serialized one.
+  /// Debug builds assert the contract; callers (the serde layer) validate
+  /// untrusted input first.
+  static MarkovChain FromNormalizedRows(
+      std::vector<double> states,
+      std::vector<std::vector<double>> transition);
+
   /// One-phase push-forward of `d` (whose support must lie on the states).
   Distribution Step(const Distribution& d) const;
 
@@ -66,6 +77,9 @@ class MarkovChain {
   size_t num_states() const { return states_.size(); }
 
  private:
+  /// For FromNormalizedRows: members are filled in by hand.
+  MarkovChain() = default;
+
   /// Probability-vector view of `d` over the states; throws when some of
   /// d's support is not a state.
   std::vector<double> ToStateVector(const Distribution& d) const;

@@ -35,6 +35,7 @@
 namespace lec {
 
 class EcCache;
+class PlanCache;
 
 /// Knobs shared by every optimizer in the family.
 struct OptimizerOptions {
@@ -75,6 +76,14 @@ struct OptimizerOptions {
   /// the uncached walk up to floating-point association order, not bit
   /// pattern. Either way only real formula runs tick cost_evaluations.
   EcCache* ec_cache = nullptr;
+  /// Optional whole-result plan cache (borrowed, not owned; see
+  /// service/plan_cache.h). Consulted only by the lec::Optimizer facade —
+  /// the strategy entry points below it never look: the cache key is the
+  /// full request identity, which only the facade sees. Unlike ec_cache,
+  /// a PlanCache is internally synchronized and MEANT to be shared across
+  /// the batch driver's workers. A hit returns a result bit-identical to
+  /// recomputing (except elapsed_seconds, which reports the serving call).
+  PlanCache* plan_cache = nullptr;
 };
 
 /// Result of one optimizer invocation. `objective` is whatever the

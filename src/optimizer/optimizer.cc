@@ -11,6 +11,7 @@
 #include "optimizer/parametric.h"
 #include "optimizer/randomized.h"
 #include "optimizer/sampling.h"
+#include "service/plan_cache.h"
 #include "util/rng.h"
 
 namespace lec {
@@ -153,6 +154,24 @@ OptimizeResult Optimizer::Optimize(StrategyId id,
   if (it == registry_.end()) {
     throw std::invalid_argument("strategy not registered: " +
                                 std::string(StrategyName(id)));
+  }
+  // The plan-cache fast path. The signature keys the registry's built-in
+  // strategy semantics; a caller that Register()s a different function
+  // under an existing id must not share a cache across the swap (results
+  // would be served from the old semantics — Clear() it).
+  PlanCache* cache = request.options.plan_cache;
+  if (cache != nullptr) {
+    QuerySignature sig = QuerySignature::Compute(id, request);
+    if (std::optional<OptimizeResult> hit = cache->Lookup(sig)) {
+      // Bit-identical to recompute by the PlanCache contract; only the
+      // wall time is the serving call's own.
+      hit->elapsed_seconds = timer.Seconds();
+      return *std::move(hit);
+    }
+    OptimizeResult result = it->second(request);
+    result.elapsed_seconds = timer.Seconds();
+    cache->Insert(sig, result);
+    return result;
   }
   OptimizeResult result = it->second(request);
   result.elapsed_seconds = timer.Seconds();

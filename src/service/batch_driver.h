@@ -51,7 +51,13 @@ struct BatchOptions {
   /// are filled per item and `options.ec_cache` is always overridden by
   /// the driver (per-worker cache when use_ec_cache, else null — a shared
   /// caller-supplied cache would race across workers). Everything else is
-  /// passed through.
+  /// passed through — including `options.plan_cache`, which (unlike the
+  /// EcCache) is internally synchronized and deliberately SHARED across
+  /// workers: one worker's insert is every other worker's hit, and
+  /// because a hit is bit-identical to recomputing, objectives and plans
+  /// stay thread-count invariant with the cache attached. Warm-load a
+  /// snapshot first and a whole batch can serve from cache (see
+  /// bench_plan_cache, E19).
   OptimizeRequest request;
 };
 

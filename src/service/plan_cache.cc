@@ -1,0 +1,296 @@
+#include "service/plan_cache.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "cost/cost_model.h"
+
+namespace lec {
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+QuerySignature QuerySignature::Compute(StrategyId id,
+                                       const OptimizeRequest& r) {
+  if (r.query == nullptr || r.catalog == nullptr || r.model == nullptr ||
+      r.memory == nullptr) {
+    throw std::invalid_argument(
+        "QuerySignature needs query, catalog, model and memory");
+  }
+  // Binary encoding: the canonical string is compared, hashed and stored,
+  // never read back, so the densest framing wins — hex-float text here
+  // would put ~60 snprintf calls on the hit path and dominate it (E19
+  // measures the difference as ~2.5x of the whole lookup).
+  std::ostringstream out;
+  serde::Writer w(out, serde::Encoding::kBinary);
+  w.Tag("sig");
+  w.U32(1);  // signature schema version, independent of the wire version
+  w.Str(StrategyName(id));
+
+  // Option fingerprint: the serde subset of OptimizerOptions (everything
+  // result-affecting except the borrowed pointers). The EC cache pointer
+  // is fingerprinted below for Algorithm A/B only — the one place its
+  // presence changes bits (cached scoring reassociates floating-point
+  // sums); everywhere else memoization is bit-transparent, and splitting
+  // on it would halve the hit rate under the batch driver, which always
+  // attaches per-worker EC caches. The dist arena and this cache itself
+  // are pure mechanism and excluded.
+  serde::Write(w, r.options);
+
+  // Cost-model fingerprint: both knobs change every join cost.
+  w.Bool(r.model->options().sorted_input_discount);
+  w.Bool(r.model->options().charge_materialization);
+
+  // Statistics, by query position: the scalar page estimate and the full
+  // size distribution (the ContentHash first, then the exact buckets —
+  // the buckets are what make the signature collision-proof under string
+  // comparison; the hash rides along as a cheap prefix discriminator).
+  // Table names and rows_per_page are execution-side cosmetics no
+  // strategy reads.
+  const Query& query = *r.query;
+  w.Tag("tables");
+  w.U64(static_cast<uint64_t>(query.num_tables()));
+  for (QueryPos p = 0; p < query.num_tables(); ++p) {
+    const Table& t = r.catalog->table(query.table(p));
+    w.F64(t.pages);
+    Distribution size = t.SizeDistribution();
+    w.U64(size.ContentHash());
+    serde::Write(w, size);
+  }
+
+  // Predicates with endpoint order normalized: a binary equi-join
+  // predicate is symmetric, and nothing in the optimizer reads the
+  // endpoints directionally, so (a, b) and (b, a) requests share an entry.
+  // The predicate *list* order is deliberately NOT normalized — plan nodes
+  // store predicate indices, and selectivity products reassociate under
+  // reordering (see the header comment).
+  w.Tag("preds");
+  w.U64(static_cast<uint64_t>(query.num_predicates()));
+  for (const JoinPredicate& pred : query.predicates()) {
+    w.I32(std::min(pred.left, pred.right));
+    w.I32(std::max(pred.left, pred.right));
+    w.U64(pred.selectivity.ContentHash());
+    serde::Write(w, pred.selectivity);
+  }
+  w.Bool(query.required_order().has_value());
+  if (query.required_order()) w.I32(*query.required_order());
+
+  w.Tag("memory");
+  w.U64(r.memory->ContentHash());
+  serde::Write(w, *r.memory);
+
+  // Strategy-specific knobs: only what the strategy actually consumes, so
+  // e.g. a changed randomized seed does not evict lec_static entries.
+  w.Tag("knobs");
+  switch (id) {
+    case StrategyId::kLsc:
+      w.U32(static_cast<uint32_t>(r.lsc_estimate));
+      break;
+    case StrategyId::kAlgorithmA:
+      w.Bool(r.options.ec_cache != nullptr);
+      break;
+    case StrategyId::kAlgorithmB:
+      w.Bool(r.options.ec_cache != nullptr);
+      w.U64(r.top_c);
+      break;
+    case StrategyId::kLecDynamic:
+      if (r.chain == nullptr) {
+        throw std::invalid_argument("lec_dynamic signature needs a chain");
+      }
+      serde::Write(w, *r.chain);
+      break;
+    case StrategyId::kRandomized:
+      w.U64(r.seed);
+      w.I32(r.randomized_restarts);
+      w.I32(r.randomized_patience);
+      break;
+    case StrategyId::kSampling:
+      w.I32(r.sample_predicate);
+      break;
+    default:
+      break;
+  }
+
+  QuerySignature sig;
+  sig.canonical = std::move(out).str();
+  sig.hash = Fnv1a64(sig.canonical);
+  return sig;
+}
+
+PlanCache::PlanCache() : PlanCache(Options{}) {}
+
+PlanCache::PlanCache(Options options)
+    : shards_(static_cast<size_t>(std::max(options.shards, 1))),
+      max_entries_(std::max<size_t>(options.max_entries, 1)) {
+  per_shard_cap_ =
+      std::max<size_t>((max_entries_ + shards_.size() - 1) / shards_.size(),
+                       1);
+}
+
+std::optional<OptimizeResult> PlanCache::Lookup(const QuerySignature& sig) {
+  Shard& shard = ShardFor(sig.hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(std::string_view(sig.canonical));
+  if (it == shard.index.end()) {
+    ++shard.stats.misses;
+    return std::nullopt;
+  }
+  auto entry_it = it->second;
+  if (entry_it->epoch != epoch_.load(std::memory_order_relaxed)) {
+    shard.index.erase(it);
+    shard.lru.erase(entry_it);
+    ++shard.stats.stale;
+    ++shard.stats.misses;
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, entry_it);
+  ++shard.stats.hits;
+  return entry_it->result;
+}
+
+void PlanCache::InsertLocked(Shard& shard, const QuerySignature& sig,
+                             const OptimizeResult& result, uint64_t epoch) {
+  auto it = shard.index.find(std::string_view(sig.canonical));
+  if (it != shard.index.end()) {
+    auto entry_it = it->second;
+    entry_it->result = result;
+    entry_it->epoch = epoch;
+    shard.lru.splice(shard.lru.begin(), shard.lru, entry_it);
+    ++shard.stats.insertions;
+    return;
+  }
+  shard.lru.push_front(Entry{sig.canonical, result, epoch});
+  shard.index[std::string_view(shard.lru.front().canonical)] =
+      shard.lru.begin();
+  ++shard.stats.insertions;
+  while (shard.lru.size() > per_shard_cap_) {
+    shard.index.erase(std::string_view(shard.lru.back().canonical));
+    shard.lru.pop_back();
+    ++shard.stats.evictions;
+  }
+}
+
+void PlanCache::Insert(const QuerySignature& sig,
+                       const OptimizeResult& result) {
+  Shard& shard = ShardFor(sig.hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  InsertLocked(shard, sig, result, epoch_.load(std::memory_order_relaxed));
+}
+
+void PlanCache::InvalidateAll() {
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  Stats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+    total.insertions += shard.stats.insertions;
+    total.evictions += shard.stats.evictions;
+    total.stale += shard.stats.stale;
+  }
+  return total;
+}
+
+size_t PlanCache::size() const {
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.lru.size();
+  }
+  return n;
+}
+
+void PlanCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.index.clear();
+    shard.lru.clear();
+  }
+}
+
+std::string PlanCache::SaveSnapshot(serde::Encoding encoding,
+                                    size_t* entries_out) const {
+  // Copy the live entries out under the shard locks, then serialize in
+  // canonical order so the snapshot bytes are a function of the cache
+  // *contents*, not of insertion history or shard layout (save → load →
+  // save is byte-stable; golden snapshots stay diffable).
+  uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  std::vector<std::pair<std::string, OptimizeResult>> entries;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const Entry& e : shard.lru) {
+      if (e.epoch == epoch) entries.emplace_back(e.canonical, e.result);
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (entries_out != nullptr) *entries_out = entries.size();
+
+  std::ostringstream out;
+  serde::Writer w(out, encoding);
+  w.Tag("plan_cache_snapshot");
+  w.U64(entries.size());
+  for (const auto& [canonical, result] : entries) {
+    w.Str(canonical);
+    serde::Write(w, result);
+  }
+  w.Tag("end");
+  return std::move(out).str();
+}
+
+size_t PlanCache::LoadSnapshot(std::string_view bytes) {
+  std::istringstream in{std::string(bytes)};
+  serde::Reader r(in);
+  r.ExpectTag("plan_cache_snapshot");
+  uint64_t count = r.U64();
+  if (count > (uint64_t{1} << 32)) {
+    throw serde::SerdeError("serde: snapshot entry count implausible");
+  }
+  size_t loaded = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    QuerySignature sig;
+    sig.canonical = r.Str();
+    sig.hash = Fnv1a64(sig.canonical);
+    OptimizeResult result = serde::ReadOptimizeResult(r);
+    Insert(sig, result);
+    ++loaded;
+  }
+  r.ExpectTag("end");
+  return loaded;
+}
+
+size_t PlanCache::SaveSnapshotFile(const std::string& path,
+                                   serde::Encoding encoding) const {
+  size_t entries = 0;
+  std::string bytes = SaveSnapshot(encoding, &entries);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out.good()) {
+    throw std::runtime_error("plan cache: cannot write snapshot " + path);
+  }
+  return entries;
+}
+
+size_t PlanCache::LoadSnapshotFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    throw std::runtime_error("plan cache: cannot read snapshot " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return LoadSnapshot(buf.str());
+}
+
+}  // namespace lec

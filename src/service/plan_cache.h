@@ -1,0 +1,194 @@
+// Concurrent plan cache — the serving layer's reuse seam.
+//
+// A production optimizer service sees the same query shapes over and over:
+// dashboards re-issue identical blocks, ORMs stamp out one template with
+// the same statistics, a restarted worker re-optimizes yesterday's whole
+// corpus. ChuHS99's formulation makes those requests *canonicalizable* —
+// an optimization is a pure function of (strategy, query structure,
+// statistics distributions, memory distribution, option fingerprint), all
+// of which serialize to canonical bytes — and therefore cacheable. The
+// PlanCache memoizes whole OptimizeResults under that canonical signature.
+//
+// Key (QuerySignature::Compute): the canonical serde bytes of everything a
+// strategy's result depends on — strategy name, the result-affecting
+// OptimizerOptions fields (for Algorithm A/B that includes whether an EC
+// cache is attached: their cached scoring reassociates floating-point
+// sums, so cache-on and cache-off are distinct worlds; for every other
+// strategy memoization is bit-transparent and the pointer is ignored),
+// per-position table pages +
+// size distributions (full buckets AND their ContentHash), the predicate
+// set with endpoint order normalized (a join predicate is symmetric:
+// A.x = B.y and B.y = A.x optimize identically, bit for bit), the required
+// order, the memory distribution, and the strategy-specific knobs actually
+// consumed (the Markov chain only for lec_dynamic, top_c only for
+// algorithm_b, the seed only for randomized, ...). Because the full
+// canonical string is stored and compared on lookup, a 64-bit hash
+// collision degrades to a miss, never to a wrong plan. What the signature
+// does NOT attempt: join-graph isomorphism (relabeling tables or
+// reordering the predicate *list*). Both would require relabeling the
+// cached plan's indices on the way out, and predicate reordering also
+// reassociates selectivity products — breaking the bit-identity contract
+// below. See DESIGN.md, "Plan cache & serialization".
+//
+// Correctness contract (pinned by tests/plan_cache_test.cc and fuzz
+// invariant I8): a cache hit returns an OptimizeResult BIT-IDENTICAL to
+// recomputing — same objective bits, structurally equal plan, same
+// counters. The one exception is elapsed_seconds, which always reports the
+// serving call's own wall time. This holds because every registered
+// strategy is deterministic in the signature's inputs (randomized search
+// is seeded, and the seed is in the signature).
+//
+// Concurrency: lookups and inserts take one shard mutex each (the shard is
+// chosen by signature hash), so the cache is safe to share across the
+// batch driver's workers — unlike the EcCache, which is per-worker by
+// contract. Eviction is per-shard LRU under a global entry cap.
+// InvalidateAll() is an O(1) epoch bump; entries from older epochs are
+// dropped lazily when next touched (counted in stats().stale) — the
+// serving seam for "statistics drifted, stop trusting old plans".
+//
+// Persistence: SaveSnapshot/LoadSnapshot serialize every live entry
+// through service/serde.h (bit-exact doubles), so a restarted service
+// warm-loads yesterday's plans and serves its first requests from cache.
+// Snapshots are written in canonical-signature order, making save →
+// load → save byte-stable regardless of insertion history.
+#ifndef LECOPT_SERVICE_PLAN_CACHE_H_
+#define LECOPT_SERVICE_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "optimizer/optimizer.h"
+#include "service/serde.h"
+
+namespace lec {
+
+/// The canonical identity of one optimization request. `canonical` is the
+/// exact byte string the cache compares on lookup; `hash` (FNV-1a over
+/// those bytes) picks the shard and the bucket.
+struct QuerySignature {
+  std::string canonical;
+  uint64_t hash = 0;
+
+  /// Canonicalizes (strategy, request) as described in the header comment.
+  /// Requires the same non-null fields Optimizer::Optimize requires (and
+  /// `chain` for lec_dynamic); throws std::invalid_argument otherwise.
+  static QuerySignature Compute(StrategyId id, const OptimizeRequest& request);
+};
+
+/// FNV-1a, the signature/shard hash (also used by the snapshot loader).
+uint64_t Fnv1a64(std::string_view bytes);
+
+class PlanCache {
+ public:
+  struct Options {
+    /// Global cap on cached entries; per-shard LRU eviction keeps each
+    /// shard at ~max_entries/shards. Values < 1 are treated as 1.
+    size_t max_entries = 4096;
+    /// Lock shards. More shards = less contention, slightly looser LRU
+    /// (eviction order is per-shard). Values < 1 are treated as 1.
+    int shards = 16;
+  };
+
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t insertions = 0;
+    size_t evictions = 0;
+    /// Entries dropped because their epoch predates InvalidateAll().
+    size_t stale = 0;
+
+    size_t lookups() const { return hits + misses; }
+  };
+
+  PlanCache();  // default Options
+  explicit PlanCache(Options options);
+
+  /// The cached result for `sig`, or nullopt. A hit refreshes LRU
+  /// recency. A stale entry (older epoch) is dropped and reported as a
+  /// miss. The returned result shares the immutable plan tree with the
+  /// cache — safe, plan nodes are never mutated.
+  std::optional<OptimizeResult> Lookup(const QuerySignature& sig);
+
+  /// Inserts (or refreshes) the result for `sig`, evicting the shard's LRU
+  /// tail if the cap is exceeded.
+  void Insert(const QuerySignature& sig, const OptimizeResult& result);
+
+  /// O(1): marks every current entry stale; each is dropped when next
+  /// touched. The seam for statistics drift / cost-model redeploys.
+  void InvalidateAll();
+
+  /// Aggregated over shards (takes each shard lock briefly).
+  Stats stats() const;
+  size_t size() const;
+  size_t max_entries() const { return max_entries_; }
+  void Clear();
+
+  // -- Snapshots ------------------------------------------------------------
+
+  /// Serializes every live entry, sorted by canonical signature — note
+  /// entries invalidated since their insert are NOT saved, so the count a
+  /// snapshot holds can be below size(); `entries_out` (optional) reports
+  /// how many were actually written. Text encoding is the golden-snapshot
+  /// format; binary is denser for big caches.
+  std::string SaveSnapshot(serde::Encoding encoding = serde::Encoding::kText,
+                           size_t* entries_out = nullptr) const;
+
+  /// Inserts every entry of a snapshot (current epoch, normal eviction
+  /// applies); returns the number admitted. Throws serde::SerdeError on a
+  /// malformed or version-skewed snapshot.
+  size_t LoadSnapshot(std::string_view bytes);
+
+  /// File convenience wrappers; throw std::runtime_error on I/O failure.
+  /// SaveSnapshotFile returns the number of entries written (see
+  /// SaveSnapshot — stale entries are skipped).
+  size_t SaveSnapshotFile(
+      const std::string& path,
+      serde::Encoding encoding = serde::Encoding::kText) const;
+  size_t LoadSnapshotFile(const std::string& path);
+
+ private:
+  struct Entry {
+    std::string canonical;
+    OptimizeResult result;
+    uint64_t epoch = 0;
+  };
+
+  /// One lock shard: LRU list (front = most recent) plus an index into it.
+  /// The index key views Entry::canonical — std::list nodes are stable and
+  /// splice() never moves elements, so the views stay valid for the
+  /// entry's lifetime.
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+    Stats stats;
+  };
+
+  Shard& ShardFor(uint64_t hash) {
+    return shards_[hash % shards_.size()];
+  }
+  const Shard& ShardFor(uint64_t hash) const {
+    return shards_[hash % shards_.size()];
+  }
+
+  /// Insert under `shard.mu` (caller holds it).
+  void InsertLocked(Shard& shard, const QuerySignature& sig,
+                    const OptimizeResult& result, uint64_t epoch);
+
+  std::vector<Shard> shards_;
+  size_t max_entries_;
+  size_t per_shard_cap_;
+  std::atomic<uint64_t> epoch_{0};
+};
+
+}  // namespace lec
+
+#endif  // LECOPT_SERVICE_PLAN_CACHE_H_

@@ -1,5 +1,6 @@
 #include "verify/fuzz_driver.h"
 
+#include <array>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
@@ -14,6 +15,8 @@
 #include "optimizer/exhaustive.h"
 #include "optimizer/system_r.h"
 #include "service/batch_driver.h"
+#include "service/plan_cache.h"
+#include "service/serde.h"
 #include "verify/mc_validator.h"
 #include "verify/oracle.h"
 #include "verify/tolerance.h"
@@ -119,6 +122,7 @@ class CaseChecker {
     CheckRebucketing();          // I4
     CheckServiceInvariance();    // I5
     CheckKernelParity();         // I7 (cheap; runs before the MC resamples)
+    CheckSerdeCacheParity();     // I8
     if (options_.check_mc) CheckMonteCarlo();  // I6
     return std::move(violations_);
   }
@@ -531,6 +535,85 @@ class CaseChecker {
                               legacy_ec));
         if (Stop()) return;
       }
+    }
+  }
+
+  void CheckSerdeCacheParity() {
+    if (Stop()) return;
+    const Workload& w = ctx_.workload;
+    // Rotate the strategy and the encoding across rounds so the whole
+    // request schema and both wire framings get coverage.
+    StrategyId id = std::array{StrategyId::kLsc, StrategyId::kLecStatic,
+                               StrategyId::kAlgorithmD}[case_.seed % 3];
+    serde::Encoding enc = case_.seed % 2 == 0 ? serde::Encoding::kText
+                                              : serde::Encoding::kBinary;
+    Optimizer facade;
+    OptimizeRequest req;
+    req.query = &w.query;
+    req.catalog = &w.catalog;
+    req.model = &ctx_.model;
+    req.memory = &ctx_.memory;
+    OptimizeResult direct = facade.Optimize(id, req);
+
+    // (a) serialize -> deserialize -> optimize ≡ optimize. The replay runs
+    // on the reconstructed workload and memory, so any bit the wire format
+    // loses would shift the objective or the plan.
+    {
+      serde::ServeRequest sreq;
+      sreq.strategy = std::string(StrategyName(id));
+      sreq.workload = w;
+      sreq.memory = ctx_.memory;
+      serde::ServeRequest back =
+          serde::FromString<serde::ServeRequest>(serde::ToString(sreq, enc));
+      OptimizeRequest replay_req = req;
+      replay_req.query = &back.workload.query;
+      replay_req.catalog = &back.workload.catalog;
+      replay_req.memory = &back.memory;
+      OptimizeResult replay = facade.Optimize(id, replay_req);
+      Expect(replay.objective == direct.objective &&
+                 PlanEquals(replay.plan, direct.plan) &&
+                 replay.cost_evaluations == direct.cost_evaluations,
+             "I8:serde_replay_parity",
+             FormatMismatch("optimize after serde round trip vs direct",
+                            replay.objective, direct.objective));
+    }
+    if (Stop()) return;
+
+    // (b) plan cache on/off parity: the miss that fills the cache and the
+    // hit that serves from it must both equal the uncached run, bit for
+    // bit (elapsed_seconds excepted by contract).
+    {
+      PlanCache cache;
+      OptimizeRequest cached_req = req;
+      cached_req.options.plan_cache = &cache;
+      OptimizeResult miss = facade.Optimize(id, cached_req);
+      OptimizeResult hit = facade.Optimize(id, cached_req);
+      Expect(miss.objective == direct.objective &&
+                 hit.objective == direct.objective &&
+                 PlanEquals(miss.plan, direct.plan) &&
+                 PlanEquals(hit.plan, direct.plan) &&
+                 hit.cost_evaluations == direct.cost_evaluations,
+             "I8:cache_hit_parity",
+             FormatMismatch("plan-cache hit vs uncached objective",
+                            hit.objective, direct.objective));
+      Expect(cache.stats().hits == 1 && cache.stats().misses == 1,
+             "I8:cache_stats",
+             "plan cache did not record exactly one miss then one hit");
+      if (Stop()) return;
+
+      // (c) snapshot round trip: a restarted service warm-loading the
+      // snapshot serves the same bits without recomputing.
+      PlanCache warmed;
+      warmed.LoadSnapshot(cache.SaveSnapshot(enc));
+      OptimizeRequest warmed_req = req;
+      warmed_req.options.plan_cache = &warmed;
+      OptimizeResult served = facade.Optimize(id, warmed_req);
+      Expect(served.objective == direct.objective &&
+                 PlanEquals(served.plan, direct.plan) &&
+                 warmed.stats().hits == 1,
+             "I8:snapshot_parity",
+             FormatMismatch("snapshot-served vs uncached objective",
+                            served.objective, direct.objective));
     }
   }
 

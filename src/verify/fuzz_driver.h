@@ -31,6 +31,11 @@
 //      Distribution-returning path (RunDpLegacy, use_dist_kernels=false,
 //      legacy::FastExpectedJoinCost) within kKernelParityRelTol, and the
 //      DP families must produce structurally identical plans.
+//   I8 serde/cache parity — optimizing a request after a serialization
+//      round trip (service/serde.h, both encodings) equals optimizing the
+//      original, bit for bit; a PlanCache miss, the hit it enables, and a
+//      hit served from a save→load snapshot all equal the uncached run
+//      (elapsed_seconds excepted by the cache contract).
 //   I6 Monte-Carlo        — sampled executions agree with the analytic EC
 //      in the static and Markov-dynamic regimes: a violation is a 99.9%
 //      CLT-interval miss that is ALSO materially far from the mean

@@ -1,0 +1,178 @@
+// Golden-snapshot stability for the serving wire format.
+//
+// Two artifacts are checked in under tests/golden/ and pinned
+// byte-for-byte:
+//
+//   serde_snapshot_v1.txt      one serialized ServeRequest + the
+//                              OptimizeResult lec_static computes for it
+//   plan_cache_snapshot_v1.txt a PlanCache snapshot holding lec_static and
+//                              algorithm_d entries for the same workload
+//
+// Together they pin three things at once: the wire format (any token
+// added, removed or re-ordered changes the bytes), the hex-float encoding
+// (any bit of any double changes the bytes), and compute determinism (the
+// stored objective is the optimizer's actual output — if the DP starts
+// producing different bits, this test is the tripwire). A version bump of
+// kFormatVersion must come with NEW golden files (v2), keeping the v1
+// files as the record of what old snapshots looked like.
+//
+// Regenerating after an intentional format change:
+//
+//   UPDATE_GOLDEN=1 ctest -R SerdeGolden
+//
+// then review the diff like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "service/plan_cache.h"
+#include "service/serde.h"
+#include "util/rng.h"
+
+namespace lec {
+namespace {
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(LECOPT_SOURCE_DIR) + "/tests/golden/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Compares `bytes` against the golden file, regenerating under
+/// UPDATE_GOLDEN=1 (the ExplainGolden workflow).
+void CheckGolden(const std::string& name, const std::string& bytes) {
+  std::string path = GoldenPath(name);
+  const char* update = std::getenv("UPDATE_GOLDEN");
+  if (update != nullptr && std::string(update) == "1") {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << bytes;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::string golden = ReadFile(path);
+  ASSERT_FALSE(golden.empty())
+      << "missing golden file " << path
+      << "; generate it with UPDATE_GOLDEN=1 ctest -R SerdeGolden";
+  EXPECT_EQ(bytes, golden)
+      << "serialized bytes drifted from " << path
+      << "; if the format change is intentional, regenerate with "
+         "UPDATE_GOLDEN=1 and review the diff (a wire-format break needs a "
+         "kFormatVersion bump and NEW golden files instead)";
+}
+
+class SerdeGoldenTest : public ::testing::Test {
+ protected:
+  SerdeGoldenTest() : memory_({{64, 0.25}, {512, 0.5}, {4096, 0.25}}) {
+    Rng rng(20260729);
+    WorkloadOptions wopts;
+    wopts.num_tables = 4;
+    wopts.shape = JoinGraphShape::kChain;
+    wopts.selectivity_spread = 3.0;
+    wopts.table_size_spread = 2.0;
+    wopts.order_by_probability = 1.0;
+    workload_ = GenerateWorkload(wopts, &rng);
+  }
+
+  OptimizeRequest RequestFor(PlanCache* cache) {
+    OptimizeRequest req;
+    req.query = &workload_.query;
+    req.catalog = &workload_.catalog;
+    req.model = &model_;
+    req.memory = &memory_;
+    req.options.plan_cache = cache;
+    return req;
+  }
+
+  /// Optimizes with wall time pinned to zero — the one nondeterministic
+  /// field, exactly as the ExplainGolden tests pin it.
+  OptimizeResult PinnedOptimize(StrategyId id) {
+    OptimizeResult r = optimizer_.Optimize(id, RequestFor(nullptr));
+    r.elapsed_seconds = 0;
+    return r;
+  }
+
+  Workload workload_;
+  Distribution memory_;
+  CostModel model_;
+  Optimizer optimizer_;
+};
+
+TEST_F(SerdeGoldenTest, RequestAndResultBundleIsByteStable) {
+  serde::ServeRequest request;
+  request.strategy = "lec_static";
+  request.workload = workload_;
+  request.memory = memory_;
+  OptimizeResult result = PinnedOptimize(StrategyId::kLecStatic);
+
+  std::ostringstream out;
+  serde::Writer w(out);
+  serde::Write(w, request);
+  serde::Write(w, result);
+  CheckGolden("serde_snapshot_v1.txt", out.str());
+}
+
+TEST_F(SerdeGoldenTest, GoldenBundleDeserializesAndReproducesTheObjective) {
+  std::string golden = ReadFile(GoldenPath("serde_snapshot_v1.txt"));
+  if (golden.empty()) GTEST_SKIP() << "golden not generated yet";
+  std::istringstream in(golden);
+  serde::Reader r(in);
+  serde::ServeRequest request = serde::ReadServeRequest(r);
+  OptimizeResult stored = serde::ReadOptimizeResult(r);
+
+  // Re-optimizing the DESERIALIZED request must land on the stored result
+  // exactly: save → load → serve reproduces identical objectives/plans.
+  OptimizeRequest req;
+  req.query = &request.workload.query;
+  req.catalog = &request.workload.catalog;
+  req.model = &model_;
+  req.memory = &request.memory;
+  req.options = request.options;
+  Optimizer optimizer;
+  OptimizeResult recomputed =
+      optimizer.Optimize(*ParseStrategy(request.strategy), req);
+  EXPECT_EQ(recomputed.objective, stored.objective);
+  EXPECT_TRUE(PlanEquals(recomputed.plan, stored.plan));
+  EXPECT_EQ(recomputed.cost_evaluations, stored.cost_evaluations);
+}
+
+TEST_F(SerdeGoldenTest, PlanCacheSnapshotIsByteStableAndServes) {
+  // Entries inserted by hand with pinned wall times, so the snapshot bytes
+  // are deterministic.
+  PlanCache cache;
+  for (StrategyId id : {StrategyId::kLecStatic, StrategyId::kAlgorithmD}) {
+    cache.Insert(QuerySignature::Compute(id, RequestFor(nullptr)),
+                 PinnedOptimize(id));
+  }
+  std::string snapshot = cache.SaveSnapshot();
+  CheckGolden("plan_cache_snapshot_v1.txt", snapshot);
+
+  // A service warm-loading the GOLDEN snapshot serves both strategies from
+  // cache, bit-identically to recomputing.
+  std::string golden = ReadFile(GoldenPath("plan_cache_snapshot_v1.txt"));
+  if (golden.empty()) GTEST_SKIP() << "golden not generated yet";
+  PlanCache warmed;
+  ASSERT_EQ(warmed.LoadSnapshot(golden), 2u);
+  for (StrategyId id : {StrategyId::kLecStatic, StrategyId::kAlgorithmD}) {
+    OptimizeResult served = optimizer_.Optimize(id, RequestFor(&warmed));
+    OptimizeResult recomputed = PinnedOptimize(id);
+    EXPECT_EQ(served.objective, recomputed.objective);
+    EXPECT_TRUE(PlanEquals(served.plan, recomputed.plan));
+  }
+  EXPECT_EQ(warmed.stats().hits, 2u);
+  EXPECT_EQ(warmed.stats().misses, 0u);
+
+  // And the reloaded cache re-saves the identical bytes (canonical entry
+  // order makes snapshots a function of contents, not history).
+  EXPECT_EQ(warmed.SaveSnapshot(), golden);
+}
+
+}  // namespace
+}  // namespace lec

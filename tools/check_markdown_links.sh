@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Checks every markdown link in the repo's documentation: a relative
+# link target (file or directory) must exist on disk. External links
+# (http/https/mailto) are not fetched — this gate is about the repo
+# staying self-consistent as files move, not about the internet.
+#
+# Usage: tools/check_markdown_links.sh [file.md ...]
+#   With no arguments, checks all *.md at the repo root plus docs/*.md.
+# Exit status: 0 when every link resolves, 1 otherwise (each broken
+# link is listed).
+set -u
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+  for f in ./*.md docs/*.md; do
+    [ -f "$f" ] && files+=("$f")
+  done
+fi
+
+fail=0
+checked=0
+for f in "${files[@]}"; do
+  dir="$(dirname "$f")"
+  # Inline links: [text](target). Targets split from optional titles;
+  # angle-bracket wrapping stripped. grep -o keeps multiple links per
+  # line separate.
+  while IFS= read -r target; do
+    # Strip surrounding <...>, a trailing "title", and any #fragment.
+    target="${target#<}"
+    target="${target%>}"
+    target="${target%% \"*}"
+    fragment=""
+    case "$target" in
+      *'#'*) fragment="${target#*#}"; target="${target%%#*}" ;;
+    esac
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+      '') continue ;;  # pure in-page anchor like (#section)
+    esac
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+      echo "BROKEN $f -> $target${fragment:+#$fragment}"
+      fail=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$f" 2>/dev/null \
+             | sed 's/^\[[^]]*\](//; s/)$//')
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "markdown links OK (${checked} relative links across ${#files[@]} files)"
+fi
+exit "$fail"

@@ -1,0 +1,332 @@
+// lec_serve — the plan-cache serving front-end.
+//
+// Reads a mixed stream of commands and serialized requests from stdin (or
+// a file), serves each request from the shared PlanCache when possible,
+// optimizes on a miss, and reports per-request outcome plus cache stats.
+// The request wire format is service/serde.h's ServeRequest (text or
+// binary — the stream is sniffed per request), so anything another process
+// serialized can be piped straight in.
+//
+//   build/lec_serve [--file=REQUESTS] [--snapshot=PATH]
+//                   [--cache-entries=N] [--quiet]
+//
+//   --file=PATH       read the stream from PATH instead of stdin
+//   --snapshot=PATH   warm-load PATH at startup when it exists and save
+//                     the cache back to it at clean exit; `save`/`load`
+//                     (no argument) use it mid-stream too
+//   --cache-entries=N PlanCache capacity (default 4096)
+//   --quiet           suppress the per-request detail lines (stats remain)
+//
+// Stream grammar — first word of each element decides:
+//
+//   lecser ...             one serialized ServeRequest; served
+//   gen STRAT SHAPE N SEED [SEL_SPREAD [SIZE_SPREAD]]
+//                          generate a seeded workload and serve it, e.g.
+//                          `gen lec_static chain 6 42 3`
+//   emit STRAT SHAPE N SEED [SEL_SPREAD [SIZE_SPREAD]]
+//                          like gen, but print the serialized request
+//                          instead of serving (build request files this way)
+//   stats                  print cache hit/miss/eviction/stale counters
+//   save [PATH]            snapshot the cache (default: --snapshot path)
+//   load [PATH]            warm-load a snapshot (default: --snapshot path)
+//   invalidate             epoch-invalidate every cached entry
+//   quit                   exit (EOF also exits)
+//   # ...                  comment line (text streams)
+//
+// Exit status: 0 on success, 1 on a malformed request/command (the stream
+// position after a parse error inside a binary request is unrecoverable,
+// so lec_serve stops rather than resync).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "query/generator.h"
+#include "service/plan_cache.h"
+#include "service/serde.h"
+#include "util/rng.h"
+#include "util/wall_timer.h"
+
+namespace {
+
+using lec::Distribution;
+using lec::GenerateWorkload;
+using lec::JoinGraphShape;
+using lec::OptimizeRequest;
+using lec::OptimizeResult;
+using lec::Optimizer;
+using lec::ParseStrategy;
+using lec::PlanCache;
+using lec::Rng;
+using lec::StrategyId;
+using lec::WorkloadOptions;
+
+struct Flags {
+  std::string file;
+  std::string snapshot;
+  size_t cache_entries = 4096;
+  bool quiet = false;
+};
+
+std::optional<Flags> ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const std::string& prefix) -> std::optional<std::string> {
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (auto v = value("--file=")) {
+      flags.file = *v;
+    } else if (auto v = value("--snapshot=")) {
+      flags.snapshot = *v;
+    } else if (auto v = value("--cache-entries=")) {
+      if (v->empty() ||
+          v->find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr, "lec_serve: --cache-entries needs a number\n");
+        return std::nullopt;
+      }
+      try {
+        flags.cache_entries = std::stoull(*v);
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "lec_serve: --cache-entries out of range\n");
+        return std::nullopt;
+      }
+    } else if (arg == "--quiet") {
+      flags.quiet = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: lec_serve [--file=REQUESTS] [--snapshot=PATH] "
+                   "[--cache-entries=N] [--quiet]\n");
+      return std::nullopt;
+    }
+  }
+  return flags;
+}
+
+std::optional<JoinGraphShape> ParseShape(const std::string& name) {
+  if (name == "chain") return JoinGraphShape::kChain;
+  if (name == "star") return JoinGraphShape::kStar;
+  if (name == "cycle") return JoinGraphShape::kCycle;
+  if (name == "clique") return JoinGraphShape::kClique;
+  if (name == "random") return JoinGraphShape::kRandom;
+  return std::nullopt;
+}
+
+/// The seeded demo environment `gen`/`emit` build: a workload plus the
+/// Example-1.1-flavored three-point memory distribution. `args` is the
+/// remainder of the command's own line, so optional trailing spreads can
+/// never swallow the next command.
+std::optional<lec::serde::ServeRequest> BuildGenRequest(
+    const std::string& args) {
+  std::istringstream in(args);
+  std::string strategy, shape_name;
+  int num_tables = 0;
+  uint64_t seed = 0;
+  if (!(in >> strategy >> shape_name >> num_tables >> seed)) return {};
+  double sel_spread = 1.0, size_spread = 1.0;
+  in >> sel_spread;
+  in >> size_spread;
+  if (!ParseStrategy(strategy) || !ParseShape(shape_name) || num_tables < 2) {
+    return {};
+  }
+  WorkloadOptions wopts;
+  wopts.num_tables = num_tables;
+  wopts.shape = *ParseShape(shape_name);
+  wopts.selectivity_spread = sel_spread;
+  wopts.table_size_spread = size_spread;
+  Rng rng(seed);
+  lec::serde::ServeRequest request;
+  request.strategy = strategy;
+  request.workload = GenerateWorkload(wopts, &rng);
+  request.memory = Distribution({{64, 0.25}, {512, 0.5}, {4096, 0.25}});
+  request.seed = seed;
+  return request;
+}
+
+class Server {
+ public:
+  explicit Server(const Flags& flags)
+      : flags_(flags), cache_(MakeCacheOptions(flags)) {}
+
+  PlanCache& cache() { return cache_; }
+
+  /// Serves one deserialized request; prints outcome unless --quiet.
+  bool Serve(const lec::serde::ServeRequest& request) {
+    StrategyId id = *ParseStrategy(request.strategy);
+    OptimizeRequest req;
+    req.query = &request.workload.query;
+    req.catalog = &request.workload.catalog;
+    req.model = &model_;
+    req.memory = &request.memory;
+    req.options = request.options;
+    req.options.plan_cache = &cache_;
+    req.lsc_estimate = request.lsc_estimate;
+    req.top_c = request.top_c;
+    if (request.chain) req.chain = &*request.chain;
+    req.seed = request.seed;
+    req.randomized_restarts = request.randomized_restarts;
+    req.randomized_patience = request.randomized_patience;
+    req.sample_predicate = request.sample_predicate;
+
+    size_t hits_before = cache_.stats().hits;
+    lec::WallTimer timer;
+    OptimizeResult result;
+    try {
+      result = optimizer_.Optimize(id, req);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "lec_serve: optimize failed: %s\n", e.what());
+      return false;
+    }
+    double seconds = timer.Seconds();
+    ++served_;
+    bool hit = cache_.stats().hits > hits_before;
+    if (!flags_.quiet) {
+      std::printf("#%zu %s n=%d %s objective=%.17g %.1f us\n", served_,
+                  request.strategy.c_str(),
+                  request.workload.query.num_tables(),
+                  hit ? "HIT " : "MISS", result.objective, seconds * 1e6);
+    }
+    return true;
+  }
+
+  void PrintStats() const {
+    PlanCache::Stats s = cache_.stats();
+    std::printf(
+        "cache: %zu entries (cap %zu) | hits %zu misses %zu hit-rate %.1f%% "
+        "| insertions %zu evictions %zu stale %zu\n",
+        cache_.size(), cache_.max_entries(), s.hits, s.misses,
+        s.lookups() > 0 ? 100.0 * static_cast<double>(s.hits) /
+                              static_cast<double>(s.lookups())
+                        : 0.0,
+        s.insertions, s.evictions, s.stale);
+  }
+
+  size_t served() const { return served_; }
+
+ private:
+  static PlanCache::Options MakeCacheOptions(const Flags& flags) {
+    PlanCache::Options copts;
+    copts.max_entries = flags.cache_entries;
+    return copts;
+  }
+
+  Flags flags_;
+  lec::CostModel model_;
+  Optimizer optimizer_;
+  PlanCache cache_;
+  size_t served_ = 0;
+};
+
+int Run(std::istream& in, const Flags& flags) {
+  Server server(flags);
+  if (!flags.snapshot.empty()) {
+    std::ifstream probe(flags.snapshot);
+    if (probe.good()) {
+      probe.close();
+      size_t loaded = server.cache().LoadSnapshotFile(flags.snapshot);
+      std::printf("warm-loaded %zu entries from %s\n", loaded,
+                  flags.snapshot.c_str());
+    }
+  }
+
+  std::string word;
+  while (in >> word) {
+    try {
+      if (word == "lecser") {
+        // A serialized request: the magic word is consumed, the Reader
+        // picks up at the encoding word.
+        lec::serde::Reader reader(in, lec::serde::Reader::kHeaderConsumed);
+        lec::serde::ServeRequest request = lec::serde::ReadServeRequest(reader);
+        if (!server.Serve(request)) return 1;
+      } else if (word == "gen" || word == "emit") {
+        std::string rest;
+        std::getline(in, rest);
+        std::optional<lec::serde::ServeRequest> request = BuildGenRequest(rest);
+        if (!request) {
+          std::fprintf(stderr,
+                       "lec_serve: usage: %s STRAT SHAPE N SEED "
+                       "[SEL_SPREAD [SIZE_SPREAD]]\n",
+                       word.c_str());
+          return 1;
+        }
+        if (word == "emit") {
+          std::printf("%s\n", lec::serde::ToString(*request).c_str());
+        } else if (!server.Serve(*request)) {
+          return 1;
+        }
+      } else if (word == "stats") {
+        server.PrintStats();
+      } else if (word == "save" || word == "load") {
+        // Line-delimited: an argument lives on the command's own line, so
+        // a bare `save` can never swallow the next command as its path.
+        std::string rest, path;
+        std::getline(in, rest);
+        std::istringstream(rest) >> path;
+        if (path.empty()) path = flags.snapshot;
+        if (path.empty()) {
+          std::fprintf(stderr,
+                       "lec_serve: %s needs a path (or --snapshot=)\n",
+                       word.c_str());
+          return 1;
+        }
+        if (word == "save") {
+          size_t saved = server.cache().SaveSnapshotFile(path);
+          std::printf("saved %zu entries to %s\n", saved, path.c_str());
+        } else {
+          size_t loaded = server.cache().LoadSnapshotFile(path);
+          std::printf("loaded %zu entries from %s\n", loaded, path.c_str());
+        }
+      } else if (word == "invalidate") {
+        server.cache().InvalidateAll();
+        std::printf("invalidated (entries drop lazily on next touch)\n");
+      } else if (word == "quit") {
+        break;
+      } else if (!word.empty() && word[0] == '#') {
+        std::string rest;
+        std::getline(in, rest);  // comment: swallow to end of line
+      } else {
+        std::fprintf(stderr, "lec_serve: unknown command \"%s\"\n",
+                     word.c_str());
+        return 1;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "lec_serve: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  // --snapshot is symmetric: warm-loaded at startup, saved back at clean
+  // exit — a restart cycle needs no explicit save/load commands.
+  if (!flags.snapshot.empty()) {
+    size_t saved = server.cache().SaveSnapshotFile(flags.snapshot);
+    if (!flags.quiet) {
+      std::printf("saved %zu entries to %s\n", saved, flags.snapshot.c_str());
+    }
+  }
+  // The parting stats line is suppressed under --quiet so that
+  // `lec_serve --quiet` output is exactly what the stream asked for —
+  // the documented `emit ... > requests.lec` pipe depends on it. An
+  // explicit `stats` command still prints.
+  if (!flags.quiet) server.PrintStats();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<Flags> flags = ParseFlags(argc, argv);
+  if (!flags) return 2;
+  if (!flags->file.empty()) {
+    std::ifstream in(flags->file, std::ios::binary);
+    if (!in.good()) {
+      std::fprintf(stderr, "lec_serve: cannot open %s\n",
+                   flags->file.c_str());
+      return 2;
+    }
+    return Run(in, *flags);
+  }
+  return Run(std::cin, *flags);
+}
