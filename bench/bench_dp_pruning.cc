@@ -1,0 +1,265 @@
+// E20 — Cost-bounded DP pruning + SIMD dispatch on the warmed hot path.
+//
+// PR 6's tentpole claims, measured:
+//   * branch-and-bound pruning (greedy incumbent + admissible remaining-
+//     work floors, optimizer/dp_common.h) cuts RunDp's candidate work and
+//     wall time at identical results — target: pruned+SIMD >= 2x the PR-5
+//     baseline (unpruned, SIMD ambient) on the n = 12 chain;
+//   * the runtime-dispatched SIMD layer (dist/simd.h) speeds the
+//     expected-cost sweeps underneath the same DP (measured as the
+//     scalar-pinned / ambient-level time ratio);
+//   * the two compose: pruning cuts how many candidates are costed, SIMD
+//     cuts the cost of each, so the combined ratio is multiplicative-ish.
+//
+// Deliberately self-timed (no Google Benchmark dependency) so this binary
+// always builds: it feeds the perf-budget gate. Machine-readable "BUDGET
+// <metric> <value>" lines are captured by bench/run_all.sh into
+// BENCH_<label>.json and compared against the checked-in bench/budgets.json
+// — the run fails CI when a gated metric regresses by more than 25%. Gated
+// metrics are RATIOS (pruned/unpruned time, scalar/vector time, pruned
+// candidate fractions), which are stable across machines; raw us/op is
+// printed for humans but never gated.
+//
+// The binary re-verifies the I9 contract on every workload it times —
+// pruned and unpruned runs must agree bit for bit in objective and plan —
+// and exits nonzero on a mismatch, so the perf gate cannot pass on a
+// pruner that got fast by being wrong.
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "bench_util.h"
+#include "cost/cost_policies.h"
+#include "dist/builders.h"
+#include "dist/simd.h"
+#include "optimizer/dp_common.h"
+#include "plan/plan.h"
+#include "query/generator.h"
+#include "util/rng.h"
+#include "util/wall_timer.h"
+
+using namespace lec;
+
+namespace {
+
+int g_failures = 0;
+
+void EmitBudget(const char* metric, double value) {
+  std::printf("BUDGET %s %.6f\n", metric, value);
+}
+
+Workload MakeWorkload(JoinGraphShape shape, int n) {
+  Rng rng(static_cast<uint64_t>(n) * 77 + 13);
+  WorkloadOptions wopts;
+  wopts.num_tables = n;
+  wopts.shape = shape;
+  wopts.order_by_probability = 1.0;
+  return GenerateWorkload(wopts, &rng);
+}
+
+/// us per call of `fn`, min over 3 interleaved repetitions (same
+/// co-tenant-burst rationale as bench_dist_kernels' TimeRatioNs).
+template <typename F>
+double TimeUs(size_t iters, size_t reps, F&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t rep = 0; rep < reps; ++rep) {
+    WallTimer timer;
+    for (size_t i = 0; i < iters; ++i) fn();
+    best = std::min(best, timer.Seconds() * 1e6 / static_cast<double>(iters));
+  }
+  return best;
+}
+
+struct ShapeRow {
+  JoinGraphShape shape;
+  const char* name;
+};
+
+constexpr ShapeRow kShapes[] = {{JoinGraphShape::kChain, "chain"},
+                                {JoinGraphShape::kStar, "star"},
+                                {JoinGraphShape::kClique, "clique"}};
+
+// ---------------------------------------------------------------------------
+// E20.1: pruned vs unpruned RunDp across shapes and sizes.
+// ---------------------------------------------------------------------------
+
+void BenchPruning() {
+  bench::Header("E20.1", "cost-bounded DP: pruned vs unpruned RunDp");
+  std::printf("%-8s %-3s %-11s %12s %12s %8s %9s %9s\n", "shape", "n",
+              "regime", "unpruned us", "pruned us", "ratio", "cand cut",
+              "eval cut");
+  bench::Rule();
+  CostModel model;
+  Distribution memory = UniformBuckets(50, 5000, 27);
+  for (const ShapeRow& sr : kShapes) {
+    for (int n : {10, 12, 13}) {
+      Workload w = MakeWorkload(sr.shape, n);
+      OptimizerOptions on_opts;
+      on_opts.dp_pruning = DpPruning::kOn;
+      OptimizerOptions off_opts;
+      off_opts.dp_pruning = DpPruning::kOff;
+      DpContext on_ctx(w.query, w.catalog, on_opts);
+      DpContext off_ctx(w.query, w.catalog, off_opts);
+      LscCostProvider lsc{model, 800};
+      LecStaticCostProvider lec{model, memory};
+
+      auto run = [&](const char* regime, const auto& provider,
+                     bool gate) {
+        OptimizeResult on = RunDp(on_ctx, provider);  // warms the scratch
+        OptimizeResult off = RunDp(off_ctx, provider);
+        if (on.objective != off.objective ||
+            !PlanEquals(on.plan, off.plan)) {
+          std::printf("!! %s %s n=%d: pruned result diverges\n", sr.name,
+                      regime, n);
+          ++g_failures;
+        }
+        size_t iters = n >= 13 ? 20 : 60;
+        volatile double sink = 0;
+        double off_us = TimeUs(iters, 3, [&] {
+          sink = RunDp(off_ctx, provider).objective;
+        });
+        double on_us = TimeUs(iters, 3, [&] {
+          sink = RunDp(on_ctx, provider).objective;
+        });
+        (void)sink;
+        double ratio = on_us / off_us;
+        double cand_cut =
+            1.0 - static_cast<double>(on.candidates_considered) /
+                      static_cast<double>(off.candidates_considered);
+        double eval_cut = 1.0 - static_cast<double>(on.cost_evaluations) /
+                                    static_cast<double>(off.cost_evaluations);
+        std::printf("%-8s %-3d %-11s %12.1f %12.1f %8.3f %8.1f%% %8.1f%%\n",
+                    sr.name, n, regime, off_us, on_us, ratio,
+                    100 * cand_cut, 100 * eval_cut);
+        if (gate) {
+          char metric[64];
+          std::snprintf(metric, sizeof(metric), "dp_pruning_%s_ratio_n12",
+                        regime);
+          EmitBudget(metric, ratio);
+          std::snprintf(metric, sizeof(metric),
+                        "dp_pruning_%s_cand_fraction_n12", regime);
+          EmitBudget(metric, 1.0 - cand_cut);
+        }
+        return on;
+      };
+      bool gate = sr.shape == JoinGraphShape::kChain && n == 12;
+      run("lsc", lsc, gate);
+      OptimizeResult lec_on = run("lec_static", lec, gate);
+      if (gate) {
+        std::printf(
+            "  n=12 chain lec_static expansion table: %zu cand, %zu evals, "
+            "%zu+%zu+%zu pruned (exp/cand/entry), %zu incumbent evals\n",
+            lec_on.candidates_considered, lec_on.cost_evaluations,
+            lec_on.pruned_expansions, lec_on.pruned_candidates,
+            lec_on.pruned_entries, lec_on.incumbent_cost_evaluations);
+      }
+    }
+  }
+  std::printf("\nratio = pruned/unpruned wall time at bit-identical "
+              "results; cut = candidates/evals removed.\n");
+}
+
+// ---------------------------------------------------------------------------
+// E20.2: SIMD dispatch under the same DP — ambient level vs pinned scalar.
+// ---------------------------------------------------------------------------
+
+void BenchSimd() {
+  bench::Header("E20.2", "SIMD dispatch: lec_static RunDp, ambient vs scalar");
+  std::printf("ambient SIMD level: %s\n",
+              simd::LevelName(simd::ActiveLevel()));
+  std::printf("%-8s %-3s %12s %12s %10s\n", "shape", "n", "scalar us",
+              "simd us", "ratio");
+  bench::Rule();
+  CostModel model;
+  Distribution memory = UniformBuckets(50, 5000, 27);
+  for (const ShapeRow& sr : kShapes) {
+    int n = 12;
+    Workload w = MakeWorkload(sr.shape, n);
+    // Pruning off isolates the SIMD axis: both runs cost every candidate.
+    OptimizerOptions opts;
+    opts.dp_pruning = DpPruning::kOff;
+    DpContext ctx(w.query, w.catalog, opts);
+    LecStaticCostProvider lec{model, memory};
+    RunDp(ctx, lec);  // warm
+    size_t iters = 40;
+    volatile double sink = 0;
+    double scalar_us, simd_us;
+    {
+      simd::ScopedLevel pin(simd::Level::kScalar);
+      scalar_us = TimeUs(iters, 3, [&] {
+        sink = RunDp(ctx, lec).objective;
+      });
+    }
+    simd_us = TimeUs(iters, 3, [&] { sink = RunDp(ctx, lec).objective; });
+    (void)sink;
+    double ratio = simd_us / scalar_us;
+    std::printf("%-8s %-3d %12.1f %12.1f %10.3f\n", sr.name, n, scalar_us,
+                simd_us, ratio);
+    if (sr.shape == JoinGraphShape::kChain) {
+      EmitBudget("dp_simd_lec_static_ratio_n12", ratio);
+    }
+  }
+  std::printf("\nratio = ambient/scalar; 1.0 on scalar-only hosts.\n");
+}
+
+// ---------------------------------------------------------------------------
+// E20.3: the composed hot path vs the PR-5 baseline configuration.
+// ---------------------------------------------------------------------------
+
+void BenchComposed() {
+  bench::Header("E20.3",
+                "composed: pruned+SIMD vs PR-5 baseline (unpruned, scalar)");
+  std::printf("%-12s %-3s %14s %14s %10s\n", "config", "n", "baseline us",
+              "composed us", "speedup");
+  bench::Rule();
+  CostModel model;
+  Distribution memory = UniformBuckets(50, 5000, 27);
+  Workload w = MakeWorkload(JoinGraphShape::kChain, 12);
+  OptimizerOptions on_opts;
+  on_opts.dp_pruning = DpPruning::kOn;
+  OptimizerOptions off_opts;
+  off_opts.dp_pruning = DpPruning::kOff;
+  DpContext on_ctx(w.query, w.catalog, on_opts);
+  DpContext off_ctx(w.query, w.catalog, off_opts);
+  LecStaticCostProvider lec{model, memory};
+  RunDp(on_ctx, lec);
+  RunDp(off_ctx, lec);  // warm both
+  size_t iters = 40;
+  volatile double sink = 0;
+  // PR-5 baseline: unpruned DP on the scalar kernels (what RunDp did
+  // before this PR, modulo the identical enumeration order).
+  double baseline_us;
+  {
+    simd::ScopedLevel pin(simd::Level::kScalar);
+    baseline_us = TimeUs(iters, 3, [&] {
+      sink = RunDp(off_ctx, lec).objective;
+    });
+  }
+  double composed_us = TimeUs(iters, 3, [&] {
+    sink = RunDp(on_ctx, lec).objective;
+  });
+  (void)sink;
+  double speedup = baseline_us / composed_us;
+  std::printf("%-12s %-3d %14.1f %14.1f %9.2fx\n", "chain/lec", 12,
+              baseline_us, composed_us, speedup);
+  EmitBudget("dp_composed_speedup_inverse_n12", composed_us / baseline_us);
+  std::printf("\nspeedup >= 2.0 is the PR-6 acceptance bar (gated as the "
+              "inverse ratio).\n");
+  if (speedup < 2.0) {
+    std::printf("!! composed speedup %.2fx below the 2x bar\n", speedup);
+    ++g_failures;
+  }
+}
+
+}  // namespace
+
+int main() {
+  BenchPruning();
+  BenchSimd();
+  BenchComposed();
+  if (g_failures > 0) {
+    std::printf("\n%d agreement/acceptance failure(s)\n", g_failures);
+    return 1;
+  }
+  return 0;
+}

@@ -64,6 +64,39 @@ double CostModel::JoinCost(JoinMethod method, double left_pages,
   throw std::logic_error("unknown join method");
 }
 
+double CostModel::JoinCostRemFloor(JoinMethod method, double outer_min_pages,
+                                   double right_pages, double memory) const {
+  double a = outer_min_pages;
+  double b = right_pages;
+  double total = a + b;
+  switch (method) {
+    case JoinMethod::kSortMerge: {
+      // k(M, max(a', b)) >= k(M, max(a, b)) for a' >= a; with the discount
+      // both sides can collapse to one merge read each.
+      if (options_.sorted_input_discount) return total;
+      return SortMergeFactor(memory, std::max(a, b)) * total;
+    }
+    case JoinMethod::kGraceHash:
+      return GraceHashFactor(memory, std::min(a, b)) * total;
+    case JoinMethod::kNestedLoop: {
+      // min(a', b) >= min(a, b), so if M is below min(a, b) + 2 every
+      // larger outer is below its threshold too and pays a' + a'·b; else
+      // the branch is unknown and we take the min of both at a.
+      double smaller = std::min(a, b);
+      if (memory < smaller + 2) return a + a * b;
+      return a + std::min(b, a * b);
+    }
+    case JoinMethod::kHybridHash: {
+      // factor = max(k(M, smaller) - resident, 1) with resident <= 1 and
+      // smaller = min(a', b) >= min(a, b).
+      double smaller = std::min(a, b);
+      if (smaller <= 0) return total;
+      return std::max(GraceHashFactor(memory, smaller) - 1.0, 1.0) * total;
+    }
+  }
+  throw std::logic_error("unknown join method");
+}
+
 double CostModel::SortCost(double pages, double memory) const {
   if (pages < 0 || memory <= 0) {
     throw std::invalid_argument("pages >= 0, memory > 0 required");

@@ -86,6 +86,23 @@ class CostModel {
   /// The Grace-hash pass multiplier in {2, 4, 6} keyed on min(|A|,|B|).
   static double GraceHashFactor(double memory, double smaller_pages);
 
+  /// Admissible lower bound on the cost of joining an inner of `right_pages`
+  /// at memory value `memory` with ANY outer of at least `outer_min_pages`
+  /// pages, under any sortedness flags:
+  ///
+  ///   JoinCostRemFloor(m, a_min, b, M) <= JoinCost(m, a, b, M, ls, rs)
+  ///   for every a >= a_min and every (ls, rs).
+  ///
+  /// Monotonicity argument per method (all in exact arithmetic): the pass
+  /// multipliers k(M, s) are nondecreasing in s, and min(a,b) / max(a,b)
+  /// are nondecreasing in a, so evaluating the factor at a_min bounds every
+  /// larger outer; sorted-input discounts only lower a factor toward 1.
+  /// The branch-and-bound DP (dp_common.h) uses this, evaluated once per
+  /// (inner table, method) per run, to floor the cost of the join step that
+  /// must eventually consume each remaining relation.
+  double JoinCostRemFloor(JoinMethod method, double outer_min_pages,
+                          double right_pages, double memory) const;
+
  private:
   CostModelOptions options_;
 };

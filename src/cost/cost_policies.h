@@ -18,14 +18,43 @@
 #include "cost/cost_model.h"
 #include "cost/ec_cache.h"
 #include "cost/expected_cost.h"
+#include "cost/fast_expected_cost.h"
 #include "dist/distribution.h"
 
 namespace lec {
+
+/// Memory-free admissible floor on one join step at the ACTUAL input sizes
+/// (a, b): a lower bound on the provider's JoinCost for any memory value /
+/// distribution, any phase and any sortedness flags. O(1), no sqrt — this
+/// runs per candidate group inside the branch-and-bound DP, so it trades
+/// tightness for being essentially free. Derivation per method (minimum
+/// pass multipliers): NL pays a plus the cheaper of one probe pass (b) or
+/// the quadratic a·b; SM's multiplier is >= 2 without the sorted-input
+/// discount and >= 1 with it; GH's multiplier is >= 2; HH's factor is
+/// floored at 1.
+inline double JoinStepFloorAnyMemory(JoinMethod method, double a, double b,
+                                     bool sorted_input_discount) {
+  switch (method) {
+    case JoinMethod::kSortMerge:
+      return sorted_input_discount ? a + b : 2.0 * (a + b);
+    case JoinMethod::kGraceHash:
+      return 2.0 * (a + b);
+    case JoinMethod::kNestedLoop:
+      return a + std::min(b, a * b);
+    case JoinMethod::kHybridHash:
+      return a + b;
+  }
+  throw std::logic_error("unknown join method");
+}
 
 /// Specific cost at one memory value — System R / LSC (§2.2).
 struct LscCostProvider {
   const CostModel& model;
   double memory;
+
+  /// LSC's bound is exact-admissible (the floors are the formulas' own
+  /// minima at the fixed memory value): pruning defaults on.
+  static constexpr bool kPruningDefaultOn = true;
 
   double JoinCost(JoinMethod m, double left_pages, double right_pages,
                   bool left_sorted, bool right_sorted, int) const {
@@ -34,6 +63,13 @@ struct LscCostProvider {
   }
   double SortCost(double pages, int) const {
     return model.SortCost(pages, memory);
+  }
+  double StepFloor(JoinMethod m, double a, double b) const {
+    return JoinStepFloorAnyMemory(m, a, b,
+                                  model.options().sorted_input_discount);
+  }
+  double RemStepFloor(JoinMethod m, double outer_min, double b) const {
+    return model.JoinCostRemFloor(m, outer_min, b, memory);
   }
 };
 
@@ -69,6 +105,11 @@ struct LecStaticCostProvider {
   const CostModel& model;
   const Distribution& memory;
 
+  /// The REM floor is the exact expectation of a pointwise-admissible
+  /// bound under the same static distribution the objective integrates
+  /// over: exact-admissible, so pruning defaults on.
+  static constexpr bool kPruningDefaultOn = true;
+
   double JoinCost(JoinMethod m, double left_pages, double right_pages,
                   bool left_sorted, bool right_sorted, int) const {
     return ExpectedJoinCostFixedSizesView(model, m, left_pages, right_pages,
@@ -78,6 +119,14 @@ struct LecStaticCostProvider {
   double SortCost(double pages, int) const {
     return ExpectedSortCostFixedSizeView(model, pages, memory.AsView());
   }
+  double StepFloor(JoinMethod m, double a, double b) const {
+    return JoinStepFloorAnyMemory(m, a, b,
+                                  model.options().sorted_input_discount);
+  }
+  double RemStepFloor(JoinMethod m, double outer_min, double b) const {
+    return EcJoinCostRemFloorFixedSizeView(model, m, outer_min, b,
+                                           memory.AsView());
+  }
 };
 
 /// Expected cost under per-phase Markov marginals — dynamic Algorithm C
@@ -86,6 +135,12 @@ struct LecStaticCostProvider {
 struct LecDynamicCostProvider {
   const CostModel& model;
   const std::vector<Distribution>& marginals;
+
+  /// The floors below are memory-free, hence valid for every per-phase
+  /// marginal — admissible but loose (a remaining join's phase is not
+  /// known, so no marginal-specific refinement applies). Pruning is
+  /// opt-in (dp_pruning = kOn) rather than default for this regime.
+  static constexpr bool kPruningDefaultOn = false;
 
   const Distribution& MarginalAt(int idx) const {
     size_t i = std::min<size_t>(static_cast<size_t>(std::max(idx, 0)),
@@ -102,6 +157,14 @@ struct LecDynamicCostProvider {
     return ExpectedSortCostFixedSizeView(model, pages,
                                          MarginalAt(phase_idx).AsView());
   }
+  double StepFloor(JoinMethod m, double a, double b) const {
+    return JoinStepFloorAnyMemory(m, a, b,
+                                  model.options().sorted_input_discount);
+  }
+  double RemStepFloor(JoinMethod m, double outer_min, double b) const {
+    return JoinStepFloorAnyMemory(m, outer_min, b,
+                                  model.options().sorted_input_discount);
+  }
 };
 
 /// Expected cost under one static memory distribution, optionally memoized
@@ -111,6 +174,10 @@ struct LecStaticMemoizedCostProvider {
   const CostModel& model;
   const Distribution& memory;
   EcCache* cache;  // may be null: plain per-operator evaluation
+
+  /// Same objective and bound as LecStaticCostProvider (memoization does
+  /// not change values): exact-admissible, pruning defaults on.
+  static constexpr bool kPruningDefaultOn = true;
 
   double JoinCost(JoinMethod m, double left_pages, double right_pages,
                   bool left_sorted, bool right_sorted, int) const {
@@ -131,6 +198,14 @@ struct LecStaticMemoizedCostProvider {
     return cache != nullptr
                ? cache->SortEcFixedSize(pages, memory, compute)
                : compute();
+  }
+  double StepFloor(JoinMethod m, double a, double b) const {
+    return JoinStepFloorAnyMemory(m, a, b,
+                                  model.options().sorted_input_discount);
+  }
+  double RemStepFloor(JoinMethod m, double outer_min, double b) const {
+    return EcJoinCostRemFloorFixedSizeView(model, m, outer_min, b,
+                                           memory.AsView());
   }
 };
 

@@ -1,12 +1,14 @@
 #include "cost/expected_cost.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "cost/cost_policies.h"
 #include "cost/ec_cache.h"
 #include "cost/plan_walk.h"
 #include "cost/size_propagation.h"
+#include "dist/simd.h"
 
 namespace lec {
 
@@ -31,10 +33,93 @@ Realization Realization::AtMeans(const Query& query, const Catalog& catalog,
 // Algorithm D's arena pipeline) are one definition with identical
 // summation order.
 
+namespace {
+
+// Vectorized fixed-sizes EC, engaged only when the active SIMD level is not
+// scalar. Restructures the per-bucket scalar loop by distributivity: the
+// cost-model thresholds (sqrt/cbrt/NL/residency breakpoints) are hoisted
+// out, the ascending memory values are split into per-factor classes with
+// simd::CountLeq (exact — the same comparisons JoinCost performs, so the
+// classification is bit-identical), and each class's probability mass is
+// folded with simd::Sum. EC = Σ_class mass·cost(class) — equal to the
+// scalar left-to-right sum in exact arithmetic, within the n·eps
+// reassociation contract of dist/simd.h in binary64 (the scalar twin
+// remains the I7 bit-parity reference; SIMD-vs-scalar legs compare under
+// verify::kKernelParityRelTol).
+double EcJoinFixedSizesVector(const CostModel& model, JoinMethod method,
+                              double a, double b, DistView memory,
+                              bool left_sorted, bool right_sorted) {
+  const double* v = memory.values;
+  const double* p = memory.probs;
+  const size_t n = memory.n;
+  // Same guard, same exception as JoinCost would raise on the first bucket.
+  if (a < 0 || b < 0 || v[0] <= 0) {
+    throw std::invalid_argument("sizes must be >= 0 and memory > 0");
+  }
+  const double total = a + b;
+  const double mass = simd::Sum(p, n);
+  switch (method) {
+    case JoinMethod::kSortMerge: {
+      double larger = std::max(a, b);
+      double sqrt_l = std::sqrt(larger);
+      double cbrt_l = std::cbrt(larger);
+      // Factor k = 2 above sqrt, 4 in (cbrt, sqrt], else 6 — with the
+      // nested-conditional clamp: when larger < 1, cbrt_l > sqrt_l and the
+      // sqrt test wins, so the 6-class never extends past the 4-class.
+      size_t idx_s = simd::CountLeq(v, 0, n, sqrt_l, /*strict=*/false);
+      size_t idx_c =
+          std::min(simd::CountLeq(v, 0, n, cbrt_l, /*strict=*/false), idx_s);
+      double m6 = simd::Sum(p, idx_c);
+      double m4 = simd::Sum(p + idx_c, idx_s - idx_c);
+      double m2 = mass - (m6 + m4);
+      double ek = 2.0 * m2 + 4.0 * m4 + 6.0 * m6;  // Σ p_i k_i
+      if (!model.options().sorted_input_discount) return ek * total;
+      double el = left_sorted ? mass : ek;  // Σ p_i c_l(i)
+      double er = right_sorted ? mass : ek;
+      return el * a + er * b;
+    }
+    case JoinMethod::kGraceHash: {
+      double smaller = std::min(a, b);
+      double sqrt_s = std::sqrt(smaller);
+      double cbrt_s = std::cbrt(smaller);
+      size_t idx_s = simd::CountLeq(v, 0, n, sqrt_s, /*strict=*/false);
+      size_t idx_c =
+          std::min(simd::CountLeq(v, 0, n, cbrt_s, /*strict=*/false), idx_s);
+      double m6 = simd::Sum(p, idx_c);
+      double m4 = simd::Sum(p + idx_c, idx_s - idx_c);
+      double m2 = mass - (m6 + m4);
+      return (2.0 * m2 + 4.0 * m4 + 6.0 * m6) * total;
+    }
+    case JoinMethod::kNestedLoop: {
+      double smaller = std::min(a, b);
+      // memory >= smaller + 2 costs a+b; below the threshold, a + a·b.
+      size_t idx_lo = simd::CountLeq(v, 0, n, smaller + 2, /*strict=*/true);
+      double m_lo = simd::Sum(p, idx_lo);
+      double m_hi = mass - m_lo;
+      return total * m_hi + (a + a * b) * m_lo;
+    }
+    case JoinMethod::kHybridHash: {
+      double smaller = std::min(a, b);
+      if (smaller <= 0) return total * mass;
+      return simd::HybridFactorDot(v, p, n, smaller, std::cbrt(smaller),
+                                   std::sqrt(smaller)) *
+             total;
+    }
+  }
+  throw std::logic_error("unknown join method");
+}
+
+}  // namespace
+
 double ExpectedJoinCostFixedSizesView(const CostModel& model,
                                       JoinMethod method, double left_pages,
                                       double right_pages, DistView memory,
                                       bool left_sorted, bool right_sorted) {
+  if (memory.n != 0 && simd::ActiveLevel() != simd::Level::kScalar) {
+    return EcJoinFixedSizesVector(model, method, left_pages, right_pages,
+                                  memory, left_sorted, right_sorted);
+  }
+  // Scalar reference loop — the bit-parity twin of the vector path above.
   double ec = 0;
   for (size_t i = 0; i < memory.n; ++i) {
     ec += memory.probs[i] * model.JoinCost(method, left_pages, right_pages,

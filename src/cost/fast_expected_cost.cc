@@ -256,6 +256,73 @@ double FastExpectedJoinCost(JoinMethod method, const Distribution& left,
 }
 
 // ---------------------------------------------------------------------------
+// Branch-and-bound floor hook (§3.6 prefix partial expectations).
+// ---------------------------------------------------------------------------
+
+double EcJoinCostRemFloorFixedSizeView(const CostModel& model,
+                                       JoinMethod method,
+                                       double outer_min_pages,
+                                       double right_pages, DistView memory) {
+  // E_M[JoinCostRemFloor] computed in one pass over the ascending memory
+  // values: the pointwise floor is a step function of M with the same
+  // sqrt/cbrt/threshold breakpoints as the cost formulas, so its
+  // expectation is a weighted sum of class masses — exactly the §3.6
+  // prefix-partial-expectation structure, located with simd::CountLeq and
+  // folded with simd::Sum. Admissibility is inherited pointwise from
+  // CostModel::JoinCostRemFloor; the expectation of a pointwise lower
+  // bound lower-bounds the expectation.
+  const double* v = memory.values;
+  const double* p = memory.probs;
+  const size_t n = memory.n;
+  double a = outer_min_pages;
+  double b = right_pages;
+  double total = a + b;
+  double mass = simd::Sum(p, n);
+  // Class masses for the nested pass-multiplier k(M, s): k = 2 above
+  // sqrt(s), 4 in (cbrt(s), sqrt(s)], else 6 — with the idx_c clamp
+  // enforcing that the sqrt test wins when s < 1 (cbrt(s) > sqrt(s)).
+  auto factor_masses = [&](double s, double* m2, double* m4, double* m6) {
+    double sqrt_s = std::sqrt(s);
+    double cbrt_s = std::cbrt(s);
+    size_t idx_s = simd::CountLeq(v, 0, n, sqrt_s, /*strict=*/false);
+    size_t idx_c =
+        std::min(simd::CountLeq(v, 0, n, cbrt_s, /*strict=*/false), idx_s);
+    *m6 = simd::Sum(p, idx_c);
+    *m4 = simd::Sum(p + idx_c, idx_s - idx_c);
+    *m2 = mass - (*m6 + *m4);
+  };
+  switch (method) {
+    case JoinMethod::kSortMerge: {
+      if (model.options().sorted_input_discount) return total * mass;
+      double m2, m4, m6;
+      factor_masses(std::max(a, b), &m2, &m4, &m6);
+      return (2.0 * m2 + 4.0 * m4 + 6.0 * m6) * total;
+    }
+    case JoinMethod::kGraceHash: {
+      double m2, m4, m6;
+      factor_masses(std::min(a, b), &m2, &m4, &m6);
+      return (2.0 * m2 + 4.0 * m4 + 6.0 * m6) * total;
+    }
+    case JoinMethod::kNestedLoop: {
+      double smaller = std::min(a, b);
+      size_t idx_lo = simd::CountLeq(v, 0, n, smaller + 2, /*strict=*/true);
+      double m_lo = simd::Sum(p, idx_lo);
+      double m_hi = mass - m_lo;
+      return (a + a * b) * m_lo + (a + std::min(b, a * b)) * m_hi;
+    }
+    case JoinMethod::kHybridHash: {
+      double smaller = std::min(a, b);
+      if (smaller <= 0) return total * mass;
+      // factor >= max(k(M, smaller) - 1, 1): classes 1 / 3 / 5.
+      double m2, m4, m6;
+      factor_masses(smaller, &m2, &m4, &m6);
+      return (1.0 * m2 + 3.0 * m4 + 5.0 * m6) * total;
+    }
+  }
+  throw std::logic_error("unknown join method");
+}
+
+// ---------------------------------------------------------------------------
 // Legacy cursor implementation — kept verbatim as the I7 parity reference
 // and the bench_dist_kernels (E18) baseline. Do not call on hot paths.
 // ---------------------------------------------------------------------------

@@ -32,6 +32,7 @@
 #ifndef LECOPT_COST_FAST_EXPECTED_COST_H_
 #define LECOPT_COST_FAST_EXPECTED_COST_H_
 
+#include "cost/cost_model.h"
 #include "dist/arena.h"
 #include "dist/distribution.h"
 #include "dist/kernel.h"
@@ -77,6 +78,20 @@ double FastEcJoin(JoinMethod method, DistView left, DistView right,
                   double right_mean);
 double FastEcJoin(JoinMethod method, DistView left, DistView right,
                   const EcMemoryProfile& memory);
+
+// -- Branch-and-bound floor hook (§3.6 prefix partial expectations) ---------
+
+/// E_M[CostModel::JoinCostRemFloor(method, outer_min_pages, right_pages, M)]
+/// under the fixed-size memory distribution `memory`: an admissible lower
+/// bound, for every outer of at least `outer_min_pages` pages and any
+/// sortedness flags, on the expected cost of the join step that consumes an
+/// inner of `right_pages` pages. One O(b_M) sweep (CountLeq class masses —
+/// the same prefix-partial-expectation machinery as the fast-EC paths);
+/// the cost-bounded DP evaluates it once per (table, method) per run.
+double EcJoinCostRemFloorFixedSizeView(const CostModel& model,
+                                       JoinMethod method,
+                                       double outer_min_pages,
+                                       double right_pages, DistView memory);
 
 // -- Distribution-level API (kernel-backed) ---------------------------------
 

@@ -4,13 +4,35 @@
 #include <bit>
 #include <cassert>
 #include <cmath>
+#include <cstddef>
 #include <cstring>
 #include <limits>
 #include <stdexcept>
+#include <type_traits>
 
 namespace lec {
 
 namespace {
+
+// The simd::CrossInto / SumStride2 / DivStride2 kernels address Bucket
+// arrays as interleaved doubles (value at 2i, prob at 2i+1).
+static_assert(std::is_standard_layout_v<Bucket>);
+static_assert(sizeof(Bucket) == 2 * sizeof(double));
+static_assert(offsetof(Bucket, value) == 0);
+static_assert(offsetof(Bucket, prob) == sizeof(double));
+
+/// Σ raw[i].prob for i < n, in strict index order. Deliberately NOT
+/// simd::SumStride2: FinishInto's normalization divisor must match the
+/// legacy Distribution constructor bit for bit at every dispatch level
+/// (the kernel/legacy bit-faithfulness contract at the top of kernel.h,
+/// and ViewContentHash == Distribution::ContentHash keying in the EC
+/// cache, both hang off it). The divides that consume the divisor are
+/// elementwise and stay vectorized.
+double BucketProbSum(const Bucket* raw, size_t n) {
+  double s = 0;
+  for (size_t i = 0; i < n; ++i) s += raw[i].prob;
+  return s;
+}
 
 /// Writes the surviving `n` buckets of `raw` out as SoA.
 DistView EmitSoA(const Bucket* raw, size_t n, DistArena* arena) {
@@ -30,17 +52,9 @@ DistView UnitPointMassView() {
   return {kOne, kOne, 1};
 }
 
-double ViewMean(DistView v) {
-  double mean = 0;
-  for (size_t i = 0; i < v.n; ++i) mean += v.values[i] * v.probs[i];
-  return mean;
-}
+double ViewMean(DistView v) { return simd::Dot(v.values, v.probs, v.n); }
 
-double ViewTotalMass(DistView v) {
-  double mass = 0;
-  for (size_t i = 0; i < v.n; ++i) mass += v.probs[i];
-  return mass;
-}
+double ViewTotalMass(DistView v) { return simd::Sum(v.probs, v.n); }
 
 uint64_t ViewContentHash(DistView v) {
   // FNV-1a over interleaved (value, prob) bit patterns — must stay in
@@ -94,12 +108,11 @@ DistView FinishInto(Bucket* raw, size_t n, DistArena* arena) {
   for (size_t i = 0; i < merged; ++i) {
     if (raw[i].prob > 0) raw[kept++] = raw[i];
   }
-  double total = 0;
-  for (size_t i = 0; i < kept; ++i) total += raw[i].prob;
+  double total = BucketProbSum(raw, kept);
   if (kept == 0 || total <= 0 || !std::isfinite(total)) {
     throw std::invalid_argument("total probability mass must be positive");
   }
-  for (size_t i = 0; i < kept; ++i) raw[i].prob /= total;
+  simd::DivStride2(&raw[0].prob, kept, total);
 
   constexpr double kEpsilonMass = 1e-12;
   bool any_dust = false;
@@ -110,9 +123,8 @@ DistView FinishInto(Bucket* raw, size_t n, DistArena* arena) {
       if (raw[i].prob >= kEpsilonMass) raw[live++] = raw[i];
     }
     kept = live;
-    double kept_mass = 0;
-    for (size_t i = 0; i < kept; ++i) kept_mass += raw[i].prob;
-    for (size_t i = 0; i < kept; ++i) raw[i].prob /= kept_mass;
+    double kept_mass = BucketProbSum(raw, kept);
+    if (kept > 0) simd::DivStride2(&raw[0].prob, kept, kept_mass);
   }
   return EmitSoA(raw, kept, arena);
 }
@@ -129,9 +141,9 @@ DistView ProductInto(DistView a, DistView b, DistArena* arena) {
   Bucket* raw = arena->AllocArray<Bucket>(a.n * b.n);
   size_t idx = 0;
   for (size_t i = 0; i < a.n; ++i) {
-    for (size_t j = 0; j < b.n; ++j) {
-      raw[idx++] = {a.values[i] * b.values[j], a.probs[i] * b.probs[j]};
-    }
+    simd::CrossInto(a.values[i], a.probs[i], b.values, b.probs, b.n,
+                    reinterpret_cast<double*>(raw + idx));
+    idx += b.n;
   }
   return FinishInto(raw, idx, arena);
 }
@@ -141,12 +153,15 @@ DistView MixInto(DistView a, DistView b, double w, DistArena* arena) {
     throw std::invalid_argument("mixture weight must be in [0, 1]");
   }
   Bucket* raw = arena->AllocArray<Bucket>(a.n + b.n);
-  size_t idx = 0;
-  for (size_t i = 0; i < a.n; ++i) raw[idx++] = {a.values[i], w * a.probs[i]};
-  for (size_t i = 0; i < b.n; ++i) {
-    raw[idx++] = {b.values[i], (1.0 - w) * b.probs[i]};
-  }
-  return FinishInto(raw, idx, arena);
+  // CrossInto with av = 1.0 copies values bit-exactly (1.0·v == v in IEEE
+  // for every finite or infinite v; a NaN value throws in FinishInto on
+  // either path) while scaling probs — same arithmetic as the historical
+  // per-bucket loop.
+  simd::CrossInto(1.0, w, a.values, a.probs, a.n,
+                  reinterpret_cast<double*>(raw));
+  simd::CrossInto(1.0, 1.0 - w, b.values, b.probs, b.n,
+                  reinterpret_cast<double*>(raw + a.n));
+  return FinishInto(raw, a.n + b.n, arena);
 }
 
 DistView RebucketInto(DistView in, size_t max_buckets,

@@ -27,6 +27,7 @@
 
 #include "dist/arena.h"
 #include "dist/distribution.h"
+#include "dist/simd.h"
 
 namespace lec {
 
@@ -102,9 +103,29 @@ DistView RebucketInto(DistView in, size_t max_buckets,
 // Sweep primitives — the §3.6 prefix/suffix machinery, allocation-free.
 // ---------------------------------------------------------------------------
 
+/// Runs at or below this length are scanned and folded inline by the
+/// sweeps instead of calling the dispatched simd:: kernels. The typical
+/// run between consecutive cost-formula breakpoints is a handful of
+/// elements, where the thread-local table read + indirect call cost more
+/// than the arithmetic they replace (E18's b=27 fast-EC ratios regressed
+/// ~4x when every run was dispatched). The inline fold is exactly the
+/// scalar twin's element-wise walk, so scalar-level results are
+/// unchanged; only runs long enough to amortize the call go through the
+/// vector kernels, under their documented reassociation contract.
+inline constexpr size_t kSweepInlineRun = 16;
+
 /// Monotone prefix sweep over one view: Advance(x) accumulates probability
 /// and partial expectation of all buckets with value <= x (or < x when
 /// strict). x must be non-decreasing across calls, so a full sweep is O(n).
+///
+/// Dispatch note: short runs (<= kSweepInlineRun) are folded inline,
+/// element by element onto the running accumulators — bit-identical to
+/// the historical interleaved walk. Longer runs go through simd::SumFrom /
+/// simd::DotFrom, whose scalar twins seed the fold with the accumulator
+/// and add element by element (prob and pe are independent accumulators,
+/// so splitting the interleaved loop into two seeded passes changes
+/// nothing). At vector levels a long run's contribution is a lane-partial
+/// sum — the documented reassociation contract of dist/simd.h.
 struct PrefixSweep {
   DistView d;
   bool strict = false;
@@ -113,11 +134,30 @@ struct PrefixSweep {
   double pe = 0;
 
   void Advance(double x) {
-    while (i < d.n && (strict ? d.values[i] < x : d.values[i] <= x)) {
-      prob += d.probs[i];
-      pe += d.values[i] * d.probs[i];
-      ++i;
+    const double* v = d.values + i;
+    const double* p = d.probs + i;
+    size_t avail = d.n - i;
+    size_t probe = avail < kSweepInlineRun ? avail : kSweepInlineRun;
+    size_t run = 0;
+    if (strict) {
+      while (run < probe && v[run] < x) ++run;
+    } else {
+      while (run < probe && v[run] <= x) ++run;
     }
+    if (run == kSweepInlineRun && run < avail) {
+      run = simd::CountLeq(d.values, i, d.n, x, strict);
+    }
+    if (run == 0) return;
+    if (run <= kSweepInlineRun) {
+      for (size_t k = 0; k < run; ++k) {
+        prob += p[k];
+        pe += v[k] * p[k];
+      }
+    } else {
+      prob = simd::SumFrom(prob, p, run);
+      pe = simd::DotFrom(pe, v, p, run);
+    }
+    i += run;
   }
 };
 
@@ -134,10 +174,26 @@ struct StepCdfSweep {
   double acc = 0;
 
   double Advance(double x) {
-    while (i < n && x >= thresholds[i]) {
-      acc += probs[i];
-      ++i;
+    // x >= thresholds[i] is thresholds[i] <= x: same short-run inline /
+    // long-run dispatch split as PrefixSweep (see kSweepInlineRun); the
+    // inline fold is bit-identical to the historical walk, the long-run
+    // simd::SumFrom seeds its scalar twin identically.
+    const double* t = thresholds + i;
+    size_t avail = n - i;
+    size_t probe = avail < kSweepInlineRun ? avail : kSweepInlineRun;
+    size_t run = 0;
+    while (run < probe && t[run] <= x) ++run;
+    if (run == kSweepInlineRun && run < avail) {
+      run = simd::CountLeq(thresholds, i, n, x, false);
     }
+    if (run == 0) return acc;
+    if (run <= kSweepInlineRun) {
+      const double* p = probs + i;
+      for (size_t k = 0; k < run; ++k) acc += p[k];
+    } else {
+      acc = simd::SumFrom(acc, probs + i, run);
+    }
+    i += run;
     return acc;
   }
 };

@@ -1,0 +1,578 @@
+#include "dist/simd.h"
+
+#include <bit>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define LECOPT_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace lec::simd {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar twins: the bit-parity reference every vector variant is fuzzed
+// against (dist_kernel_test, fuzz invariant I7's SIMD legs). These are the
+// loops kernel.cc and expected_cost.cc ran before dispatch existed.
+// ---------------------------------------------------------------------------
+
+double SumScalar(const double* x, size_t n) {
+  double s = 0;
+  for (size_t i = 0; i < n; ++i) s += x[i];
+  return s;
+}
+
+double DotScalar(const double* x, const double* y, size_t n) {
+  double s = 0;
+  for (size_t i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+double SumFromScalar(double init, const double* x, size_t n) {
+  double s = init;
+  for (size_t i = 0; i < n; ++i) s += x[i];
+  return s;
+}
+
+double DotFromScalar(double init, const double* x, const double* y,
+                     size_t n) {
+  double s = init;
+  for (size_t i = 0; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+double SumStride2Scalar(const double* x, size_t n) {
+  double s = 0;
+  for (size_t i = 0; i < n; ++i) s += x[2 * i];
+  return s;
+}
+
+void DivStride2Scalar(double* x, size_t n, double divisor) {
+  for (size_t i = 0; i < n; ++i) x[2 * i] /= divisor;
+}
+
+void ScaleScalar(const double* src, double w, double* dst, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] = w * src[i];
+}
+
+void CrossIntoScalar(double av, double ap, const double* bv,
+                     const double* bp, size_t n, double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[2 * i] = av * bv[i];
+    out[2 * i + 1] = ap * bp[i];
+  }
+}
+
+size_t CountLeqScalar(const double* v, size_t i, size_t n, double x,
+                      bool strict) {
+  size_t start = i;
+  if (strict) {
+    while (i < n && v[i] < x) ++i;
+  } else {
+    while (i < n && v[i] <= x) ++i;
+  }
+  return i - start;
+}
+
+double HybridFactorDotScalar(const double* v, const double* p, size_t n,
+                             double smaller, double cbrt_s, double sqrt_s) {
+  double s = 0;
+  for (size_t i = 0; i < n; ++i) {
+    // The nested conditional mirrors CostModel::GraceHashFactor exactly —
+    // including the smaller < 1 regime where cbrt_s > sqrt_s and the
+    // sqrt test must win.
+    double k = v[i] > sqrt_s ? 2.0 : (v[i] > cbrt_s ? 4.0 : 6.0);
+    double resident = v[i] / smaller;
+    if (resident > 1.0) resident = 1.0;
+    double factor = k - resident;
+    if (factor < 1.0) factor = 1.0;
+    s += p[i] * factor;
+  }
+  return s;
+}
+
+#if LECOPT_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// SSE2 (x86-64 baseline): 2-lane partials. Lane fold order for the
+// reassociating kernels is lane0 + lane1, then the scalar tail.
+// ---------------------------------------------------------------------------
+
+double SumSse2(const double* x, size_t n) {
+  __m128d acc = _mm_setzero_pd();
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) acc = _mm_add_pd(acc, _mm_loadu_pd(x + i));
+  double lanes[2];
+  _mm_storeu_pd(lanes, acc);
+  double s = lanes[0] + lanes[1];
+  for (; i < n; ++i) s += x[i];
+  return s;
+}
+
+double DotSse2(const double* x, const double* y, size_t n) {
+  __m128d acc = _mm_setzero_pd();
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    acc = _mm_add_pd(acc, _mm_mul_pd(_mm_loadu_pd(x + i),
+                                     _mm_loadu_pd(y + i)));
+  }
+  double lanes[2];
+  _mm_storeu_pd(lanes, acc);
+  double s = lanes[0] + lanes[1];
+  for (; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+double SumFromSse2(double init, const double* x, size_t n) {
+  return init + SumSse2(x, n);
+}
+
+double DotFromSse2(double init, const double* x, const double* y, size_t n) {
+  return init + DotSse2(x, y, n);
+}
+
+double SumStride2Sse2(const double* x, size_t n) {
+  __m128d acc = _mm_setzero_pd();
+  size_t i = 0;
+  // The strided array holds 2n-1 doubles (the last element has no
+  // neighbor), so the second pair load needs i+3 <= n.
+  for (; i + 3 <= n; i += 2) {
+    __m128d a = _mm_loadu_pd(x + 2 * i);
+    __m128d b = _mm_loadu_pd(x + 2 * i + 2);
+    acc = _mm_add_pd(acc, _mm_unpacklo_pd(a, b));
+  }
+  double lanes[2];
+  _mm_storeu_pd(lanes, acc);
+  double s = lanes[0] + lanes[1];
+  for (; i < n; ++i) s += x[2 * i];
+  return s;
+}
+
+void DivStride2Sse2(double* x, size_t n, double divisor) {
+  __m128d d = _mm_set1_pd(divisor);
+  size_t i = 0;
+  // Pair loads need the odd neighbor to exist: stop one element early.
+  for (; i + 2 <= n; ++i) {
+    // Load [x[2i], x[2i+1]], divide lane 0 only (lane 1 is the neighbor
+    // field and must pass through untouched).
+    __m128d pair = _mm_loadu_pd(x + 2 * i);
+    __m128d div = _mm_div_pd(pair, d);
+    _mm_storeu_pd(x + 2 * i, _mm_move_sd(pair, div));
+  }
+  for (; i < n; ++i) x[2 * i] /= divisor;
+}
+
+void ScaleSse2(const double* src, double w, double* dst, size_t n) {
+  __m128d ww = _mm_set1_pd(w);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(dst + i, _mm_mul_pd(ww, _mm_loadu_pd(src + i)));
+  }
+  for (; i < n; ++i) dst[i] = w * src[i];
+}
+
+void CrossIntoSse2(double av, double ap, const double* bv, const double* bp,
+                   size_t n, double* out) {
+  __m128d avv = _mm_set1_pd(av);
+  __m128d app = _mm_set1_pd(ap);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128d vv = _mm_mul_pd(avv, _mm_loadu_pd(bv + i));
+    __m128d pp = _mm_mul_pd(app, _mm_loadu_pd(bp + i));
+    _mm_storeu_pd(out + 2 * i, _mm_unpacklo_pd(vv, pp));
+    _mm_storeu_pd(out + 2 * i + 2, _mm_unpackhi_pd(vv, pp));
+  }
+  for (; i < n; ++i) {
+    out[2 * i] = av * bv[i];
+    out[2 * i + 1] = ap * bp[i];
+  }
+}
+
+size_t CountLeqSse2(const double* v, size_t i, size_t n, double x,
+                    bool strict) {
+  size_t start = i;
+  __m128d xx = _mm_set1_pd(x);
+  for (; i + 2 <= n; ) {
+    __m128d vv = _mm_loadu_pd(v + i);
+    __m128d cmp = strict ? _mm_cmplt_pd(vv, xx) : _mm_cmple_pd(vv, xx);
+    unsigned mask = static_cast<unsigned>(_mm_movemask_pd(cmp));
+    if (mask != 0x3u) {
+      i += std::countr_one(mask);
+      return i - start;
+    }
+    i += 2;
+  }
+  return (i - start) + CountLeqScalar(v, i, n, x, strict);
+}
+
+double HybridFactorDotSse2(const double* v, const double* p, size_t n,
+                           double smaller, double cbrt_s, double sqrt_s) {
+  __m128d acc = _mm_setzero_pd();
+  __m128d cc = _mm_set1_pd(cbrt_s);
+  __m128d ss = _mm_set1_pd(sqrt_s);
+  __m128d sm = _mm_set1_pd(smaller);
+  __m128d one = _mm_set1_pd(1.0);
+  __m128d two = _mm_set1_pd(2.0);
+  __m128d four = _mm_set1_pd(4.0);
+  __m128d six = _mm_set1_pd(6.0);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m128d vv = _mm_loadu_pd(v + i);
+    // Nested blend == the scalar conditional: start at 6, override with 4
+    // where v > cbrt, then with 2 where v > sqrt (the sqrt test wins, as
+    // in GraceHashFactor).
+    __m128d gt_c = _mm_cmpgt_pd(vv, cc);
+    __m128d gt_s = _mm_cmpgt_pd(vv, ss);
+    __m128d k = _mm_or_pd(_mm_and_pd(gt_c, four), _mm_andnot_pd(gt_c, six));
+    k = _mm_or_pd(_mm_and_pd(gt_s, two), _mm_andnot_pd(gt_s, k));
+    __m128d resident = _mm_min_pd(_mm_div_pd(vv, sm), one);
+    __m128d factor = _mm_max_pd(_mm_sub_pd(k, resident), one);
+    acc = _mm_add_pd(acc, _mm_mul_pd(_mm_loadu_pd(p + i), factor));
+  }
+  double lanes[2];
+  _mm_storeu_pd(lanes, acc);
+  double s = lanes[0] + lanes[1];
+  for (; i < n; ++i) {
+    double k = v[i] > sqrt_s ? 2.0 : (v[i] > cbrt_s ? 4.0 : 6.0);
+    double resident = v[i] / smaller;
+    if (resident > 1.0) resident = 1.0;
+    double factor = k - resident;
+    if (factor < 1.0) factor = 1.0;
+    s += p[i] * factor;
+  }
+  return s;
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#define LECOPT_SIMD_AVX2 1
+#define LECOPT_TARGET_AVX2 __attribute__((target("avx2")))
+
+// ---------------------------------------------------------------------------
+// AVX2: 4-lane partials, selected only when __builtin_cpu_supports("avx2").
+// Lane fold order is (l0 + l1) + (l2 + l3), then the scalar tail. Only the
+// avx2 ISA is enabled (no FMA), so per-element products match the scalar
+// twins bit for bit.
+// ---------------------------------------------------------------------------
+
+LECOPT_TARGET_AVX2
+double FoldAvx2(__m256d acc) {
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  return (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+}
+
+LECOPT_TARGET_AVX2
+double SumAvx2(const double* x, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) acc = _mm256_add_pd(acc, _mm256_loadu_pd(x + i));
+  double s = FoldAvx2(acc);
+  for (; i < n; ++i) s += x[i];
+  return s;
+}
+
+LECOPT_TARGET_AVX2
+double DotAvx2(const double* x, const double* y, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_loadu_pd(x + i),
+                                           _mm256_loadu_pd(y + i)));
+  }
+  double s = FoldAvx2(acc);
+  for (; i < n; ++i) s += x[i] * y[i];
+  return s;
+}
+
+LECOPT_TARGET_AVX2
+double SumFromAvx2(double init, const double* x, size_t n) {
+  return init + SumAvx2(x, n);
+}
+
+LECOPT_TARGET_AVX2
+double DotFromAvx2(double init, const double* x, const double* y, size_t n) {
+  return init + DotAvx2(x, y, n);
+}
+
+LECOPT_TARGET_AVX2
+double SumStride2Avx2(const double* x, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  // The strided array holds 2n-1 doubles; the second quad load touches
+  // x[2i+7], so the vector body needs i+5 <= n.
+  for (; i + 5 <= n; i += 4) {
+    // Strided elements x[2i..2i+6 step 2] out of two dense loads:
+    // unpacklo([e0 o0 e1 o1], [e2 o2 e3 o3]) = [e0 e2 e1 e3] — a lane
+    // permutation, absorbed by the lane-partial reassociation contract.
+    __m256d a = _mm256_loadu_pd(x + 2 * i);
+    __m256d b = _mm256_loadu_pd(x + 2 * i + 4);
+    acc = _mm256_add_pd(acc, _mm256_unpacklo_pd(a, b));
+  }
+  double s = FoldAvx2(acc);
+  for (; i < n; ++i) s += x[2 * i];
+  return s;
+}
+
+LECOPT_TARGET_AVX2
+void DivStride2Avx2(double* x, size_t n, double divisor) {
+  __m256d d = _mm256_set1_pd(divisor);
+  size_t i = 0;
+  // The quad load touches x[2i+3]; the last strided element has no odd
+  // neighbor, so the vector body needs i+3 <= n.
+  for (; i + 3 <= n; i += 2) {
+    __m256d quad = _mm256_loadu_pd(x + 2 * i);
+    __m256d div = _mm256_div_pd(quad, d);
+    // Keep the odd (neighbor-field) lanes untouched.
+    _mm256_storeu_pd(x + 2 * i, _mm256_blend_pd(quad, div, 0x5));
+  }
+  for (; i < n; ++i) x[2 * i] /= divisor;
+}
+
+LECOPT_TARGET_AVX2
+void ScaleAvx2(const double* src, double w, double* dst, size_t n) {
+  __m256d ww = _mm256_set1_pd(w);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i, _mm256_mul_pd(ww, _mm256_loadu_pd(src + i)));
+  }
+  for (; i < n; ++i) dst[i] = w * src[i];
+}
+
+LECOPT_TARGET_AVX2
+void CrossIntoAvx2(double av, double ap, const double* bv, const double* bp,
+                   size_t n, double* out) {
+  __m256d avv = _mm256_set1_pd(av);
+  __m256d app = _mm256_set1_pd(ap);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d vv = _mm256_mul_pd(avv, _mm256_loadu_pd(bv + i));
+    __m256d pp = _mm256_mul_pd(app, _mm256_loadu_pd(bp + i));
+    __m256d lo = _mm256_unpacklo_pd(vv, pp);  // [v0 p0 v2 p2]
+    __m256d hi = _mm256_unpackhi_pd(vv, pp);  // [v1 p1 v3 p3]
+    _mm256_storeu_pd(out + 2 * i, _mm256_permute2f128_pd(lo, hi, 0x20));
+    _mm256_storeu_pd(out + 2 * i + 4, _mm256_permute2f128_pd(lo, hi, 0x31));
+  }
+  for (; i < n; ++i) {
+    out[2 * i] = av * bv[i];
+    out[2 * i + 1] = ap * bp[i];
+  }
+}
+
+LECOPT_TARGET_AVX2
+size_t CountLeqAvx2(const double* v, size_t i, size_t n, double x,
+                    bool strict) {
+  size_t start = i;
+  __m256d xx = _mm256_set1_pd(x);
+  for (; i + 4 <= n; ) {
+    __m256d vv = _mm256_loadu_pd(v + i);
+    __m256d cmp = strict ? _mm256_cmp_pd(vv, xx, _CMP_LT_OQ)
+                         : _mm256_cmp_pd(vv, xx, _CMP_LE_OQ);
+    unsigned mask = static_cast<unsigned>(_mm256_movemask_pd(cmp));
+    if (mask != 0xFu) {
+      i += std::countr_one(mask);
+      return i - start;
+    }
+    i += 4;
+  }
+  return (i - start) + CountLeqScalar(v, i, n, x, strict);
+}
+
+LECOPT_TARGET_AVX2
+double HybridFactorDotAvx2(const double* v, const double* p, size_t n,
+                           double smaller, double cbrt_s, double sqrt_s) {
+  __m256d acc = _mm256_setzero_pd();
+  __m256d cc = _mm256_set1_pd(cbrt_s);
+  __m256d ss = _mm256_set1_pd(sqrt_s);
+  __m256d sm = _mm256_set1_pd(smaller);
+  __m256d one = _mm256_set1_pd(1.0);
+  __m256d two = _mm256_set1_pd(2.0);
+  __m256d four = _mm256_set1_pd(4.0);
+  __m256d six = _mm256_set1_pd(6.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d vv = _mm256_loadu_pd(v + i);
+    __m256d gt_c = _mm256_cmp_pd(vv, cc, _CMP_GT_OQ);
+    __m256d gt_s = _mm256_cmp_pd(vv, ss, _CMP_GT_OQ);
+    __m256d k = _mm256_blendv_pd(six, four, gt_c);
+    k = _mm256_blendv_pd(k, two, gt_s);
+    __m256d resident = _mm256_min_pd(_mm256_div_pd(vv, sm), one);
+    __m256d factor = _mm256_max_pd(_mm256_sub_pd(k, resident), one);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_loadu_pd(p + i), factor));
+  }
+  double s = FoldAvx2(acc);
+  for (; i < n; ++i) {
+    double k = v[i] > sqrt_s ? 2.0 : (v[i] > cbrt_s ? 4.0 : 6.0);
+    double resident = v[i] / smaller;
+    if (resident > 1.0) resident = 1.0;
+    double factor = k - resident;
+    if (factor < 1.0) factor = 1.0;
+    s += p[i] * factor;
+  }
+  return s;
+}
+
+#endif  // __GNUC__ || __clang__
+#endif  // LECOPT_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// Dispatch tables.
+// ---------------------------------------------------------------------------
+
+struct Kernels {
+  double (*sum)(const double*, size_t);
+  double (*dot)(const double*, const double*, size_t);
+  double (*sum_from)(double, const double*, size_t);
+  double (*dot_from)(double, const double*, const double*, size_t);
+  double (*sum_stride2)(const double*, size_t);
+  void (*div_stride2)(double*, size_t, double);
+  void (*scale)(const double*, double, double*, size_t);
+  void (*cross_into)(double, double, const double*, const double*, size_t,
+                     double*);
+  size_t (*count_leq)(const double*, size_t, size_t, double, bool);
+  double (*hybrid_factor_dot)(const double*, const double*, size_t, double,
+                              double, double);
+};
+
+constexpr Kernels kScalarKernels = {
+    SumScalar,        DotScalar,        SumFromScalar,  DotFromScalar,
+    SumStride2Scalar, DivStride2Scalar, ScaleScalar,    CrossIntoScalar,
+    CountLeqScalar,   HybridFactorDotScalar,
+};
+
+#if LECOPT_SIMD_X86
+constexpr Kernels kSse2Kernels = {
+    SumSse2,        DotSse2,        SumFromSse2,  DotFromSse2,
+    SumStride2Sse2, DivStride2Sse2, ScaleSse2,    CrossIntoSse2,
+    CountLeqSse2,   HybridFactorDotSse2,
+};
+#if LECOPT_SIMD_AVX2
+constexpr Kernels kAvx2Kernels = {
+    SumAvx2,        DotAvx2,        SumFromAvx2,  DotFromAvx2,
+    SumStride2Avx2, DivStride2Avx2, ScaleAvx2,    CrossIntoAvx2,
+    CountLeqAvx2,   HybridFactorDotAvx2,
+};
+#endif
+#endif
+
+const Kernels* TableFor(Level level) {
+  switch (level) {
+#if LECOPT_SIMD_X86
+#if LECOPT_SIMD_AVX2
+    case Level::kAvx2:
+      return &kAvx2Kernels;
+#endif
+    case Level::kSse2:
+      return &kSse2Kernels;
+#endif
+    default:
+      return &kScalarKernels;
+  }
+}
+
+Level ClampToSupported(Level level) {
+  Level best = HighestSupported();
+  return static_cast<int>(level) > static_cast<int>(best) ? best : level;
+}
+
+thread_local Level tl_level = DefaultLevel();
+thread_local const Kernels* tl_kernels = TableFor(tl_level);
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse2:
+      return "sse2";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "scalar";
+}
+
+std::optional<Level> ParseLevel(std::string_view name) {
+  if (name == "scalar") return Level::kScalar;
+  if (name == "sse2") return Level::kSse2;
+  if (name == "avx2") return Level::kAvx2;
+  return std::nullopt;
+}
+
+Level HighestSupported() {
+  static const Level cached = [] {
+#if LECOPT_SIMD_X86
+#if LECOPT_SIMD_AVX2
+    if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+#endif
+    return Level::kSse2;  // SSE2 is the x86-64 baseline
+#else
+    return Level::kScalar;
+#endif
+  }();
+  return cached;
+}
+
+Level DefaultLevel() {
+  static const Level cached = [] {
+    Level level = HighestSupported();
+    if (const char* env = std::getenv("LECOPT_SIMD")) {
+      if (std::optional<Level> parsed = ParseLevel(env)) {
+        level = ClampToSupported(*parsed);
+      }
+    }
+    return level;
+  }();
+  return cached;
+}
+
+Level ActiveLevel() { return tl_level; }
+
+Level SetActiveLevel(Level level) {
+  tl_level = ClampToSupported(level);
+  tl_kernels = TableFor(tl_level);
+  return tl_level;
+}
+
+double Sum(const double* x, size_t n) { return tl_kernels->sum(x, n); }
+
+double Dot(const double* x, const double* y, size_t n) {
+  return tl_kernels->dot(x, y, n);
+}
+
+double SumFrom(double init, const double* x, size_t n) {
+  return tl_kernels->sum_from(init, x, n);
+}
+
+double DotFrom(double init, const double* x, const double* y, size_t n) {
+  return tl_kernels->dot_from(init, x, y, n);
+}
+
+double SumStride2(const double* x, size_t n) {
+  return tl_kernels->sum_stride2(x, n);
+}
+
+void DivStride2(double* x, size_t n, double divisor) {
+  tl_kernels->div_stride2(x, n, divisor);
+}
+
+void Scale(const double* src, double w, double* dst, size_t n) {
+  tl_kernels->scale(src, w, dst, n);
+}
+
+void CrossInto(double av, double ap, const double* bv, const double* bp,
+               size_t n, double* out) {
+  tl_kernels->cross_into(av, ap, bv, bp, n, out);
+}
+
+size_t CountLeq(const double* v, size_t i, size_t n, double x, bool strict) {
+  return tl_kernels->count_leq(v, i, n, x, strict);
+}
+
+double HybridFactorDot(const double* v, const double* p, size_t n,
+                       double smaller, double cbrt_s, double sqrt_s) {
+  return tl_kernels->hybrid_factor_dot(v, p, n, smaller, cbrt_s, sqrt_s);
+}
+
+}  // namespace lec::simd

@@ -1,5 +1,6 @@
 #include "optimizer/dp_common.h"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
@@ -26,6 +27,10 @@ DpContext::DpContext(const Query& query, const Catalog& catalog,
     }
     subset_pages_[s] = pages;
   }
+  min_subset_pages_ = std::numeric_limits<double>::infinity();
+  for (TableSet s = 1; s < num_subsets; ++s) {
+    min_subset_pages_ = std::min(min_subset_pages_, subset_pages_[s]);
+  }
   query_connected_ = query.IsConnected(query.AllTables());
 }
 
@@ -49,12 +54,52 @@ void DpScratch::Prepare(int num_tables, int num_predicates) {
   if (entries_.size() > kShrinkFloorEntries && want < entries_.size() / 4) {
     entries_.clear();
     entries_.shrink_to_fit();
+    live_.clear();
+    live_.shrink_to_fit();
+    cand_.clear();
+    cand_.shrink_to_fit();
+    stamp_.clear();
+    stamp_.shrink_to_fit();
+    epoch_ = 0;
   }
   if (entries_.size() < want) entries_.resize(want);
   counts_.assign(num_subsets, 0);  // reuses capacity once warmed
   preds_.reserve(static_cast<size_t>(num_predicates));
+  table_floor_.reserve(static_cast<size_t>(num_tables));
+  live_.reserve(num_subsets);
+  cand_.reserve(num_subsets);
+  if (stamp_.size() < num_subsets) stamp_.resize(num_subsets, 0);
   best_root_order = kUnsorted;
   root_needs_sort = false;
+}
+
+size_t DpScratch::RetainedBytes() const {
+  return entries_.capacity() * sizeof(DpFlatEntry) +
+         counts_.capacity() * sizeof(uint16_t) +
+         preds_.capacity() * sizeof(int) +
+         table_floor_.capacity() * sizeof(double) +
+         live_.capacity() * sizeof(TableSet) +
+         cand_.capacity() * sizeof(TableSet) +
+         stamp_.capacity() * sizeof(uint32_t);
+}
+
+size_t DpScratch::Release() {
+  size_t bytes = RetainedBytes();
+  // Swap-with-temporary, not `= {}`: braced assignment selects the
+  // initializer_list overload, which empties the vector but RETAINS its
+  // capacity — the exact opposite of releasing.
+  std::vector<DpFlatEntry>().swap(entries_);
+  std::vector<uint16_t>().swap(counts_);
+  std::vector<int>().swap(preds_);
+  std::vector<double>().swap(table_floor_);
+  std::vector<TableSet>().swap(live_);
+  std::vector<TableSet>().swap(cand_);
+  std::vector<uint32_t>().swap(stamp_);
+  epoch_ = 0;
+  stride_ = 0;
+  best_root_order = kUnsorted;
+  root_needs_sort = false;
+  return bytes;
 }
 
 void DpScratch::RetainBest(TableSet s, OrderId order, double cost,
@@ -81,6 +126,8 @@ DpScratch& ThreadLocalDpScratch() {
   thread_local DpScratch scratch;
   return scratch;
 }
+
+size_t ReleaseThreadLocalDpScratch() { return ThreadLocalDpScratch().Release(); }
 
 PlanPtr MaterializeDpPlan(const DpContext& ctx, DpScratch* scratch) {
   // SubsetPages of a singleton is 1.0 * TablePages — bitwise identical to

@@ -14,6 +14,7 @@
 #define LECOPT_OPTIMIZER_DP_COMMON_H_
 
 #include <algorithm>
+#include <cmath>
 #include <concepts>
 #include <cstddef>
 #include <cstdint>
@@ -36,6 +37,22 @@ namespace lec {
 
 class EcCache;
 class PlanCache;
+
+/// How the runtime-dispatched SIMD layer (dist/simd.h) is selected for one
+/// optimization. kAuto inherits the ambient level (the CPU's best, clamped
+/// by the LECOPT_SIMD environment variable); the pinned values force a
+/// specific tier for A/B comparisons, clamped to what the CPU supports.
+enum class SimdMode : int { kAuto = 0, kScalar = 1, kSse2 = 2, kAvx2 = 3 };
+
+/// Cost-bounded DP pruning (branch-and-bound over the DP objective).
+/// kAuto enables pruning exactly for the providers whose lower bound is
+/// exact-admissible (LSC and the static LEC regimes — see
+/// kPruningDefaultOn on each provider in cost/cost_policies.h); kOn forces
+/// it for any provider exposing floors (admissible but possibly loose,
+/// e.g. LEC-dynamic); kOff disables it everywhere. Pruned and unpruned
+/// runs return bit-identical objectives and plans (fuzz invariant I9) —
+/// the toggle trades enumeration work, never result quality.
+enum class DpPruning : int { kAuto = 0, kOn = 1, kOff = 2 };
 
 /// Knobs shared by every optimizer in the family.
 struct OptimizerOptions {
@@ -84,6 +101,15 @@ struct OptimizerOptions {
   /// the batch driver's workers. A hit returns a result bit-identical to
   /// recomputing (except elapsed_seconds, which reports the serving call).
   PlanCache* plan_cache = nullptr;
+  /// SIMD dispatch tier for this optimization. Applied by the
+  /// lec::Optimizer facade via simd::ScopedLevel before any costing runs;
+  /// the strategy entry points below the facade run at whatever level is
+  /// ambient. Part of the plan-cache key (a pinned tier can change result
+  /// bits on the reassociating kernels).
+  SimdMode simd_mode = SimdMode::kAuto;
+  /// Cost-bounded DP pruning; see the DpPruning enum above. NOT part of
+  /// the plan-cache key: pruned and unpruned runs are bit-identical.
+  DpPruning dp_pruning = DpPruning::kAuto;
 };
 
 /// Result of one optimizer invocation. `objective` is whatever the
@@ -106,6 +132,21 @@ struct OptimizeResult {
   /// subset of size s runs in phase s-2; §3.5). Filled by the DP-based
   /// strategies; left empty by strategies without a linear phase structure.
   std::vector<size_t> candidates_by_phase;
+  /// Branch-and-bound accounting (all zero when pruning is disabled or the
+  /// provider exposes no floors). Left-entry expansions skipped because the
+  /// entry's cost plus the remaining-work floor already exceeded the
+  /// incumbent:
+  size_t pruned_expansions = 0;
+  /// Candidates skipped by a per-method step floor before their cost
+  /// formulas ran:
+  size_t pruned_candidates = 0;
+  /// Evaluated candidates whose total could no longer beat the incumbent
+  /// after completing the plan, dropped instead of retained:
+  size_t pruned_entries = 0;
+  /// Cost-formula runs spent seeding the greedy incumbent (kept separate
+  /// so cost_evaluations still counts exactly the DP's own formula runs,
+  /// the units of Theorems 3.2/3.3):
+  size_t incumbent_cost_evaluations = 0;
 };
 
 /// How a candidate join step is costed. `phase_idx` is the 0-based phase in
@@ -138,6 +179,11 @@ class DpContext {
   /// dynamic-programming property of §2.2 observation 3).
   double SubsetPages(TableSet s) const { return subset_pages_[s]; }
 
+  /// min over nonempty subsets S of SubsetPages(S) — the smallest outer
+  /// any join step can ever see, anchoring the branch-and-bound
+  /// RemStepFloor bounds (see RunDpInto).
+  double MinSubsetPages() const { return min_subset_pages_; }
+
   /// True if a join step extending `subset` with `j` would be a cross
   /// product that the options forbid.
   bool CrossProductForbidden(TableSet subset, QueryPos j) const;
@@ -161,6 +207,7 @@ class DpContext {
   OptimizerOptions options_;
   std::vector<double> table_pages_;
   std::vector<double> subset_pages_;
+  double min_subset_pages_ = 0;
   bool query_connected_ = true;
 };
 
@@ -185,6 +232,30 @@ concept DpCostProvider =
       { p.JoinCost(m, pages, pages, sorted, sorted, phase) }
           -> std::convertible_to<double>;
       { p.SortCost(pages, phase) } -> std::convertible_to<double>;
+    };
+
+/// A cost provider that additionally exposes admissible lower bounds for
+/// the cost-bounded DP (branch-and-bound; see RunDpInto):
+///
+///   * StepFloor(m, a, b)        <= JoinCost(m, a, b, ...) for any phase
+///     and any sortedness flags — a floor on the step about to be costed
+///     at its ACTUAL input sizes.
+///   * RemStepFloor(m, a_min, b) <= the provider's cost of ANY future
+///     join step that consumes an inner of b pages, given every possible
+///     outer has at least a_min pages — a floor on remaining work.
+///   * kPruningDefaultOn: whether DpPruning::kAuto engages pruning for
+///     this provider (true exactly when its floors are exact-admissible;
+///     see cost/cost_policies.h).
+///
+/// Providers without these members (RealizedCostProvider, the erased
+/// adapter) simply never prune — the DP checks the concept if-constexpr.
+template <typename P>
+concept DpPruningProvider =
+    DpCostProvider<P> &&
+    requires(const P& p, JoinMethod m, double a, double b) {
+      { p.StepFloor(m, a, b) } -> std::convertible_to<double>;
+      { p.RemStepFloor(m, a, b) } -> std::convertible_to<double>;
+      { P::kPruningDefaultOn } -> std::convertible_to<bool>;
     };
 
 namespace internal {
@@ -259,6 +330,42 @@ class DpScratch {
   /// Scratch for ConnectingPredicatesInto.
   std::vector<int>& preds() { return preds_; }
 
+  /// Per-table remaining-work floors (g_t) for the cost-bounded DP;
+  /// filled by RunDpInto when pruning engages, capacity reserved by
+  /// Prepare so the warmed hot path stays allocation-free.
+  std::vector<double>& table_floor() { return table_floor_; }
+
+  /// Staging for RunDpInto's live-subset wave enumeration: `live_subsets`
+  /// accumulates every subset that retained at least one entry (ascending
+  /// within each size wave), `candidate_subsets` is the per-wave target
+  /// list. Capacity reserved by Prepare (warm path stays allocation-free).
+  std::vector<TableSet>& live_subsets() { return live_; }
+  std::vector<TableSet>& candidate_subsets() { return cand_; }
+
+  /// Epoch-stamped dedupe for candidate generation: true the first time
+  /// `s` is marked since BeginCandidateEpoch. O(1), no clearing sweep.
+  bool MarkCandidate(TableSet s) {
+    if (stamp_[s] == epoch_) return false;
+    stamp_[s] = epoch_;
+    return true;
+  }
+  void BeginCandidateEpoch() {
+    if (++epoch_ == 0) {  // wrapped: old stamps could alias, sweep once
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+  /// Bytes of heap capacity currently retained across all scratch
+  /// buffers — the high-water mark the steady state holds onto.
+  size_t RetainedBytes() const;
+
+  /// Releases every retained buffer back to the allocator and returns the
+  /// number of bytes that were held. The next Prepare re-grows from
+  /// scratch (one warm-up run re-pays the allocations). For long-lived
+  /// serving threads that ran one outsized query and then idle.
+  size_t Release();
+
   /// Root decision recorded by RunDpInto for MaterializeDpPlan.
   OrderId best_root_order = kUnsorted;
   bool root_needs_sort = false;
@@ -267,12 +374,106 @@ class DpScratch {
   std::vector<DpFlatEntry> entries_;
   std::vector<uint16_t> counts_;
   std::vector<int> preds_;
+  std::vector<double> table_floor_;
+  std::vector<TableSet> live_;
+  std::vector<TableSet> cand_;
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_ = 0;
   size_t stride_ = 0;
 };
 
 /// The per-thread scratch RunDp runs on. Exposed so tests and benches can
 /// warm it explicitly; do not hold references across threads.
 DpScratch& ThreadLocalDpScratch();
+
+/// Release() on this thread's scratch: frees the retained DP tables and
+/// returns the bytes given back. Service loops call this when a worker
+/// goes idle after an unusually large query (see tools/lec_serve_main.cc).
+size_t ReleaseThreadLocalDpScratch();
+
+namespace internal {
+
+/// Seeds the branch-and-bound incumbent: one left-deep plan built
+/// greedily — start from the smallest relation, repeatedly append the
+/// (relation, method, key, enforcer) extension with the cheapest
+/// accumulated total. The accumulation mirrors RunDpInto's arithmetic
+/// term for term (`left + right + enforcer + step`, same association
+/// order), so the returned value is exactly the objective the DP assigns
+/// this plan — an upper bound on the optimum that the prune limit can be
+/// anchored to without any cross-arithmetic fudge. Cost-formula runs tick
+/// incumbent_cost_evaluations, keeping cost_evaluations the pure DP count
+/// (the units of Theorems 3.2/3.3). Returns +inf if the walk gets stuck
+/// (it cannot for queries the DP accepts: connected queries always offer
+/// an adjacent extension, disconnected ones permit cross products — but
+/// the caller guards anyway and just runs unpruned).
+template <DpCostProvider P>
+double GreedyIncumbent(const DpContext& ctx, const P& cost,
+                       DpScratch* scratch, OptimizeResult* result) {
+  const Query& query = ctx.query();
+  const OptimizerOptions& opts = ctx.options();
+  int n = ctx.num_tables();
+  QueryPos start = 0;
+  for (QueryPos p = 1; p < n; ++p) {
+    if (ctx.TablePages(p) < ctx.TablePages(start)) start = p;
+  }
+  TableSet s = TableSet{1} << start;
+  double total = ctx.TablePages(start);
+  OrderId order = kUnsorted;
+  for (int size = 2; size <= n; ++size) {
+    int phase_idx = size - 2;
+    double left_pages = ctx.SubsetPages(s);
+    double best = std::numeric_limits<double>::infinity();
+    int best_j = -1;
+    OrderId best_order = kUnsorted;
+    for (QueryPos j = 0; j < n; ++j) {
+      if (s >> j & 1) continue;
+      if (ctx.CrossProductForbidden(s, j)) continue;
+      query.ConnectingPredicatesInto(s, j, &scratch->preds());
+      const std::vector<int>& preds = scratch->preds();
+      double right_pages = ctx.TablePages(j);
+      for (JoinMethod method : opts.join_methods) {
+        bool sort_merge = method == JoinMethod::kSortMerge;
+        if (sort_merge && preds.empty()) continue;
+        size_t num_keys = sort_merge ? preds.size() : 1;
+        for (size_t ki = 0; ki < num_keys; ++ki) {
+          OrderId key = sort_merge ? preds[ki] : kUnsorted;
+          bool with_enforcer = sort_merge && opts.consider_sort_enforcers;
+          double enforcer_cost = 0;
+          if (with_enforcer) {
+            ++result->incumbent_cost_evaluations;
+            enforcer_cost = cost.SortCost(right_pages, phase_idx);
+          }
+          for (int inner = 0; inner < (with_enforcer ? 2 : 1); ++inner) {
+            bool inner_sorted = inner == 1;
+            ++result->incumbent_cost_evaluations;
+            bool left_sorted = key != kUnsorted && order == key;
+            double step = cost.JoinCost(method, left_pages, right_pages,
+                                        left_sorted, inner_sorted, phase_idx);
+            double cand = total + right_pages +
+                          (inner_sorted ? enforcer_cost : 0.0) + step;
+            if (cand < best) {
+              best = cand;
+              best_j = static_cast<int>(j);
+              best_order = DpContext::JoinOutputOrder(method, order, key);
+            }
+          }
+        }
+      }
+    }
+    if (best_j < 0) return std::numeric_limits<double>::infinity();
+    s |= TableSet{1} << best_j;
+    total = best;
+    order = best_order;
+  }
+  if (query.required_order() && order != *query.required_order()) {
+    ++result->incumbent_cost_evaluations;
+    total += cost.SortCost(ctx.SubsetPages(query.AllTables()),
+                           std::max(n - 2, 0));
+  }
+  return total;
+}
+
+}  // namespace internal
 
 /// Replays one subtree of a DpScratch decision table into a plan tree.
 /// `subset_pages(s)` supplies the est_pages annotation for the node
@@ -325,7 +526,6 @@ void RunDpInto(const DpContext& ctx, const P& cost, DpScratch* scratch,
   const Query& query = ctx.query();
   const OptimizerOptions& opts = ctx.options();
   int n = ctx.num_tables();
-  size_t num_subsets = size_t{1} << n;
   scratch->Prepare(n, query.num_predicates());
   result->plan = nullptr;
   result->objective = 0;
@@ -334,6 +534,10 @@ void RunDpInto(const DpContext& ctx, const P& cost, DpScratch* scratch,
   result->elapsed_seconds = 0;
   result->candidates_by_phase.assign(static_cast<size_t>(std::max(n - 1, 1)),
                                      0);
+  result->pruned_expansions = 0;
+  result->pruned_candidates = 0;
+  result->pruned_entries = 0;
+  result->incumbent_cost_evaluations = 0;
 
   // Depth 1: access paths (scan cost = pages, memory-independent).
   for (QueryPos p = 0; p < n; ++p) {
@@ -341,11 +545,86 @@ void RunDpInto(const DpContext& ctx, const P& cost, DpScratch* scratch,
     scratch->RetainBest(s, kUnsorted, ctx.TablePages(p), DpDecision{});
   }
 
+  // Cost-bounded pruning (branch-and-bound). Seed an incumbent from a
+  // greedy left-deep plan, then discard DP work that provably cannot
+  // produce anything under the incumbent: an entry with accumulated cost
+  // c for subset s can only finish at c + REM(s) or more, where REM(s) =
+  // Σ_{t ∉ s} g_t sums per-table floors g_t = pages_t + min_m
+  // RemStepFloor(m, a_min, pages_t) (every remaining table must still be
+  // scanned and joined as the inner of SOME step whose outer has at least
+  // a_min = MinSubsetPages() pages). The 1e-9 relative slack on the limit
+  // keeps every prefix of an optimal chain strictly inside it despite
+  // floating-point rounding in the bound arithmetic, so pruned and
+  // unpruned runs return bit-identical objectives, plans and root
+  // tie-breaks (fuzz invariant I9) — pruning only ever removes candidates
+  // whose completed total strictly exceeds the optimum.
+  bool prune = false;
+  double prune_limit = std::numeric_limits<double>::infinity();
+  if constexpr (DpPruningProvider<P>) {
+    bool want =
+        opts.dp_pruning == DpPruning::kOn ||
+        (opts.dp_pruning == DpPruning::kAuto && P::kPruningDefaultOn);
+    if (want && !opts.join_methods.empty() && n >= 2) {
+      double incumbent = internal::GreedyIncumbent(ctx, cost, scratch, result);
+      if (std::isfinite(incumbent)) {
+        prune = true;
+        prune_limit = incumbent * (1.0 + 1e-9);
+        double a_min = ctx.MinSubsetPages();
+        std::vector<double>& g = scratch->table_floor();
+        g.assign(static_cast<size_t>(n), 0.0);
+        for (QueryPos t = 0; t < n; ++t) {
+          double b = ctx.TablePages(t);
+          double floor = std::numeric_limits<double>::infinity();
+          for (JoinMethod m : opts.join_methods) {
+            floor = std::min(floor, cost.RemStepFloor(m, a_min, b));
+          }
+          g[t] = b + floor;
+        }
+      }
+    }
+  }
+
   // Depths 2..n, in subset-size order (phase of the join = size - 2).
+  // Wave enumeration: instead of scanning all 2^n subsets per size (which
+  // dominates sparse join graphs — a chain has O(n^2) connected subsets
+  // but the scan still pays n·2^n popcount tests), each wave's candidate
+  // targets are generated from the previous wave's LIVE subsets (those
+  // that retained an entry) extended by one table. The candidates are
+  // deduped and sorted ascending, so the per-size processing order — and
+  // with it every RetainBest call, counter tick and tie-break — is
+  // bit-identical to the full ascending scan: a subset the scan visits
+  // but this enumeration skips has no live child and would have done
+  // nothing.
+  std::vector<TableSet>& live = scratch->live_subsets();
+  std::vector<TableSet>& cand = scratch->candidate_subsets();
+  scratch->BeginCandidateEpoch();
+  live.clear();
+  for (QueryPos p = 0; p < n; ++p) live.push_back(TableSet{1} << p);
+  size_t wave_begin = 0;
+  size_t wave_end = live.size();
   for (int size = 2; size <= n; ++size) {
-    for (TableSet s = 1; s < num_subsets; ++s) {
-      if (SetSize(s) != size) continue;
+    cand.clear();
+    for (size_t wi = wave_begin; wi < wave_end; ++wi) {
+      TableSet base = live[wi];
+      for (QueryPos j = 0; j < n; ++j) {
+        if (base >> j & 1) continue;
+        TableSet s = base | TableSet{1} << j;
+        if (scratch->MarkCandidate(s)) cand.push_back(s);
+      }
+    }
+    std::sort(cand.begin(), cand.end());
+    wave_begin = live.size();
+    for (TableSet s : cand) {
       int phase_idx = size - 2;
+      // Floor on everything outside s: still-unscanned tables plus their
+      // eventual join steps. O(n) per candidate subset.
+      double rem_after = 0;
+      if (prune) {
+        const std::vector<double>& g = scratch->table_floor();
+        for (QueryPos t = 0; t < n; ++t) {
+          if (!(s >> t & 1)) rem_after += g[t];
+        }
+      }
       for (QueryPos j : MemberRange(s)) {
         TableSet sj = s & ~(TableSet{1} << j);
         uint16_t left_count = scratch->Count(sj);
@@ -357,16 +636,48 @@ void RunDpInto(const DpContext& ctx, const P& cost, DpScratch* scratch,
         double right_pages = ctx.TablePages(j);
         double right_cost = scratch->Entries(TableSet{1} << j)[0].cost;
 
+        // Cheapest conceivable step joining j to any left entry — shared
+        // by every left expansion of this (s, j) pair.
+        double step_floor_min = 0;
+        if constexpr (DpPruningProvider<P>) {
+          if (prune) {
+            step_floor_min = std::numeric_limits<double>::infinity();
+            for (JoinMethod m : opts.join_methods) {
+              step_floor_min = std::min(
+                  step_floor_min, cost.StepFloor(m, left_pages, right_pages));
+            }
+          }
+        }
+
         const DpFlatEntry* lefts = scratch->Entries(sj);
         for (uint16_t li = 0; li < left_count; ++li) {
           OrderId left_order = lefts[li].order;
           double left_cost = lefts[li].cost;
+          if constexpr (DpPruningProvider<P>) {
+            if (prune && left_cost + right_cost + step_floor_min + rem_after >
+                             prune_limit) {
+              ++result->pruned_expansions;
+              continue;
+            }
+          }
           for (JoinMethod method : opts.join_methods) {
             // Sort-merge may key on any connecting predicate; other methods
             // use a single canonical candidate.
             bool sort_merge = method == JoinMethod::kSortMerge;
             if (sort_merge && preds.empty()) continue;  // SM needs a key
             size_t num_keys = sort_merge ? preds.size() : 1;
+            if constexpr (DpPruningProvider<P>) {
+              if (prune) {
+                double floor =
+                    cost.StepFloor(method, left_pages, right_pages);
+                if (left_cost + right_cost + floor + rem_after >
+                    prune_limit) {
+                  bool enf = sort_merge && opts.consider_sort_enforcers;
+                  result->pruned_candidates += num_keys * (enf ? 2 : 1);
+                  continue;
+                }
+              }
+            }
             for (size_t ki = 0; ki < num_keys; ++ki) {
               OrderId key = sort_merge ? preds[ki] : kUnsorted;
               // Inner-side alternatives: raw scan, plus an explicit sort
@@ -389,6 +700,16 @@ void RunDpInto(const DpContext& ctx, const P& cost, DpScratch* scratch,
                                   left_sorted, inner_sorted, phase_idx);
                 double total = left_cost + right_cost +
                                (inner_sorted ? enforcer_cost : 0.0) + step;
+                if constexpr (DpPruningProvider<P>) {
+                  // Evaluated but unable to beat the incumbent once its
+                  // remaining work is added: drop instead of retain. Any
+                  // candidate on an optimal chain has total + REM(s) at
+                  // most the optimum, strictly inside the slacked limit.
+                  if (prune && total + rem_after > prune_limit) {
+                    ++result->pruned_entries;
+                    continue;
+                  }
+                }
                 OrderId out_order =
                     DpContext::JoinOutputOrder(method, left_order, key);
                 DpDecision d;
@@ -403,7 +724,9 @@ void RunDpInto(const DpContext& ctx, const P& cost, DpScratch* scratch,
           }
         }
       }
+      if (scratch->Count(s) > 0) live.push_back(s);
     }
+    wave_end = live.size();
   }
 
   // Root: enforce the query's ORDER BY if present, then take the minimum.

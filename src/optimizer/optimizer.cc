@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "dist/simd.h"
 #include "optimizer/algorithm_a.h"
 #include "optimizer/algorithm_b.h"
 #include "optimizer/algorithm_c.h"
@@ -43,6 +44,20 @@ void RequireCore(const OptimizeRequest& r) {
     throw std::invalid_argument(
         "OptimizeRequest needs query, catalog, model and memory");
   }
+}
+
+simd::Level LevelForMode(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kAuto:
+      return simd::ActiveLevel();  // keep whatever is ambient
+    case SimdMode::kScalar:
+      return simd::Level::kScalar;
+    case SimdMode::kSse2:
+      return simd::Level::kSse2;
+    case SimdMode::kAvx2:
+      return simd::Level::kAvx2;
+  }
+  throw std::invalid_argument("unknown SimdMode");
 }
 
 }  // namespace
@@ -155,6 +170,10 @@ OptimizeResult Optimizer::Optimize(StrategyId id,
     throw std::invalid_argument("strategy not registered: " +
                                 std::string(StrategyName(id)));
   }
+  // Pin the SIMD tier for this whole optimization (clamped to what the
+  // CPU supports; dist/simd.h). Applied BEFORE the plan-cache lookup so
+  // QuerySignature::Compute records the tier the result is computed at.
+  simd::ScopedLevel simd_scope(LevelForMode(request.options.simd_mode));
   // The plan-cache fast path. The signature keys the registry's built-in
   // strategy semantics; a caller that Register()s a different function
   // under an existing id must not share a cache across the swap (results

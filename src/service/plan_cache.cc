@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "cost/cost_model.h"
+#include "dist/simd.h"
 
 namespace lec {
 
@@ -33,8 +34,14 @@ QuerySignature QuerySignature::Compute(StrategyId id,
   std::ostringstream out;
   serde::Writer w(out, serde::Encoding::kBinary);
   w.Tag("sig");
-  w.U32(1);  // signature schema version, independent of the wire version
+  w.U32(2);  // signature schema version, independent of the wire version
   w.Str(StrategyName(id));
+  // The RESOLVED SIMD tier, not just the requested simd_mode (which rides
+  // along inside the options fingerprint below): a kAuto request computes
+  // different bits on hosts with different vector units, and snapshots
+  // serve across hosts. The facade applies its ScopedLevel before calling
+  // Compute, so ActiveLevel() here is the tier the result is computed at.
+  w.Str(simd::LevelName(simd::ActiveLevel()));
 
   // Option fingerprint: the serde subset of OptimizerOptions (everything
   // result-affecting except the borrowed pointers). The EC cache pointer

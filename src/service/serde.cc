@@ -633,6 +633,10 @@ void Write(Writer& w, const OptimizeResult& result) {
   w.F64(result.elapsed_seconds);
   w.U64(result.candidates_by_phase.size());
   for (size_t c : result.candidates_by_phase) w.U64(c);
+  w.U64(result.pruned_expansions);
+  w.U64(result.pruned_candidates);
+  w.U64(result.pruned_entries);
+  w.U64(result.incumbent_cost_evaluations);
 }
 
 OptimizeResult ReadOptimizeResult(Reader& r) {
@@ -656,6 +660,10 @@ OptimizeResult ReadOptimizeResult(Reader& r) {
   for (uint64_t i = 0; i < phases; ++i) {
     result.candidates_by_phase[i] = r.U64();
   }
+  result.pruned_expansions = r.U64();
+  result.pruned_candidates = r.U64();
+  result.pruned_entries = r.U64();
+  result.incumbent_cost_evaluations = r.U64();
   return result;
 }
 
@@ -675,6 +683,8 @@ void Write(Writer& w, const OptimizerOptions& options) {
   w.U32(static_cast<uint32_t>(options.size_mode));
   w.Bool(options.use_fast_ec);
   w.Bool(options.use_dist_kernels);
+  w.U32(static_cast<uint32_t>(options.simd_mode));
+  w.U32(static_cast<uint32_t>(options.dp_pruning));
 }
 
 OptimizerOptions ReadOptimizerOptions(Reader& r) {
@@ -705,6 +715,16 @@ OptimizerOptions ReadOptimizerOptions(Reader& r) {
   options.size_mode = static_cast<SizePropagationMode>(mode);
   options.use_fast_ec = r.Bool();
   options.use_dist_kernels = r.Bool();
+  uint32_t simd = r.U32();
+  if (simd > static_cast<uint32_t>(SimdMode::kAvx2)) {
+    throw SerdeError("serde: unknown simd mode");
+  }
+  options.simd_mode = static_cast<SimdMode>(simd);
+  uint32_t pruning = r.U32();
+  if (pruning > static_cast<uint32_t>(DpPruning::kOff)) {
+    throw SerdeError("serde: unknown dp_pruning mode");
+  }
+  options.dp_pruning = static_cast<DpPruning>(pruning);
   return options;
 }
 

@@ -56,7 +56,9 @@ class SerdeError : public std::runtime_error {
 
 /// Bumped when the wire format changes incompatibly. Readers reject any
 /// other version — snapshots are re-built, never half-parsed.
-inline constexpr uint32_t kFormatVersion = 1;
+// Version history: 1 — initial; 2 — OptimizerOptions grew simd_mode and
+// dp_pruning, OptimizeResult grew the four branch-and-bound counters.
+inline constexpr uint32_t kFormatVersion = 2;
 
 /// Stream framing; see the header comment.
 enum class Encoding { kText, kBinary };

@@ -8,6 +8,7 @@
 #include "cost/cost_policies.h"
 #include "cost/fast_expected_cost.h"
 #include "cost/size_propagation.h"
+#include "dist/simd.h"
 #include "optimizer/algorithm_a.h"
 #include "optimizer/algorithm_b.h"
 #include "optimizer/algorithm_c.h"
@@ -122,6 +123,7 @@ class CaseChecker {
     CheckRebucketing();          // I4
     CheckServiceInvariance();    // I5
     CheckKernelParity();         // I7 (cheap; runs before the MC resamples)
+    CheckDpPruning();            // I9
     CheckSerdeCacheParity();     // I8
     if (options_.check_mc) CheckMonteCarlo();  // I6
     return std::move(violations_);
@@ -466,8 +468,11 @@ class CaseChecker {
     // (a) DP core: the flat decision-table RunDp against the legacy
     // map-based DP, across the scalar costing regimes. The rewrite mirrors
     // the legacy enumeration and tie-breaking, so plans must be
-    // structurally identical, not merely equal-cost.
+    // structurally identical, not merely equal-cost — including the work
+    // counters, which requires pruning off here (RunDpLegacy never prunes;
+    // I9 below covers pruned-vs-unpruned parity separately).
     OptimizerOptions opts;
+    opts.dp_pruning = DpPruning::kOff;
     DpContext dpctx(w.query, w.catalog, opts);
     auto check_dp = [&](const char* id, const auto& provider) {
       OptimizeResult neo = RunDp(dpctx, provider);
@@ -501,8 +506,13 @@ class CaseChecker {
     }
     if (Stop()) return;
     // (b) Algorithm D: arena/SoA size propagation + threshold-swept fast
-    // EC against the legacy Distribution pipeline.
+    // EC against the legacy Distribution pipeline. Pinned to the scalar
+    // SIMD tier: this leg isolates the kernel-PIPELINE axis, and its
+    // strict plan equality would otherwise trip on true near-ties that
+    // reassociated vector sums legitimately resolve the other way (the
+    // SIMD axis is leg (d), objective-only with tolerance).
     {
+      simd::ScopedLevel pin(simd::Level::kScalar);
       OptimizerOptions kernel_opts;
       kernel_opts.use_dist_kernels = true;
       OptimizerOptions legacy_opts;
@@ -535,6 +545,87 @@ class CaseChecker {
                               legacy_ec));
         if (Stop()) return;
       }
+    }
+    if (Stop()) return;
+    // (d) SIMD dispatch: the whole lec_static DP at the ambient SIMD level
+    // against the same DP pinned to the scalar twins. Objectives agree
+    // within the documented reassociation tolerance (dist/simd.h: Sum/Dot
+    // fold lanes in a different order). Plans are deliberately NOT
+    // compared: a true near-tie may legitimately resolve differently
+    // across summation orders. Trivially green on scalar-only hosts.
+    {
+      OptimizeResult vec =
+          OptimizeLecStatic(w.query, w.catalog, ctx_.model, ctx_.memory);
+      OptimizeResult scal;
+      {
+        simd::ScopedLevel pin(simd::Level::kScalar);
+        scal = OptimizeLecStatic(w.query, w.catalog, ctx_.model, ctx_.memory);
+      }
+      Expect(ApproxEqual(vec.objective, scal.objective, kKernelParityRelTol),
+             "I7:simd_scalar_parity",
+             FormatMismatch("lec_static SIMD vs scalar objective",
+                            vec.objective, scal.objective));
+    }
+  }
+
+  void CheckDpPruning() {
+    if (Stop()) return;
+    const Workload& w = ctx_.workload;
+    // I9: cost-bounded pruning must be invisible in everything but the
+    // work counters — bit-identical objective, structurally identical
+    // plan, and no more candidates/evaluations than the unpruned run (per
+    // phase, not just in aggregate). RunDpLegacy, which never prunes,
+    // closes the triangle.
+    OptimizerOptions off_opts;
+    off_opts.dp_pruning = DpPruning::kOff;
+    OptimizerOptions on_opts;
+    on_opts.dp_pruning = DpPruning::kOn;
+    DpContext off_ctx(w.query, w.catalog, off_opts);
+    DpContext on_ctx(w.query, w.catalog, on_opts);
+    auto check = [&](const char* id, const auto& provider) {
+      OptimizeResult off = RunDp(off_ctx, provider);
+      OptimizeResult on = RunDp(on_ctx, provider);
+      OptimizeResult legacy = RunDpLegacy(on_ctx, provider);
+      Expect(on.objective == off.objective && on.objective == legacy.objective,
+             id,
+             FormatMismatch("pruned vs unpruned objective", on.objective,
+                            off.objective));
+      Expect(PlanEquals(on.plan, off.plan) && PlanEquals(on.plan, legacy.plan),
+             id, "pruned DP chose a different plan");
+      bool counters_ok =
+          on.candidates_considered <= off.candidates_considered &&
+          on.cost_evaluations <= off.cost_evaluations &&
+          off.pruned_expansions == 0 && off.pruned_candidates == 0 &&
+          off.pruned_entries == 0 && off.incumbent_cost_evaluations == 0 &&
+          on.candidates_by_phase.size() == off.candidates_by_phase.size();
+      if (counters_ok) {
+        for (size_t i = 0; i < on.candidates_by_phase.size(); ++i) {
+          counters_ok = counters_ok && on.candidates_by_phase[i] <=
+                                           off.candidates_by_phase[i];
+        }
+      }
+      Expect(counters_ok, id, "pruning counter accounting is inconsistent");
+    };
+    check("I9:dp_pruning_lsc",
+          LscCostProvider{ctx_.model, ctx_.memory.Mean()});
+    if (Stop()) return;
+    check("I9:dp_pruning_lec_static",
+          LecStaticCostProvider{ctx_.model, ctx_.memory});
+    if (Stop()) return;
+    {
+      // LEC-dynamic's memory-free floors are loose and default-off; kOn
+      // forces them, which is exactly the leg that certifies they are
+      // still admissible.
+      int phases = std::max(w.query.num_tables() - 1, 1);
+      std::vector<Distribution> marginals;
+      marginals.reserve(static_cast<size_t>(phases));
+      Distribution cur = ctx_.memory;
+      for (int t = 0; t < phases; ++t) {
+        marginals.push_back(cur);
+        cur = ctx_.chain.Step(cur);
+      }
+      check("I9:dp_pruning_lec_dynamic",
+            LecDynamicCostProvider{ctx_.model, marginals});
     }
   }
 

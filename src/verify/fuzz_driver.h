@@ -30,7 +30,17 @@
 //      the threshold-swept fast-EC) must match the legacy
 //      Distribution-returning path (RunDpLegacy, use_dist_kernels=false,
 //      legacy::FastExpectedJoinCost) within kKernelParityRelTol, and the
-//      DP families must produce structurally identical plans.
+//      DP families must produce structurally identical plans (with
+//      pruning pinned off, so counters compare exactly). Also holds the
+//      SIMD-dispatched lec_static DP to its scalar-pinned twin within the
+//      same tolerance (dist/simd.h reassociation contract).
+//   I9 pruning parity     — the cost-bounded DP (dp_pruning = kOn) must
+//      return a bit-identical objective and structurally identical plan
+//      to both the unpruned RunDp and RunDpLegacy, for lsc, lec_static
+//      AND lec_dynamic (whose loose floors kOn force-enables), while
+//      examining no MORE work than the unpruned run: candidate and
+//      cost-evaluation counters bounded per phase, pruning counters zero
+//      when disabled.
 //   I8 serde/cache parity — optimizing a request after a serialization
 //      round trip (service/serde.h, both encodings) equals optimizing the
 //      original, bit for bit; a PlanCache miss, the hit it enables, and a

@@ -183,14 +183,31 @@ TEST(DpAllocationTest, WarmRunDpIntoAllocatesNothing) {
   EXPECT_EQ(result.objective, warm_objective);  // and stays deterministic
 
   // The core's numbers are the real ones: materializing through RunDp
-  // agrees with the legacy map-based DP bit for bit.
-  OptimizeResult via_rundp = RunDp(ctx, lec);
-  OptimizeResult via_legacy = RunDpLegacy(ctx, lec);
+  // agrees with the legacy map-based DP bit for bit. Counters compare
+  // exactly only with pruning off — RunDpLegacy never prunes.
+  OptimizerOptions off_opts;
+  off_opts.dp_pruning = DpPruning::kOff;
+  DpContext off_ctx(w.query, w.catalog, off_opts);
+  OptimizeResult via_rundp = RunDp(off_ctx, lec);
+  OptimizeResult via_legacy = RunDpLegacy(off_ctx, lec);
   EXPECT_EQ(via_rundp.objective, via_legacy.objective);
   EXPECT_TRUE(PlanEquals(via_rundp.plan, via_legacy.plan));
   EXPECT_EQ(via_rundp.candidates_considered,
             via_legacy.candidates_considered);
   EXPECT_EQ(via_rundp.cost_evaluations, via_legacy.cost_evaluations);
+
+  // The measured loop above ran with pruning engaged (kAuto defaults on
+  // for this provider), so the zero-allocation property covers the
+  // branch-and-bound path: incumbent, floors and all. The pruned result
+  // must still be bit-identical — only cheaper.
+  OptimizeResult pruned = RunDp(ctx, lec);
+  EXPECT_EQ(pruned.objective, via_legacy.objective);
+  EXPECT_TRUE(PlanEquals(pruned.plan, via_legacy.plan));
+  EXPECT_LE(pruned.candidates_considered, via_legacy.candidates_considered);
+  EXPECT_GT(pruned.pruned_expansions + pruned.pruned_candidates +
+                pruned.pruned_entries,
+            0u)
+      << "a 10-table chain should give the bound something to cut";
 }
 
 TEST(DpAllocationTest, AlgorithmDArenaReachesSteadyState) {

@@ -18,6 +18,7 @@
 #include "cost/size_propagation.h"
 #include "dist/arena.h"
 #include "dist/builders.h"
+#include "dist/simd.h"
 #include "util/rng.h"
 
 namespace lec {
@@ -241,6 +242,146 @@ TEST(DistKernelTest, FastEcKernelsBitMatchLegacyCursors) {
           << ToString(method) << " trial=" << trial;
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// simd:: dispatch layer — every level the host supports against the scalar
+// twin, per the floating-point contract in dist/simd.h: bit-exact kernels
+// must match bitwise at any level; reassociating kernels within n·eps.
+// Sizes straddle the vector widths (2 for SSE2, 4 for AVX2) so remainder
+// loops and the full-width body are both exercised.
+// ---------------------------------------------------------------------------
+
+std::vector<simd::Level> SupportedLevels() {
+  std::vector<simd::Level> out = {simd::Level::kScalar};
+  if (simd::HighestSupported() >= simd::Level::kSse2) {
+    out.push_back(simd::Level::kSse2);
+  }
+  if (simd::HighestSupported() >= simd::Level::kAvx2) {
+    out.push_back(simd::Level::kAvx2);
+  }
+  return out;
+}
+
+constexpr size_t kSimdSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 17};
+
+TEST(SimdParityTest, BitExactKernelsIdenticalAcrossLevels) {
+  Rng rng(71);
+  for (size_t n : kSimdSizes) {
+    std::vector<double> bv(n), bp(n), interleaved(2 * n);
+    for (size_t i = 0; i < n; ++i) {
+      bv[i] = rng.LogUniform(1e-3, 1e6);
+      bp[i] = rng.Uniform(0.0, 1.0);
+      interleaved[2 * i] = bv[i];
+      interleaved[2 * i + 1] = bp[i];
+    }
+    std::vector<double> scale_ref(n), cross_ref(2 * n);
+    std::vector<double> div_ref = interleaved;
+    size_t leq_ref = 0, leq_strict_ref = 0;
+    {
+      simd::ScopedLevel pin(simd::Level::kScalar);
+      simd::Scale(bv.data(), 0.37, scale_ref.data(), n);
+      simd::CrossInto(3.5, 0.25, bv.data(), bp.data(), n, cross_ref.data());
+      simd::DivStride2(div_ref.data(), n, 1.7);
+      leq_ref = simd::CountLeq(bv.data(), 0, n, 1000.0, false);
+      leq_strict_ref = simd::CountLeq(bv.data(), 0, n, 1000.0, true);
+    }
+    for (simd::Level level : SupportedLevels()) {
+      simd::ScopedLevel pin(level);
+      std::vector<double> scale_got(n), cross_got(2 * n);
+      std::vector<double> div_got = interleaved;
+      simd::Scale(bv.data(), 0.37, scale_got.data(), n);
+      simd::CrossInto(3.5, 0.25, bv.data(), bp.data(), n, cross_got.data());
+      simd::DivStride2(div_got.data(), n, 1.7);
+      EXPECT_EQ(scale_got, scale_ref) << simd::LevelName(level) << " n=" << n;
+      EXPECT_EQ(cross_got, cross_ref) << simd::LevelName(level) << " n=" << n;
+      EXPECT_EQ(div_got, div_ref) << simd::LevelName(level) << " n=" << n;
+      EXPECT_EQ(simd::CountLeq(bv.data(), 0, n, 1000.0, false), leq_ref);
+      EXPECT_EQ(simd::CountLeq(bv.data(), 0, n, 1000.0, true), leq_strict_ref);
+    }
+  }
+}
+
+TEST(SimdParityTest, ReassociatingKernelsWithinRelativeTolerance) {
+  Rng rng(73);
+  for (size_t n : kSimdSizes) {
+    std::vector<double> x(n), y(n), interleaved(2 * n);
+    for (size_t i = 0; i < n; ++i) {
+      x[i] = rng.LogUniform(1e-3, 1e6);
+      y[i] = rng.Uniform(0.0, 1.0);
+      interleaved[2 * i] = x[i];
+      interleaved[2 * i + 1] = y[i];
+    }
+    double sum_ref = 0, dot_ref = 0, sf_ref = 0, df_ref = 0, s2_ref = 0,
+           hf_ref = 0;
+    {
+      simd::ScopedLevel pin(simd::Level::kScalar);
+      sum_ref = simd::Sum(x.data(), n);
+      dot_ref = simd::Dot(x.data(), y.data(), n);
+      sf_ref = simd::SumFrom(0.125, x.data(), n);
+      df_ref = simd::DotFrom(0.125, x.data(), y.data(), n);
+      s2_ref = simd::SumStride2(interleaved.data(), n);
+      hf_ref = simd::HybridFactorDot(x.data(), y.data(), n, 50.0,
+                                     std::cbrt(8000.0), std::sqrt(8000.0));
+    }
+    for (simd::Level level : SupportedLevels()) {
+      simd::ScopedLevel pin(level);
+      auto near = [&](double got, double want, const char* what) {
+        EXPECT_NEAR(got, want, std::abs(want) * 1e-12 + 1e-300)
+            << what << " " << simd::LevelName(level) << " n=" << n;
+      };
+      near(simd::Sum(x.data(), n), sum_ref, "Sum");
+      near(simd::Dot(x.data(), y.data(), n), dot_ref, "Dot");
+      near(simd::SumFrom(0.125, x.data(), n), sf_ref, "SumFrom");
+      near(simd::DotFrom(0.125, x.data(), y.data(), n), df_ref, "DotFrom");
+      near(simd::SumStride2(interleaved.data(), n), s2_ref, "SumStride2");
+      near(simd::HybridFactorDot(x.data(), y.data(), n, 50.0,
+                                 std::cbrt(8000.0), std::sqrt(8000.0)),
+           hf_ref, "HybridFactorDot");
+    }
+  }
+}
+
+TEST(SimdParityTest, SumFromDotFromScalarSeedingContract) {
+  // The reason SumFrom/DotFrom exist at all: the scalar twin must fold the
+  // elements onto the seed ONE BY ONE — bit-identical to the historical
+  // running-accumulator loop — not compute init + Sum(x). The two
+  // parenthesizations differ in the low bits, and that difference once
+  // flipped a kernel-vs-legacy near-tie in Algorithm D (fuzz I7).
+  simd::ScopedLevel pin(simd::Level::kScalar);
+  Rng rng(79);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t n = 1 + static_cast<size_t>(rng.UniformInt(0, 11));
+    double init = rng.LogUniform(1e-3, 1e6);
+    std::vector<double> x(n), y(n);
+    for (size_t i = 0; i < n; ++i) {
+      x[i] = rng.LogUniform(1e-6, 1e6);
+      y[i] = rng.Uniform(0.0, 1.0);
+    }
+    double acc = init;
+    for (size_t i = 0; i < n; ++i) acc += x[i];
+    EXPECT_EQ(simd::SumFrom(init, x.data(), n), acc) << "trial " << trial;
+    double pe = init;
+    for (size_t i = 0; i < n; ++i) pe += x[i] * y[i];
+    EXPECT_EQ(simd::DotFrom(init, x.data(), y.data(), n), pe)
+        << "trial " << trial;
+  }
+}
+
+TEST(SimdParityTest, ScopedLevelRestoresPreviousLevel) {
+  simd::Level before = simd::ActiveLevel();
+  {
+    simd::ScopedLevel pin(simd::Level::kScalar);
+    EXPECT_EQ(simd::ActiveLevel(), simd::Level::kScalar);
+    {
+      // Nested overrides clamp to what the CPU supports and unwind in
+      // LIFO order.
+      simd::ScopedLevel inner(simd::Level::kAvx2);
+      EXPECT_LE(simd::ActiveLevel(), simd::HighestSupported());
+    }
+    EXPECT_EQ(simd::ActiveLevel(), simd::Level::kScalar);
+  }
+  EXPECT_EQ(simd::ActiveLevel(), before);
 }
 
 TEST(DistKernelTest, FastEcKernelsExactAtBreakpointMemories) {

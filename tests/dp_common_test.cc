@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include "cost/cost_policies.h"
+#include "dist/builders.h"
 #include "optimizer/exhaustive.h"
+#include "plan/plan.h"
 #include "query/generator.h"
+#include "util/rng.h"
 
 namespace lec {
 namespace {
@@ -98,6 +102,96 @@ TEST(DpContextTest, RejectsOversizedQueries) {
   }
   OptimizerOptions opts;
   EXPECT_THROW(DpContext(q, catalog, opts), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Cost-bounded DP pruning (PR 6). The load-bearing contract is I9: pruning
+// is an optimization of the SEARCH, not the semantics — pruned and unpruned
+// runs must agree bit for bit in objective and plan. The fuzz driver sweeps
+// this over random workloads; these tests pin it deterministically plus the
+// counter bookkeeping the bench (E20) and EXPLAIN report.
+// ---------------------------------------------------------------------------
+
+Workload PruningWorkload(JoinGraphShape shape, int n) {
+  Rng rng(static_cast<uint64_t>(n) * 77 + 13);
+  WorkloadOptions wopts;
+  wopts.num_tables = n;
+  wopts.shape = shape;
+  wopts.order_by_probability = 1.0;
+  return GenerateWorkload(wopts, &rng);
+}
+
+TEST(DpPruningTest, PrunedDpBitIdenticalToUnpruned) {
+  CostModel model;
+  Distribution memory = UniformBuckets(50, 5000, 27);
+  for (JoinGraphShape shape : {JoinGraphShape::kChain, JoinGraphShape::kStar,
+                               JoinGraphShape::kClique}) {
+    Workload w = PruningWorkload(shape, 8);
+    OptimizerOptions on_opts;
+    on_opts.dp_pruning = DpPruning::kOn;
+    OptimizerOptions off_opts;
+    off_opts.dp_pruning = DpPruning::kOff;
+    DpContext on_ctx(w.query, w.catalog, on_opts);
+    DpContext off_ctx(w.query, w.catalog, off_opts);
+    LscCostProvider lsc{model, 800};
+    LecStaticCostProvider lec{model, memory};
+    auto check = [&](const auto& provider, const char* regime) {
+      OptimizeResult on = RunDp(on_ctx, provider);
+      OptimizeResult off = RunDp(off_ctx, provider);
+      // Bitwise, not near: the branch-and-bound may only skip work whose
+      // absence cannot change which entry RetainBest keeps.
+      EXPECT_EQ(on.objective, off.objective) << regime;
+      EXPECT_TRUE(PlanEquals(on.plan, off.plan)) << regime;
+      // Pruning never costs more formula runs than the full sweep, and the
+      // greedy incumbent's runs are accounted separately so
+      // cost_evaluations keeps the Theorem 3.2/3.3 units.
+      EXPECT_LE(on.cost_evaluations, off.cost_evaluations) << regime;
+      EXPECT_GT(on.incumbent_cost_evaluations, 0u) << regime;
+      // The disabled run must report a silent pruner, not a dormant one.
+      EXPECT_EQ(off.pruned_expansions, 0u) << regime;
+      EXPECT_EQ(off.pruned_candidates, 0u) << regime;
+      EXPECT_EQ(off.pruned_entries, 0u) << regime;
+      EXPECT_EQ(off.incumbent_cost_evaluations, 0u) << regime;
+    };
+    check(lsc, "lsc");
+    check(lec, "lec_static");
+  }
+}
+
+TEST(DpPruningTest, AutoEngagesForDefaultOnProviders) {
+  // kAuto must behave as kOn for the providers that declare
+  // kPruningDefaultOn (lsc, lec_static): same results, incumbent seeded.
+  CostModel model;
+  Workload w = PruningWorkload(JoinGraphShape::kChain, 8);
+  OptimizerOptions auto_opts;  // dp_pruning defaults to kAuto
+  DpContext ctx(w.query, w.catalog, auto_opts);
+  LscCostProvider lsc{model, 800};
+  OptimizeResult r = RunDp(ctx, lsc);
+  EXPECT_GT(r.incumbent_cost_evaluations, 0u);
+  OptimizerOptions off_opts;
+  off_opts.dp_pruning = DpPruning::kOff;
+  DpContext off_ctx(w.query, w.catalog, off_opts);
+  OptimizeResult off = RunDp(off_ctx, lsc);
+  EXPECT_EQ(r.objective, off.objective);
+  EXPECT_TRUE(PlanEquals(r.plan, off.plan));
+}
+
+TEST(DpScratchTest, ReleaseReturnsRetainedBytesThenZero) {
+  CostModel model;
+  Workload w = PruningWorkload(JoinGraphShape::kChain, 8);
+  OptimizerOptions opts;
+  DpContext ctx(w.query, w.catalog, opts);
+  LscCostProvider lsc{model, 800};
+  OptimizeResult before = RunDp(ctx, lsc);  // warms the thread-local scratch
+  EXPECT_GT(ThreadLocalDpScratch().RetainedBytes(), 0u);
+  size_t released = ReleaseThreadLocalDpScratch();
+  EXPECT_GT(released, 0u);
+  // Idempotent: a second trim finds nothing retained.
+  EXPECT_EQ(ReleaseThreadLocalDpScratch(), 0u);
+  // And the DP re-warms transparently after a release.
+  OptimizeResult after = RunDp(ctx, lsc);
+  EXPECT_EQ(after.objective, before.objective);
+  EXPECT_TRUE(PlanEquals(after.plan, before.plan));
 }
 
 TEST(ExhaustiveTest, PlanCountForTwoTables) {

@@ -20,6 +20,7 @@
 #include <sstream>
 #include <string>
 
+#include "dist/simd.h"
 #include "optimizer/optimizer.h"
 #include "query/generator.h"
 
@@ -87,6 +88,10 @@ class ExplainGoldenTest : public ::testing::Test {
            "the diff";
   }
 
+  // Goldens pin exact output bits; run at the scalar reference level so
+  // the rendering cannot depend on the host CPU's SIMD tier (SIMD drift is
+  // the fuzz invariants' concern, not the goldens').
+  simd::ScopedLevel scalar_level_{simd::Level::kScalar};
   Workload workload_;
   Distribution memory_ = Distribution::PointMass(0);
   MarkovChain chain_ = MarkovChain::Static({0});

@@ -28,6 +28,7 @@
 #include <sstream>
 #include <string>
 
+#include "dist/simd.h"
 #include "service/plan_cache.h"
 #include "service/serde.h"
 #include "util/rng.h"
@@ -99,6 +100,11 @@ class SerdeGoldenTest : public ::testing::Test {
     return r;
   }
 
+  // Golden bytes pin the optimizer's exact output bits, which must not
+  // depend on the host CPU's SIMD tier: run the whole fixture at the
+  // scalar reference level. SIMD-vs-scalar drift is bounded and checked by
+  // the fuzz invariants (I7), not by goldens.
+  simd::ScopedLevel scalar_level_{simd::Level::kScalar};
   Workload workload_;
   Distribution memory_;
   CostModel model_;

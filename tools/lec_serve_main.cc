@@ -30,6 +30,8 @@
 //   save [PATH]            snapshot the cache (default: --snapshot path)
 //   load [PATH]            warm-load a snapshot (default: --snapshot path)
 //   invalidate             epoch-invalidate every cached entry
+//   trim                   release the DP scratch retained by this thread
+//                          (after an outsized query; reports bytes freed)
 //   quit                   exit (EOF also exits)
 //   # ...                  comment line (text streams)
 //
@@ -43,6 +45,7 @@
 #include <sstream>
 #include <string>
 
+#include "optimizer/dp_common.h"
 #include "query/generator.h"
 #include "service/plan_cache.h"
 #include "service/serde.h"
@@ -282,6 +285,12 @@ int Run(std::istream& in, const Flags& flags) {
       } else if (word == "invalidate") {
         server.cache().InvalidateAll();
         std::printf("invalidated (entries drop lazily on next touch)\n");
+      } else if (word == "trim") {
+        // The DP scratch is sized by the largest query a thread has seen
+        // (optimizer/dp_common.h); lec_serve is single-threaded, so one
+        // release covers the whole process. The next optimize re-warms.
+        std::printf("trimmed %zu bytes of DP scratch\n",
+                    lec::ReleaseThreadLocalDpScratch());
       } else if (word == "quit") {
         break;
       } else if (!word.empty() && word[0] == '#') {
