@@ -7,8 +7,12 @@
 #   label      suffix for the output file, default "seed" -> BENCH_seed.json
 #   --repeat=K run every bench K times (default 1) and gate on the
 #              per-metric MEDIAN of the K runs — the cheap defense against
-#              co-tenant noise on shared CI runners. Wall-clock seconds are
-#              the median too; a bench fails if ANY repetition fails.
+#              co-tenant noise on shared CI runners. Exception: metrics
+#              whose name contains "_p99" fold by MAX instead — a tail
+#              latency's honest value is its worst repetition, and taking
+#              the median of p99s would let a flaky tail hide behind two
+#              quiet runs. Wall-clock seconds are the median too; a bench
+#              fails if ANY repetition fails.
 #
 # Environment:
 #   BUILD_DIR   build directory (default: build)
@@ -104,7 +108,7 @@ done
 # bench/budgets.json: a metric observed above blessed * 1.25 (a >25%
 # regression) fails the run, so the CI bench smoke gates on performance,
 # not just correctness. With --repeat=K the gated value is the median of
-# the K observations.
+# the K observations ("*_p99*" metrics: the max — see the usage note).
 # Only the .out files of benches that ran THIS invocation: a stale .out
 # from a renamed/removed bench must neither resurrect dead metrics nor
 # fail the gate for a bench that never executed.
@@ -137,7 +141,10 @@ if [ -n "$dup_names" ]; then
   echo "!! duplicate BUDGET metric name(s): $dup_names"
   budget_fail=1
 fi
-# Per-metric median over the repetitions, first-seen order preserved.
+# Per-metric fold over the repetitions, first-seen order preserved:
+# median for everything, except "*_p99*" tail metrics which take the MAX
+# (the worst repetition IS the tail — medianing p99s would average the
+# noise the metric exists to expose).
 awk '$2 ~ /^-?[0-9][0-9.eE+-]*$/ {
        n = cnt[$1]++
        vals[$1, n] = $2 + 0
@@ -152,9 +159,10 @@ awk '$2 ~ /^-?[0-9][0-9.eE+-]*$/ {
            while (j >= 0 && a[j] > v) { a[j + 1] = a[j]; --j }
            a[j + 1] = v
          }
-         if (c % 2) med = a[int(c / 2)]
-         else med = (a[c / 2 - 1] + a[c / 2]) / 2
-         printf "%s %.9g\n", m, med
+         if (m ~ /_p99/) agg = a[c - 1]
+         else if (c % 2) agg = a[int(c / 2)]
+         else agg = (a[c / 2 - 1] + a[c / 2]) / 2
+         printf "%s %.9g\n", m, agg
        }
      }' "$metrics_file.raw" > "$metrics_file"
 

@@ -1,0 +1,309 @@
+#include "service/serve_pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace lec {
+
+namespace {
+
+double SteadySeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// EWMA weight for the calibrated compute estimate. Heavy enough that a
+/// regime change (bigger queries start arriving) re-calibrates within a
+/// handful of serves, light enough that one outlier does not whipsaw the
+/// degrade threshold.
+constexpr double kEstimateAlpha = 0.2;
+
+}  // namespace
+
+std::string_view ServeStatusName(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk:
+      return "ok";
+    case ServeStatus::kRejected:
+      return "rejected";
+    case ServeStatus::kShutdown:
+      return "shutdown";
+    case ServeStatus::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+const ServeOutcome& ServeTicket::Wait() const {
+  if (state_ == nullptr) {
+    throw std::logic_error("Wait() on an empty ServeTicket");
+  }
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  return state_->outcome;
+}
+
+bool ServeTicket::Done() const {
+  if (state_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+ServePipeline::ServePipeline(Options options) : options_(std::move(options)) {
+  options_.workers = std::max(options_.workers, 1);
+  options_.queue_capacity = std::max<size_t>(options_.queue_capacity, 1);
+  model_ = options_.model != nullptr ? options_.model : &default_model_;
+  optimizer_ =
+      options_.optimizer != nullptr ? options_.optimizer : &default_optimizer_;
+  clock_ = options_.clock ? options_.clock : SteadySeconds;
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ServePipeline::~ServePipeline() { Shutdown(); }
+
+void ServePipeline::Resolve(const std::shared_ptr<ServeTicket::State>& state,
+                            ServeOutcome outcome, double now) {
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    outcome.serve_seconds = std::max(now - state->submit_time, 0.0);
+    state->outcome = std::move(outcome);
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
+ServeTicket ServePipeline::Submit(const serde::ServeRequest& request,
+                                  double deadline_budget_seconds) {
+  double now = clock_();
+  auto state = std::make_shared<ServeTicket::State>();
+  state->submit_time = now;
+  ServeTicket ticket{state};
+
+  // Canonicalize OUTSIDE the pipeline lock: QuerySignature::Compute
+  // serializes the whole request, and holding mu_ across that would stall
+  // every worker's completion path behind admission.
+  std::optional<StrategyId> id = ParseStrategy(request.strategy);
+  QuerySignature sig;
+  if (id) {
+    OptimizeRequest probe;
+    probe.query = &request.workload.query;
+    probe.catalog = &request.workload.catalog;
+    probe.model = model_;
+    probe.memory = &request.memory;
+    probe.options = request.options;
+    probe.lsc_estimate = request.lsc_estimate;
+    probe.top_c = request.top_c;
+    if (request.chain) probe.chain = &*request.chain;
+    probe.seed = request.seed;
+    probe.randomized_restarts = request.randomized_restarts;
+    probe.randomized_patience = request.randomized_patience;
+    probe.sample_predicate = request.sample_predicate;
+    try {
+      sig = QuerySignature::Compute(*id, probe);
+    } catch (const std::exception& e) {
+      id.reset();
+      ServeOutcome bad;
+      bad.status = ServeStatus::kError;
+      bad.error = e.what();
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.submitted;
+      ++stats_.errors;
+      Resolve(state, std::move(bad), clock_());
+      return ticket;
+    }
+  }
+  if (!id) {
+    ServeOutcome bad;
+    bad.status = ServeStatus::kError;
+    bad.error = "unknown strategy \"" + request.strategy + "\"";
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    ++stats_.errors;
+    Resolve(state, std::move(bad), clock_());
+    return ticket;
+  }
+
+  bool enqueued = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    if (stopping_) {
+      ++stats_.shutdown;
+      ServeOutcome out;
+      out.status = ServeStatus::kShutdown;
+      out.error = "pipeline is shutting down";
+      Resolve(state, std::move(out), clock_());
+      return ticket;
+    }
+    if (options_.coalesce) {
+      auto it = inflight_.find(sig.canonical);
+      if (it != inflight_.end()) {
+        // Singleflight attach: share the in-flight job's one optimization.
+        // No queue slot is consumed, so an attach never sees backpressure.
+        it->second->waiters.push_back(std::move(state));
+        ++stats_.coalesced;
+        return ticket;
+      }
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      ++stats_.rejected;
+      ServeOutcome out;
+      out.status = ServeStatus::kRejected;
+      out.error = "admission queue full";
+      Resolve(state, std::move(out), clock_());
+      return ticket;
+    }
+    auto job = std::make_shared<Job>();
+    job->sig = std::move(sig);
+    job->strategy = *id;
+    job->request = request;  // the pipeline owns the payload while in flight
+    job->deadline = now + deadline_budget_seconds;
+    job->waiters.push_back(std::move(state));
+    if (options_.coalesce) {
+      inflight_.emplace(std::string_view(job->sig.canonical), job);
+    }
+    queue_.push_back(std::move(job));
+    stats_.queue_depth_hwm = std::max(stats_.queue_depth_hwm, queue_.size());
+    enqueued = true;
+  }
+  if (enqueued) work_cv_.notify_one();
+  return ticket;
+}
+
+void ServePipeline::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) return;  // stopping_ && drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      // The job stays in the singleflight table while computing, so
+      // duplicates arriving mid-compute still attach. It leaves the table
+      // in RunJob's completion section, before waiters resolve.
+    }
+    RunJob(*job);
+  }
+}
+
+void ServePipeline::RunJob(Job& job) {
+  // Degrade decision at dequeue: if the remaining budget cannot cover the
+  // calibrated estimate of a full optimization, serve the cheaper fallback
+  // instead of starting work that would blow the deadline.
+  double start = clock_();
+  double remaining = job.deadline - start;
+  bool degraded = false;
+  if (std::isfinite(job.deadline)) {
+    double estimate = EstimateSeconds();
+    degraded = remaining <= 0 || remaining < estimate;
+  }
+  StrategyId id = degraded ? options_.fallback_strategy : job.strategy;
+
+  ServeOutcome outcome;
+  bool computed_ok = false;
+  OptimizeRequest req;
+  req.query = &job.request.workload.query;
+  req.catalog = &job.request.workload.catalog;
+  req.model = model_;
+  req.memory = &job.request.memory;
+  req.options = job.request.options;
+  // Result-affecting per-process pointers are the pipeline's to inject:
+  // the shared plan cache is internally synchronized; the EC cache must
+  // stay detached (a shared one races, a per-worker one would make A/B
+  // objectives depend on serving history — breaking I10 bit-parity).
+  req.options.plan_cache = options_.plan_cache;
+  req.options.ec_cache = nullptr;
+  req.options.dist_arena = nullptr;
+  req.lsc_estimate = job.request.lsc_estimate;
+  req.top_c = job.request.top_c;
+  if (job.request.chain) req.chain = &*job.request.chain;
+  req.seed = job.request.seed;
+  req.randomized_restarts = job.request.randomized_restarts;
+  req.randomized_patience = job.request.randomized_patience;
+  req.sample_predicate = job.request.sample_predicate;
+  try {
+    outcome.result = optimizer_->Optimize(id, req);
+    outcome.status = ServeStatus::kOk;
+    outcome.degraded = degraded;
+    computed_ok = true;
+  } catch (const std::exception& e) {
+    outcome.status = ServeStatus::kError;
+    outcome.error = e.what();
+  }
+  double compute_seconds = clock_() - start;
+
+  std::vector<std::shared_ptr<ServeTicket::State>> waiters;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.computed;
+    // Calibration: fold every full-fidelity serve into the estimate.
+    // Degraded serves are excluded (they measure the fallback, and feeding
+    // them back would ratchet the threshold down until nothing degrades).
+    if (computed_ok && !degraded) {
+      estimate_ewma_ = has_estimate_ ? (1 - kEstimateAlpha) * estimate_ewma_ +
+                                           kEstimateAlpha * compute_seconds
+                                     : compute_seconds;
+      has_estimate_ = true;
+    }
+    // Leave the singleflight table BEFORE resolving waiters: a duplicate
+    // submitted after this point starts a fresh job (and, with a plan
+    // cache attached, serves as a hit).
+    if (options_.coalesce) {
+      auto it = inflight_.find(job.sig.canonical);
+      if (it != inflight_.end() && it->second.get() == &job) {
+        inflight_.erase(it);
+      }
+    }
+    waiters = std::move(job.waiters);
+    if (outcome.status == ServeStatus::kOk) {
+      stats_.served += waiters.size();
+      if (degraded) stats_.degraded += waiters.size();
+    } else {
+      stats_.errors += waiters.size();
+    }
+  }
+
+  double done = clock_();
+  for (size_t i = 0; i < waiters.size(); ++i) {
+    ServeOutcome copy = outcome;  // plan tree shared; nodes are immutable
+    copy.coalesced = i > 0;
+    Resolve(waiters[i], std::move(copy), done);
+  }
+}
+
+void ServePipeline::Shutdown() {
+  // Claim the worker handles under the lock so concurrent Shutdown calls
+  // (say, an explicit one racing the destructor) join disjoint sets.
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    workers.swap(workers_);
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers) t.join();
+}
+
+ServePipeline::Stats ServePipeline::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t ServePipeline::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+double ServePipeline::EstimateSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::max(estimate_ewma_, options_.min_degrade_headroom_seconds);
+}
+
+}  // namespace lec

@@ -18,6 +18,8 @@
 #include "service/batch_driver.h"
 #include "service/plan_cache.h"
 #include "service/serde.h"
+#include "service/serve_pipeline.h"
+#include "service/wire_server.h"
 #include "verify/mc_validator.h"
 #include "verify/oracle.h"
 #include "verify/tolerance.h"
@@ -125,6 +127,7 @@ class CaseChecker {
     CheckKernelParity();         // I7 (cheap; runs before the MC resamples)
     CheckDpPruning();            // I9
     CheckSerdeCacheParity();     // I8
+    CheckServePipeline();        // I10
     if (options_.check_mc) CheckMonteCarlo();  // I6
     return std::move(violations_);
   }
@@ -705,6 +708,143 @@ class CaseChecker {
              "I8:snapshot_parity",
              FormatMismatch("snapshot-served vs uncached objective",
                             served.objective, direct.objective));
+    }
+  }
+
+  void CheckServePipeline() {
+    if (Stop()) return;
+    // Rotate the strategy, the worker count and the wire encoding by seed
+    // so the catalog covers the pipeline's whole configuration lattice
+    // over a fuzz run.
+    StrategyId id = std::array{StrategyId::kLsc, StrategyId::kLecStatic,
+                               StrategyId::kAlgorithmD}[case_.seed % 3];
+    int workers = std::array{1, 2, 4}[(case_.seed / 3) % 3];
+    serde::Encoding enc = case_.seed % 2 == 0 ? serde::Encoding::kText
+                                              : serde::Encoding::kBinary;
+
+    // A duplicate-bearing two-request corpus: this case's workload plus a
+    // sibling, each submitted three times.
+    FuzzCase sibling = case_;
+    sibling.seed = case_.seed + 1;
+    CaseContext sib_ctx = BuildContext(sibling);
+    std::array<serde::ServeRequest, 2> corpus;
+    corpus[0].strategy = std::string(StrategyName(id));
+    corpus[0].workload = ctx_.workload;
+    corpus[0].memory = ctx_.memory;
+    corpus[0].seed = case_.seed;
+    corpus[1] = corpus[0];
+    corpus[1].workload = sib_ctx.workload;
+    corpus[1].seed = sibling.seed;
+
+    // Sequential ground truth through a plain facade, with the same field
+    // mapping the pipeline applies (no caches attached).
+    Optimizer facade;
+    auto reference = [&](const serde::ServeRequest& r, StrategyId strat) {
+      OptimizeRequest req;
+      req.query = &r.workload.query;
+      req.catalog = &r.workload.catalog;
+      req.model = &ctx_.model;
+      req.memory = &r.memory;
+      req.options = r.options;
+      req.lsc_estimate = r.lsc_estimate;
+      req.top_c = r.top_c;
+      req.seed = r.seed;
+      req.randomized_restarts = r.randomized_restarts;
+      req.randomized_patience = r.randomized_patience;
+      req.sample_predicate = r.sample_predicate;
+      return facade.Optimize(strat, req);
+    };
+    std::array<OptimizeResult, 2> expected = {reference(corpus[0], id),
+                                              reference(corpus[1], id)};
+    auto bit_equal = [](const OptimizeResult& a, const OptimizeResult& b) {
+      return a.objective == b.objective && PlanEquals(a.plan, b.plan) &&
+             a.cost_evaluations == b.cost_evaluations &&
+             a.candidates_considered == b.candidates_considered &&
+             a.candidates_by_phase == b.candidates_by_phase;
+    };
+
+    // (a) Concurrent serving with coalescing, duplicates and a shared
+    // plan cache ≡ the sequential facade, bit for bit, at any worker
+    // count. Only elapsed_seconds and the outcome markers may differ.
+    {
+      PlanCache cache;
+      ServePipeline::Options popts;
+      popts.workers = workers;
+      popts.plan_cache = &cache;
+      popts.model = &ctx_.model;
+      ServePipeline pipeline(popts);
+      std::vector<ServeTicket> tickets;
+      for (int round = 0; round < 3; ++round) {
+        for (const serde::ServeRequest& r : corpus) {
+          tickets.push_back(pipeline.Submit(r));
+        }
+      }
+      bool all_ok = true, bits_ok = true;
+      for (size_t i = 0; i < tickets.size(); ++i) {
+        const ServeOutcome& out = tickets[i].Wait();
+        all_ok &= out.status == ServeStatus::kOk && !out.degraded;
+        if (out.status == ServeStatus::kOk) {
+          bits_ok &= bit_equal(out.result, expected[i % 2]);
+        }
+      }
+      Expect(all_ok && bits_ok, "I10:pipeline_parity",
+             "coalesced pipeline outcome differs from sequential facade "
+             "(workers=" + std::to_string(workers) + ")");
+      ServePipeline::Stats stats = pipeline.stats();
+      Expect(stats.submitted == tickets.size() &&
+                 stats.served == tickets.size() &&
+                 stats.computed + stats.coalesced == stats.submitted &&
+                 stats.rejected == 0 && stats.errors == 0,
+             "I10:pipeline_stats",
+             "stats do not conserve submissions: submitted=" +
+                 std::to_string(stats.submitted) + " served=" +
+                 std::to_string(stats.served) + " computed=" +
+                 std::to_string(stats.computed) + " coalesced=" +
+                 std::to_string(stats.coalesced));
+    }
+    if (Stop()) return;
+
+    // (b) The zero-budget leg degrades every serve, and a degraded result
+    // is exactly a facade run of the fallback strategy.
+    {
+      ServePipeline::Options popts;
+      popts.workers = workers;
+      popts.model = &ctx_.model;
+      ServePipeline pipeline(popts);
+      ServeOutcome out = pipeline.Submit(corpus[0], 0.0).Wait();
+      OptimizeResult fallback =
+          reference(corpus[0], popts.fallback_strategy);
+      Expect(out.status == ServeStatus::kOk && out.degraded &&
+                 bit_equal(out.result, fallback),
+             "I10:degraded_parity",
+             "zero-budget serve is not a bit-identical fallback run");
+    }
+    if (Stop()) return;
+
+    // (c) Wire framing: the codec round-trips the request canonically,
+    // and one real socket serve returns the reference bits.
+    {
+      std::string payload = EncodeWireRequest(corpus[0], 0.25, enc);
+      WireRequest back = DecodeWireRequest(payload);
+      Expect(back.encoding == enc &&
+                 back.deadline_budget_seconds == 0.25 &&
+                 serde::ToString(back.request) == serde::ToString(corpus[0]),
+             "I10:wire_codec_roundtrip",
+             "wire request does not round-trip canonically");
+
+      ServePipeline::Options popts;
+      popts.workers = workers;
+      popts.model = &ctx_.model;
+      ServePipeline pipeline(popts);
+      WireServer server(&pipeline, WireServer::Options{});
+      WireClient client(server.port());
+      WireResponse response = client.Call(
+          corpus[1], std::numeric_limits<double>::infinity(), enc);
+      Expect(response.status == ServeStatus::kOk && !response.degraded &&
+                 response.result.has_value() &&
+                 bit_equal(*response.result, expected[1]),
+             "I10:socket_serve_parity",
+             "socket round trip differs from sequential facade");
     }
   }
 

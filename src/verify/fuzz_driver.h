@@ -46,6 +46,14 @@
 //      original, bit for bit; a PlanCache miss, the hit it enables, and a
 //      hit served from a save→load snapshot all equal the uncached run
 //      (elapsed_seconds excepted by the cache contract).
+//   I10 serve pipeline    — replaying a duplicate-bearing corpus through
+//      the async ServePipeline (coalescing on, worker count rotated
+//      1/2/4 by seed, shared plan cache) serves every outcome
+//      bit-identical to a sequential facade run; the zero-budget leg
+//      degrades every serve to exactly a facade run of the fallback
+//      strategy; pipeline stats conserve submissions; and the socket
+//      wire framing (service/wire_server.h) round-trips the request
+//      canonically and serves reference bits through a real socket.
 //   I6 Monte-Carlo        — sampled executions agree with the analytic EC
 //      in the static and Markov-dynamic regimes: a violation is a 99.9%
 //      CLT-interval miss that is ALSO materially far from the mean

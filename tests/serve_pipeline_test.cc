@@ -1,0 +1,411 @@
+// The ServePipeline contract (service/serve_pipeline.h): coalesced
+// waiters receive the bit-identical result of ONE optimization, a full
+// queue rejects immediately, deadline degradation is deterministic under
+// an injected clock, shutdown drains every admitted job, and any worker
+// count serves bit-identically to a sequential facade run. Also the PR-5
+// miss-then-insert race regression: N concurrent identical cold requests
+// cost exactly one strategy invocation.
+#include "service/serve_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "query/generator.h"
+#include "service/plan_cache.h"
+#include "util/rng.h"
+
+namespace lec {
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+serde::ServeRequest MakeRequest(uint64_t seed,
+                                const std::string& strategy = "lec_static",
+                                int num_tables = 5) {
+  Rng rng(seed);
+  WorkloadOptions wopts;
+  wopts.num_tables = num_tables;
+  wopts.shape = JoinGraphShape::kChain;
+  wopts.selectivity_spread = 3.0;
+  wopts.table_size_spread = 2.0;
+  serde::ServeRequest request;
+  request.strategy = strategy;
+  request.workload = GenerateWorkload(wopts, &rng);
+  request.memory = Distribution({{64, 0.25}, {512, 0.5}, {4096, 0.25}});
+  request.seed = seed;
+  return request;
+}
+
+/// The sequential ground truth: the same request through a plain facade,
+/// with the same field mapping the pipeline applies and no caches.
+OptimizeResult Reference(const serde::ServeRequest& r, StrategyId id,
+                         const CostModel& model, const Optimizer& opt) {
+  OptimizeRequest req;
+  req.query = &r.workload.query;
+  req.catalog = &r.workload.catalog;
+  req.model = &model;
+  req.memory = &r.memory;
+  req.options = r.options;
+  req.options.plan_cache = nullptr;
+  req.options.ec_cache = nullptr;
+  req.options.dist_arena = nullptr;
+  req.lsc_estimate = r.lsc_estimate;
+  req.top_c = r.top_c;
+  if (r.chain) req.chain = &*r.chain;
+  req.seed = r.seed;
+  req.randomized_restarts = r.randomized_restarts;
+  req.randomized_patience = r.randomized_patience;
+  req.sample_predicate = r.sample_predicate;
+  return opt.Optimize(id, req);
+}
+
+void ExpectBitEqual(const OptimizeResult& a, const OptimizeResult& b) {
+  EXPECT_EQ(Bits(a.objective), Bits(b.objective));
+  EXPECT_EQ(a.candidates_considered, b.candidates_considered);
+  EXPECT_EQ(a.cost_evaluations, b.cost_evaluations);
+  EXPECT_EQ(a.candidates_by_phase, b.candidates_by_phase);
+  EXPECT_EQ(a.pruned_expansions, b.pruned_expansions);
+  EXPECT_TRUE(PlanEquals(a.plan, b.plan));
+}
+
+/// A gate the test opens to let gated strategy invocations proceed, plus
+/// an entered-counter so the test can wait for a worker to actually be
+/// mid-compute (not just queued).
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  int entered = 0;
+
+  void Enter() {
+    std::unique_lock<std::mutex> lock(mu);
+    ++entered;
+    cv.notify_all();
+    cv.wait(lock, [&] { return open; });
+  }
+  void WaitEntered(int n) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return entered >= n; });
+  }
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      open = true;
+    }
+    cv.notify_all();
+  }
+};
+
+/// Facade whose kLecStatic first parks at `gate`, then counts, then
+/// delegates to `inner` (cache stripped so only the PIPELINE-visible
+/// facade touches the shared PlanCache — one lookup/insert per compute).
+class GatedOptimizer {
+ public:
+  GatedOptimizer(Gate* gate, std::atomic<int>* count) {
+    facade_.Register(
+        StrategyId::kLecStatic, [this, gate, count](OptimizeRequest req) {
+          if (gate != nullptr) gate->Enter();
+          if (count != nullptr) count->fetch_add(1);
+          req.options.plan_cache = nullptr;
+          return inner_.Optimize(StrategyId::kLecStatic, req);
+        });
+  }
+  const Optimizer& facade() const { return facade_; }
+
+ private:
+  Optimizer inner_;
+  Optimizer facade_;
+};
+
+class ServePipelineTest : public ::testing::Test {
+ protected:
+  CostModel model_;
+  Optimizer plain_;
+};
+
+TEST_F(ServePipelineTest, CoalescedWaitersShareOneBitIdenticalComputation) {
+  Gate gate;
+  std::atomic<int> computes{0};
+  GatedOptimizer gated(&gate, &computes);
+  ServePipeline::Options opts;
+  opts.workers = 2;
+  opts.optimizer = &gated.facade();
+  ServePipeline pipeline(opts);
+
+  serde::ServeRequest request = MakeRequest(1);
+  ServeTicket leader = pipeline.Submit(request);
+  gate.WaitEntered(1);  // leader is mid-compute — duplicates must attach
+  std::vector<ServeTicket> waiters;
+  for (int i = 0; i < 4; ++i) waiters.push_back(pipeline.Submit(request));
+  EXPECT_EQ(pipeline.stats().coalesced, 4u);
+  gate.Open();
+
+  OptimizeResult expected =
+      Reference(request, StrategyId::kLecStatic, model_, plain_);
+  const ServeOutcome& lead = leader.Wait();
+  ASSERT_EQ(lead.status, ServeStatus::kOk);
+  EXPECT_FALSE(lead.coalesced);
+  ExpectBitEqual(lead.result, expected);
+  for (const ServeTicket& t : waiters) {
+    const ServeOutcome& out = t.Wait();
+    ASSERT_EQ(out.status, ServeStatus::kOk);
+    EXPECT_TRUE(out.coalesced);
+    EXPECT_FALSE(out.degraded);
+    ExpectBitEqual(out.result, expected);
+  }
+  EXPECT_EQ(computes.load(), 1);
+  ServePipeline::Stats stats = pipeline.stats();
+  EXPECT_EQ(stats.submitted, 5u);
+  EXPECT_EQ(stats.served, 5u);
+  EXPECT_EQ(stats.computed, 1u);
+}
+
+TEST_F(ServePipelineTest, QueueFullRejectsImmediatelyWithTypedStatus) {
+  Gate gate;
+  GatedOptimizer gated(&gate, nullptr);
+  ServePipeline::Options opts;
+  opts.workers = 1;
+  opts.queue_capacity = 1;
+  opts.optimizer = &gated.facade();
+  ServePipeline pipeline(opts);
+
+  ServeTicket a = pipeline.Submit(MakeRequest(10));
+  gate.WaitEntered(1);  // worker busy on A; the queue is empty again
+  ServeTicket b = pipeline.Submit(MakeRequest(11));  // takes the only slot
+  ServeTicket c = pipeline.Submit(MakeRequest(12));  // must bounce
+  EXPECT_TRUE(c.Done());  // rejection is immediate, no worker involved
+  const ServeOutcome& rejected = c.Wait();
+  EXPECT_EQ(rejected.status, ServeStatus::kRejected);
+  EXPECT_EQ(pipeline.stats().rejected, 1u);
+  EXPECT_EQ(pipeline.stats().queue_depth_hwm, 1u);
+
+  gate.Open();
+  EXPECT_EQ(a.Wait().status, ServeStatus::kOk);
+  EXPECT_EQ(b.Wait().status, ServeStatus::kOk);
+}
+
+TEST_F(ServePipelineTest, DeadlineDegradationIsDeterministicUnderManualClock) {
+  auto now = std::make_shared<std::atomic<double>>(100.0);
+  ServePipeline::Options opts;
+  opts.workers = 1;
+  opts.min_degrade_headroom_seconds = 10.0;
+  opts.clock = [now] { return now->load(); };
+  ServePipeline pipeline(opts);
+
+  serde::ServeRequest request = MakeRequest(20);
+
+  // Budget below the headroom floor: the worker must not start the full
+  // optimization; it serves the fallback and stamps the outcome.
+  ServeOutcome degraded = pipeline.Submit(request, 5.0).Wait();
+  ASSERT_EQ(degraded.status, ServeStatus::kOk);
+  EXPECT_TRUE(degraded.degraded);
+  ExpectBitEqual(degraded.result,
+                 Reference(request, StrategyId::kLsc, model_, plain_));
+
+  // Ample budget: full fidelity.
+  ServeOutcome full = pipeline.Submit(request, 1000.0).Wait();
+  ASSERT_EQ(full.status, ServeStatus::kOk);
+  EXPECT_FALSE(full.degraded);
+  ExpectBitEqual(full.result,
+                 Reference(request, StrategyId::kLecStatic, model_, plain_));
+
+  // An exhausted budget degrades regardless of the estimate.
+  now->store(200.0);
+  ServeOutcome late = pipeline.Submit(request, 0.0).Wait();
+  ASSERT_EQ(late.status, ServeStatus::kOk);
+  EXPECT_TRUE(late.degraded);
+
+  // No budget at all never degrades.
+  ServeOutcome open = pipeline.Submit(request).Wait();
+  ASSERT_EQ(open.status, ServeStatus::kOk);
+  EXPECT_FALSE(open.degraded);
+
+  EXPECT_EQ(pipeline.stats().degraded, 2u);
+}
+
+TEST_F(ServePipelineTest, EstimateCalibratesFromNonDegradedServesOnly) {
+  auto now = std::make_shared<std::atomic<double>>(0.0);
+  ServePipeline::Options opts;
+  opts.workers = 1;
+  opts.clock = [now] { return now->load(); };
+
+  // Each compute "takes" 4 seconds on the manual clock: advance it from
+  // inside the strategy, which runs exactly once per computed job.
+  Optimizer facade;
+  Optimizer inner;
+  facade.Register(StrategyId::kLecStatic,
+                  [&inner, now](OptimizeRequest req) {
+                    now->fetch_add(4.0);
+                    req.options.plan_cache = nullptr;
+                    return inner.Optimize(StrategyId::kLecStatic, req);
+                  });
+  opts.optimizer = &facade;
+  ServePipeline pipeline(opts);
+
+  serde::ServeRequest request = MakeRequest(30);
+  EXPECT_DOUBLE_EQ(pipeline.EstimateSeconds(), 0.0);
+  pipeline.Submit(request, 1000.0).Wait();
+  // First observation seeds the EWMA directly.
+  EXPECT_DOUBLE_EQ(pipeline.EstimateSeconds(), 4.0);
+
+  // A budget below the calibrated estimate now degrades — and the
+  // degraded serve (fallback runs, taking ~0 clock time) must NOT drag
+  // the estimate down.
+  serde::ServeRequest other = MakeRequest(31);
+  ServeOutcome out = pipeline.Submit(other, 2.0).Wait();
+  ASSERT_EQ(out.status, ServeStatus::kOk);
+  EXPECT_TRUE(out.degraded);
+  EXPECT_DOUBLE_EQ(pipeline.EstimateSeconds(), 4.0);
+}
+
+TEST_F(ServePipelineTest, ShutdownDrainsAdmittedWorkAndRefusesNewWork) {
+  ServePipeline::Options opts;
+  opts.workers = 1;  // jobs are still queued when Shutdown() lands
+  ServePipeline pipeline(opts);
+  std::vector<ServeTicket> tickets;
+  for (uint64_t s = 40; s < 45; ++s) {
+    tickets.push_back(pipeline.Submit(MakeRequest(s)));
+  }
+  pipeline.Shutdown();
+  for (const ServeTicket& t : tickets) {
+    ASSERT_TRUE(t.Done());  // Shutdown() returns only once all resolved
+    EXPECT_EQ(t.Wait().status, ServeStatus::kOk);
+  }
+  ServeOutcome refused = pipeline.Submit(MakeRequest(46)).Wait();
+  EXPECT_EQ(refused.status, ServeStatus::kShutdown);
+  EXPECT_EQ(pipeline.stats().shutdown, 1u);
+  pipeline.Shutdown();  // idempotent
+}
+
+TEST_F(ServePipelineTest, MissThenInsertRaceCostsExactlyOneComputation) {
+  // PR-5 regression: two near-simultaneous misses on the same signature
+  // both computed (the cache's lookup and insert are not one atomic
+  // step). Routed through the singleflight table, a cold 16-way burst
+  // from 4 submitter threads must cost exactly ONE strategy invocation.
+  std::atomic<int> computes{0};
+  GatedOptimizer gated(nullptr, &computes);
+  PlanCache cache;
+  ServePipeline::Options opts;
+  opts.workers = 4;
+  opts.plan_cache = &cache;
+  opts.optimizer = &gated.facade();
+  ServePipeline pipeline(opts);
+
+  serde::ServeRequest request = MakeRequest(50);
+  std::vector<std::thread> submitters;
+  std::vector<ServeTicket> tickets(16);
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < 4; ++i) {
+        tickets[static_cast<size_t>(t * 4 + i)] = pipeline.Submit(request);
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  OptimizeResult expected =
+      Reference(request, StrategyId::kLecStatic, model_, plain_);
+  for (const ServeTicket& t : tickets) {
+    const ServeOutcome& out = t.Wait();
+    ASSERT_EQ(out.status, ServeStatus::kOk);
+    ExpectBitEqual(out.result, expected);
+  }
+  EXPECT_EQ(computes.load(), 1);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+}
+
+TEST_F(ServePipelineTest, CoalesceOffAblationComputesEveryDuplicate) {
+  Gate gate;
+  std::atomic<int> computes{0};
+  GatedOptimizer gated(&gate, &computes);
+  ServePipeline::Options opts;
+  opts.workers = 1;
+  opts.coalesce = false;
+  opts.optimizer = &gated.facade();
+  ServePipeline pipeline(opts);
+
+  serde::ServeRequest request = MakeRequest(60);
+  std::vector<ServeTicket> tickets;
+  for (int i = 0; i < 3; ++i) tickets.push_back(pipeline.Submit(request));
+  gate.Open();
+  for (const ServeTicket& t : tickets) {
+    EXPECT_EQ(t.Wait().status, ServeStatus::kOk);
+  }
+  EXPECT_EQ(computes.load(), 3);
+  EXPECT_EQ(pipeline.stats().coalesced, 0u);
+}
+
+TEST_F(ServePipelineTest, UnknownStrategyResolvesTypedErrorImmediately) {
+  ServePipeline pipeline(ServePipeline::Options{});
+  ServeTicket t = pipeline.Submit(MakeRequest(70, "no_such_strategy"));
+  EXPECT_TRUE(t.Done());
+  const ServeOutcome& out = t.Wait();
+  EXPECT_EQ(out.status, ServeStatus::kError);
+  EXPECT_NE(out.error.find("no_such_strategy"), std::string::npos);
+  EXPECT_EQ(pipeline.stats().errors, 1u);
+}
+
+TEST_F(ServePipelineTest, FourThreadHammerMatchesSequentialFacadeBitForBit) {
+  PlanCache cache;
+  ServePipeline::Options opts;
+  opts.workers = 4;
+  opts.plan_cache = &cache;
+  ServePipeline pipeline(opts);
+
+  // 8 unique workloads across two strategies, 96 submissions from 4
+  // threads in an interleaving-dependent order — every outcome must still
+  // be bit-identical to its sequential reference.
+  const char* strategies[2] = {"lec_static", "lsc"};
+  std::vector<serde::ServeRequest> corpus;
+  for (uint64_t s = 0; s < 8; ++s) {
+    corpus.push_back(MakeRequest(80 + s, strategies[s % 2]));
+  }
+  std::vector<OptimizeResult> expected;
+  for (const serde::ServeRequest& r : corpus) {
+    expected.push_back(
+        Reference(r, *ParseStrategy(r.strategy), model_, plain_));
+  }
+
+  std::vector<std::vector<ServeTicket>> issued(4);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&, t] {
+      Rng rng(900 + static_cast<uint64_t>(t));
+      for (int i = 0; i < 24; ++i) {
+        size_t pick = static_cast<size_t>(rng.UniformInt(0, 7));
+        issued[static_cast<size_t>(t)].push_back(
+            pipeline.Submit(corpus[pick]));
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  for (int t = 0; t < 4; ++t) {
+    Rng rng(900 + static_cast<uint64_t>(t));  // replay the picks
+    for (int i = 0; i < 24; ++i) {
+      size_t pick = static_cast<size_t>(rng.UniformInt(0, 7));
+      const ServeOutcome& out = issued[static_cast<size_t>(t)]
+                                    [static_cast<size_t>(i)].Wait();
+      ASSERT_EQ(out.status, ServeStatus::kOk);
+      ExpectBitEqual(out.result, expected[pick]);
+    }
+  }
+  ServePipeline::Stats stats = pipeline.stats();
+  EXPECT_EQ(stats.submitted, 96u);
+  EXPECT_EQ(stats.served, 96u);
+  EXPECT_EQ(stats.served + stats.rejected + stats.shutdown + stats.errors,
+            stats.submitted);
+}
+
+}  // namespace
+}  // namespace lec

@@ -1,0 +1,273 @@
+// The wire layer's contract (service/wire_server.h): the codecs
+// round-trip bit-exactly in both encodings, a socket round trip serves
+// bit-identically to a direct facade run, deadlines and backpressure
+// survive the wire, and a malformed payload answers an error WITHOUT
+// poisoning the connection.
+#include "service/wire_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "query/generator.h"
+#include "util/rng.h"
+
+namespace lec {
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+serde::ServeRequest MakeRequest(uint64_t seed,
+                                const std::string& strategy = "lec_static") {
+  Rng rng(seed);
+  WorkloadOptions wopts;
+  wopts.num_tables = 5;
+  wopts.shape = JoinGraphShape::kChain;
+  wopts.selectivity_spread = 3.0;
+  wopts.table_size_spread = 2.0;
+  serde::ServeRequest request;
+  request.strategy = strategy;
+  request.workload = GenerateWorkload(wopts, &rng);
+  request.memory = Distribution({{64, 0.25}, {512, 0.5}, {4096, 0.25}});
+  request.seed = seed;
+  return request;
+}
+
+OptimizeResult Reference(const serde::ServeRequest& r, StrategyId id) {
+  CostModel model;
+  Optimizer optimizer;
+  OptimizeRequest req;
+  req.query = &r.workload.query;
+  req.catalog = &r.workload.catalog;
+  req.model = &model;
+  req.memory = &r.memory;
+  req.options = r.options;
+  req.lsc_estimate = r.lsc_estimate;
+  req.top_c = r.top_c;
+  if (r.chain) req.chain = &*r.chain;
+  req.seed = r.seed;
+  req.randomized_restarts = r.randomized_restarts;
+  req.randomized_patience = r.randomized_patience;
+  req.sample_predicate = r.sample_predicate;
+  return optimizer.Optimize(id, req);
+}
+
+void ExpectBitEqual(const OptimizeResult& a, const OptimizeResult& b) {
+  EXPECT_EQ(Bits(a.objective), Bits(b.objective));
+  EXPECT_EQ(a.candidates_considered, b.candidates_considered);
+  EXPECT_EQ(a.cost_evaluations, b.cost_evaluations);
+  EXPECT_EQ(a.candidates_by_phase, b.candidates_by_phase);
+  EXPECT_TRUE(PlanEquals(a.plan, b.plan));
+}
+
+TEST(WireCodecTest, RequestRoundTripsInBothEncodings) {
+  serde::ServeRequest request = MakeRequest(1, "lsc");
+  for (serde::Encoding enc :
+       {serde::Encoding::kText, serde::Encoding::kBinary}) {
+    std::string payload = EncodeWireRequest(request, 1.5, enc);
+    WireRequest decoded = DecodeWireRequest(payload);
+    EXPECT_EQ(decoded.encoding, enc);
+    EXPECT_DOUBLE_EQ(decoded.deadline_budget_seconds, 1.5);
+    EXPECT_EQ(decoded.request.strategy, "lsc");
+    EXPECT_EQ(decoded.request.seed, request.seed);
+    // The embedded ServeRequest uses the PR-5 serde, so re-serializing it
+    // canonically must reproduce the original's canonical bytes.
+    EXPECT_EQ(serde::ToString(decoded.request), serde::ToString(request));
+  }
+  // The no-deadline sentinel survives.
+  WireRequest open = DecodeWireRequest(EncodeWireRequest(request));
+  EXPECT_TRUE(std::isinf(open.deadline_budget_seconds));
+  // A zero budget is not the sentinel.
+  WireRequest zero = DecodeWireRequest(EncodeWireRequest(request, 0.0));
+  EXPECT_DOUBLE_EQ(zero.deadline_budget_seconds, 0.0);
+}
+
+TEST(WireCodecTest, ResponseRoundTripsEveryStatusAndResultBits) {
+  OptimizeResult result = Reference(MakeRequest(2), StrategyId::kLecStatic);
+  for (serde::Encoding enc :
+       {serde::Encoding::kText, serde::Encoding::kBinary}) {
+    WireResponse ok;
+    ok.status = ServeStatus::kOk;
+    ok.degraded = true;
+    ok.coalesced = true;
+    ok.result = result;
+    WireResponse back = DecodeWireResponse(EncodeWireResponse(ok, enc));
+    EXPECT_EQ(back.status, ServeStatus::kOk);
+    EXPECT_TRUE(back.degraded);
+    EXPECT_TRUE(back.coalesced);
+    ASSERT_TRUE(back.result.has_value());
+    ExpectBitEqual(*back.result, result);
+
+    WireResponse rejected;
+    rejected.status = ServeStatus::kRejected;
+    rejected.error = "admission queue full";
+    back = DecodeWireResponse(EncodeWireResponse(rejected, enc));
+    EXPECT_EQ(back.status, ServeStatus::kRejected);
+    EXPECT_EQ(back.error, "admission queue full");
+    EXPECT_FALSE(back.result.has_value());
+  }
+  EXPECT_THROW(DecodeWireResponse("not a frame"), serde::SerdeError);
+  EXPECT_THROW(DecodeWireRequest(""), serde::SerdeError);
+}
+
+TEST(WireServerTest, SocketRoundTripServesBitIdenticalInBothEncodings) {
+  ServePipeline pipeline(ServePipeline::Options{});
+  WireServer server(&pipeline, WireServer::Options{});
+  ASSERT_GT(server.port(), 0);
+  serde::ServeRequest request = MakeRequest(3);
+  OptimizeResult expected = Reference(request, StrategyId::kLecStatic);
+
+  WireClient client(server.port());
+  for (serde::Encoding enc :
+       {serde::Encoding::kText, serde::Encoding::kBinary}) {
+    WireResponse response = client.Call(
+        request, std::numeric_limits<double>::infinity(), enc);
+    ASSERT_EQ(response.status, ServeStatus::kOk);
+    EXPECT_FALSE(response.degraded);
+    ASSERT_TRUE(response.result.has_value());
+    ExpectBitEqual(*response.result, expected);
+  }
+  server.Stop();
+  EXPECT_EQ(server.stats().connections, 1u);
+  EXPECT_EQ(server.stats().requests, 2u);
+}
+
+TEST(WireServerTest, DeadlineBudgetDegradesOverTheWire) {
+  // A headroom floor far above any real compute time forces every
+  // finite-budget request down the degradation path — deterministically,
+  // without depending on wall-clock speed.
+  ServePipeline::Options opts;
+  opts.min_degrade_headroom_seconds = 1e6;
+  ServePipeline pipeline(opts);
+  WireServer server(&pipeline, WireServer::Options{});
+  serde::ServeRequest request = MakeRequest(4);
+
+  WireClient client(server.port());
+  WireResponse tight = client.Call(request, 0.05);
+  ASSERT_EQ(tight.status, ServeStatus::kOk);
+  EXPECT_TRUE(tight.degraded);
+  ASSERT_TRUE(tight.result.has_value());
+  ExpectBitEqual(*tight.result, Reference(request, StrategyId::kLsc));
+
+  WireResponse open = client.Call(request);  // no deadline — full fidelity
+  ASSERT_EQ(open.status, ServeStatus::kOk);
+  EXPECT_FALSE(open.degraded);
+  ExpectBitEqual(*open.result, Reference(request, StrategyId::kLecStatic));
+}
+
+TEST(WireServerTest, BackpressureRejectionCrossesTheWire) {
+  // Gate the only worker so the 1-slot queue fills: a third concurrent
+  // request must come back kRejected through the socket.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  int entered = 0;
+  Optimizer inner;
+  Optimizer gated;
+  gated.Register(StrategyId::kLecStatic, [&](OptimizeRequest req) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      ++entered;
+      cv.notify_all();
+      cv.wait(lock, [&] { return open; });
+    }
+    req.options.plan_cache = nullptr;
+    return inner.Optimize(StrategyId::kLecStatic, req);
+  });
+  ServePipeline::Options opts;
+  opts.workers = 1;
+  opts.queue_capacity = 1;
+  opts.optimizer = &gated;
+  ServePipeline pipeline(opts);
+  WireServer server(&pipeline, WireServer::Options{});
+
+  std::atomic<int> ok{0};
+  auto call = [&](uint64_t seed) {
+    WireClient client(server.port());
+    if (client.Call(MakeRequest(seed)).status == ServeStatus::kOk) ++ok;
+  };
+  std::thread a(call, 10);
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return entered >= 1; });
+  }
+  std::thread b(call, 11);
+  // B holds the only queue slot once its protocol thread submits; poll
+  // the pipeline until it does, then C must bounce.
+  while (pipeline.queue_depth() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  WireClient client(server.port());
+  WireResponse rejected = client.Call(MakeRequest(12));
+  EXPECT_EQ(rejected.status, ServeStatus::kRejected);
+  EXPECT_FALSE(rejected.result.has_value());
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    open = true;
+  }
+  cv.notify_all();
+  a.join();
+  b.join();
+  EXPECT_EQ(ok.load(), 2);
+}
+
+TEST(WireServerTest, MalformedPayloadAnswersErrorAndKeepsConnection) {
+  ServePipeline pipeline(ServePipeline::Options{});
+  WireServer server(&pipeline, WireServer::Options{});
+  WireClient client(server.port());
+
+  WireResponse garbage =
+      DecodeWireResponse(client.CallRaw("lecser but then nonsense"));
+  EXPECT_EQ(garbage.status, ServeStatus::kError);
+  EXPECT_NE(garbage.error.find("malformed"), std::string::npos);
+
+  // The frame boundary kept the stream in sync: the SAME connection still
+  // serves a well-formed request.
+  serde::ServeRequest request = MakeRequest(5);
+  WireResponse response = client.Call(request);
+  ASSERT_EQ(response.status, ServeStatus::kOk);
+  ExpectBitEqual(*response.result, Reference(request, StrategyId::kLecStatic));
+
+  server.Stop();
+  EXPECT_EQ(server.stats().protocol_errors, 1u);
+  EXPECT_EQ(server.stats().requests, 2u);
+}
+
+TEST(WireServerTest, SequentialRequestsReuseOneConnection) {
+  PlanCache cache;
+  ServePipeline::Options opts;
+  opts.plan_cache = &cache;
+  ServePipeline pipeline(opts);
+  WireServer server(&pipeline, WireServer::Options{});
+  serde::ServeRequest request = MakeRequest(6);
+  OptimizeResult expected = Reference(request, StrategyId::kLecStatic);
+
+  WireClient client(server.port());
+  for (int i = 0; i < 5; ++i) {
+    serde::Encoding enc =
+        i % 2 == 0 ? serde::Encoding::kText : serde::Encoding::kBinary;
+    WireResponse response =
+        client.Call(request, std::numeric_limits<double>::infinity(), enc);
+    ASSERT_EQ(response.status, ServeStatus::kOk);
+    ExpectBitEqual(*response.result, expected);
+  }
+  server.Stop();
+  EXPECT_EQ(server.stats().connections, 1u);
+  EXPECT_EQ(server.stats().requests, 5u);
+  // 1 miss + 4 hits: the wire path shares the pipeline's plan cache.
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 4u);
+}
+
+}  // namespace
+}  // namespace lec

@@ -1,0 +1,263 @@
+// lec_loadgen — socket load generator for the lec_serve wire protocol.
+//
+// Pre-generates a corpus of seeded workloads, samples requests from it
+// with a Zipf-style skew (hot signatures repeat — the traffic shape that
+// exercises in-flight coalescing and the PlanCache), and drives them at a
+// `lec_serve --listen` instance over N concurrent connections. Reports
+// sustained q/s, latency quantiles, and the outcome mix.
+//
+//   build/lec_loadgen --port=PORT [--host-conns=N] [--requests=N]
+//                     [--unique=N] [--zipf=S] [--tables=N] [--shape=NAME]
+//                     [--strategy=NAME] [--seed=N] [--budget-ms=MS]
+//                     [--binary]
+//
+//   --port=PORT      server port on 127.0.0.1 (required)
+//   --conns=N        concurrent connections, one thread each (default 4)
+//   --requests=N     total requests across all connections (default 200)
+//   --unique=N       distinct workloads in the corpus (default 16)
+//   --zipf=S         skew exponent; 0 = uniform (default 1.1)
+//   --tables=N       tables per generated query (default 8)
+//   --shape=NAME     chain|star|cycle|clique|random (default chain)
+//   --strategy=NAME  strategy for every request (default lec_static)
+//   --seed=N         corpus + sampling seed (default 20260807)
+//   --budget-ms=MS   per-request deadline budget; 0 = none (default 0)
+//   --binary         binary wire encoding (default text)
+//
+// Exit status: 0 when every request got a response (whatever its serve
+// status), 1 on transport failure, 2 on bad flags.
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "query/generator.h"
+#include "service/serde.h"
+#include "service/wire_server.h"
+#include "util/rng.h"
+#include "util/wall_timer.h"
+
+namespace {
+
+using lec::Distribution;
+using lec::GenerateWorkload;
+using lec::JoinGraphShape;
+using lec::Rng;
+using lec::ServeStatus;
+using lec::WireClient;
+using lec::WireResponse;
+using lec::WorkloadOptions;
+
+struct Flags {
+  int port = -1;
+  int conns = 4;
+  size_t requests = 200;
+  size_t unique = 16;
+  double zipf = 1.1;
+  int tables = 8;
+  std::string shape = "chain";
+  std::string strategy = "lec_static";
+  uint64_t seed = 20260807;
+  double budget_ms = 0;
+  lec::serde::Encoding encoding = lec::serde::Encoding::kText;
+};
+
+std::optional<JoinGraphShape> ParseShape(const std::string& name) {
+  if (name == "chain") return JoinGraphShape::kChain;
+  if (name == "star") return JoinGraphShape::kStar;
+  if (name == "cycle") return JoinGraphShape::kCycle;
+  if (name == "clique") return JoinGraphShape::kClique;
+  if (name == "random") return JoinGraphShape::kRandom;
+  return std::nullopt;
+}
+
+std::optional<Flags> ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const std::string& prefix) -> std::optional<std::string> {
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    try {
+      if (auto v = value("--port=")) {
+        flags.port = std::stoi(*v);
+      } else if (auto v = value("--conns=")) {
+        flags.conns = std::stoi(*v);
+      } else if (auto v = value("--requests=")) {
+        flags.requests = std::stoull(*v);
+      } else if (auto v = value("--unique=")) {
+        flags.unique = std::stoull(*v);
+      } else if (auto v = value("--zipf=")) {
+        flags.zipf = std::stod(*v);
+      } else if (auto v = value("--tables=")) {
+        flags.tables = std::stoi(*v);
+      } else if (auto v = value("--shape=")) {
+        flags.shape = *v;
+      } else if (auto v = value("--strategy=")) {
+        flags.strategy = *v;
+      } else if (auto v = value("--seed=")) {
+        flags.seed = std::stoull(*v);
+      } else if (auto v = value("--budget-ms=")) {
+        flags.budget_ms = std::stod(*v);
+      } else if (arg == "--binary") {
+        flags.encoding = lec::serde::Encoding::kBinary;
+      } else {
+        throw std::invalid_argument(arg);
+      }
+    } catch (const std::exception&) {
+      std::fprintf(
+          stderr,
+          "usage: lec_loadgen --port=PORT [--conns=N] [--requests=N] "
+          "[--unique=N] [--zipf=S] [--tables=N] [--shape=NAME] "
+          "[--strategy=NAME] [--seed=N] [--budget-ms=MS] [--binary]\n");
+      return std::nullopt;
+    }
+  }
+  if (flags.port < 0 || flags.port > 65535 || flags.conns < 1 ||
+      flags.unique < 1 || flags.tables < 2 || !ParseShape(flags.shape)) {
+    std::fprintf(stderr, "lec_loadgen: bad or missing flags (need --port)\n");
+    return std::nullopt;
+  }
+  return flags;
+}
+
+/// Zipf-ish rank weights: weight(rank k) = 1 / (k+1)^s, sampled by CDF
+/// inversion. s = 0 degenerates to uniform.
+std::vector<double> ZipfCdf(size_t n, double s) {
+  std::vector<double> cdf(n);
+  double total = 0;
+  for (size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf[k] = total;
+  }
+  for (double& c : cdf) c /= total;
+  return cdf;
+}
+
+struct WorkerResult {
+  std::vector<double> latencies_ms;
+  size_t ok = 0, rejected = 0, degraded = 0, coalesced = 0, errors = 0;
+  bool transport_failed = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<Flags> flags = ParseFlags(argc, argv);
+  if (!flags) return 2;
+
+  // Corpus: `unique` seeded workloads; request i samples a rank from the
+  // Zipf CDF. Pre-serialized once — the loadgen must not spend its send
+  // loop on serialization.
+  std::vector<std::string> payloads;
+  payloads.reserve(flags->unique);
+  double budget_seconds = flags->budget_ms > 0
+                              ? flags->budget_ms * 1e-3
+                              : std::numeric_limits<double>::infinity();
+  for (size_t u = 0; u < flags->unique; ++u) {
+    WorkloadOptions wopts;
+    wopts.num_tables = flags->tables;
+    wopts.shape = *ParseShape(flags->shape);
+    wopts.selectivity_spread = 3.0;
+    wopts.table_size_spread = 2.0;
+    Rng rng(flags->seed + u);
+    lec::serde::ServeRequest request;
+    request.strategy = flags->strategy;
+    request.workload = GenerateWorkload(wopts, &rng);
+    request.memory = Distribution({{64, 0.25}, {512, 0.5}, {4096, 0.25}});
+    request.seed = flags->seed + u;
+    payloads.push_back(
+        lec::EncodeWireRequest(request, budget_seconds, flags->encoding));
+  }
+  std::vector<double> cdf = ZipfCdf(flags->unique, std::max(flags->zipf, 0.0));
+
+  // Pre-draw every request's corpus rank so the traffic mix is a function
+  // of --seed alone, not of how threads interleave.
+  std::vector<size_t> picks(flags->requests);
+  {
+    Rng rng(flags->seed ^ 0x9e3779b97f4a7c15ull);
+    for (size_t i = 0; i < picks.size(); ++i) {
+      double x = rng.Uniform01();
+      picks[i] = static_cast<size_t>(
+          std::lower_bound(cdf.begin(), cdf.end(), x) - cdf.begin());
+      if (picks[i] >= flags->unique) picks[i] = flags->unique - 1;
+    }
+  }
+
+  std::atomic<size_t> next{0};
+  std::vector<WorkerResult> results(static_cast<size_t>(flags->conns));
+  lec::WallTimer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(flags->conns));
+  for (int c = 0; c < flags->conns; ++c) {
+    threads.emplace_back([&, c] {
+      WorkerResult& r = results[static_cast<size_t>(c)];
+      try {
+        WireClient client(static_cast<uint16_t>(flags->port));
+        for (;;) {
+          size_t i = next.fetch_add(1);
+          if (i >= picks.size()) break;
+          lec::WallTimer timer;
+          WireResponse resp =
+              lec::DecodeWireResponse(client.CallRaw(payloads[picks[i]]));
+          r.latencies_ms.push_back(timer.Seconds() * 1e3);
+          switch (resp.status) {
+            case ServeStatus::kOk:
+              ++r.ok;
+              if (resp.degraded) ++r.degraded;
+              if (resp.coalesced) ++r.coalesced;
+              break;
+            case ServeStatus::kRejected:
+              ++r.rejected;
+              break;
+            default:
+              ++r.errors;
+              break;
+          }
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "lec_loadgen: connection %d: %s\n", c, e.what());
+        r.transport_failed = true;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  double elapsed = wall.Seconds();
+
+  WorkerResult total;
+  for (const WorkerResult& r : results) {
+    total.ok += r.ok;
+    total.rejected += r.rejected;
+    total.degraded += r.degraded;
+    total.coalesced += r.coalesced;
+    total.errors += r.errors;
+    total.transport_failed |= r.transport_failed;
+    total.latencies_ms.insert(total.latencies_ms.end(), r.latencies_ms.begin(),
+                              r.latencies_ms.end());
+  }
+  std::sort(total.latencies_ms.begin(), total.latencies_ms.end());
+  auto quantile = [&](double q) {
+    if (total.latencies_ms.empty()) return 0.0;
+    size_t idx = static_cast<size_t>(
+        q * static_cast<double>(total.latencies_ms.size() - 1));
+    return total.latencies_ms[idx];
+  };
+
+  size_t answered = total.latencies_ms.size();
+  std::printf(
+      "lec_loadgen: %zu requests over %d conns in %.3f s — %.1f q/s\n"
+      "  latency p50 %.3f ms  p90 %.3f ms  p99 %.3f ms  max %.3f ms\n"
+      "  ok %zu (degraded %zu, coalesced %zu)  rejected %zu  errors %zu\n",
+      answered, flags->conns, elapsed,
+      elapsed > 0 ? static_cast<double>(answered) / elapsed : 0.0,
+      quantile(0.50), quantile(0.90), quantile(0.99), quantile(1.0), total.ok,
+      total.degraded, total.coalesced, total.rejected, total.errors);
+  if (total.transport_failed || answered < flags->requests) return 1;
+  return 0;
+}

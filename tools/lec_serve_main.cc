@@ -9,6 +9,7 @@
 //
 //   build/lec_serve [--file=REQUESTS] [--snapshot=PATH]
 //                   [--cache-entries=N] [--quiet]
+//                   [--listen=PORT] [--workers=N] [--queue-capacity=N]
 //
 //   --file=PATH       read the stream from PATH instead of stdin
 //   --snapshot=PATH   warm-load PATH at startup when it exists and save
@@ -16,6 +17,15 @@
 //                     (no argument) use it mid-stream too
 //   --cache-entries=N PlanCache capacity (default 4096)
 //   --quiet           suppress the per-request detail lines (stats remain)
+//   --listen=PORT     also serve the socket wire protocol on
+//                     127.0.0.1:PORT (0 picks an ephemeral port, printed
+//                     at startup) through an async ServePipeline that
+//                     SHARES this process's PlanCache — REPL serves warm
+//                     the socket and vice versa. The REPL stays live for
+//                     stats/save/load; quit/EOF drains the pipeline and
+//                     shuts the socket down cleanly.
+//   --workers=N       pipeline compute workers (default 2; --listen only)
+//   --queue-capacity=N admission queue bound (default 256; --listen only)
 //
 // Stream grammar — first word of each element decides:
 //
@@ -49,6 +59,8 @@
 #include "query/generator.h"
 #include "service/plan_cache.h"
 #include "service/serde.h"
+#include "service/serve_pipeline.h"
+#include "service/wire_server.h"
 #include "util/rng.h"
 #include "util/wall_timer.h"
 
@@ -71,7 +83,23 @@ struct Flags {
   std::string snapshot;
   size_t cache_entries = 4096;
   bool quiet = false;
+  int listen_port = -1;  ///< -1 = no socket; 0 = ephemeral
+  int workers = 2;
+  size_t queue_capacity = 256;
 };
+
+std::optional<size_t> ParseNumber(const std::string& v, const char* flag) {
+  if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos) {
+    std::fprintf(stderr, "lec_serve: %s needs a number\n", flag);
+    return std::nullopt;
+  }
+  try {
+    return std::stoull(v);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "lec_serve: %s out of range\n", flag);
+    return std::nullopt;
+  }
+}
 
 std::optional<Flags> ParseFlags(int argc, char** argv) {
   Flags flags;
@@ -99,10 +127,26 @@ std::optional<Flags> ParseFlags(int argc, char** argv) {
       }
     } else if (arg == "--quiet") {
       flags.quiet = true;
+    } else if (auto v = value("--listen=")) {
+      auto port = ParseNumber(*v, "--listen");
+      if (!port || *port > 65535) {
+        std::fprintf(stderr, "lec_serve: --listen needs a port (0-65535)\n");
+        return std::nullopt;
+      }
+      flags.listen_port = static_cast<int>(*port);
+    } else if (auto v = value("--workers=")) {
+      auto n = ParseNumber(*v, "--workers");
+      if (!n || *n < 1) return std::nullopt;
+      flags.workers = static_cast<int>(*n);
+    } else if (auto v = value("--queue-capacity=")) {
+      auto n = ParseNumber(*v, "--queue-capacity");
+      if (!n || *n < 1) return std::nullopt;
+      flags.queue_capacity = *n;
     } else {
       std::fprintf(stderr,
                    "usage: lec_serve [--file=REQUESTS] [--snapshot=PATH] "
-                   "[--cache-entries=N] [--quiet]\n");
+                   "[--cache-entries=N] [--quiet] [--listen=PORT] "
+                   "[--workers=N] [--queue-capacity=N]\n");
       return std::nullopt;
     }
   }
@@ -155,6 +199,7 @@ class Server {
       : flags_(flags), cache_(MakeCacheOptions(flags)) {}
 
   PlanCache& cache() { return cache_; }
+  const lec::CostModel& model() const { return model_; }
 
   /// Serves one deserialized request; prints outcome unless --quiet.
   bool Serve(const lec::serde::ServeRequest& request) {
@@ -225,6 +270,32 @@ class Server {
 
 int Run(std::istream& in, const Flags& flags) {
   Server server(flags);
+
+  // --listen: an async pipeline + socket front end sharing the REPL's
+  // PlanCache. Constructed before the snapshot warm-load so remote
+  // requests arriving mid-load just miss and compute.
+  std::optional<lec::ServePipeline> pipeline;
+  std::optional<lec::WireServer> wire;
+  if (flags.listen_port >= 0) {
+    lec::ServePipeline::Options popts;
+    popts.workers = flags.workers;
+    popts.queue_capacity = flags.queue_capacity;
+    popts.plan_cache = &server.cache();
+    popts.model = &server.model();
+    pipeline.emplace(std::move(popts));
+    lec::WireServer::Options wopts;
+    wopts.port = static_cast<uint16_t>(flags.listen_port);
+    try {
+      wire.emplace(&*pipeline, wopts);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "lec_serve: %s\n", e.what());
+      return 2;
+    }
+    std::printf("listening on 127.0.0.1:%u (workers=%d queue=%zu)\n",
+                wire->port(), flags.workers, flags.queue_capacity);
+    std::fflush(stdout);
+  }
+
   if (!flags.snapshot.empty()) {
     std::ifstream probe(flags.snapshot);
     if (probe.good()) {
@@ -262,6 +333,17 @@ int Run(std::istream& in, const Flags& flags) {
         }
       } else if (word == "stats") {
         server.PrintStats();
+        if (pipeline) {
+          lec::ServePipeline::Stats p = pipeline->stats();
+          lec::WireServer::Stats ws = wire->stats();
+          std::printf(
+              "pipeline: submitted %zu served %zu computed %zu coalesced %zu "
+              "rejected %zu degraded %zu errors %zu queue-hwm %zu | wire: "
+              "%zu conns %zu reqs %zu protocol-errors\n",
+              p.submitted, p.served, p.computed, p.coalesced, p.rejected,
+              p.degraded, p.errors, p.queue_depth_hwm, ws.connections,
+              ws.requests, ws.protocol_errors);
+        }
       } else if (word == "save" || word == "load") {
         // Line-delimited: an argument lives on the command's own line, so
         // a bare `save` can never swallow the next command as its path.
@@ -287,8 +369,9 @@ int Run(std::istream& in, const Flags& flags) {
         std::printf("invalidated (entries drop lazily on next touch)\n");
       } else if (word == "trim") {
         // The DP scratch is sized by the largest query a thread has seen
-        // (optimizer/dp_common.h); lec_serve is single-threaded, so one
-        // release covers the whole process. The next optimize re-warms.
+        // (optimizer/dp_common.h); this releases the REPL thread's scratch
+        // (pipeline workers under --listen keep theirs until shutdown).
+        // The next optimize re-warms.
         std::printf("trimmed %zu bytes of DP scratch\n",
                     lec::ReleaseThreadLocalDpScratch());
       } else if (word == "quit") {
@@ -304,6 +387,19 @@ int Run(std::istream& in, const Flags& flags) {
     } catch (const std::exception& e) {
       std::fprintf(stderr, "lec_serve: %s\n", e.what());
       return 1;
+    }
+  }
+
+  // Socket teardown before the snapshot save: stop accepting, drain every
+  // admitted job, THEN snapshot — so the saved cache includes everything
+  // the pipeline served.
+  if (wire) {
+    wire->Stop();
+    pipeline->Shutdown();
+    if (!flags.quiet) {
+      lec::ServePipeline::Stats p = pipeline->stats();
+      std::printf("pipeline drained: served %zu computed %zu coalesced %zu\n",
+                  p.served, p.computed, p.coalesced);
     }
   }
 
