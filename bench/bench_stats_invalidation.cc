@@ -1,0 +1,218 @@
+// E22 — Measured statistics: sketch ingest throughput and precise
+// plan-cache drift invalidation vs the InvalidateAll epoch hammer.
+//
+// PR 8's tentpole claims, measured:
+//   * streaming a materialized relation through a TableSketch (one CMS +
+//     HLL per join column plus a row-count HLL) costs tens of ns per row
+//     — statistics maintenance is cheap enough to run inline with scans;
+//   * after a data drift re-derives one relation's distributions,
+//     PlanCache::InvalidateDistribution(stale ContentHash) retains a
+//     STRICTLY higher warm-hit rate across the serving corpus than
+//     InvalidateAll, at identical correctness: every hit either cache
+//     ever serves is verified bit-identical to an uncached recompute, so
+//     the perf gate cannot pass on a cache that got fast by being wrong.
+//
+// Self-timed (no Google Benchmark dependency). The gated metric is the
+// DETERMINISTIC replay miss fraction under precise invalidation (plan-
+// cache misses / replays across the drift rounds — a counter ratio, not a
+// timing; the coarse InvalidateAll baseline's fraction is 1.0 by
+// construction and printed for contrast). Raw ns/row is emitted for the
+// trajectory record but never gated.
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.h"
+#include "query/generator.h"
+#include "service/plan_cache.h"
+#include "stats/measure.h"
+#include "storage/table_data.h"
+#include "util/rng.h"
+#include "util/wall_timer.h"
+
+using namespace lec;
+
+namespace {
+
+int g_failures = 0;
+
+void EmitBudget(const char* metric, double value) {
+  std::printf("BUDGET %s %.6f\n", metric, value);
+}
+
+uint64_t Bits(double v) {
+  uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+void CheckBitIdentical(const char* what, const OptimizeResult& got,
+                       const OptimizeResult& want) {
+  if (Bits(got.objective) != Bits(want.objective) ||
+      !PlanEquals(got.plan, want.plan)) {
+    std::printf("!! %s: served %.17g vs recompute %.17g (plans %s)\n", what,
+                got.objective, want.objective,
+                PlanEquals(got.plan, want.plan) ? "equal" : "DIFFER");
+    ++g_failures;
+  }
+}
+
+Workload MakeBase(uint64_t seed) {
+  Rng rng(seed);
+  WorkloadOptions wopts;
+  wopts.num_tables = 4 + static_cast<int>(seed % 2);
+  wopts.shape = (seed % 2) == 0 ? JoinGraphShape::kChain : JoinGraphShape::kStar;
+  wopts.selectivity_spread = 3.0;
+  wopts.table_size_spread = 2.0;
+  return GenerateWorkload(wopts, &rng);
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("E22",
+                "measured stats: sketch ingest, precise drift invalidation");
+  CostModel model;
+  Distribution memory({{64, 0.25}, {512, 0.5}, {4096, 0.25}});
+  Optimizer optimizer;
+
+  // ---- (a) sketch ingest throughput --------------------------------------
+  Rng gen_rng(20260807);
+  TableData big = GenerateTable(512, 5000, 200, &gen_rng);
+  const double rows = static_cast<double>(big.num_tuples());
+  // Warm once, then time fresh sketches so each pass does identical work.
+  {
+    stats::TableSketch warm;
+    warm.IngestTable(big);
+  }
+  const int kIngestIters = 5;
+  WallTimer ingest_timer;
+  for (int i = 0; i < kIngestIters; ++i) {
+    stats::TableSketch sketch;
+    sketch.IngestTable(big);
+    if (sketch.rows() != big.num_tuples()) ++g_failures;
+  }
+  double ns_per_row = ingest_timer.Seconds() / kIngestIters / rows * 1e9;
+  bench::Rule();
+  std::printf("sketch ingest, %zu pages (%.0f rows, 2 CMS + 3 HLL per row):\n",
+              big.num_pages(), rows);
+  std::printf("  ingest               %10.1f ns/row   (%.1f M rows/s)\n",
+              ns_per_row, 1e3 / ns_per_row);
+  EmitBudget("stats_ingest_ns_per_row", ns_per_row);
+
+  // ---- (b) drift invalidation: precise vs epoch hammer -------------------
+  const size_t kCorpus = 12;
+  const int kRounds = 8;
+  stats::MeasureOptions mopts;
+  mopts.max_pages = 20;  // wide spread: fewer cross-table size-hash collisions
+  Rng rng(77);
+  std::vector<stats::MeasuredWorkload> corpus;
+  for (uint64_t i = 0; i < kCorpus; ++i) {
+    corpus.push_back(
+        stats::MaterializeAndMeasure(MakeBase(1000 + i), mopts, &rng));
+  }
+
+  auto optimize = [&](const Workload& w, PlanCache* cache) {
+    OptimizeRequest req;
+    req.query = &w.query;
+    req.catalog = &w.catalog;
+    req.model = &model;
+    req.memory = &memory;
+    req.options.plan_cache = cache;
+    return optimizer.Optimize(StrategyId::kLecStatic, req);
+  };
+
+  PlanCache precise, coarse;
+  for (const stats::MeasuredWorkload& mw : corpus) {
+    OptimizeResult want = optimize(mw.workload, nullptr);
+    CheckBitIdentical("cold fill (precise)", optimize(mw.workload, &precise),
+                      want);
+    CheckBitIdentical("cold fill (coarse)", optimize(mw.workload, &coarse),
+                      want);
+  }
+
+  size_t precise_hits = 0, precise_replays = 0, coarse_hits = 0;
+  double invalidate_precise_seconds = 0, invalidate_coarse_seconds = 0;
+  double replay_precise_seconds = 0, replay_coarse_seconds = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    // One relation's data grows; its measured stats are re-derived and the
+    // replaced distributions' hashes come back as the stale set.
+    stats::MeasuredWorkload& victim = corpus[round % corpus.size()];
+    stats::DriftReport report =
+        stats::DriftTable(&victim, 0, 1.5, mopts, &rng);
+    if (report.stale_hashes.empty()) {
+      std::printf("!! round %d: drift replaced nothing\n", round);
+      ++g_failures;
+      continue;
+    }
+
+    WallTimer tp;
+    for (uint64_t h : report.stale_hashes) precise.InvalidateDistribution(h);
+    invalidate_precise_seconds += tp.Seconds();
+    WallTimer tc;
+    coarse.InvalidateAll();
+    invalidate_coarse_seconds += tc.Seconds();
+
+    // Replay the whole corpus through both caches; every serve must be
+    // bit-identical to an uncached recompute of the CURRENT workload.
+    for (const stats::MeasuredWorkload& mw : corpus) {
+      OptimizeResult want = optimize(mw.workload, nullptr);
+      ++precise_replays;
+      size_t before = precise.stats().hits;
+      WallTimer rp;
+      OptimizeResult got = optimize(mw.workload, &precise);
+      replay_precise_seconds += rp.Seconds();
+      precise_hits += precise.stats().hits - before;
+      CheckBitIdentical("precise replay", got, want);
+
+      before = coarse.stats().hits;
+      WallTimer rc;
+      OptimizeResult got_coarse = optimize(mw.workload, &coarse);
+      replay_coarse_seconds += rc.Seconds();
+      coarse_hits += coarse.stats().hits - before;
+      CheckBitIdentical("coarse replay", got_coarse, want);
+    }
+  }
+
+  double precise_miss_fraction =
+      1.0 - static_cast<double>(precise_hits) /
+                static_cast<double>(precise_replays);
+  double coarse_miss_fraction =
+      1.0 - static_cast<double>(coarse_hits) /
+                static_cast<double>(precise_replays);
+  bench::Rule();
+  std::printf(
+      "drift invalidation, %zu-workload corpus x %d drift rounds "
+      "(1 relation drifts per round):\n",
+      kCorpus, kRounds);
+  std::printf(
+      "  precise (InvalidateDistribution): %3zu/%zu replay hits "
+      "(miss fraction %.4f), invalidate %5.1f us total, replays %7.1f us\n",
+      precise_hits, precise_replays, precise_miss_fraction,
+      invalidate_precise_seconds * 1e6, replay_precise_seconds * 1e6);
+  std::printf(
+      "  coarse  (InvalidateAll):          %3zu/%zu replay hits "
+      "(miss fraction %.4f), invalidate %5.1f us total, replays %7.1f us\n",
+      coarse_hits, precise_replays, coarse_miss_fraction,
+      invalidate_coarse_seconds * 1e6, replay_coarse_seconds * 1e6);
+  std::printf("  precise dropped %zu entries across all rounds\n",
+              precise.stats().invalidated);
+  EmitBudget("stats_precise_invalidation_miss_fraction",
+             precise_miss_fraction);
+
+  // The acceptance bar: strictly more retained hits at equal correctness.
+  if (precise_hits <= coarse_hits) {
+    std::printf(
+        "!! precise invalidation retained no hit advantage (%zu vs %zu)\n",
+        precise_hits, coarse_hits);
+    ++g_failures;
+  }
+
+  if (g_failures > 0) {
+    std::printf("\n%d FAILURES — perf numbers above are not trustworthy\n",
+                g_failures);
+    return 1;
+  }
+  std::printf("\nall served results bit-identical to recompute\n");
+  return 0;
+}

@@ -22,6 +22,19 @@ TableId Catalog::AddTable(const std::string& name, double pages) {
   return AddTable(std::move(t));
 }
 
+void Catalog::UpdateTableStats(TableId id, double pages,
+                               std::optional<Distribution> pages_dist) {
+  if (!(pages > 0)) {
+    throw std::invalid_argument("table must have a positive page count");
+  }
+  if (pages_dist && pages_dist->Min() <= 0) {
+    throw std::invalid_argument("table size distribution must be positive");
+  }
+  Table& t = tables_.at(id);
+  t.pages = pages;
+  t.pages_dist = std::move(pages_dist);
+}
+
 TableId Catalog::FindByName(const std::string& name) const {
   for (size_t i = 0; i < tables_.size(); ++i) {
     if (tables_[i].name == name) return static_cast<TableId>(i);

@@ -52,6 +52,14 @@ class Catalog {
   /// Looks a table up by name; throws std::out_of_range if absent.
   TableId FindByName(const std::string& name) const;
 
+  /// Replaces a table's size statistics in place — the seam the measured
+  /// statistics pipeline (src/stats/) uses to install sketch-derived
+  /// distributions, and to re-install them after data drift. Name and
+  /// rows_per_page are unchanged. Page count must be positive and any
+  /// distribution strictly positive, as in AddTable.
+  void UpdateTableStats(TableId id, double pages,
+                        std::optional<Distribution> pages_dist);
+
  private:
   std::vector<Table> tables_;
 };

@@ -119,4 +119,17 @@ Distribution UncertainSelectivity(double center, double spread) {
                        {std::min(center * spread, 1.0), 0.25}});
 }
 
+Distribution MeasuredEstimate(double center, double rel_spread) {
+  if (!(center > 0.0)) {
+    throw std::invalid_argument("estimate must be positive");
+  }
+  if (!(rel_spread >= 0.0 && rel_spread < 1.0)) {
+    throw std::invalid_argument("rel_spread must be in [0, 1)");
+  }
+  if (rel_spread == 0.0) return Distribution::PointMass(center);
+  return Distribution({{center * (1.0 - rel_spread), 0.25},
+                       {center, 0.5},
+                       {center * (1.0 + rel_spread), 0.25}});
+}
+
 }  // namespace lec

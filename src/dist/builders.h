@@ -52,6 +52,15 @@ Distribution BimodalMemory(double high_pages, double p_high,
 /// spread == 1 meaning the selectivity is known exactly.
 Distribution UncertainSelectivity(double center, double spread);
 
+/// A measured point estimate bracketed by its confidence interval: mass
+/// 1/2 at `center` and 1/4 at center·(1 ∓ rel_spread). Unlike
+/// UncertainSelectivity the spread is additive-symmetric, so the mean is
+/// exactly `center` — the stats deriver (src/stats/) relies on this to
+/// keep derived-distribution moments pinned to the sketch estimate.
+/// Requires center > 0 and rel_spread in [0, 1); rel_spread == 0 yields a
+/// point mass.
+Distribution MeasuredEstimate(double center, double rel_spread);
+
 }  // namespace lec
 
 #endif  // LECOPT_DIST_BUILDERS_H_

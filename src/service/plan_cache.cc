@@ -130,17 +130,96 @@ QuerySignature QuerySignature::Compute(StrategyId id,
   QuerySignature sig;
   sig.canonical = std::move(out).str();
   sig.hash = Fnv1a64(sig.canonical);
+
+  // Collect the distribution hashes the stream above serialized (size
+  // dists, selectivities, memory) for the cache's reverse index. Sorted +
+  // deduplicated: one query can consume the same distribution at several
+  // positions, and a single reverse-index link per hash is enough to find
+  // the entry.
+  for (QueryPos p = 0; p < query.num_tables(); ++p) {
+    sig.dist_hashes.push_back(
+        r.catalog->table(query.table(p)).SizeDistribution().ContentHash());
+  }
+  for (const JoinPredicate& pred : query.predicates()) {
+    sig.dist_hashes.push_back(pred.selectivity.ContentHash());
+  }
+  sig.dist_hashes.push_back(r.memory->ContentHash());
+  std::sort(sig.dist_hashes.begin(), sig.dist_hashes.end());
+  sig.dist_hashes.erase(
+      std::unique(sig.dist_hashes.begin(), sig.dist_hashes.end()),
+      sig.dist_hashes.end());
   return sig;
+}
+
+std::vector<uint64_t> QuerySignature::ExtractDistHashes(
+    std::string_view canonical) {
+  // The canonical string is a complete serde stream (Writer's constructor
+  // emits the header), so it re-parses with a Reader. Walk the v2 layout
+  // up to the memory section, collecting each ContentHash that Compute
+  // wrote ahead of its distribution's buckets; the strategy-knob tail is
+  // irrelevant here and left unread.
+  std::istringstream in{std::string(canonical)};
+  serde::Reader r(in);
+  r.ExpectTag("sig");
+  uint32_t version = r.U32();
+  if (version != 2) {
+    throw serde::SerdeError("serde: unknown signature schema version");
+  }
+  r.Str();  // strategy name
+  r.Str();  // simd level
+  serde::ReadOptimizerOptions(r);
+  r.Bool();  // sorted_input_discount
+  r.Bool();  // charge_materialization
+
+  std::vector<uint64_t> hashes;
+  r.ExpectTag("tables");
+  uint64_t num_tables = r.U64();
+  for (uint64_t i = 0; i < num_tables; ++i) {
+    r.F64();  // pages
+    hashes.push_back(r.U64());
+    serde::ReadDistribution(r);
+  }
+  r.ExpectTag("preds");
+  uint64_t num_preds = r.U64();
+  for (uint64_t i = 0; i < num_preds; ++i) {
+    r.I32();
+    r.I32();
+    hashes.push_back(r.U64());
+    serde::ReadDistribution(r);
+  }
+  if (r.Bool()) r.I32();  // required order
+  r.ExpectTag("memory");
+  hashes.push_back(r.U64());
+
+  std::sort(hashes.begin(), hashes.end());
+  hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
+  return hashes;
 }
 
 PlanCache::PlanCache() : PlanCache(Options{}) {}
 
 PlanCache::PlanCache(Options options)
     : shards_(static_cast<size_t>(std::max(options.shards, 1))),
-      max_entries_(std::max<size_t>(options.max_entries, 1)) {
+      max_entries_(std::max<size_t>(options.max_entries, 1)),
+      eager_invalidate_sweep_(options.eager_invalidate_sweep) {
   per_shard_cap_ =
       std::max<size_t>((max_entries_ + shards_.size() - 1) / shards_.size(),
                        1);
+}
+
+void PlanCache::EraseLocked(Shard& shard,
+                            std::list<Entry>::iterator entry_it) {
+  for (uint64_t h : entry_it->dist_hashes) {
+    auto [lo, hi] = shard.by_dist.equal_range(h);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == entry_it) {
+        shard.by_dist.erase(it);
+        break;
+      }
+    }
+  }
+  shard.index.erase(std::string_view(entry_it->canonical));
+  shard.lru.erase(entry_it);
 }
 
 std::optional<OptimizeResult> PlanCache::Lookup(const QuerySignature& sig) {
@@ -153,8 +232,7 @@ std::optional<OptimizeResult> PlanCache::Lookup(const QuerySignature& sig) {
   }
   auto entry_it = it->second;
   if (entry_it->epoch != epoch_.load(std::memory_order_relaxed)) {
-    shard.index.erase(it);
-    shard.lru.erase(entry_it);
+    EraseLocked(shard, entry_it);
     ++shard.stats.stale;
     ++shard.stats.misses;
     return std::nullopt;
@@ -168,6 +246,8 @@ void PlanCache::InsertLocked(Shard& shard, const QuerySignature& sig,
                              const OptimizeResult& result, uint64_t epoch) {
   auto it = shard.index.find(std::string_view(sig.canonical));
   if (it != shard.index.end()) {
+    // Same canonical bytes imply the same dist_hashes, so the existing
+    // reverse-index links stay correct.
     auto entry_it = it->second;
     entry_it->result = result;
     entry_it->epoch = epoch;
@@ -175,13 +255,15 @@ void PlanCache::InsertLocked(Shard& shard, const QuerySignature& sig,
     ++shard.stats.insertions;
     return;
   }
-  shard.lru.push_front(Entry{sig.canonical, result, epoch});
+  shard.lru.push_front(Entry{sig.canonical, result, epoch, sig.dist_hashes});
   shard.index[std::string_view(shard.lru.front().canonical)] =
       shard.lru.begin();
+  for (uint64_t h : shard.lru.front().dist_hashes) {
+    shard.by_dist.emplace(h, shard.lru.begin());
+  }
   ++shard.stats.insertions;
   while (shard.lru.size() > per_shard_cap_) {
-    shard.index.erase(std::string_view(shard.lru.back().canonical));
-    shard.lru.pop_back();
+    EraseLocked(shard, std::prev(shard.lru.end()));
     ++shard.stats.evictions;
   }
 }
@@ -194,7 +276,40 @@ void PlanCache::Insert(const QuerySignature& sig,
 }
 
 void PlanCache::InvalidateAll() {
-  epoch_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t fresh = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (!eager_invalidate_sweep_) return;
+  // Eager sweep: release dead entries' cap slots now instead of letting a
+  // cache full of invalidated entries evict fresh inserts until each one
+  // is touched. Entries inserted concurrently already carry `fresh` (or a
+  // later epoch, if another InvalidateAll raced ahead) and are kept; any
+  // old-epoch entry slipping in between the bump and its shard's sweep is
+  // dropped lazily by Lookup, same counter.
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      auto next = std::next(it);
+      if (it->epoch < fresh) {
+        EraseLocked(shard, it);
+        ++shard.stats.stale;
+      }
+      it = next;
+    }
+  }
+}
+
+size_t PlanCache::InvalidateDistribution(uint64_t content_hash) {
+  size_t dropped = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.by_dist.find(content_hash);
+    while (it != shard.by_dist.end()) {
+      EraseLocked(shard, it->second);  // also erases `it` itself
+      ++shard.stats.invalidated;
+      ++dropped;
+      it = shard.by_dist.find(content_hash);
+    }
+  }
+  return dropped;
 }
 
 PlanCache::Stats PlanCache::stats() const {
@@ -206,6 +321,7 @@ PlanCache::Stats PlanCache::stats() const {
     total.insertions += shard.stats.insertions;
     total.evictions += shard.stats.evictions;
     total.stale += shard.stats.stale;
+    total.invalidated += shard.stats.invalidated;
   }
   return total;
 }
@@ -223,6 +339,7 @@ void PlanCache::Clear() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.index.clear();
+    shard.by_dist.clear();
     shard.lru.clear();
   }
 }
@@ -270,6 +387,9 @@ size_t PlanCache::LoadSnapshot(std::string_view bytes) {
     QuerySignature sig;
     sig.canonical = r.Str();
     sig.hash = Fnv1a64(sig.canonical);
+    // Snapshot entries must stay reachable by precise invalidation too:
+    // recover the distribution hashes from the canonical bytes.
+    sig.dist_hashes = QuerySignature::ExtractDistHashes(sig.canonical);
     OptimizeResult result = serde::ReadOptimizeResult(r);
     Insert(sig, result);
     ++loaded;

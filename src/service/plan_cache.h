@@ -42,9 +42,18 @@
 // chosen by signature hash), so the cache is safe to share across the
 // batch driver's workers — unlike the EcCache, which is per-worker by
 // contract. Eviction is per-shard LRU under a global entry cap.
-// InvalidateAll() is an O(1) epoch bump; entries from older epochs are
-// dropped lazily when next touched (counted in stats().stale) — the
-// serving seam for "statistics drifted, stop trusting old plans".
+//
+// Invalidation — the serving seam for "statistics drifted, stop trusting
+// old plans" — comes in two grains. InvalidateDistribution(hash) is the
+// precise one: each entry is linked in a per-shard reverse index under the
+// ContentHash of every Distribution its signature consumed, so a
+// re-derived statistic (src/stats/) drops exactly the plans that read its
+// predecessor and nothing else. InvalidateAll() is the blunt fallback: an
+// epoch bump followed (by default) by an eager per-shard sweep, so dead
+// entries release their cap slots immediately instead of squatting in the
+// LRU and evicting fresh inserts until touched; entries that race the
+// sweep are still dropped lazily on next touch (both paths count in
+// stats().stale).
 //
 // Persistence: SaveSnapshot/LoadSnapshot serialize every live entry
 // through service/serde.h (bit-exact doubles), so a restarted service
@@ -76,11 +85,23 @@ namespace lec {
 struct QuerySignature {
   std::string canonical;
   uint64_t hash = 0;
+  /// ContentHashes of every Distribution the signature consumed (table
+  /// size dists, predicate selectivities, the memory distribution),
+  /// sorted and deduplicated. Side information for the cache's precise
+  /// invalidation index — NOT part of the compared canonical bytes
+  /// (they are recoverable from them; see ExtractDistHashes).
+  std::vector<uint64_t> dist_hashes;
 
   /// Canonicalizes (strategy, request) as described in the header comment.
   /// Requires the same non-null fields Optimizer::Optimize requires (and
   /// `chain` for lec_dynamic); throws std::invalid_argument otherwise.
   static QuerySignature Compute(StrategyId id, const OptimizeRequest& request);
+
+  /// Re-derives `dist_hashes` from canonical bytes (the signature stream
+  /// already serializes each distribution's ContentHash ahead of its
+  /// buckets). Used by LoadSnapshot, where only the bytes survive. Throws
+  /// serde::SerdeError on malformed or version-skewed input.
+  static std::vector<uint64_t> ExtractDistHashes(std::string_view canonical);
 };
 
 /// FNV-1a, the signature/shard hash (also used by the snapshot loader).
@@ -95,6 +116,13 @@ class PlanCache {
     /// Lock shards. More shards = less contention, slightly looser LRU
     /// (eviction order is per-shard). Values < 1 are treated as 1.
     int shards = 16;
+    /// When true (the default), InvalidateAll() eagerly sweeps every shard
+    /// after bumping the epoch, so dead entries release their cap slots
+    /// immediately. The lazy-only mode (false) is kept as an ablation of
+    /// the pre-sweep behavior — under it a cache full of invalidated
+    /// entries keeps evicting fresh inserts until each dead entry happens
+    /// to be touched — and to pin the lazy-drop counter contract.
+    bool eager_invalidate_sweep = true;
   };
 
   struct Stats {
@@ -102,8 +130,11 @@ class PlanCache {
     size_t misses = 0;
     size_t insertions = 0;
     size_t evictions = 0;
-    /// Entries dropped because their epoch predates InvalidateAll().
+    /// Entries dropped because their epoch predates InvalidateAll()
+    /// (whether swept eagerly or dropped on touch).
     size_t stale = 0;
+    /// Entries dropped by InvalidateDistribution (precise invalidation).
+    size_t invalidated = 0;
 
     size_t lookups() const { return hits + misses; }
   };
@@ -121,9 +152,23 @@ class PlanCache {
   /// tail if the cap is exceeded.
   void Insert(const QuerySignature& sig, const OptimizeResult& result);
 
-  /// O(1): marks every current entry stale; each is dropped when next
-  /// touched. The seam for statistics drift / cost-model redeploys.
+  /// Marks every current entry stale (epoch bump) and, unless the eager
+  /// sweep is disabled in Options, immediately drops them shard by shard
+  /// so dead entries stop occupying the cap. Entries that escape the
+  /// sweep (inserted concurrently under the old epoch) are still dropped
+  /// lazily when next touched. Either way the drop counts in
+  /// stats().stale. The blunt fallback for "everything drifted" — for a
+  /// single changed distribution use InvalidateDistribution.
   void InvalidateAll();
+
+  /// Precise invalidation: drops exactly the entries whose signature
+  /// consumed the distribution with this ContentHash (table size dist,
+  /// predicate selectivity, or memory distribution), via a per-shard
+  /// reverse index maintained on insert/evict. Returns the number of
+  /// entries dropped (also counted in stats().invalidated). The serving
+  /// seam for sketch-driven stats drift: a re-derived distribution stales
+  /// only the plans that actually read its predecessor.
+  size_t InvalidateDistribution(uint64_t content_hash);
 
   /// Aggregated over shards (takes each shard lock briefly).
   Stats stats() const;
@@ -159,16 +204,24 @@ class PlanCache {
     std::string canonical;
     OptimizeResult result;
     uint64_t epoch = 0;
+    /// Sorted, deduplicated ContentHashes of the distributions this
+    /// entry's signature consumed — the keys under which it is linked in
+    /// the shard's reverse index.
+    std::vector<uint64_t> dist_hashes;
   };
 
   /// One lock shard: LRU list (front = most recent) plus an index into it.
   /// The index key views Entry::canonical — std::list nodes are stable and
   /// splice() never moves elements, so the views stay valid for the
-  /// entry's lifetime.
+  /// entry's lifetime. `by_dist` is the reverse index ContentHash → entry
+  /// for InvalidateDistribution; every entry is linked under each of its
+  /// dist_hashes, and unlinked on every erase path (eviction, stale drop,
+  /// sweep, Clear).
   struct Shard {
     mutable std::mutex mu;
     std::list<Entry> lru;
     std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+    std::unordered_multimap<uint64_t, std::list<Entry>::iterator> by_dist;
     Stats stats;
   };
 
@@ -183,9 +236,14 @@ class PlanCache {
   void InsertLocked(Shard& shard, const QuerySignature& sig,
                     const OptimizeResult& result, uint64_t epoch);
 
+  /// Erases the entry from lru, index and by_dist (caller holds shard.mu;
+  /// counter accounting is the caller's).
+  static void EraseLocked(Shard& shard, std::list<Entry>::iterator entry_it);
+
   std::vector<Shard> shards_;
   size_t max_entries_;
   size_t per_shard_cap_;
+  bool eager_invalidate_sweep_;
   std::atomic<uint64_t> epoch_{0};
 };
 

@@ -20,6 +20,12 @@ double SteadySeconds() {
 /// handful of serves, light enough that one outlier does not whipsaw the
 /// degrade threshold.
 constexpr double kEstimateAlpha = 0.2;
+/// Per-degraded-serve decay of the full-compute estimate toward the
+/// observed fallback cost. Deliberately much smaller than kEstimateAlpha:
+/// degraded serves are only indirect evidence about full-compute cost, so
+/// recovery from overload is gradual (~14 degraded serves to halve the
+/// gap) while one real compute snaps the estimate back at full weight.
+constexpr double kDegradedDecayAlpha = 0.05;
 
 }  // namespace
 
@@ -243,14 +249,33 @@ void ServePipeline::RunJob(Job& job) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.computed;
-    // Calibration: fold every full-fidelity serve into the estimate.
-    // Degraded serves are excluded (they measure the fallback, and feeding
-    // them back would ratchet the threshold down until nothing degrades).
+    // Calibration: fold every full-fidelity serve into the estimate at
+    // full weight. Degraded serves measure the fallback, not a full
+    // optimization, so they feed a PARALLEL fallback estimate — and decay
+    // the full estimate toward the observed fallback cost at a much
+    // slower rate. Without that decay the estimate freezes at its last
+    // pre-overload value under sustained overload (every serve degrades,
+    // nothing ever recalibrates), so the pipeline can never discover that
+    // conditions eased; with it, the estimate drifts down until a full
+    // compute is attempted again, which immediately recalibrates it. A
+    // single degraded serve only nudges the estimate (no whipsaw from one
+    // cheap fallback run), and the decay floor is the fallback cost
+    // itself — a full optimization is never cheaper than the fallback.
     if (computed_ok && !degraded) {
       estimate_ewma_ = has_estimate_ ? (1 - kEstimateAlpha) * estimate_ewma_ +
                                            kEstimateAlpha * compute_seconds
                                      : compute_seconds;
       has_estimate_ = true;
+    } else if (computed_ok && degraded) {
+      fallback_ewma_ = has_fallback_
+                           ? (1 - kEstimateAlpha) * fallback_ewma_ +
+                                 kEstimateAlpha * compute_seconds
+                           : compute_seconds;
+      has_fallback_ = true;
+      if (has_estimate_ && estimate_ewma_ > compute_seconds) {
+        estimate_ewma_ = (1 - kDegradedDecayAlpha) * estimate_ewma_ +
+                         kDegradedDecayAlpha * compute_seconds;
+      }
     }
     // Leave the singleflight table BEFORE resolving waiters: a duplicate
     // submitted after this point starts a fresh job (and, with a plan
@@ -304,6 +329,11 @@ size_t ServePipeline::queue_depth() const {
 double ServePipeline::EstimateSeconds() const {
   std::lock_guard<std::mutex> lock(mu_);
   return std::max(estimate_ewma_, options_.min_degrade_headroom_seconds);
+}
+
+double ServePipeline::FallbackEstimateSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fallback_ewma_;
 }
 
 }  // namespace lec

@@ -46,7 +46,12 @@
 //     it is cached (and signature-keyed) under the fallback strategy, so
 //     it can never be served as a full-fidelity answer later. Coalesced
 //     waiters share the leader's degrade decision (their outcomes carry
-//     the flag).
+//     the flag). Full-fidelity serves calibrate the estimate directly;
+//     degraded serves feed a parallel fallback-cost EWMA and decay the
+//     full estimate toward the observed fallback cost at a slower rate,
+//     so sustained overload cannot freeze the estimate at its last
+//     pre-overload value — it drifts down until a full compute is probed
+//     and recalibrates it.
 //
 // Determinism contract (pinned by tests/serve_pipeline_test.cc and fuzz
 // invariant I10): for any worker count, with coalescing on or off, and
@@ -220,6 +225,9 @@ class ServePipeline {
   size_t queue_depth() const;
   /// The calibrated compute estimate the next degrade decision would use.
   double EstimateSeconds() const;
+  /// EWMA of observed fallback (degraded-serve) compute times; 0 until a
+  /// degraded serve completes. Diagnostic counterpart to EstimateSeconds.
+  double FallbackEstimateSeconds() const;
 
  private:
   /// One singleflight group: the leader's request plus every ticket the
@@ -254,6 +262,12 @@ class ServePipeline {
   Stats stats_;
   double estimate_ewma_ = 0;
   bool has_estimate_ = false;
+  /// Parallel EWMA over degraded (fallback) compute times. Degraded serves
+  /// also decay estimate_ewma_ toward the observed fallback cost slowly,
+  /// so the full-compute estimate cannot freeze under sustained overload
+  /// (see RunJob's calibration comment).
+  double fallback_ewma_ = 0;
+  bool has_fallback_ = false;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,203 @@
+#include "stats/measure.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "storage/buffer_pool.h"
+
+namespace lec::stats {
+
+namespace {
+
+/// Catalog page counts span [100, 1e6]; materialize ~log2(pages) pages so
+/// the biggest relation costs tens of pages, not a million.
+size_t MaterializedPages(double catalog_pages, size_t max_pages) {
+  double scaled = std::round(std::log2(std::max(catalog_pages, 2.0)));
+  return std::clamp<size_t>(static_cast<size_t>(scaled), 2, max_pages);
+}
+
+TableTruth ComputeTruth(const TableData& data) {
+  TableTruth t;
+  std::unordered_set<int64_t> seen[2];
+  data.ForEachTuple([&](const Tuple& row) {
+    ++t.rows;
+    seen[0].insert(row.cols[0]);
+    seen[1].insert(row.cols[1]);
+  });
+  t.distinct[0] = seen[0].size();
+  t.distinct[1] = seen[1].size();
+  return t;
+}
+
+/// Exact equi-join match count: Σ_k f_a(k)·f_b(k), via one hash pass.
+double ExactMatches(const TableData& a, int col_a, const TableData& b,
+                    int col_b) {
+  std::unordered_map<int64_t, uint64_t> counts;
+  a.ForEachTuple([&](const Tuple& row) { ++counts[row.cols[col_a]]; });
+  double matches = 0;
+  b.ForEachTuple([&](const Tuple& row) {
+    auto it = counts.find(row.cols[col_b]);
+    if (it != counts.end()) matches += static_cast<double>(it->second);
+  });
+  return matches;
+}
+
+double TrueSelectivity(double matches, uint64_t rows_a, uint64_t rows_b) {
+  return matches * static_cast<double>(kTuplesPerPage) /
+         (static_cast<double>(rows_a) * static_cast<double>(rows_b));
+}
+
+/// Re-sketches one relation and refreshes its slot in `mw`.
+void IngestInto(MeasuredWorkload* mw, QueryPos pos,
+                const MeasureOptions& options) {
+  BufferPool pool(1);
+  TableSketch sketch(options.sketch);
+  sketch.IngestTable(mw->data[pos], &pool);
+  mw->io_pages += pool.reads();
+  mw->sketches[pos] = std::move(sketch);
+  mw->truth[pos] = ComputeTruth(mw->data[pos]);
+}
+
+/// Derives + installs relation `pos`'s size stats into the catalog copy.
+void InstallSize(MeasuredWorkload* mw, QueryPos pos,
+                 const MeasureOptions& options) {
+  const TableSketch& sk = mw->sketches[pos];
+  mw->workload.catalog.UpdateTableStats(
+      mw->workload.query.table(pos), MeasuredPages(sk),
+      DeriveSizeDistribution(sk, options.derive));
+}
+
+/// Derives + installs predicate `i`'s measured selectivity, and refreshes
+/// its ground truth.
+void InstallSelectivity(MeasuredWorkload* mw, int i,
+                        const MeasureOptions& options) {
+  const JoinPredicate& pred = mw->workload.query.predicate(i);
+  QueryPos l = pred.left, r = pred.right;
+  int cl = mw->pred_cols[i][0], cr = mw->pred_cols[i][1];
+  mw->true_matches[i] = ExactMatches(mw->data[l], cl, mw->data[r], cr);
+  mw->true_selectivity[i] =
+      TrueSelectivity(mw->true_matches[i], mw->truth[l].rows,
+                      mw->truth[r].rows);
+  mw->workload.query = mw->workload.query.WithSelectivity(
+      i, DeriveSelectivityDistribution(mw->sketches[l], cl, mw->sketches[r],
+                                       cr, options.derive));
+}
+
+}  // namespace
+
+MeasuredWorkload MaterializeAndMeasure(const Workload& base,
+                                       const MeasureOptions& options,
+                                       Rng* rng) {
+  const Query& q = base.query;
+  const int n = q.num_tables();
+  if (n == 0) throw std::invalid_argument("cannot measure an empty query");
+  if (!(options.min_selectivity > 0 &&
+        options.min_selectivity <= options.max_selectivity &&
+        options.max_selectivity <= 1.0)) {
+    throw std::invalid_argument("selectivity range must be in (0, 1]");
+  }
+
+  MeasuredWorkload mw;
+  mw.workload = base;
+  mw.pages.resize(n);
+  mw.key_ranges.assign(n, {0, 0});
+  mw.data.resize(n);
+  mw.sketches.assign(n, TableSketch(options.sketch));
+  mw.truth.resize(n);
+  const int num_preds = q.num_predicates();
+  mw.true_matches.assign(num_preds, 0.0);
+  mw.true_selectivity.assign(num_preds, 0.0);
+  mw.pred_cols.assign(num_preds, {0, 0});
+
+  // Assign each predicate endpoint a join column (first predicate on a
+  // relation uses column 0, later ones column 1) and a shared key range.
+  // Endpoints of one predicate must draw from the same key domain for the
+  // uniform-keys selectivity identity to apply; when a column already has
+  // a range from an earlier predicate, the other endpoint adopts it.
+  std::vector<int> cols_used(n, 0);
+  for (int i = 0; i < num_preds; ++i) {
+    const JoinPredicate& pred = q.predicate(i);
+    int cl = std::min(cols_used[pred.left]++, 1);
+    int cr = std::min(cols_used[pred.right]++, 1);
+    mw.pred_cols[i] = {cl, cr};
+    int64_t& kl = mw.key_ranges[pred.left][cl];
+    int64_t& kr = mw.key_ranges[pred.right][cr];
+    double sel = rng->LogUniform(options.min_selectivity,
+                                 options.max_selectivity);
+    int64_t range = KeyRangeForSelectivity(sel);
+    if (kl != 0) {
+      if (kr == 0) kr = kl;
+    } else if (kr != 0) {
+      kl = kr;
+    } else {
+      kl = kr = range;
+    }
+  }
+
+  for (QueryPos p = 0; p < n; ++p) {
+    mw.pages[p] =
+        MaterializedPages(base.catalog.table(q.table(p)).pages,
+                          options.max_pages);
+    mw.data[p] = GenerateTable(mw.pages[p], mw.key_ranges[p][0],
+                               mw.key_ranges[p][1], rng);
+    IngestInto(&mw, p, options);
+    InstallSize(&mw, p, options);
+  }
+  for (int i = 0; i < num_preds; ++i) InstallSelectivity(&mw, i, options);
+  return mw;
+}
+
+DriftReport DriftTable(MeasuredWorkload* mw, QueryPos pos,
+                       double growth_factor, const MeasureOptions& options,
+                       Rng* rng) {
+  if (pos < 0 || pos >= static_cast<QueryPos>(mw->data.size())) {
+    throw std::invalid_argument("drift position out of range");
+  }
+  if (!(growth_factor > 0)) {
+    throw std::invalid_argument("growth factor must be positive");
+  }
+
+  // Record the hashes the stale stats carried before replacing them.
+  const Query& q = mw->workload.query;
+  std::vector<uint64_t> old_hashes;
+  const Table& t = mw->workload.catalog.table(q.table(pos));
+  old_hashes.push_back(t.SizeDistribution().ContentHash());
+  std::vector<int> touching;
+  for (int i = 0; i < q.num_predicates(); ++i) {
+    if (q.predicate(i).Touches(pos)) {
+      touching.push_back(i);
+      old_hashes.push_back(q.predicate(i).selectivity.ContentHash());
+    }
+  }
+
+  size_t new_pages = std::max<size_t>(
+      1, static_cast<size_t>(std::llround(
+             static_cast<double>(mw->pages[pos]) * growth_factor)));
+  mw->pages[pos] = new_pages;
+  mw->data[pos] = GenerateTable(new_pages, mw->key_ranges[pos][0],
+                                mw->key_ranges[pos][1], rng);
+  IngestInto(mw, pos, options);
+  InstallSize(mw, pos, options);
+  for (int i : touching) InstallSelectivity(mw, i, options);
+
+  // Report only the hashes that actually changed: re-deriving can
+  // reproduce an identical distribution (same estimate, same spread), and
+  // invalidating those would over-drop.
+  DriftReport report;
+  std::unordered_set<uint64_t> fresh;
+  fresh.insert(
+      mw->workload.catalog.table(q.table(pos)).SizeDistribution()
+          .ContentHash());
+  for (int i : touching) {
+    fresh.insert(mw->workload.query.predicate(i).selectivity.ContentHash());
+  }
+  for (uint64_t h : old_hashes) {
+    if (fresh.count(h) == 0) report.stale_hashes.push_back(h);
+  }
+  return report;
+}
+
+}  // namespace lec::stats

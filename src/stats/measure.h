@@ -1,0 +1,101 @@
+// Measured workloads: materialize, ingest, derive, install — and drift.
+//
+// MaterializeAndMeasure closes the loop the paper leaves open: it takes a
+// generated Workload (whose distributions are hand-authored), materializes
+// a scaled-down synthetic instance of every relation through the storage
+// layer, sketches the real rows (charging buffer-pool I/O), derives
+// measured size and selectivity Distributions (table_stats.h), and
+// installs them into a copy of the workload — so the optimizer runs
+// against statistics that came from data. Exact ground truth (row counts,
+// distinct counts, join match counts) is computed alongside by brute
+// force, which is what fuzz invariant I11 checks the derived moments
+// against.
+//
+// DriftTable then models the production event precise invalidation exists
+// for: one relation's data changes, its sketches are re-ingested and its
+// Distributions re-derived, and the ContentHashes the old stats carried
+// are returned so the caller can drop exactly the cached plans that
+// consumed them (PlanCache::InvalidateDistribution).
+#ifndef LECOPT_STATS_MEASURE_H_
+#define LECOPT_STATS_MEASURE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "query/generator.h"
+#include "stats/table_stats.h"
+#include "storage/table_data.h"
+#include "util/rng.h"
+
+namespace lec::stats {
+
+struct MeasureOptions {
+  /// Materialized page-count cap per relation. Catalog sizes (up to 1e6
+  /// pages) are mapped to ~log2(pages) materialized pages so measurement
+  /// stays cheap while preserving relative size variety.
+  size_t max_pages = 24;
+  /// Materialized join selectivities are re-drawn log-uniformly from this
+  /// range: the catalog's page-domain selectivities (down to 1e-8) would
+  /// produce zero matches at materialized scale, making every measured
+  /// moment vacuously a floor.
+  double min_selectivity = 1e-3;
+  double max_selectivity = 0.05;
+  SketchOptions sketch;
+  DeriveOptions derive;
+};
+
+/// Exact per-relation ground truth, from the materialized rows.
+struct TableTruth {
+  uint64_t rows = 0;
+  uint64_t distinct[2] = {0, 0};
+};
+
+/// A workload whose statistics were measured from materialized data.
+struct MeasuredWorkload {
+  /// Copy of the base workload with measured stats installed: catalog
+  /// pages/pages_dist per table, predicate selectivity distributions.
+  Workload workload;
+
+  /// The materialized relations and their sketches, kept for drift.
+  std::vector<TableData> data;
+  std::vector<TableSketch> sketches;
+  std::vector<size_t> pages;                       ///< materialized pages
+  std::vector<std::array<int64_t, 2>> key_ranges;  ///< 0 = row-id column
+
+  /// Ground truth: exact rows/distincts per relation, exact equi-join
+  /// match count and page-domain selectivity per predicate, and which
+  /// column each predicate endpoint joins on.
+  std::vector<TableTruth> truth;
+  std::vector<double> true_matches;
+  std::vector<double> true_selectivity;
+  std::vector<std::array<int, 2>> pred_cols;
+
+  /// Buffer-pool page reads charged by ingest.
+  uint64_t io_pages = 0;
+};
+
+/// Materializes, ingests, derives and installs. Deterministic given the
+/// rng state. Requires a non-empty query.
+MeasuredWorkload MaterializeAndMeasure(const Workload& base,
+                                       const MeasureOptions& options,
+                                       Rng* rng);
+
+/// What a drift replaced: the ContentHashes of the distributions that are
+/// no longer installed (size dist of the drifted relation, selectivities
+/// of every predicate touching it). Feed these to
+/// PlanCache::InvalidateDistribution.
+struct DriftReport {
+  std::vector<uint64_t> stale_hashes;
+};
+
+/// Regenerates relation `pos`'s data at growth_factor times its current
+/// materialized size (same key ranges), re-ingests, re-derives, and
+/// re-installs the affected distributions. Updates ground truth in place.
+DriftReport DriftTable(MeasuredWorkload* mw, QueryPos pos,
+                       double growth_factor, const MeasureOptions& options,
+                       Rng* rng);
+
+}  // namespace lec::stats
+
+#endif  // LECOPT_STATS_MEASURE_H_

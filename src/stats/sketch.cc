@@ -1,0 +1,142 @@
+#include "stats/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace lec::stats {
+
+namespace {
+
+/// Fixed per-row hash seeds, derived once from arbitrary odd constants so
+/// sketch state is a pure function of the ingested rows.
+uint64_t RowSeed(size_t row) {
+  return 0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(row) + 1) ^
+         0xd1b54a32d192ed03ULL;
+}
+
+}  // namespace
+
+uint64_t HashKey(int64_t key, uint64_t seed) {
+  uint64_t z = static_cast<uint64_t>(key) + seed + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+CountMinSketch::CountMinSketch(Options options)
+    : width_(options.width), depth_(options.depth) {
+  if (width_ == 0 || depth_ == 0) {
+    throw std::invalid_argument("count-min sketch needs width, depth >= 1");
+  }
+  cells_.assign(width_ * depth_, 0);
+}
+
+void CountMinSketch::Add(int64_t key, uint64_t count) {
+  for (size_t row = 0; row < depth_; ++row) {
+    cells_[row * width_ + HashKey(key, RowSeed(row)) % width_] += count;
+  }
+  total_ += count;
+}
+
+uint64_t CountMinSketch::EstimateCount(int64_t key) const {
+  uint64_t best = std::numeric_limits<uint64_t>::max();
+  for (size_t row = 0; row < depth_; ++row) {
+    best = std::min(
+        best, cells_[row * width_ + HashKey(key, RowSeed(row)) % width_]);
+  }
+  return best;
+}
+
+double CountMinSketch::InnerProduct(const CountMinSketch& a,
+                                    const CountMinSketch& b) {
+  if (a.width_ != b.width_ || a.depth_ != b.depth_) {
+    throw std::invalid_argument("inner product needs matching sketch shapes");
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t row = 0; row < a.depth_; ++row) {
+    double dot = 0;
+    const uint64_t* ra = a.cells_.data() + row * a.width_;
+    const uint64_t* rb = b.cells_.data() + row * b.width_;
+    for (size_t i = 0; i < a.width_; ++i) {
+      dot += static_cast<double>(ra[i]) * static_cast<double>(rb[i]);
+    }
+    best = std::min(best, dot);
+  }
+  return best;
+}
+
+void CountMinSketch::Merge(const CountMinSketch& other) {
+  if (width_ != other.width_ || depth_ != other.depth_) {
+    throw std::invalid_argument("merge needs matching sketch shapes");
+  }
+  for (size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  total_ += other.total_;
+}
+
+double CountMinSketch::epsilon() const {
+  return std::exp(1.0) / static_cast<double>(width_);
+}
+
+HyperLogLog::HyperLogLog(int precision) : precision_(precision) {
+  if (precision < 4 || precision > 16) {
+    throw std::invalid_argument("hyperloglog precision must be in [4, 16]");
+  }
+  registers_.assign(size_t{1} << precision, 0);
+}
+
+void HyperLogLog::Add(int64_t key) {
+  uint64_t h = HashKey(key, 0x5851f42d4c957f2dULL);
+  size_t idx = static_cast<size_t>(h >> (64 - precision_));
+  // Rank of the leading 1 in the remaining 64-p bits (1-based); all-zero
+  // suffix ranks 64-p+1.
+  uint64_t rest = h << precision_;
+  uint8_t rank = static_cast<uint8_t>(
+      rest == 0 ? (64 - precision_ + 1) : (__builtin_clzll(rest) + 1));
+  registers_[idx] = std::max(registers_[idx], rank);
+}
+
+double HyperLogLog::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double inv_sum = 0;
+  size_t zeros = 0;
+  for (uint8_t r : registers_) {
+    inv_sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  // Bias-correction constant alpha_m for m >= 128 (precision >= 7); the
+  // small-m constants for p in [4, 6] per the original paper.
+  double alpha;
+  if (registers_.size() == 16) {
+    alpha = 0.673;
+  } else if (registers_.size() == 32) {
+    alpha = 0.697;
+  } else if (registers_.size() == 64) {
+    alpha = 0.709;
+  } else {
+    alpha = 0.7213 / (1.0 + 1.079 / m);
+  }
+  double raw = alpha * m * m / inv_sum;
+  if (raw <= 2.5 * m && zeros > 0) {
+    // Linear counting: far more accurate than the raw estimator in the
+    // sparse regime, and exactly 0 for an empty sketch.
+    return m * std::log(m / static_cast<double>(zeros));
+  }
+  return raw;
+}
+
+void HyperLogLog::Merge(const HyperLogLog& other) {
+  if (precision_ != other.precision_) {
+    throw std::invalid_argument("merge needs matching hyperloglog precision");
+  }
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+double HyperLogLog::relative_error() const {
+  return 1.04 / std::sqrt(static_cast<double>(registers_.size()));
+}
+
+}  // namespace lec::stats

@@ -1,0 +1,109 @@
+// Streaming sketch summaries for measured statistics.
+//
+// The paper assumes the optimizer is *given* distributions over uncertain
+// parameters ("we assume that the system has some way of estimating these
+// probabilities", §3.1). This module is that system's measurement half:
+// fixed-size streaming summaries over real rows, from which
+// src/stats/table_stats.h derives bucketed Distributions whose spread is
+// the sketch's own documented error bound.
+//
+//   CountMinSketch  — per-key frequencies. A point query overestimates by
+//     at most (e/width)·N with probability 1 − e^-depth (Cormode &
+//     Muthukrishnan); it never underestimates. The inner product of two
+//     sketches bounds an equi-join's match count the same way: the
+//     estimate is >= the true count always, and <= true +
+//     (e/width)·N_a·N_b per hash row with the same confidence, which the
+//     deriver turns into a one-sided selectivity CI.
+//
+//   HyperLogLog — distinct counts with relative error ~1.04/sqrt(m) for
+//     m = 2^precision registers (Flajolet et al.), with the standard
+//     linear-counting correction for small cardinalities. Merge is
+//     register-wise max: commutative, associative, idempotent — shard
+//     sketches combine to exactly the union sketch.
+//
+// All hashing is seeded splitmix64: the same rows always produce the same
+// sketch state, so derived distributions are bit-deterministic (a test and
+// fuzz-invariant requirement — same data must yield byte-identical
+// ContentHash).
+#ifndef LECOPT_STATS_SKETCH_H_
+#define LECOPT_STATS_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lec::stats {
+
+/// splitmix64 finalizer over (key, seed): the deterministic hash family
+/// both sketches draw from. Distinct seeds give independent-enough rows.
+uint64_t HashKey(int64_t key, uint64_t seed);
+
+/// Count-min sketch: depth rows of width counters, each row hashed with
+/// its own seed; a point estimate is the minimum over rows.
+class CountMinSketch {
+ public:
+  struct Options {
+    size_t width = 4096;  ///< counters per row; error ~ e/width of N
+    size_t depth = 5;     ///< rows; failure probability e^-depth
+  };
+
+  CountMinSketch() : CountMinSketch(Options()) {}
+  explicit CountMinSketch(Options options);
+
+  void Add(int64_t key, uint64_t count = 1);
+
+  /// Min-over-rows frequency estimate: >= the true count, always.
+  uint64_t EstimateCount(int64_t key) const;
+
+  /// Estimated Σ_k f_a(k)·f_b(k) — the match count of an equi-join between
+  /// the two sketched columns: min over rows of the row inner products.
+  /// Overestimates only. Requires identical width/depth.
+  static double InnerProduct(const CountMinSketch& a, const CountMinSketch& b);
+
+  /// Cell-wise sum (shard combination). Requires identical width/depth.
+  void Merge(const CountMinSketch& other);
+
+  size_t width() const { return width_; }
+  size_t depth() const { return depth_; }
+  /// Exact number of items added (counting is free while streaming).
+  uint64_t total() const { return total_; }
+  /// Per-query additive error factor: EstimateCount <= true + epsilon()·N
+  /// with probability 1 − e^-depth.
+  double epsilon() const;
+
+ private:
+  size_t width_ = 0;
+  size_t depth_ = 0;
+  uint64_t total_ = 0;
+  std::vector<uint64_t> cells_;  ///< depth_ rows of width_, row-major
+};
+
+/// HyperLogLog distinct counter with 2^precision one-byte registers.
+class HyperLogLog {
+ public:
+  /// `precision` in [4, 16]; m = 2^precision registers.
+  explicit HyperLogLog(int precision = 12);
+
+  void Add(int64_t key);
+
+  /// Harmonic-mean estimate with linear-counting correction below the
+  /// standard 2.5·m threshold. Empty sketch estimates 0.
+  double Estimate() const;
+
+  /// Register-wise max: the sketch of the union. Commutative. Requires
+  /// identical precision.
+  void Merge(const HyperLogLog& other);
+
+  int precision() const { return precision_; }
+  size_t num_registers() const { return registers_.size(); }
+  /// The standard error bound: 1.04 / sqrt(m).
+  double relative_error() const;
+
+ private:
+  int precision_ = 0;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace lec::stats
+
+#endif  // LECOPT_STATS_SKETCH_H_

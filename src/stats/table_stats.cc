@@ -1,0 +1,78 @@
+#include "stats/table_stats.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dist/builders.h"
+
+namespace lec::stats {
+
+TableSketch::TableSketch(const SketchOptions& options)
+    : cms_{CountMinSketch(options.cms), CountMinSketch(options.cms)},
+      hll_{HyperLogLog(options.hll_precision),
+           HyperLogLog(options.hll_precision)},
+      row_hll_(options.hll_precision) {}
+
+void TableSketch::IngestRow(const Tuple& t) {
+  for (int c = 0; c < 2; ++c) {
+    cms_[c].Add(t.cols[c]);
+    hll_[c].Add(t.cols[c]);
+  }
+  row_hll_.Add(t.payload);
+  ++rows_;
+}
+
+void TableSketch::IngestTable(const TableData& data, BufferPool* pool) {
+  if (pool != nullptr) pool->ChargeRead(data.num_pages());
+  data.ForEachTuple([this](const Tuple& t) { IngestRow(t); });
+}
+
+Distribution DeriveSizeDistribution(const TableSketch& t,
+                                    const DeriveOptions& options) {
+  if (t.rows() == 0) {
+    throw std::invalid_argument("cannot derive a size for an empty relation");
+  }
+  double rows_est = std::max(t.row_distinct().Estimate(), 1.0);
+  double pages_est = rows_est / static_cast<double>(kTuplesPerPage);
+  double spread = std::min(options.sigma * t.row_distinct().relative_error(),
+                           options.max_rel_spread);
+  return MeasuredEstimate(pages_est, spread);
+}
+
+double MeasuredPages(const TableSketch& t) {
+  if (t.rows() == 0) {
+    throw std::invalid_argument("cannot derive a size for an empty relation");
+  }
+  return std::max(t.row_distinct().Estimate(), 1.0) /
+         static_cast<double>(kTuplesPerPage);
+}
+
+Distribution DeriveSelectivityDistribution(const TableSketch& a, int col_a,
+                                           const TableSketch& b, int col_b,
+                                           const DeriveOptions& options) {
+  if (a.rows() == 0 || b.rows() == 0) {
+    throw std::invalid_argument(
+        "cannot derive a selectivity from an empty relation");
+  }
+  const CountMinSketch& ca = a.column(col_a);
+  const CountMinSketch& cb = b.column(col_b);
+  double na = static_cast<double>(ca.total());
+  double nb = static_cast<double>(cb.total());
+  double matches = CountMinSketch::InnerProduct(ca, cb);
+  // One-match floor: a zero estimate proves zero true matches (CMS never
+  // underestimates), but a zero selectivity is not a usable optimizer
+  // input — the cost model treats it as an impossible join.
+  double floor_sel = static_cast<double>(kTuplesPerPage) / (na * nb);
+  double sel_est = std::max(
+      matches * static_cast<double>(kTuplesPerPage) / (na * nb), floor_sel);
+  // The CMS CI is additive in the match domain: err <= epsilon·N_a·N_b,
+  // i.e. epsilon·kTuplesPerPage in the selectivity domain. Express it as a
+  // spread relative to the estimate, capped so the lower bucket stays
+  // positive.
+  double abs_ci = options.sigma * ca.epsilon() *
+                  static_cast<double>(kTuplesPerPage);
+  double spread = std::min(abs_ci / sel_est, options.max_rel_spread);
+  return MeasuredEstimate(sel_est, spread);
+}
+
+}  // namespace lec::stats

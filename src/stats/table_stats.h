@@ -1,0 +1,97 @@
+// Per-relation sketch state and the sketch -> Distribution deriver.
+//
+// A TableSketch streams a relation's rows (from storage/table_data,
+// charging page reads through the BufferPool like any other operator) into
+// one CountMinSketch + HyperLogLog per join column plus a row-count HLL
+// over the payload. DeriveSizeDistribution / DeriveSelectivityDistribution
+// turn that state into the bucketed Distributions the optimizer consumes
+// (catalog pages_dist, predicate selectivities), bracketing each sketch
+// estimate with its documented confidence interval:
+//
+//   size:  pages_est = HLL(payload) / kTuplesPerPage, spread
+//          kSigma · 1.04/sqrt(m) (HLL standard error; DESIGN.md
+//          "Measured statistics").
+//   sel:   sel_est = CMS inner product · kTuplesPerPage / (N_a·N_b) (the
+//          page-domain identity from storage/table_data.h), floored at one
+//          match; spread min(kSigma · e/width · kTuplesPerPage / sel_est,
+//          kMaxRelSpread) — the CMS one-sided CI, relative to the
+//          estimate.
+//
+// Both derivations use builders.h MeasuredEstimate, whose mean is exactly
+// the sketch estimate — so fuzz invariant I11 can check derived moments
+// against ingested ground truth with no slack for bucketing. Derivation is
+// a pure function of sketch state: the same rows always produce a
+// byte-identical Distribution (same ContentHash).
+#ifndef LECOPT_STATS_TABLE_STATS_H_
+#define LECOPT_STATS_TABLE_STATS_H_
+
+#include <cstdint>
+
+#include "dist/distribution.h"
+#include "stats/sketch.h"
+#include "storage/buffer_pool.h"
+#include "storage/table_data.h"
+
+namespace lec::stats {
+
+struct SketchOptions {
+  CountMinSketch::Options cms;
+  int hll_precision = 12;
+};
+
+/// Sketch summary of one relation: per-join-column CMS + HLL, a distinct
+/// count over the payload (the row id in generated data, so it measures
+/// the row count), and the exact stream length.
+class TableSketch {
+ public:
+  explicit TableSketch(const SketchOptions& options = {});
+
+  void IngestRow(const Tuple& t);
+
+  /// Ingests every page of `data`, charging one read per page through
+  /// `pool` when provided (ingest is I/O like any other scan).
+  void IngestTable(const TableData& data, BufferPool* pool = nullptr);
+
+  uint64_t rows() const { return rows_; }
+  const CountMinSketch& column(int c) const { return cms_[c]; }
+  const HyperLogLog& column_distinct(int c) const { return hll_[c]; }
+  const HyperLogLog& row_distinct() const { return row_hll_; }
+
+ private:
+  uint64_t rows_ = 0;
+  CountMinSketch cms_[2];
+  HyperLogLog hll_[2];
+  HyperLogLog row_hll_;
+};
+
+struct DeriveOptions {
+  /// CI multiplier applied to each sketch's standard error bound.
+  double sigma = 3.0;
+  /// Cap on the relative spread of a derived bucket (MeasuredEstimate
+  /// requires rel_spread < 1; a sparse CMS can bound far above its
+  /// estimate).
+  double max_rel_spread = 0.9;
+};
+
+/// Result-size distribution from measured distinct counts: three buckets
+/// around HLL(payload)/kTuplesPerPage pages. Throws std::invalid_argument
+/// if nothing was ingested (an empty relation has no measured size).
+Distribution DeriveSizeDistribution(const TableSketch& t,
+                                    const DeriveOptions& options = {});
+
+/// Measured page count (the size distribution's mean), for Catalog
+/// installation alongside the distribution.
+double MeasuredPages(const TableSketch& t);
+
+/// Page-domain selectivity distribution for an equi-join between
+/// a.column(col_a) and b.column(col_b), from the CMS inner-product match
+/// estimate. Page-domain selectivity may legitimately exceed 1 (a full
+/// cross-match has selectivity kTuplesPerPage), so the value is floored at
+/// one match but not clamped above. Throws if either side is empty.
+Distribution DeriveSelectivityDistribution(const TableSketch& a, int col_a,
+                                           const TableSketch& b, int col_b,
+                                           const DeriveOptions& options = {});
+
+}  // namespace lec::stats
+
+#endif  // LECOPT_STATS_TABLE_STATS_H_

@@ -27,6 +27,16 @@ class TableData {
   /// Flattens to a tuple vector (test helper).
   std::vector<Tuple> AllTuples() const;
 
+  /// Streams every tuple in storage order without materializing a copy —
+  /// the statistics ingest path (src/stats/) sketches millions of rows and
+  /// must not pay an AllTuples allocation per pass.
+  template <class Fn>
+  void ForEachTuple(Fn&& fn) const {
+    for (const Page& p : pages_) {
+      for (const Tuple& t : p.tuples()) fn(t);
+    }
+  }
+
  private:
   std::vector<Page> pages_;
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "cost/cost_policies.h"
 #include "cost/fast_expected_cost.h"
@@ -20,6 +21,7 @@
 #include "service/serde.h"
 #include "service/serve_pipeline.h"
 #include "service/wire_server.h"
+#include "stats/measure.h"
 #include "verify/mc_validator.h"
 #include "verify/oracle.h"
 #include "verify/tolerance.h"
@@ -128,6 +130,7 @@ class CaseChecker {
     CheckDpPruning();            // I9
     CheckSerdeCacheParity();     // I8
     CheckServePipeline();        // I10
+    CheckMeasuredStats();        // I11
     if (options_.check_mc) CheckMonteCarlo();  // I6
     return std::move(violations_);
   }
@@ -846,6 +849,195 @@ class CaseChecker {
              "I10:socket_serve_parity",
              "socket round trip differs from sequential facade");
     }
+  }
+
+  void CheckMeasuredStats() {
+    if (Stop()) return;
+    // (a) Materialize a scaled-down instance of this case's workload,
+    // sketch the real rows, and hold every derived Distribution to the
+    // documented CI bounds against exact ground truth (src/stats/
+    // table_stats.h): derived size mean within sigma·1.04/sqrt(m) of the
+    // true page count; derived selectivity mean never below the true
+    // selectivity (CMS overestimates only) and at most the one-sided CMS
+    // CI plus the one-match floor above it.
+    stats::MeasureOptions mopts;
+    mopts.max_pages = 12;
+    Rng rng(case_.seed ^ 0x517cc1b727220a95ULL);
+    stats::MeasuredWorkload mw =
+        stats::MaterializeAndMeasure(ctx_.workload, mopts, &rng);
+    const Query& mq = mw.workload.query;
+
+    bool dists_valid = true;
+    std::string invalid_detail;
+    auto check_valid = [&](const Distribution& d, const char* what) {
+      DistView v = d.AsView();
+      double mass = 0;
+      bool positive = d.Min() > 0;
+      for (size_t i = 0; i < v.n; ++i) mass += v.probs[i];
+      if (!(v.n >= 1 && positive && std::abs(mass - 1.0) <= 1e-9)) {
+        dists_valid = false;
+        invalid_detail = std::string(what) + " is not a valid positive " +
+                         "normalized distribution";
+      }
+    };
+
+    bool sizes_ok = true;
+    std::string size_detail;
+    for (QueryPos p = 0; p < mq.num_tables(); ++p) {
+      const Table& t = mw.workload.catalog.table(mq.table(p));
+      Distribution size = t.SizeDistribution();
+      check_valid(size, "derived size distribution");
+      double true_pages = static_cast<double>(mw.truth[p].rows) /
+                          static_cast<double>(kTuplesPerPage);
+      double bound = mopts.derive.sigma *
+                     mw.sketches[p].row_distinct().relative_error();
+      if (std::abs(size.Mean() - true_pages) > bound * true_pages + 1e-9) {
+        sizes_ok = false;
+        size_detail = FormatMismatch("derived size mean (pages)",
+                                     size.Mean(), true_pages);
+      }
+    }
+    Expect(sizes_ok, "I11:size_moment", size_detail);
+
+    bool sels_ok = true;
+    std::string sel_detail;
+    for (int i = 0; i < mq.num_predicates(); ++i) {
+      const JoinPredicate& pred = mq.predicate(i);
+      check_valid(pred.selectivity, "derived selectivity distribution");
+      double true_sel = mw.true_selectivity[i];
+      double est = pred.selectivity.Mean();
+      double rows_l = static_cast<double>(mw.truth[pred.left].rows);
+      double rows_r = static_cast<double>(mw.truth[pred.right].rows);
+      double floor_sel =
+          static_cast<double>(kTuplesPerPage) / (rows_l * rows_r);
+      double ci = mopts.derive.sigma *
+                  mw.sketches[pred.left].column(mw.pred_cols[i][0]).epsilon() *
+                  static_cast<double>(kTuplesPerPage);
+      bool lower_ok = est >= true_sel * (1 - 1e-9);
+      bool upper_ok = est <= true_sel + ci + floor_sel + 1e-12;
+      if (!lower_ok || !upper_ok) {
+        sels_ok = false;
+        sel_detail = FormatMismatch(
+            lower_ok ? "derived selectivity above one-sided CI"
+                     : "derived selectivity below ground truth (CMS must "
+                       "overestimate)",
+            est, true_sel);
+      }
+    }
+    Expect(sels_ok, "I11:selectivity_ci", sel_detail);
+    Expect(dists_valid, "I11:derived_valid", invalid_detail);
+
+    // Derivation is a pure function of sketch state: re-deriving must
+    // reproduce byte-identical distributions (same ContentHash).
+    Expect(stats::DeriveSizeDistribution(mw.sketches[0], mopts.derive)
+                   .ContentHash() ==
+               stats::DeriveSizeDistribution(mw.sketches[0], mopts.derive)
+                   .ContentHash(),
+           "I11:derive_deterministic",
+           "re-deriving the same sketch produced different bytes");
+    if (Stop()) return;
+
+    // (b) Precise invalidation: cache three entries (this measured
+    // workload, a sibling's, and the hand-authored one), drift one
+    // relation, invalidate exactly the replaced ContentHashes, and check
+    // that every entry consuming a stale hash is dropped while every
+    // survivor still replays bit-identical to a fresh optimize.
+    FuzzCase sibling = case_;
+    sibling.seed = case_.seed + 1;
+    CaseContext sib_ctx = BuildContext(sibling);
+    Rng sib_rng(sibling.seed ^ 0x517cc1b727220a95ULL);
+    stats::MeasuredWorkload sib_mw =
+        stats::MaterializeAndMeasure(sib_ctx.workload, mopts, &sib_rng);
+
+    // The pre-drift workloads are what stale clients keep submitting.
+    std::array<Workload, 3> pre = {mw.workload, sib_mw.workload,
+                                   ctx_.workload};
+
+    PlanCache cache;
+    Optimizer facade;
+    auto cached_opt = [&](const Workload& w) {
+      OptimizeRequest req;
+      req.query = &w.query;
+      req.catalog = &w.catalog;
+      req.model = &ctx_.model;
+      req.memory = &ctx_.memory;
+      req.options.plan_cache = &cache;
+      return facade.Optimize(StrategyId::kLecStatic, req);
+    };
+    auto uncached_opt = [&](const Workload& w) {
+      OptimizeRequest req;
+      req.query = &w.query;
+      req.catalog = &w.catalog;
+      req.model = &ctx_.model;
+      req.memory = &ctx_.memory;
+      return facade.Optimize(StrategyId::kLecStatic, req);
+    };
+    auto bit_equal = [](const OptimizeResult& a, const OptimizeResult& b) {
+      return a.objective == b.objective && PlanEquals(a.plan, b.plan) &&
+             a.cost_evaluations == b.cost_evaluations;
+    };
+    for (const Workload& w : pre) cached_opt(w);
+
+    stats::DriftReport drift = stats::DriftTable(&mw, 0, 2.0, mopts, &rng);
+    if (!Expect(!drift.stale_hashes.empty(), "I11:drift_changes_stats",
+                "doubling a relation left every derived hash unchanged")) {
+      return;
+    }
+    std::unordered_set<uint64_t> stale(drift.stale_hashes.begin(),
+                                       drift.stale_hashes.end());
+    // Which cached entries consumed a stale distribution? Identical
+    // content means identical ContentHash, so two workloads can
+    // legitimately share a distribution — membership is decided by
+    // content, not by which workload the drift targeted.
+    auto consumes_stale = [&](const Workload& w) {
+      for (QueryPos p = 0; p < w.query.num_tables(); ++p) {
+        if (stale.count(w.catalog.table(w.query.table(p))
+                            .SizeDistribution()
+                            .ContentHash())) {
+          return true;
+        }
+      }
+      for (const JoinPredicate& pred : w.query.predicates()) {
+        if (stale.count(pred.selectivity.ContentHash())) return true;
+      }
+      return false;
+    };
+    size_t expect_dropped = 0;
+    for (const Workload& w : pre) {
+      if (consumes_stale(w)) ++expect_dropped;
+    }
+
+    size_t dropped = 0;
+    for (uint64_t h : drift.stale_hashes) {
+      dropped += cache.InvalidateDistribution(h);
+    }
+    Expect(dropped == expect_dropped &&
+               cache.stats().invalidated == expect_dropped &&
+               expect_dropped >= 1,
+           "I11:precise_drop_count",
+           "InvalidateDistribution dropped " + std::to_string(dropped) +
+               " entries, expected " + std::to_string(expect_dropped));
+
+    // Affected entries must now recompute (miss); survivors must hit, and
+    // every post-invalidation serve must be bit-identical to a fresh
+    // uncached optimize.
+    bool replay_ok = true;
+    std::string replay_detail;
+    for (const Workload& w : pre) {
+      PlanCache::Stats before = cache.stats();
+      OptimizeResult served = cached_opt(w);
+      PlanCache::Stats after = cache.stats();
+      bool expect_hit = !consumes_stale(w);
+      bool hit = after.hits == before.hits + 1;
+      if (hit != expect_hit || !bit_equal(served, uncached_opt(w))) {
+        replay_ok = false;
+        replay_detail = std::string(expect_hit
+                                        ? "surviving entry missed or served "
+                                          "non-identical bits"
+                                        : "stale entry still served a hit");
+      }
+    }
+    Expect(replay_ok, "I11:post_invalidation_replay", replay_detail);
   }
 
   void CheckMonteCarlo() {

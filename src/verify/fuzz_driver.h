@@ -54,6 +54,18 @@
 //      strategy; pipeline stats conserve submissions; and the socket
 //      wire framing (service/wire_server.h) round-trips the request
 //      canonically and serves reference bits through a real socket.
+//   I11 measured stats    — materializing a scaled-down instance of the
+//      case's workload and sketching its real rows (src/stats/) yields
+//      valid normalized Distributions whose moments track exact ground
+//      truth within the sketches' documented CI bounds: the derived size
+//      mean within sigma·1.04/sqrt(m) of the true page count (HLL), the
+//      derived selectivity mean never below the true selectivity and at
+//      most the one-sided CMS CI above it; derivation is byte-
+//      deterministic. And precise invalidation is exact: after a data
+//      drift re-derives one relation's distributions, invalidating the
+//      replaced ContentHashes drops exactly the cached plans that
+//      consumed them, while every surviving entry still replays
+//      bit-identical to a fresh optimize.
 //   I6 Monte-Carlo        — sampled executions agree with the analytic EC
 //      in the static and Markov-dynamic regimes: a violation is a 99.9%
 //      CLT-interval miss that is ALSO materially far from the mean

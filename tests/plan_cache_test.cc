@@ -214,28 +214,93 @@ TEST_F(PlanCacheTest, EvictsLruUnderEntryCap) {
   EXPECT_FALSE(cache.Lookup(gone).has_value());
 }
 
-TEST_F(PlanCacheTest, InvalidateAllDropsEntriesLazily) {
+TEST_F(PlanCacheTest, InvalidateAllLazyAblationDropsOnTouch) {
+  // eager_invalidate_sweep = false is the pre-fix lazy behavior, kept as
+  // an ablation: stale entries keep their slots until touched. This test
+  // pins the lazy path's contract — snapshot exclusion and counter
+  // consistency on a stale touch.
+  PlanCache::Options copts;
+  copts.eager_invalidate_sweep = false;
   Workload w = MakeWorkload(3);
-  PlanCache cache;
+  PlanCache cache(copts);
   OptimizeRequest req = RequestFor(w, &cache);
   optimizer_.Optimize(StrategyId::kLecStatic, req);
   QuerySignature sig = QuerySignature::Compute(StrategyId::kLecStatic, req);
   ASSERT_TRUE(cache.Lookup(sig).has_value());
   cache.InvalidateAll();
-  // Stale entries are excluded from snapshots, and the reported count
-  // says so (an operator must not be told a warm restart preserved plans
-  // that were just invalidated).
+  // Lazy: the dead entry still occupies its slot until something touches
+  // it — but it is excluded from snapshots, and the reported count says
+  // so (an operator must not be told a warm restart preserved plans that
+  // were just invalidated).
+  EXPECT_EQ(cache.size(), 1u);
   size_t saved = 99;
   cache.SaveSnapshot(serde::Encoding::kText, &saved);
   EXPECT_EQ(saved, 0u);
+  // The stale touch counts BOTH a stale drop and a miss — exactly one of
+  // each — and frees the slot.
+  PlanCache::Stats before = cache.stats();
   EXPECT_FALSE(cache.Lookup(sig).has_value());
-  EXPECT_EQ(cache.stats().stale, 1u);
+  PlanCache::Stats after = cache.stats();
+  EXPECT_EQ(after.stale, before.stale + 1);
+  EXPECT_EQ(after.misses, before.misses + 1);
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(cache.size(), 0u);
   // The miss repopulates at the current epoch.
   optimizer_.Optimize(StrategyId::kLecStatic, req);
   EXPECT_TRUE(cache.Lookup(sig).has_value());
   saved = 0;
   cache.SaveSnapshot(serde::Encoding::kText, &saved);
   EXPECT_EQ(saved, 1u);
+}
+
+TEST_F(PlanCacheTest, InvalidateAllEagerSweepFreesCapacityImmediately) {
+  // Regression: with the lazy drop, a cache full of invalidated entries
+  // kept squatting the entry cap — fresh inserts after InvalidateAll
+  // churned through spurious "evictions" of dead entries. The default
+  // eager sweep releases every dead slot inside InvalidateAll itself.
+  PlanCache::Options copts;
+  copts.max_entries = 3;
+  copts.shards = 1;
+  PlanCache cache(copts);
+  std::vector<Workload> old_gen, new_gen;
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    old_gen.push_back(MakeWorkload(700 + seed));
+    new_gen.push_back(MakeWorkload(710 + seed));
+  }
+  for (const Workload& w : old_gen) {
+    optimizer_.Optimize(StrategyId::kLecStatic, RequestFor(w, &cache));
+  }
+  ASSERT_EQ(cache.size(), 3u);
+  cache.InvalidateAll();
+  EXPECT_EQ(cache.size(), 0u);  // slots released NOW, not on touch
+  EXPECT_EQ(cache.stats().stale, 3u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  // A full working set inserted post-invalidation fits without evicting.
+  for (const Workload& w : new_gen) {
+    optimizer_.Optimize(StrategyId::kLecStatic, RequestFor(w, &cache));
+  }
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  for (const Workload& w : new_gen) {
+    EXPECT_TRUE(cache
+                    .Lookup(QuerySignature::Compute(StrategyId::kLecStatic,
+                                                    RequestFor(w, nullptr)))
+                    .has_value());
+  }
+
+  // Contrast: the lazy ablation DOES squat the cap — the same sequence
+  // pays one eviction per dead entry.
+  copts.eager_invalidate_sweep = false;
+  PlanCache lazy(copts);
+  for (const Workload& w : old_gen) {
+    optimizer_.Optimize(StrategyId::kLecStatic, RequestFor(w, &lazy));
+  }
+  lazy.InvalidateAll();
+  EXPECT_EQ(lazy.size(), 3u);  // dead entries still hold their slots
+  for (const Workload& w : new_gen) {
+    optimizer_.Optimize(StrategyId::kLecStatic, RequestFor(w, &lazy));
+  }
+  EXPECT_EQ(lazy.stats().evictions, 3u);
 }
 
 TEST_F(PlanCacheTest, SnapshotRoundTripServesBitIdenticalResults) {
@@ -395,6 +460,89 @@ TEST_F(PlanCacheTest, ConcurrentHammerStaysConsistent) {
   PlanCache::Stats stats = cache.stats();
   EXPECT_EQ(stats.lookups(), 2000u);
   EXPECT_LE(cache.size(), 8u);
+}
+
+TEST_F(PlanCacheTest, InvalidateDistributionDropsExactlyConsumingEntries) {
+  Workload w1 = MakeWorkload(800);
+  Workload w2 = MakeWorkload(801);
+  uint64_t w1_hash = w1.catalog.table(0).SizeDistribution().ContentHash();
+  uint64_t w2_hash = w2.catalog.table(0).SizeDistribution().ContentHash();
+  ASSERT_NE(w1_hash, w2_hash);  // independent seeds, distinct stats
+
+  PlanCache cache;
+  optimizer_.Optimize(StrategyId::kLecStatic, RequestFor(w1, &cache));
+  optimizer_.Optimize(StrategyId::kLecStatic, RequestFor(w2, &cache));
+  QuerySignature s1 =
+      QuerySignature::Compute(StrategyId::kLecStatic, RequestFor(w1, nullptr));
+  QuerySignature s2 =
+      QuerySignature::Compute(StrategyId::kLecStatic, RequestFor(w2, nullptr));
+
+  // Invalidating a distribution only w1's plan consumed drops w1's entry
+  // and ONLY w1's entry.
+  EXPECT_EQ(cache.InvalidateDistribution(w1_hash), 1u);
+  EXPECT_FALSE(cache.Lookup(s1).has_value());
+  EXPECT_TRUE(cache.Lookup(s2).has_value());
+  EXPECT_EQ(cache.stats().invalidated, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Idempotent: the reverse-index entry went with the cache entry.
+  EXPECT_EQ(cache.InvalidateDistribution(w1_hash), 0u);
+
+  // The memory distribution is an input every cached plan consumed:
+  // invalidating its hash drops everything left.
+  EXPECT_EQ(cache.InvalidateDistribution(memory_.ContentHash()), 1u);
+  EXPECT_FALSE(cache.Lookup(s2).has_value());
+  EXPECT_EQ(cache.stats().invalidated, 2u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(PlanCacheTest, EvictionUnlinksReverseIndex) {
+  PlanCache::Options copts;
+  copts.max_entries = 1;
+  copts.shards = 1;
+  PlanCache cache(copts);
+  Workload w1 = MakeWorkload(810);
+  Workload w2 = MakeWorkload(811);
+  uint64_t w1_hash = w1.catalog.table(0).SizeDistribution().ContentHash();
+  uint64_t w2_hash = w2.catalog.table(0).SizeDistribution().ContentHash();
+  ASSERT_NE(w1_hash, w2_hash);
+
+  optimizer_.Optimize(StrategyId::kLecStatic, RequestFor(w1, &cache));
+  optimizer_.Optimize(StrategyId::kLecStatic, RequestFor(w2, &cache));
+  ASSERT_EQ(cache.stats().evictions, 1u);  // w1's entry was evicted
+
+  // The evicted entry's reverse-index links must be gone too, or this
+  // would double-drop / dangle.
+  EXPECT_EQ(cache.InvalidateDistribution(w1_hash), 0u);
+  EXPECT_EQ(cache.InvalidateDistribution(w2_hash), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(PlanCacheTest, SnapshotReloadSupportsPreciseInvalidation) {
+  // The reverse index is rebuilt from the canonical signature bytes on
+  // LoadSnapshot (QuerySignature::ExtractDistHashes), so a warm-started
+  // cache invalidates just as precisely as the one that was saved.
+  Workload w1 = MakeWorkload(820);
+  Workload w2 = MakeWorkload(821);
+  uint64_t w1_hash = w1.catalog.table(0).SizeDistribution().ContentHash();
+
+  PlanCache cache;
+  optimizer_.Optimize(StrategyId::kLecStatic, RequestFor(w1, &cache));
+  OptimizeResult original =
+      optimizer_.Optimize(StrategyId::kLecStatic, RequestFor(w2, &cache));
+  std::string snapshot = cache.SaveSnapshot(serde::Encoding::kBinary);
+
+  PlanCache warmed;
+  ASSERT_EQ(warmed.LoadSnapshot(snapshot), 2u);
+  EXPECT_EQ(warmed.InvalidateDistribution(w1_hash), 1u);
+  QuerySignature s1 =
+      QuerySignature::Compute(StrategyId::kLecStatic, RequestFor(w1, nullptr));
+  EXPECT_FALSE(warmed.Lookup(s1).has_value());
+  OptimizeResult served =
+      optimizer_.Optimize(StrategyId::kLecStatic, RequestFor(w2, &warmed));
+  EXPECT_EQ(warmed.stats().hits, 1u);
+  EXPECT_EQ(Bits(served.objective), Bits(original.objective));
+  EXPECT_TRUE(PlanEquals(served.plan, original.plan));
 }
 
 }  // namespace

@@ -1,0 +1,51 @@
+// Replays every seed in tests/regression_seeds.txt through the full fuzz
+// invariant catalog. A seed lands in that file because it once violated
+// an invariant (or was shipped as a counterexample artifact); it must
+// replay clean forever after the fix.
+#include "verify/fuzz_driver.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace lec::verify {
+namespace {
+
+std::vector<std::string> LoadSeedLines() {
+  std::ifstream in(std::string(LECOPT_SOURCE_DIR) +
+                   "/tests/regression_seeds.txt");
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') continue;
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(RegressionSeedsTest, EverySeedDecodesAndReplaysClean) {
+  std::vector<std::string> seeds = LoadSeedLines();
+  ASSERT_FALSE(seeds.empty()) << "regression_seeds.txt missing or empty";
+  FuzzOptions options;
+  options.mc_samples = 400;
+  for (const std::string& text : seeds) {
+    std::optional<FuzzCase> fuzz_case = FuzzCase::Decode(text);
+    ASSERT_TRUE(fuzz_case.has_value()) << "malformed seed: " << text;
+    EXPECT_EQ(fuzz_case->Encode(), text) << "non-canonical seed: " << text;
+    size_t checked = 0;
+    std::vector<FuzzViolation> violations =
+        CheckCase(*fuzz_case, options, &checked);
+    EXPECT_GT(checked, 0u);
+    for (const FuzzViolation& v : violations) {
+      ADD_FAILURE() << text << " violates " << v.invariant << ": " << v.detail;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lec::verify

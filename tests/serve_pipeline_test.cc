@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <condition_variable>
 #include <cstring>
 #include <memory>
@@ -259,14 +260,86 @@ TEST_F(ServePipelineTest, EstimateCalibratesFromNonDegradedServesOnly) {
   // First observation seeds the EWMA directly.
   EXPECT_DOUBLE_EQ(pipeline.EstimateSeconds(), 4.0);
 
-  // A budget below the calibrated estimate now degrades — and the
-  // degraded serve (fallback runs, taking ~0 clock time) must NOT drag
-  // the estimate down.
+  // A budget below the calibrated estimate now degrades. The degraded
+  // serve (fallback runs, taking ~0 clock time) only NUDGES the estimate
+  // toward the observed fallback cost at the slow decay rate — one
+  // overload blip cannot whipsaw the full-compute estimate, but it does
+  // move it (the pre-fix behavior froze it at 4.0 forever; see the
+  // sustained-overload test below).
   serde::ServeRequest other = MakeRequest(31);
   ServeOutcome out = pipeline.Submit(other, 2.0).Wait();
   ASSERT_EQ(out.status, ServeStatus::kOk);
   EXPECT_TRUE(out.degraded);
-  EXPECT_DOUBLE_EQ(pipeline.EstimateSeconds(), 4.0);
+  EXPECT_DOUBLE_EQ(pipeline.EstimateSeconds(), 0.95 * 4.0);
+  EXPECT_DOUBLE_EQ(pipeline.FallbackEstimateSeconds(), 0.0);
+}
+
+TEST_F(ServePipelineTest, SustainedOverloadDecaysEstimateAndProbesRecovery) {
+  // Regression: the estimate EWMA used to update only on non-degraded
+  // computes, so once the estimate exceeded every caller's budget the
+  // pipeline degraded forever — the estimate froze at its last
+  // pre-overload value even after computes got cheap again. The fix
+  // decays the estimate toward the observed fallback cost on every
+  // degraded serve, so sustained overload eventually probes a full
+  // compute and recalibrates.
+  auto now = std::make_shared<std::atomic<double>>(0.0);
+  ServePipeline::Options opts;
+  opts.workers = 1;
+  opts.clock = [now] { return now->load(); };
+
+  Optimizer facade;
+  Optimizer inner;
+  facade.Register(StrategyId::kLecStatic,
+                  [&inner, now](OptimizeRequest req) {
+                    now->fetch_add(4.0);  // the "expensive" full compute
+                    req.options.plan_cache = nullptr;
+                    return inner.Optimize(StrategyId::kLecStatic, req);
+                  });
+  facade.Register(StrategyId::kLsc, [&inner, now](OptimizeRequest req) {
+    now->fetch_add(0.5);  // the cheap fallback
+    req.options.plan_cache = nullptr;
+    return inner.Optimize(StrategyId::kLsc, req);
+  });
+  opts.optimizer = &facade;
+  ServePipeline pipeline(opts);
+
+  serde::ServeRequest request = MakeRequest(32);
+  pipeline.Submit(request, 1000.0).Wait();
+  ASSERT_DOUBLE_EQ(pipeline.EstimateSeconds(), 4.0);
+
+  // Sustained overload: every caller arrives with a 2-second budget.
+  // Each degraded serve decays the estimate by one step of
+  //   e' = (1 - 0.05) * e + 0.05 * fallback_cost
+  // so e_k = 0.95^k * 4 + (1 - 0.95^k) * 0.5, which crosses below the
+  // 2-second budget at k = 17 — the 18th serve runs the full compute.
+  OptimizeResult fallback_ref =
+      Reference(request, StrategyId::kLsc, model_, plain_);
+  int degraded_rounds = 0;
+  double prev_estimate = pipeline.EstimateSeconds();
+  for (int round = 0; round < 40; ++round) {
+    ServeOutcome out = pipeline.Submit(request, 2.0).Wait();
+    ASSERT_EQ(out.status, ServeStatus::kOk);
+    if (!out.degraded) break;  // the probe: overload no longer absorbing
+    ++degraded_rounds;
+    ExpectBitEqual(out.result, fallback_ref);
+    double estimate = pipeline.EstimateSeconds();
+    EXPECT_LT(estimate, prev_estimate);  // never frozen
+    double expected = std::pow(0.95, degraded_rounds) * 4.0 +
+                      (1.0 - std::pow(0.95, degraded_rounds)) * 0.5;
+    EXPECT_NEAR(estimate, expected, 1e-12);
+    EXPECT_DOUBLE_EQ(pipeline.FallbackEstimateSeconds(), 0.5);
+    prev_estimate = estimate;
+  }
+  // The loop must have ended via a full-fidelity probe, not exhaustion.
+  EXPECT_EQ(degraded_rounds, 17);
+  // The probe observed the still-expensive compute and recalibrated the
+  // estimate upward (0.8 * e + 0.2 * 4.0) — back above the budget, so
+  // the NEXT serve degrades again: the pipeline oscillates between
+  // mostly-degraded serves and occasional probes instead of freezing.
+  EXPECT_GT(pipeline.EstimateSeconds(), 2.0);
+  ServeOutcome again = pipeline.Submit(request, 2.0).Wait();
+  ASSERT_EQ(again.status, ServeStatus::kOk);
+  EXPECT_TRUE(again.degraded);
 }
 
 TEST_F(ServePipelineTest, ShutdownDrainsAdmittedWorkAndRefusesNewWork) {

@@ -1,0 +1,304 @@
+// The measured-statistics contract (src/stats/): CountMinSketch never
+// underestimates and its width/depth extremes behave per the bound,
+// HyperLogLog merge is commutative/idempotent and its estimate tracks
+// truth within the documented standard error, the deriver is
+// byte-deterministic (same rows -> same ContentHash) and rejects empty
+// ingests, and MaterializeAndMeasure's derived moments bracket exact
+// ground truth while DriftTable reports exactly the replaced hashes.
+#include "stats/table_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "dist/builders.h"
+#include "query/generator.h"
+#include "stats/measure.h"
+#include "storage/buffer_pool.h"
+#include "storage/table_data.h"
+#include "util/rng.h"
+
+namespace lec::stats {
+namespace {
+
+TEST(CountMinSketchTest, NeverUnderestimatesAndIsExactWhenSparse) {
+  CountMinSketch cms;  // 4096 x 5: 100 keys are far below collision range
+  std::vector<uint64_t> truth(100);
+  for (int64_t k = 0; k < 100; ++k) {
+    truth[static_cast<size_t>(k)] = static_cast<uint64_t>(1 + (k % 7));
+    cms.Add(k, truth[static_cast<size_t>(k)]);
+  }
+  for (int64_t k = 0; k < 100; ++k) {
+    uint64_t est = cms.EstimateCount(k);
+    EXPECT_GE(est, truth[static_cast<size_t>(k)]) << "key " << k;
+    // Collisions in all 5 rows at this load are ~1e-8 probable, and the
+    // hashing is deterministic: sparse estimates are exact.
+    EXPECT_EQ(est, truth[static_cast<size_t>(k)]) << "key " << k;
+  }
+  EXPECT_EQ(cms.EstimateCount(100000), 0u);  // never-seen key
+}
+
+TEST(CountMinSketchTest, WidthOneDegeneratesToTotalCount) {
+  // With one counter per row every key aliases every other: the estimate
+  // collapses to the stream total — the bound's epsilon = e/width worst
+  // case, still never an underestimate.
+  CountMinSketch::Options opts;
+  opts.width = 1;
+  opts.depth = 3;
+  CountMinSketch cms(opts);
+  for (int64_t k = 0; k < 10; ++k) cms.Add(k);
+  EXPECT_EQ(cms.total(), 10u);
+  EXPECT_EQ(cms.EstimateCount(0), 10u);
+  EXPECT_EQ(cms.EstimateCount(999), 10u);
+  EXPECT_DOUBLE_EQ(cms.epsilon(), std::exp(1.0));
+}
+
+TEST(CountMinSketchTest, DepthOneAndShapeChecks) {
+  CountMinSketch::Options shallow;
+  shallow.width = 64;
+  shallow.depth = 1;
+  CountMinSketch a(shallow), b(shallow);
+  a.Add(7, 3);
+  b.Add(7, 5);
+  // Single row: the inner product is that row's dot product exactly.
+  EXPECT_DOUBLE_EQ(CountMinSketch::InnerProduct(a, b), 15.0);
+  a.Merge(b);
+  EXPECT_EQ(a.EstimateCount(7), 8u);
+  EXPECT_EQ(a.total(), 8u);
+
+  CountMinSketch other;  // default shape, mismatched
+  EXPECT_THROW(CountMinSketch::InnerProduct(a, other), std::invalid_argument);
+  EXPECT_THROW(a.Merge(other), std::invalid_argument);
+  CountMinSketch::Options zero;
+  zero.width = 0;
+  EXPECT_THROW(CountMinSketch{zero}, std::invalid_argument);
+}
+
+TEST(HyperLogLogTest, MergeIsCommutativeAndIdempotent) {
+  HyperLogLog a(10), b(10);
+  for (int64_t k = 0; k < 500; ++k) a.Add(k);
+  for (int64_t k = 300; k < 900; ++k) b.Add(k);  // overlapping sets
+
+  HyperLogLog ab = a;
+  ab.Merge(b);
+  HyperLogLog ba = b;
+  ba.Merge(a);
+  EXPECT_DOUBLE_EQ(ab.Estimate(), ba.Estimate());
+
+  // Idempotent: merging a sketch into itself changes nothing.
+  HyperLogLog aa = a;
+  aa.Merge(a);
+  EXPECT_DOUBLE_EQ(aa.Estimate(), a.Estimate());
+
+  // The merged sketch estimates the union (900 distinct) within the
+  // documented standard error (3 sigma).
+  double tol = 3.0 * ab.relative_error() * 900.0;
+  EXPECT_NEAR(ab.Estimate(), 900.0, tol);
+
+  HyperLogLog coarse(4);
+  EXPECT_THROW(a.Merge(coarse), std::invalid_argument);
+  EXPECT_THROW(HyperLogLog{3}, std::invalid_argument);
+  EXPECT_THROW(HyperLogLog{17}, std::invalid_argument);
+}
+
+TEST(HyperLogLogTest, EstimateTracksTruthAcrossRegimes) {
+  HyperLogLog empty(12);
+  EXPECT_DOUBLE_EQ(empty.Estimate(), 0.0);
+
+  // Single value: linear counting, within a hair of 1.
+  HyperLogLog single(12);
+  for (int i = 0; i < 100; ++i) single.Add(42);
+  EXPECT_NEAR(single.Estimate(), 1.0, 0.01);
+
+  // Large cardinality: the raw estimator regime.
+  HyperLogLog big(12);
+  for (int64_t k = 0; k < 50000; ++k) big.Add(k);
+  EXPECT_NEAR(big.Estimate(), 50000.0,
+              3.0 * big.relative_error() * 50000.0);
+}
+
+TEST(MeasuredEstimateTest, MeanIsExactlyTheCenter) {
+  Distribution d = MeasuredEstimate(40.0, 0.3);
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d.Mean(), 40.0);
+  EXPECT_DOUBLE_EQ(d.Min(), 40.0 * 0.7);
+  EXPECT_DOUBLE_EQ(d.Max(), 40.0 * 1.3);
+
+  Distribution point = MeasuredEstimate(7.0, 0.0);
+  EXPECT_EQ(point.size(), 1u);
+  EXPECT_DOUBLE_EQ(point.Mean(), 7.0);
+
+  EXPECT_THROW(MeasuredEstimate(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(MeasuredEstimate(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(MeasuredEstimate(1.0, -0.1), std::invalid_argument);
+}
+
+TEST(TableSketchTest, EmptyIngestHasNoMeasuredStatistics) {
+  TableSketch empty;
+  EXPECT_EQ(empty.rows(), 0u);
+  EXPECT_THROW(DeriveSizeDistribution(empty), std::invalid_argument);
+  TableSketch full;
+  Rng rng(1);
+  full.IngestTable(GenerateTable(2, 0, 0, &rng));
+  EXPECT_THROW(DeriveSelectivityDistribution(empty, 0, full, 0),
+               std::invalid_argument);
+  EXPECT_THROW(DeriveSelectivityDistribution(full, 0, empty, 0),
+               std::invalid_argument);
+}
+
+TEST(TableSketchTest, SingleValueColumnsCrossMatchAtTuplesPerPage) {
+  // key_range 1 collapses both join columns to the constant 0: every
+  // tuple pair matches, and the page-domain selectivity identity says the
+  // measured selectivity is exactly kTuplesPerPage. The constant-key CMS
+  // has no collisions to overestimate with, so the estimate is exact.
+  Rng rng(2);
+  TableData a = GenerateTable(2, 1, 1, &rng);
+  TableData b = GenerateTable(3, 1, 1, &rng);
+  TableSketch sa, sb;
+  sa.IngestTable(a);
+  sb.IngestTable(b);
+  EXPECT_EQ(sa.rows(), 2 * kTuplesPerPage);
+  EXPECT_NEAR(sa.column_distinct(0).Estimate(), 1.0, 0.01);
+  EXPECT_NEAR(sa.column_distinct(1).Estimate(), 1.0, 0.01);
+
+  Distribution sel = DeriveSelectivityDistribution(sa, 0, sb, 1);
+  EXPECT_NEAR(sel.Mean(), static_cast<double>(kTuplesPerPage), 1e-9);
+  // Page-domain selectivity legitimately exceeds 1 here — the deriver
+  // must not clamp it.
+  EXPECT_GT(sel.Min(), 1.0);
+}
+
+TEST(TableSketchTest, DerivationIsByteDeterministic) {
+  Rng rng(3);
+  TableData data = GenerateTable(4, 100, 0, &rng);
+  TableSketch s1, s2;
+  s1.IngestTable(data);
+  s2.IngestTable(data);
+  Distribution d1 = DeriveSizeDistribution(s1);
+  Distribution d2 = DeriveSizeDistribution(s2);
+  EXPECT_EQ(d1.ContentHash(), d2.ContentHash());
+  EXPECT_DOUBLE_EQ(MeasuredPages(s1), MeasuredPages(s2));
+  EXPECT_EQ(DeriveSelectivityDistribution(s1, 0, s2, 0).ContentHash(),
+            DeriveSelectivityDistribution(s2, 0, s1, 0).ContentHash());
+}
+
+TEST(TableSketchTest, IngestChargesOneReadPerPage) {
+  Rng rng(4);
+  TableData data = GenerateTable(5, 50, 50, &rng);
+  BufferPool pool(1);
+  TableSketch sketch;
+  sketch.IngestTable(data, &pool);
+  EXPECT_EQ(pool.reads(), data.num_pages());
+  EXPECT_EQ(sketch.rows(), data.num_tuples());
+}
+
+class MeasureTest : public ::testing::Test {
+ protected:
+  static Workload MakeBase(uint64_t seed) {
+    Rng rng(seed);
+    WorkloadOptions wopts;
+    wopts.num_tables = 4;
+    wopts.shape = JoinGraphShape::kChain;
+    wopts.selectivity_spread = 3.0;
+    wopts.table_size_spread = 2.0;
+    return GenerateWorkload(wopts, &rng);
+  }
+};
+
+TEST_F(MeasureTest, DerivedMomentsBracketGroundTruth) {
+  Workload base = MakeBase(11);
+  MeasureOptions mopts;
+  mopts.max_pages = 12;
+  Rng rng(99);
+  MeasuredWorkload mw = MaterializeAndMeasure(base, mopts, &rng);
+
+  uint64_t total_pages = 0;
+  for (size_t t = 0; t < mw.data.size(); ++t) {
+    total_pages += mw.data[t].num_pages();
+    double true_pages = static_cast<double>(mw.truth[t].rows) /
+                        static_cast<double>(kTuplesPerPage);
+    Distribution size = mw.workload.catalog.table(static_cast<TableId>(t))
+                            .SizeDistribution();
+    double tol = mopts.derive.sigma *
+                     mw.sketches[t].row_distinct().relative_error() *
+                     true_pages +
+                 1e-9;
+    EXPECT_NEAR(size.Mean(), true_pages, tol) << "table " << t;
+    EXPECT_GT(size.Min(), 0.0);
+  }
+  // Ingest charged exactly one read per materialized page.
+  EXPECT_EQ(mw.io_pages, total_pages);
+
+  const auto& preds = mw.workload.query.predicates();
+  ASSERT_EQ(preds.size(), mw.true_selectivity.size());
+  for (size_t i = 0; i < preds.size(); ++i) {
+    double est = preds[i].selectivity.Mean();
+    double truth = mw.true_selectivity[i];
+    // CMS overestimates only: est >= truth, and within the one-sided CI.
+    EXPECT_GE(est, truth * (1.0 - 1e-9)) << "pred " << i;
+    const CountMinSketch& ca = mw.sketches[0].column(0);
+    double ci = mopts.derive.sigma * ca.epsilon() *
+                static_cast<double>(kTuplesPerPage);
+    EXPECT_LE(est, truth + ci + 1.0) << "pred " << i;  // +floor slack
+  }
+}
+
+TEST_F(MeasureTest, MeasurementIsDeterministicGivenTheRngState) {
+  Workload base = MakeBase(12);
+  MeasureOptions mopts;
+  mopts.max_pages = 10;
+  Rng rng1(7), rng2(7);
+  MeasuredWorkload a = MaterializeAndMeasure(base, mopts, &rng1);
+  MeasuredWorkload b = MaterializeAndMeasure(base, mopts, &rng2);
+  for (size_t t = 0; t < a.data.size(); ++t) {
+    EXPECT_EQ(a.workload.catalog.table(static_cast<TableId>(t))
+                  .SizeDistribution()
+                  .ContentHash(),
+              b.workload.catalog.table(static_cast<TableId>(t))
+                  .SizeDistribution()
+                  .ContentHash());
+  }
+  const auto& pa = a.workload.query.predicates();
+  const auto& pb = b.workload.query.predicates();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].selectivity.ContentHash(), pb[i].selectivity.ContentHash());
+  }
+}
+
+TEST_F(MeasureTest, DriftReplacesHashesAndUpdatesTruth) {
+  Workload base = MakeBase(13);
+  MeasureOptions mopts;
+  mopts.max_pages = 10;
+  Rng rng(21);
+  MeasuredWorkload mw = MaterializeAndMeasure(base, mopts, &rng);
+
+  uint64_t old_size_hash =
+      mw.workload.catalog.table(0).SizeDistribution().ContentHash();
+  uint64_t untouched_hash =
+      mw.workload.catalog.table(2).SizeDistribution().ContentHash();
+  uint64_t old_rows = mw.truth[0].rows;
+  size_t old_pages = mw.data[0].num_pages();
+
+  DriftReport report = DriftTable(&mw, 0, 2.0, mopts, &rng);
+  // Doubling the relation's data changes its measured size: the old size
+  // hash is reported stale and the installed distribution is new.
+  EXPECT_FALSE(report.stale_hashes.empty());
+  uint64_t new_size_hash =
+      mw.workload.catalog.table(0).SizeDistribution().ContentHash();
+  EXPECT_NE(new_size_hash, old_size_hash);
+  bool reported = false;
+  for (uint64_t h : report.stale_hashes) reported |= (h == old_size_hash);
+  EXPECT_TRUE(reported);
+  // Ground truth tracked the drift.
+  EXPECT_EQ(mw.data[0].num_pages(), 2 * old_pages);
+  EXPECT_EQ(mw.truth[0].rows, 2 * old_rows);
+  // Untouched relations keep their stats byte-identically.
+  EXPECT_EQ(mw.workload.catalog.table(2).SizeDistribution().ContentHash(),
+            untouched_hash);
+}
+
+}  // namespace
+}  // namespace lec::stats

@@ -37,6 +37,24 @@
 //                          like gen, but print the serialized request
 //                          instead of serving (build request files this way)
 //   stats                  print cache hit/miss/eviction/stale counters
+//   ingest NAME PAGES SEED [KEY_RANGE0 [KEY_RANGE1]]
+//                          materialize PAGES pages of synthetic rows
+//                          (storage/table_data.h; key range 0 = unique row
+//                          ids) and stream them into the named relation's
+//                          sketch (src/stats/). Repeating the command
+//                          streams MORE rows into the same sketch — that
+//                          is data drift.
+//   stats-derive NAME      derive a measured size distribution from the
+//                          named sketch and install it as an override:
+//                          every subsequently served catalog containing a
+//                          table of that name (gen names them T0, T1, ...)
+//                          gets its pages/pages_dist replaced by the
+//                          measurement. Prints the replaced distribution's
+//                          ContentHash (feed it to invalidate-dist) and
+//                          the new one.
+//   invalidate-dist HASH   drop exactly the cached plans that consumed
+//                          the distribution with this ContentHash (hex,
+//                          as printed by stats-derive); prints the count
 //   save [PATH]            snapshot the cache (default: --snapshot path)
 //   load [PATH]            warm-load a snapshot (default: --snapshot path)
 //   invalidate             epoch-invalidate every cached entry
@@ -48,9 +66,11 @@
 // Exit status: 0 on success, 1 on a malformed request/command (the stream
 // position after a parse error inside a binary request is unrecoverable,
 // so lec_serve stops rather than resync).
+#include <cinttypes>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -61,6 +81,9 @@
 #include "service/serde.h"
 #include "service/serve_pipeline.h"
 #include "service/wire_server.h"
+#include "stats/table_stats.h"
+#include "storage/buffer_pool.h"
+#include "storage/table_data.h"
 #include "util/rng.h"
 #include "util/wall_timer.h"
 
@@ -207,6 +230,12 @@ class Server {
     OptimizeRequest req;
     req.query = &request.workload.query;
     req.catalog = &request.workload.catalog;
+    // Measured-statistics overrides (stats-derive): serve against a
+    // patched catalog copy so the cached plan consumes — and is keyed by —
+    // the measured distributions.
+    std::optional<lec::Catalog> patched =
+        ApplyMeasuredOverrides(request.workload.catalog);
+    if (patched) req.catalog = &*patched;
     req.model = &model_;
     req.memory = &request.memory;
     req.options = request.options;
@@ -254,11 +283,130 @@ class Server {
 
   size_t served() const { return served_; }
 
+  /// `ingest NAME PAGES SEED [KEY_RANGE0 [KEY_RANGE1]]`: materialize and
+  /// stream synthetic rows into the named sketch, charging buffer-pool
+  /// reads like any scan. Re-ingesting the same name accumulates (drift).
+  bool Ingest(const std::string& args) {
+    std::istringstream in(args);
+    std::string name;
+    size_t pages = 0;
+    uint64_t seed = 0;
+    if (!(in >> name >> pages >> seed) || pages == 0) {
+      std::fprintf(stderr,
+                   "lec_serve: usage: ingest NAME PAGES SEED "
+                   "[KEY_RANGE0 [KEY_RANGE1]]\n");
+      return false;
+    }
+    int64_t key_range0 = 0, key_range1 = 0;
+    in >> key_range0;
+    in >> key_range1;
+    Rng rng(seed);
+    lec::TableData data =
+        lec::GenerateTable(pages, key_range0, key_range1, &rng);
+    lec::BufferPool pool(1);
+    lec::stats::TableSketch& sketch = sketches_[name];
+    sketch.IngestTable(data, &pool);
+    std::printf(
+        "ingested %s: %zu pages, %" PRIu64 " rows (%" PRIu64
+        " page reads charged); sketch now %" PRIu64 " rows, ~%.0f distinct\n",
+        name.c_str(), data.num_pages(),
+        static_cast<uint64_t>(data.num_tuples()), pool.reads(), sketch.rows(),
+        sketch.row_distinct().Estimate());
+    return true;
+  }
+
+  /// `stats-derive NAME`: turn the named sketch into a measured size
+  /// distribution and install it as a serving override. Prints the
+  /// replaced distribution's ContentHash — the input to invalidate-dist.
+  bool DeriveStats(const std::string& args) {
+    std::istringstream in(args);
+    std::string name;
+    if (!(in >> name)) {
+      std::fprintf(stderr, "lec_serve: usage: stats-derive NAME\n");
+      return false;
+    }
+    auto it = sketches_.find(name);
+    if (it == sketches_.end()) {
+      std::fprintf(stderr,
+                   "lec_serve: no sketch for \"%s\" (run ingest first)\n",
+                   name.c_str());
+      return false;
+    }
+    Distribution dist = lec::stats::DeriveSizeDistribution(it->second);
+    double pages = lec::stats::MeasuredPages(it->second);
+    auto prev = measured_.find(name);
+    if (prev == measured_.end()) {
+      std::printf("%s: measured %.3f pages, dist %016" PRIx64 "\n",
+                  name.c_str(), pages, dist.ContentHash());
+    } else if (prev->second.dist.ContentHash() == dist.ContentHash()) {
+      std::printf("%s: measured %.3f pages, dist %016" PRIx64 " (unchanged)\n",
+                  name.c_str(), pages, dist.ContentHash());
+    } else {
+      // Drift: the old measurement is now stale — tell the operator which
+      // hash to invalidate so only its consumers are dropped.
+      std::printf("%s: measured %.3f pages, dist %016" PRIx64
+                  " replaces stale %016" PRIx64 "\n",
+                  name.c_str(), pages, dist.ContentHash(),
+                  prev->second.dist.ContentHash());
+    }
+    measured_[name] = MeasuredSize{pages, std::move(dist)};
+    return true;
+  }
+
+  /// `invalidate-dist HASH`: precise invalidation by distribution
+  /// ContentHash (hex, with or without a 0x prefix — the format
+  /// stats-derive prints).
+  bool InvalidateDist(const std::string& args) {
+    std::istringstream in(args);
+    std::string token;
+    if (!(in >> token)) {
+      std::fprintf(stderr, "lec_serve: usage: invalidate-dist HASH\n");
+      return false;
+    }
+    uint64_t hash = 0;
+    try {
+      size_t used = 0;
+      hash = std::stoull(token, &used, 16);
+      if (used != token.size()) throw std::invalid_argument(token);
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "lec_serve: invalidate-dist: bad hash \"%s\"\n",
+                   token.c_str());
+      return false;
+    }
+    size_t dropped = cache_.InvalidateDistribution(hash);
+    std::printf("invalidate-dist %016" PRIx64 ": dropped %zu entr%s\n", hash,
+                dropped, dropped == 1 ? "y" : "ies");
+    return true;
+  }
+
  private:
+  struct MeasuredSize {
+    double pages = 0;
+    Distribution dist = Distribution::PointMass(1.0);
+  };
+
   static PlanCache::Options MakeCacheOptions(const Flags& flags) {
     PlanCache::Options copts;
     copts.max_entries = flags.cache_entries;
     return copts;
+  }
+
+  /// Applies every stats-derive override whose name matches a table in
+  /// `base`; returns the patched copy, or nullopt when nothing matched.
+  std::optional<lec::Catalog> ApplyMeasuredOverrides(
+      const lec::Catalog& base) const {
+    std::optional<lec::Catalog> patched;
+    for (const auto& [name, m] : measured_) {
+      lec::TableId id;
+      try {
+        id = base.FindByName(name);
+      } catch (const std::out_of_range&) {
+        continue;
+      }
+      if (!patched) patched = base;
+      patched->UpdateTableStats(id, m.pages, m.dist);
+    }
+    return patched;
   }
 
   Flags flags_;
@@ -266,6 +414,9 @@ class Server {
   Optimizer optimizer_;
   PlanCache cache_;
   size_t served_ = 0;
+  /// Measured-statistics state, keyed by relation name.
+  std::map<std::string, lec::stats::TableSketch> sketches_;
+  std::map<std::string, MeasuredSize> measured_;
 };
 
 int Run(std::istream& in, const Flags& flags) {
@@ -364,9 +515,23 @@ int Run(std::istream& in, const Flags& flags) {
           size_t loaded = server.cache().LoadSnapshotFile(path);
           std::printf("loaded %zu entries from %s\n", loaded, path.c_str());
         }
+      } else if (word == "ingest") {
+        std::string rest;
+        std::getline(in, rest);
+        if (!server.Ingest(rest)) return 1;
+      } else if (word == "stats-derive") {
+        std::string rest;
+        std::getline(in, rest);
+        if (!server.DeriveStats(rest)) return 1;
+      } else if (word == "invalidate-dist") {
+        std::string rest;
+        std::getline(in, rest);
+        if (!server.InvalidateDist(rest)) return 1;
       } else if (word == "invalidate") {
+        size_t before = server.cache().size();
         server.cache().InvalidateAll();
-        std::printf("invalidated (entries drop lazily on next touch)\n");
+        std::printf("invalidated (%zu stale entries swept)\n",
+                    before - server.cache().size());
       } else if (word == "trim") {
         // The DP scratch is sized by the largest query a thread has seen
         // (optimizer/dp_common.h); this releases the REPL thread's scratch
