@@ -1,0 +1,141 @@
+#include "cost/measured_cost.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <utility>
+
+namespace lec {
+
+namespace {
+
+/// Solve the 3x3 system A·x = b by Gaussian elimination with partial
+/// pivoting. A is symmetric positive semi-definite here (normal equations
+/// plus ridge), so the pivot never truly vanishes; the guard below is belt
+/// and braces against a degenerate all-zero slice.
+bool Solve3x3(std::array<std::array<double, 3>, 3> a, std::array<double, 3> b,
+              std::array<double, 3>* x) {
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < 3; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (int r = col + 1; r < 3; ++r) {
+      double f = a[r][col] / a[col][col];
+      for (int c = col; c < 3; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  for (int col = 2; col >= 0; --col) {
+    double s = b[col];
+    for (int c = col + 1; c < 3; ++c) s -= a[col][c] * (*x)[c];
+    (*x)[col] = s / a[col][col];
+  }
+  return true;
+}
+
+/// Accumulates one operator's normal equations over its corpus slice and
+/// solves for {alpha, beta, gamma}. `basis0` is the analytic prediction for
+/// the sample, `basis1` the linear page term.
+class SliceFit {
+ public:
+  void Add(double basis0, double basis1, double measured) {
+    double phi[3] = {basis0, basis1, 1.0};
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) ata_[i][j] += phi[i] * phi[j];
+      atb_[i] += phi[i] * measured;
+    }
+    ++count_;
+  }
+
+  size_t count() const { return count_; }
+
+  void SolveInto(MeasuredCoefficients* out) const {
+    if (count_ == 0) return;  // keep the analytic fallback
+    auto a = ata_;
+    // Tiny ridge: keeps the system nonsingular when a slice is collinear
+    // (e.g. every sample in one memory regime makes basis0 a multiple of
+    // basis1). Biased toward the analytic-anchored solution by centering
+    // the ridge on (1, 0, 0).
+    constexpr double kRidge = 1e-6;
+    auto b = atb_;
+    for (int i = 0; i < 3; ++i) a[i][i] += kRidge;
+    b[0] += kRidge * 1.0;
+    std::array<double, 3> x{1.0, 0.0, 0.0};
+    if (Solve3x3(a, b, &x)) {
+      out->alpha = x[0];
+      out->beta = x[1];
+      out->gamma = x[2];
+    }
+    out->samples = count_;
+  }
+
+ private:
+  std::array<std::array<double, 3>, 3> ata_{};
+  std::array<double, 3> atb_{};
+  size_t count_ = 0;
+};
+
+}  // namespace
+
+void MeasuredCostModel::Fit(const std::vector<OperatorSample>& corpus) {
+  SliceFit join_fits[4];
+  SliceFit sort_fit;
+  for (const OperatorSample& s : corpus) {
+    if (s.is_sort) {
+      sort_fit.Add(analytic_.SortCost(s.left_pages, s.memory), s.left_pages,
+                   s.measured_io);
+    } else {
+      join_fits[static_cast<int>(s.method)].Add(
+          analytic_.JoinCost(s.method, s.left_pages, s.right_pages, s.memory),
+          s.left_pages + s.right_pages, s.measured_io);
+    }
+  }
+  for (int m = 0; m < 4; ++m) {
+    joins_[m] = MeasuredCoefficients{};
+    join_fits[m].SolveInto(&joins_[m]);
+  }
+  sort_ = MeasuredCoefficients{};
+  sort_fit.SolveInto(&sort_);
+}
+
+double MeasuredCostModel::JoinCost(JoinMethod method, double left_pages,
+                                   double right_pages, double memory,
+                                   bool left_sorted, bool right_sorted) const {
+  const MeasuredCoefficients& c = joins_[static_cast<int>(method)];
+  double analytic = analytic_.JoinCost(method, left_pages, right_pages, memory,
+                                       left_sorted, right_sorted);
+  return c.alpha * analytic + c.beta * (left_pages + right_pages) + c.gamma;
+}
+
+double MeasuredCostModel::SortCost(double pages, double memory) const {
+  return sort_.alpha * analytic_.SortCost(pages, memory) +
+         sort_.beta * pages + sort_.gamma;
+}
+
+double MeasuredCostModel::Predict(const OperatorSample& sample) const {
+  if (sample.is_sort) return SortCost(sample.left_pages, sample.memory);
+  return JoinCost(sample.method, sample.left_pages, sample.right_pages,
+                  sample.memory);
+}
+
+double MeasuredCostModel::MeanAbsRelativeError(
+    const std::vector<OperatorSample>& corpus) const {
+  if (corpus.empty()) return 0.0;
+  double sum = 0.0;
+  for (const OperatorSample& s : corpus) {
+    sum += std::fabs(Predict(s) - s.measured_io) /
+           std::max(s.measured_io, 1.0);
+  }
+  return sum / static_cast<double>(corpus.size());
+}
+
+const MeasuredCoefficients& MeasuredCostModel::join_coefficients(
+    JoinMethod method) const {
+  return joins_[static_cast<int>(method)];
+}
+
+}  // namespace lec

@@ -1,0 +1,114 @@
+// A cost model fit from measured operator runs — the second DP backend.
+//
+// The analytic CostModel implements the paper's stylized formulas; this
+// module closes the loop the ROADMAP names ("execute plans, calibrate the
+// cost model, adapt"): real storage/ operator runs produce a replay corpus
+// of (operator, input sizes, memory) -> realized page I/O samples, and
+// MeasuredCostModel fits per-operator coefficients to them by linear least
+// squares. The fitted model exposes the same JoinCost/SortCost surface as
+// the analytic CostModel, and MeasuredCostProvider (bottom of this header)
+// satisfies the optimizer's DpCostProvider concept, so RunDp<> plans
+// against measurements exactly the way it plans against the formulas —
+// the multi-backend seam PR 5 wanted, grounded in data.
+//
+// Fit structure: for each join method m the basis is
+//
+//   predicted(a, b, M) = alpha_m * C_analytic(m, a, b, M)
+//                      + beta_m  * (a + b)          (linear CPU/IO residual)
+//                      + gamma_m                    (constant overhead)
+//
+// and analogously for sort with C_analytic = SortCost and (a+b) = pages.
+// Anchoring the first basis function on the analytic formula keeps the
+// memory-threshold structure (the paper's discontinuities) in the fitted
+// model; the linear and constant terms absorb what the stylized 2/4/6
+// multipliers undercount (e.g. the final merge-join re-read). Unfit
+// operators fall back to alpha = 1, beta = gamma = 0 — the analytic model.
+#ifndef LECOPT_COST_MEASURED_COST_H_
+#define LECOPT_COST_MEASURED_COST_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "plan/plan.h"
+
+namespace lec {
+
+/// One observed operator run of the replay corpus.
+struct OperatorSample {
+  bool is_sort = false;  ///< sort sample (method ignored) vs join sample
+  JoinMethod method = JoinMethod::kNestedLoop;
+  double left_pages = 0;   ///< sort: the sorted input's pages
+  double right_pages = 0;  ///< sort: unused (0)
+  double memory = 0;       ///< buffer-pool capacity during the run
+  double measured_io = 0;  ///< realized page reads + writes
+};
+
+/// Per-operator calibration coefficients (see the header comment for the
+/// basis). Defaults reproduce the analytic model exactly.
+struct MeasuredCoefficients {
+  double alpha = 1.0;  ///< weight on the analytic formula
+  double beta = 0.0;   ///< weight on (a + b) pages
+  double gamma = 0.0;  ///< constant overhead
+  size_t samples = 0;  ///< corpus rows this fit consumed (0 = unfit)
+};
+
+/// Calibrated cost model: analytic structure, measured coefficients.
+class MeasuredCostModel {
+ public:
+  /// `analytic` supplies the basis formulas; copied by value (stateless).
+  explicit MeasuredCostModel(const CostModel& analytic = CostModel())
+      : analytic_(analytic) {}
+
+  /// Least-squares fit of the per-operator coefficients over `corpus`.
+  /// Operators with no samples keep their analytic fallback. Deterministic;
+  /// a tiny ridge term keeps the normal equations solvable when a corpus
+  /// slice is collinear (e.g. every NL sample in the in-memory regime).
+  void Fit(const std::vector<OperatorSample>& corpus);
+
+  /// Same surface as CostModel::JoinCost, evaluated through the fit.
+  double JoinCost(JoinMethod method, double left_pages, double right_pages,
+                  double memory, bool left_sorted = false,
+                  bool right_sorted = false) const;
+
+  /// Same surface as CostModel::SortCost, evaluated through the fit.
+  double SortCost(double pages, double memory) const;
+
+  /// Predicted I/O for one corpus row (dispatches on is_sort).
+  double Predict(const OperatorSample& sample) const;
+
+  /// Mean of |predicted - measured| / max(measured, 1) over `corpus` — the
+  /// calibration-quality metric E23 gates.
+  double MeanAbsRelativeError(const std::vector<OperatorSample>& corpus) const;
+
+  const MeasuredCoefficients& join_coefficients(JoinMethod method) const;
+  const MeasuredCoefficients& sort_coefficients() const { return sort_; }
+  const CostModel& analytic() const { return analytic_; }
+
+ private:
+  CostModel analytic_;
+  MeasuredCoefficients joins_[4];  ///< indexed by JoinMethod
+  MeasuredCoefficients sort_;
+};
+
+/// Fixed-memory DP cost provider over the measured model — the measured
+/// twin of LscCostProvider. Satisfies DpCostProvider (no floors: the fitted
+/// coefficients carry no admissibility proof, so the branch-and-bound DP
+/// never engages for this backend).
+struct MeasuredCostProvider {
+  const MeasuredCostModel& model;
+  double memory;
+
+  double JoinCost(JoinMethod m, double left_pages, double right_pages,
+                  bool left_sorted, bool right_sorted, int) const {
+    return model.JoinCost(m, left_pages, right_pages, memory, left_sorted,
+                          right_sorted);
+  }
+  double SortCost(double pages, int) const {
+    return model.SortCost(pages, memory);
+  }
+};
+
+}  // namespace lec
+
+#endif  // LECOPT_COST_MEASURED_COST_H_

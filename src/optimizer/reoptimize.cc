@@ -1,0 +1,59 @@
+#include "optimizer/reoptimize.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cost/cost_policies.h"
+#include "util/wall_timer.h"
+
+namespace lec {
+
+OptimizeResult ReoptimizeSuffix(const Query& suffix_query,
+                                const Catalog& catalog,
+                                const SuffixCosting& costing,
+                                const OptimizerOptions& options) {
+  if (costing.model == nullptr) {
+    throw std::invalid_argument("ReoptimizeSuffix requires a cost model");
+  }
+  WallTimer timer;
+  DpContext ctx(suffix_query, catalog, options);
+  OptimizeResult result;
+  if (costing.chain != nullptr) {
+    // Phase t of the suffix runs t+1 chain steps after the observation:
+    // the observed state is "now" (phase -1 relative to the suffix), and
+    // the first suffix join runs after one transition.
+    size_t phases =
+        static_cast<size_t>(std::max(suffix_query.num_tables() - 1, 1));
+    std::vector<Distribution> marginals;
+    marginals.reserve(phases);
+    Distribution now = Distribution::PointMass(costing.current_memory);
+    for (size_t t = 0; t < phases; ++t) {
+      marginals.push_back(costing.chain->MarginalAfter(now, t + 1));
+    }
+    result = RunDp(ctx, LecDynamicCostProvider{*costing.model, marginals});
+  } else if (costing.memory_by_phase != nullptr) {
+    result = RunDp(
+        ctx, RealizedCostProvider{*costing.model, *costing.memory_by_phase});
+  } else if (costing.memory_dist != nullptr) {
+    result =
+        RunDp(ctx, LecStaticCostProvider{*costing.model, *costing.memory_dist});
+  } else {
+    result = RunDp(ctx, LscCostProvider{*costing.model, costing.fixed_memory});
+  }
+  result.elapsed_seconds = timer.Seconds();
+  return result;
+}
+
+OptimizeResult OptimizeWithMeasuredModel(const Query& query,
+                                         const Catalog& catalog,
+                                         const MeasuredCostModel& model,
+                                         double memory,
+                                         const OptimizerOptions& options) {
+  WallTimer timer;
+  DpContext ctx(query, catalog, options);
+  OptimizeResult result = RunDp(ctx, MeasuredCostProvider{model, memory});
+  result.elapsed_seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace lec

@@ -1,0 +1,72 @@
+// Mid-execution suffix re-optimization + the measured-model DP backend.
+//
+// The paper's dynamic story (§3.5) costs each join phase under the Markov
+// chain's t-step marginal, but it plans the WHOLE trajectory up front. This
+// module supplies the runtime half: when the executor (exec/plan_executor.h)
+// detects that the realized parameter path has left the planned trajectory,
+// it rebuilds the remaining work as a fresh chain query — the materialized
+// intermediate becomes a base relation with its *realized* page count — and
+// ReoptimizeSuffix plans just that suffix, conditioning the per-phase
+// marginals on the memory value observed right now (MarginalAfter from a
+// point mass at the current state) instead of the stale time-zero marginals.
+//
+// OptimizeWithMeasuredModel is the second DP backend the ROADMAP's
+// multi-backend item wanted: the same RunDp skeleton, statically dispatched
+// over MeasuredCostProvider (cost/measured_cost.h) instead of the analytic
+// providers. The analytic regimes are untouched — this is an additional
+// instantiation of the DpCostProvider concept, not a change to any
+// existing one.
+#ifndef LECOPT_OPTIMIZER_REOPTIMIZE_H_
+#define LECOPT_OPTIMIZER_REOPTIMIZE_H_
+
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "cost/measured_cost.h"
+#include "dist/markov.h"
+#include "optimizer/dp_common.h"
+#include "query/query.h"
+
+namespace lec {
+
+/// How the remaining phases are costed, in priority order: the first
+/// non-null source wins.
+struct SuffixCosting {
+  const CostModel* model = nullptr;  ///< required
+
+  /// Dynamic regime: per-phase marginals re-conditioned on the current
+  /// state. `current_memory` must be one of the chain's states (the
+  /// executor observes it from the sampled trajectory, so it always is).
+  const MarkovChain* chain = nullptr;
+  double current_memory = 0;
+
+  /// Realized regime: the known memory suffix, element t = phase t of the
+  /// suffix plan (clamps beyond the end).
+  const std::vector<double>* memory_by_phase = nullptr;
+
+  /// Static LEC regime: one memory distribution for every phase.
+  const Distribution* memory_dist = nullptr;
+
+  /// LSC fallback when everything above is null.
+  double fixed_memory = 0;
+};
+
+/// Plans `suffix_query` (the executor-built remainder: already-joined
+/// intermediate as a base relation plus the unconsumed originals) from
+/// scratch under the selected costing regime. Stamps elapsed_seconds.
+OptimizeResult ReoptimizeSuffix(const Query& suffix_query,
+                                const Catalog& catalog,
+                                const SuffixCosting& costing,
+                                const OptimizerOptions& options = {});
+
+/// Full-query optimization through the measured backend: RunDp over
+/// MeasuredCostProvider at one memory value. Stamps elapsed_seconds.
+OptimizeResult OptimizeWithMeasuredModel(const Query& query,
+                                         const Catalog& catalog,
+                                         const MeasuredCostModel& model,
+                                         double memory,
+                                         const OptimizerOptions& options = {});
+
+}  // namespace lec
+
+#endif  // LECOPT_OPTIMIZER_REOPTIMIZE_H_

@@ -40,8 +40,8 @@ struct SketchOptions {
 };
 
 /// Sketch summary of one relation: per-join-column CMS + HLL, a distinct
-/// count over the payload (the row id in generated data, so it measures
-/// the row count), and the exact stream length.
+/// count over the payload (a bijective mix of the row id in generated
+/// data, so it measures the row count), and the exact stream length.
 class TableSketch {
  public:
   explicit TableSketch(const SketchOptions& options = {});

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "storage/external_sort.h"
+#include "util/hash.h"
 
 namespace lec {
 
@@ -16,9 +17,17 @@ Tuple CombineTuples(const Tuple& l, const Tuple& r,
   Tuple out;
   out.cols[0] = (spec.out0_side == 0 ? l : r).cols[spec.out0_col];
   out.cols[1] = (spec.out1_side == 0 ? l : r).cols[spec.out1_col];
-  // Payload combination is injective for payloads < 2^31, so result
-  // multisets can be compared exactly in tests.
-  out.payload = l.payload * (int64_t{1} << 31) + r.payload;
+  // Additive multiset hash over the base rows' payloads. Payloads live in a
+  // SplitMix64-mixed domain (GenerateTable), so the wrapping unsigned sum is
+  // a collision-resistant lineage fingerprint that is commutative AND
+  // associative: every join order and association over the same base rows
+  // produces the same payload. That is what lets result multisets compare
+  // exactly across plan orders — including mid-flight re-optimized tails
+  // (exec/plan_executor.h) — and it stays well-defined for arbitrarily deep
+  // cascades (the old `l.payload << 31 + r.payload` encoding overflowed
+  // int64_t on any 3-way join: signed-overflow UB).
+  out.payload = static_cast<int64_t>(static_cast<uint64_t>(l.payload) +
+                                     static_cast<uint64_t>(r.payload));
   return out;
 }
 
@@ -30,13 +39,6 @@ std::vector<Tuple> ReadAll(BufferPool* pool, const TableData& t) {
     for (const Tuple& tup : t.page(i).tuples()) out.push_back(tup);
   }
   return out;
-}
-
-uint64_t SplitMix64(uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
 }
 
 void InMemoryHashJoin(const std::vector<Tuple>& build, int build_col,
@@ -145,13 +147,18 @@ TableData SortMergeJoinOp(BufferPool* pool, const TableData& left,
   std::vector<std::vector<Tuple>> rruns =
       make_side(right, spec.right_col, right_sorted);
 
-  // Phase 2: merge passes until both sides' runs fit one merge fan-in.
-  while (lruns.size() + rruns.size() > fan_in) {
-    if (lruns.size() >= rruns.size()) {
-      lruns = MergePassOp(pool, std::move(lruns), spec.left_col);
-    } else {
-      rruns = MergePassOp(pool, std::move(rruns), spec.right_col);
-    }
+  // Phase 2: merge passes, counted per side — each side independently
+  // merges until its runs fit one merge fan-in, exactly the pass structure
+  // CostModel::SortCost charges. (The old joint condition
+  // `lruns + rruns > fan_in` forced extra passes whenever the two sides'
+  // run counts summed above the fan-in even though each side alone fit,
+  // diverging from the model; the E23 operator-vs-model parity test pins
+  // the per-side accounting.)
+  while (lruns.size() > fan_in) {
+    lruns = MergePassOp(pool, std::move(lruns), spec.left_col);
+  }
+  while (rruns.size() > fan_in) {
+    rruns = MergePassOp(pool, std::move(rruns), spec.right_col);
   }
 
   // Phase 3: final merge-join; reads every remaining run page once.
@@ -212,18 +219,32 @@ TableData NestedLoopJoinOp(BufferPool* pool, const TableData& left,
   size_t smaller = std::min(left.num_pages(), right.num_pages());
   TableData out;
   if (smaller + 2 <= memory) {
-    // Inner (smaller) relation resident: one pass over each input.
+    // Inner (smaller) relation resident, probe streamed page-at-a-time:
+    // the S+2 reservation is S pages of build plus one input and one
+    // output buffer, so materializing the probe side too would use
+    // unreserved memory (the workspace bound would silently be a lie).
+    // Total I/O is unchanged: one read of each input, |A| + |B|.
     BufferPool::Reservation workspace = pool->Reserve(smaller + 2);
     bool left_is_smaller = left.num_pages() <= right.num_pages();
     const TableData& build = left_is_smaller ? left : right;
     const TableData& probe = left_is_smaller ? right : left;
     std::vector<Tuple> build_tuples = ReadAll(pool, build);
-    std::vector<Tuple> probe_tuples = ReadAll(pool, probe);
-    InMemoryHashJoin(build_tuples,
-                     left_is_smaller ? spec.left_col : spec.right_col,
-                     probe_tuples,
-                     left_is_smaller ? spec.right_col : spec.left_col,
-                     left_is_smaller, spec, &out);
+    int build_col = left_is_smaller ? spec.left_col : spec.right_col;
+    int probe_col = left_is_smaller ? spec.right_col : spec.left_col;
+    std::unordered_multimap<int64_t, const Tuple*> table;
+    table.reserve(build_tuples.size());
+    for (const Tuple& t : build_tuples) table.emplace(t.cols[build_col], &t);
+    for (size_t pi = 0; pi < probe.num_pages(); ++pi) {
+      pool->ChargeRead();
+      for (const Tuple& p : probe.page(pi).tuples()) {
+        auto [lo, hi] = table.equal_range(p.cols[probe_col]);
+        for (auto it = lo; it != hi; ++it) {
+          const Tuple& b = *it->second;
+          out.Append(left_is_smaller ? CombineTuples(b, p, spec)
+                                     : CombineTuples(p, b, spec));
+        }
+      }
+    }
     return out;
   }
   // Page nested loops with the left as outer (the paper's |A| + |A|·|B|).

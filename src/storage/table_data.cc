@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/hash.h"
+
 namespace lec {
 
 size_t TableData::num_tuples() const {
@@ -34,7 +36,10 @@ TableData GenerateTable(size_t num_pages, int64_t key_range0,
       Tuple t;
       t.cols[0] = key_range0 > 0 ? rng->UniformInt(0, key_range0 - 1) : row;
       t.cols[1] = key_range1 > 0 ? rng->UniformInt(0, key_range1 - 1) : row;
-      t.payload = row;
+      // Mixed through a bijection so payloads are uniform 64-bit values:
+      // CombineTuples' additive lineage fingerprint needs a hashed domain,
+      // and distinct-count sketches are unaffected (one payload per row).
+      t.payload = static_cast<int64_t>(SplitMix64(static_cast<uint64_t>(row)));
       out.Append(t);
     }
   }

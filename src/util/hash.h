@@ -1,0 +1,22 @@
+// Shared 64-bit mixing primitive.
+#ifndef LECOPT_UTIL_HASH_H_
+#define LECOPT_UTIL_HASH_H_
+
+#include <cstdint>
+
+namespace lec {
+
+/// SplitMix64 finalizer (Steele et al.): a cheap bijective mix on uint64.
+/// Used for hash partitioning and for mapping generated row ids into a
+/// uniform payload domain. Being a bijection it preserves distinctness,
+/// so sketches counting distinct payloads are unaffected by the mix.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace lec
+
+#endif  // LECOPT_UTIL_HASH_H_

@@ -1,5 +1,6 @@
 #include "verify/fuzz_driver.h"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <sstream>
@@ -10,6 +11,8 @@
 #include "cost/fast_expected_cost.h"
 #include "cost/size_propagation.h"
 #include "dist/simd.h"
+#include "exec/plan_executor.h"
+#include "storage/join_operators.h"
 #include "optimizer/algorithm_a.h"
 #include "optimizer/algorithm_b.h"
 #include "optimizer/algorithm_c.h"
@@ -114,6 +117,44 @@ Distribution PropagateRootSize(const PlanPtr& node, const Query& query,
   throw std::logic_error("unknown plan node kind");
 }
 
+/// Sorted payload multiset — the execution identity I12 compares (payloads
+/// are an order-invariant lineage fingerprint, storage/join_operators.cc).
+std::vector<int64_t> PayloadMultiset(const TableData& t) {
+  std::vector<int64_t> out;
+  out.reserve(t.num_tuples());
+  t.ForEachTuple([&](const Tuple& tup) { out.push_back(tup.payload); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// NaiveJoinReference composed forward over the chain — the independent
+/// reference answer every executed plan must reproduce as a multiset.
+TableData NaiveChainCompose(const EngineWorkload& w) {
+  TableData cur = w.tables.at(0);
+  for (size_t j = 1; j < w.tables.size(); ++j) {
+    JoinColumnSpec spec;
+    spec.left_col = 1;
+    spec.right_col = 0;
+    spec.out0_side = 0;
+    spec.out0_col = 0;
+    spec.out1_side = 1;
+    spec.out1_col = 1;
+    cur = NaiveJoinReference(cur, w.tables.at(j), spec);
+  }
+  return cur;
+}
+
+/// Forward left-deep chain plan with one join method everywhere and a
+/// deliberately stale cardinality estimate on every join node.
+PlanPtr StaleForwardChainPlan(int n, JoinMethod method) {
+  PlanPtr plan = MakeAccess(0, 1);
+  for (int j = 1; j < n; ++j) {
+    plan = MakeJoin(plan, MakeAccess(j, 1), method, {j - 1}, kUnsorted,
+                    /*est_pages=*/0.01);
+  }
+  return plan;
+}
+
 /// One fuzz round's checker: accumulates violations and the check count.
 class CaseChecker {
  public:
@@ -131,6 +172,7 @@ class CaseChecker {
     CheckSerdeCacheParity();     // I8
     CheckServePipeline();        // I10
     CheckMeasuredStats();        // I11
+    CheckPlanExecution();        // I12 (chain cases only)
     if (options_.check_mc) CheckMonteCarlo();  // I6
     return std::move(violations_);
   }
@@ -1038,6 +1080,95 @@ class CaseChecker {
       }
     }
     Expect(replay_ok, "I11:post_invalidation_replay", replay_detail);
+  }
+
+  void CheckPlanExecution() {
+    if (Stop()) return;
+    // Chain queries are the executor's scope (two join-key columns route
+    // exactly a chain); the schedule rotates shapes, so ~1/5 of rounds
+    // exercise I12.
+    if (case_.shape != JoinGraphShape::kChain) return;
+    const Workload& w = ctx_.workload;
+    int n = w.query.num_tables();
+
+    // Scaled-down executable mirror of the case's chain, the I11 idiom:
+    // catalog sizes map to ~log2(pages) materialized pages, selectivities
+    // re-draw log-uniformly high enough to produce matches at this scale.
+    Rng rng(case_.seed ^ 0x12c8f2d1b0b3a845ULL);
+    Catalog catalog;
+    Query query;
+    for (QueryPos p = 0; p < n; ++p) {
+      double orig = w.catalog.table(w.query.table(p)).pages;
+      double pages = std::clamp(std::round(std::log2(orig + 1.0)), 3.0, 12.0);
+      query.AddTable(catalog.AddTable("x" + std::to_string(p), pages));
+    }
+    for (int i = 0; i + 1 < n; ++i) {
+      query.AddPredicate(i, i + 1, rng.LogUniform(1e-2, 0.05));
+    }
+    EngineWorkload data = BuildChainEngineWorkload(query, catalog, &rng);
+    std::vector<int64_t> want = PayloadMultiset(NaiveChainCompose(data));
+
+    // (a) The LSC DP's chosen plan — whatever order it picks — must
+    // reproduce the reference answer exactly.
+    DpContext dp_ctx(query, catalog, OptimizerOptions{});
+    OptimizeResult chosen = RunDp(dp_ctx, LscCostProvider{ctx_.model, 9.0});
+    ExecutePlanOptions opts;
+    opts.memory_by_phase = {9.0};
+    ExecutionResult r = ExecutePlan(chosen.plan, query, data, opts);
+    Expect(PayloadMultiset(r.result) == want && r.total_io() > 0,
+           "I12:dp_plan_multiset",
+           "executing the LSC-chosen plan diverged from the naive reference");
+    if (Stop()) return;
+
+    // (b) Every engine join method, across memory values straddling the
+    // spill thresholds, on the forward plan.
+    bool methods_ok = true;
+    std::string method_detail;
+    for (JoinMethod m : kAllJoinMethods) {
+      for (double memory : {3.0, 5.0, 33.0}) {
+        PlanPtr plan = StaleForwardChainPlan(n, m);
+        ExecutePlanOptions mo;
+        mo.memory_by_phase = {memory};
+        ExecutionResult mr = ExecutePlan(plan, query, data, mo);
+        uint64_t traced = 0;
+        for (const PhaseTrace& t : mr.phases) {
+          traced += t.page_reads + t.page_writes;
+        }
+        if (PayloadMultiset(mr.result) != want || traced != mr.total_io()) {
+          methods_ok = false;
+          method_detail = std::string(ToString(m)) + " at M=" +
+                          std::to_string(memory) +
+                          " diverged from the naive reference or its traces";
+        }
+      }
+    }
+    Expect(methods_ok, "I12:method_multisets", method_detail);
+    if (Stop()) return;
+
+    // (c) Adaptive leg: stale estimates + zero drift threshold force
+    // mid-flight re-optimization after every phase that leaves work, and
+    // the answer must still be bit-for-bit the same multiset.
+    PlanPtr stale = StaleForwardChainPlan(n, JoinMethod::kGraceHash);
+    ExecutePlanOptions ao;
+    ao.memory_by_phase = {5.0, 9.0, 3.0, 16.0};
+    ao.drift_threshold = 0.0;
+    ao.reoptimize_on_drift = true;
+    ao.max_reoptimizations = n;
+    ao.model = &ctx_.model;
+    ExecutionResult ar = ExecutePlan(stale, query, data, ao);
+    int joins = 0;
+    for (const PhaseTrace& t : ar.phases) joins += t.is_sort ? 0 : 1;
+    bool adaptive_ok = PayloadMultiset(ar.result) == want && joins == n - 1 &&
+                       (n < 3 || ar.reoptimizations > 0);
+    Expect(adaptive_ok, "I12:adaptive_execution",
+           adaptive_ok ? ""
+                       : FormatMismatch("re-optimized execution (joins, "
+                                        "reopts)",
+                                        static_cast<double>(joins),
+                                        static_cast<double>(n - 1)));
+    // Re-optimization may reroute the tail, but it can never lose or
+    // duplicate result rows — that is the invariant here; whether it also
+    // SAVES I/O is benchmarked (E23), not asserted per round.
   }
 
   void CheckMonteCarlo() {

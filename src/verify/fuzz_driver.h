@@ -66,6 +66,16 @@
 //      replaced ContentHashes drops exactly the cached plans that
 //      consumed them, while every surviving entry still replays
 //      bit-identical to a fresh optimize.
+//   I12 plan execution    — on chain cases, a scaled-down materialized
+//      instance executes through the real storage/ operators
+//      (exec/plan_executor.h): the LSC-chosen plan, and the forward plan
+//      under every join method across spill regimes, all reproduce the
+//      NaiveJoinReference answer as an exact payload multiset (payloads are
+//      an order-invariant lineage fingerprint), with per-phase traces
+//      conserving total charged I/O; and the adaptive leg — stale
+//      estimates, zero drift threshold, re-optimization on — still executes
+//      exactly n-1 joins and the identical multiset: re-planning the tail
+//      may reroute it but can never change the answer.
 //   I6 Monte-Carlo        — sampled executions agree with the analytic EC
 //      in the static and Markov-dynamic regimes: a violation is a 99.9%
 //      CLT-interval miss that is ALSO materially far from the mean

@@ -7,6 +7,7 @@
 #include "storage/page.h"
 #include "storage/table_data.h"
 #include "cost/cost_model.h"
+#include "util/hash.h"
 #include "util/rng.h"
 
 namespace lec {
@@ -42,7 +43,10 @@ TEST(TableDataTest, GenerateTableShape) {
     EXPECT_GE(tup.cols[0], 0);
     EXPECT_LT(tup.cols[0], 100);
     EXPECT_EQ(tup.cols[1], row);  // key_range 0 -> row id
-    EXPECT_EQ(tup.payload, row);
+    // Payloads are the row id pushed through the SplitMix64 bijection so
+    // CombineTuples' additive lineage fingerprint works in a hashed domain.
+    EXPECT_EQ(tup.payload,
+              static_cast<int64_t>(SplitMix64(static_cast<uint64_t>(row))));
     ++row;
   }
 }

@@ -37,6 +37,24 @@
 //                          like gen, but print the serialized request
 //                          instead of serving (build request files this way)
 //   stats                  print cache hit/miss/eviction/stale counters
+//   execute STRAT N SEED M0[,M1,...]
+//                          generate a seeded chain workload, downscale and
+//                          materialize it (exec/plan_executor.h), optimize
+//                          it with STRAT — any facade strategy, or
+//                          `measured` for the calibrate-fitted backend —
+//                          and run the chosen plan through the real storage
+//                          operators twice: straight, and adaptively
+//                          re-optimizing the tail on drift. Prints the
+//                          per-phase traces and both executions' I/O.
+//                          M0,M1,... is the per-phase buffer-pool capacity.
+//   calibrate SEED [SAMPLES]
+//                          replay the operator calibration grid through the
+//                          storage engine, fit the measured cost model
+//                          (least squares over realized page counts; cap
+//                          the corpus at SAMPLES if given), print the
+//                          per-operator coefficients and fit error, and
+//                          install the model as the `execute measured`
+//                          backend.
 //   ingest NAME PAGES SEED [KEY_RANGE0 [KEY_RANGE1]]
 //                          materialize PAGES pages of synthetic rows
 //                          (storage/table_data.h; key range 0 = unique row
@@ -66,7 +84,9 @@
 // Exit status: 0 on success, 1 on a malformed request/command (the stream
 // position after a parse error inside a binary request is unrecoverable,
 // so lec_serve stops rather than resync).
+#include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -74,8 +94,12 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "cost/measured_cost.h"
+#include "exec/plan_executor.h"
 #include "optimizer/dp_common.h"
+#include "optimizer/reoptimize.h"
 #include "query/generator.h"
 #include "service/plan_cache.h"
 #include "service/serde.h"
@@ -379,6 +403,165 @@ class Server {
     return true;
   }
 
+  /// `calibrate SEED [SAMPLES]`: replay the calibration grid through the
+  /// storage operators, fit the measured model, install it for
+  /// `execute measured`.
+  bool Calibrate(const std::string& args) {
+    std::istringstream in(args);
+    uint64_t seed = 0;
+    if (!(in >> seed)) {
+      std::fprintf(stderr, "lec_serve: usage: calibrate SEED [SAMPLES]\n");
+      return false;
+    }
+    size_t samples = 0;
+    in >> samples;
+    Rng rng(seed);
+    lec::CalibrationGrid grid;
+    std::vector<lec::OperatorSample> corpus =
+        lec::BuildCalibrationCorpus(grid, &rng);
+    if (samples > 0 && samples < corpus.size()) corpus.resize(samples);
+    lec::MeasuredCostModel fitted(model_);
+    fitted.Fit(corpus);
+    double before = lec::MeasuredCostModel(model_).MeanAbsRelativeError(corpus);
+    double after = fitted.MeanAbsRelativeError(corpus);
+    for (lec::JoinMethod m : lec::kAllJoinMethods) {
+      const lec::MeasuredCoefficients& c = fitted.join_coefficients(m);
+      std::printf("  %-11s alpha=%.4f beta=%.4f gamma=%+.2f (%zu samples)\n",
+                  lec::ToString(m).c_str(), c.alpha, c.beta, c.gamma,
+                  c.samples);
+    }
+    const lec::MeasuredCoefficients& s = fitted.sort_coefficients();
+    std::printf("  %-11s alpha=%.4f beta=%.4f gamma=%+.2f (%zu samples)\n",
+                "sort", s.alpha, s.beta, s.gamma, s.samples);
+    std::printf(
+        "calibrated on %zu operator runs: mean abs rel error %.4f -> %.4f\n",
+        corpus.size(), before, after);
+    measured_model_ = std::move(fitted);
+    return true;
+  }
+
+  /// `execute STRAT N SEED M0[,M1,...]`: optimize a downscaled seeded chain
+  /// and run the plan through the real operators, straight and adaptive.
+  bool Execute(const std::string& args) {
+    std::istringstream in(args);
+    std::string strategy, mems_token;
+    int n = 0;
+    uint64_t seed = 0;
+    if (!(in >> strategy >> n >> seed >> mems_token) || n < 2) {
+      std::fprintf(stderr,
+                   "lec_serve: usage: execute STRAT N SEED M0[,M1,...]\n");
+      return false;
+    }
+    std::vector<double> mems;
+    std::istringstream ms(mems_token);
+    std::string piece;
+    while (std::getline(ms, piece, ',')) {
+      try {
+        mems.push_back(std::stod(piece));
+      } catch (const std::exception&) {
+        mems.clear();
+        break;
+      }
+      if (mems.back() < 1) {
+        mems.clear();
+        break;
+      }
+    }
+    if (mems.empty()) {
+      std::fprintf(stderr,
+                   "lec_serve: execute: memories must be numbers >= 1\n");
+      return false;
+    }
+    bool measured = strategy == "measured";
+    if (measured && !measured_model_) {
+      std::fprintf(stderr,
+                   "lec_serve: execute measured needs `calibrate` first\n");
+      return false;
+    }
+    if (!measured && !ParseStrategy(strategy)) {
+      std::fprintf(stderr, "lec_serve: unknown strategy \"%s\"\n",
+                   strategy.c_str());
+      return false;
+    }
+
+    // Downscale the seeded chain to materializable size: catalog pages map
+    // to ~log2(pages) and selectivities re-draw high enough to produce
+    // matches at this scale (the fuzz I12 idiom).
+    Rng rng(seed);
+    WorkloadOptions wopts;
+    wopts.num_tables = n;
+    wopts.shape = JoinGraphShape::kChain;
+    lec::Workload base = GenerateWorkload(wopts, &rng);
+    lec::Catalog catalog;
+    lec::Query query;
+    for (lec::QueryPos p = 0; p < n; ++p) {
+      double orig = base.catalog.table(base.query.table(p)).pages;
+      double pages =
+          std::clamp(std::round(std::log2(orig + 1.0)), 3.0, 12.0);
+      query.AddTable(catalog.AddTable("x" + std::to_string(p), pages));
+    }
+    for (int i = 0; i + 1 < n; ++i) {
+      query.AddPredicate(i, i + 1, rng.LogUniform(1e-2, 0.05));
+    }
+    lec::EngineWorkload data =
+        lec::BuildChainEngineWorkload(query, catalog, &rng);
+
+    OptimizeResult plan;
+    if (measured) {
+      plan = lec::OptimizeWithMeasuredModel(query, catalog, *measured_model_,
+                                            mems[0]);
+    } else {
+      Distribution memory = Distribution::PointMass(mems[0]);
+      OptimizeRequest req;
+      req.query = &query;
+      req.catalog = &catalog;
+      req.model = &model_;
+      req.memory = &memory;
+      req.seed = seed;
+      plan = optimizer_.Optimize(*ParseStrategy(strategy), req);
+    }
+
+    lec::ExecutePlanOptions straight;
+    straight.memory_by_phase = mems;
+    lec::ExecutionResult run = lec::ExecutePlan(plan.plan, query, data,
+                                                straight);
+    lec::ExecutePlanOptions adaptive = straight;
+    adaptive.reoptimize_on_drift = true;
+    adaptive.model = &model_;
+    lec::ExecutionResult rerun = lec::ExecutePlan(plan.plan, query, data,
+                                                  adaptive);
+
+    std::printf("execute %s n=%d seed=%" PRIu64 ": objective=%.6g\n",
+                strategy.c_str(), n, seed, plan.objective);
+    for (const lec::PhaseTrace& t : run.phases) {
+      std::printf("  phase %d: %-10s %gx%g -> planned %.3g realized %g "
+                  "pages, io %" PRIu64 "+%" PRIu64 ", M=%g%s\n",
+                  t.phase,
+                  t.is_sort ? "sort" : lec::ToString(t.method).c_str(),
+                  t.left_pages, t.right_pages, t.planned_output_pages,
+                  t.realized_output_pages, t.page_reads, t.page_writes,
+                  t.memory, t.drifted ? " [drift]" : "");
+    }
+    auto multiset = [](const lec::TableData& t) {
+      std::vector<int64_t> out;
+      out.reserve(t.num_tuples());
+      t.ForEachTuple(
+          [&](const lec::Tuple& tup) { out.push_back(tup.payload); });
+      std::sort(out.begin(), out.end());
+      return out;
+    };
+    bool same = multiset(run.result) == multiset(rerun.result);
+    std::printf("  straight: io %" PRIu64 " (%" PRIu64 " reads, %" PRIu64
+                " writes), %zu tuples\n",
+                run.total_io(), run.page_reads, run.page_writes,
+                run.result_tuples());
+    std::printf("  adaptive: io %" PRIu64 ", %d reoptimization(s), %zu "
+                "tuples, answers %s\n",
+                rerun.total_io(), rerun.reoptimizations,
+                rerun.result_tuples(), same ? "match" : "DIVERGE");
+    return same;
+  }
+
  private:
   struct MeasuredSize {
     double pages = 0;
@@ -417,6 +600,8 @@ class Server {
   /// Measured-statistics state, keyed by relation name.
   std::map<std::string, lec::stats::TableSketch> sketches_;
   std::map<std::string, MeasuredSize> measured_;
+  /// The `calibrate`-fitted second cost backend (`execute measured`).
+  std::optional<lec::MeasuredCostModel> measured_model_;
 };
 
 int Run(std::istream& in, const Flags& flags) {
@@ -519,6 +704,14 @@ int Run(std::istream& in, const Flags& flags) {
         std::string rest;
         std::getline(in, rest);
         if (!server.Ingest(rest)) return 1;
+      } else if (word == "execute") {
+        std::string rest;
+        std::getline(in, rest);
+        if (!server.Execute(rest)) return 1;
+      } else if (word == "calibrate") {
+        std::string rest;
+        std::getline(in, rest);
+        if (!server.Calibrate(rest)) return 1;
       } else if (word == "stats-derive") {
         std::string rest;
         std::getline(in, rest);
