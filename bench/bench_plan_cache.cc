@@ -2,7 +2,8 @@
 //
 // PR 5's tentpole claims, measured:
 //   * a PlanCache hit (signature + sharded lookup + result copy) beats a
-//     cold lec_static optimization of the n=10 chain workload by >= 20x;
+//     cold lec_static optimization of the n=10 chain workload by >= 12x
+//     (the bar was 20x before PR 10 halved the cold path itself);
 //   * under the batch driver, a warm shared cache turns a repeated-query
 //     corpus into ~pure hits, multiplying throughput;
 //   * snapshot save -> load -> serve round-trips in milliseconds and the
@@ -12,7 +13,7 @@
 // Self-timed (no Google Benchmark dependency) so the binary always builds:
 // it feeds the perf-budget gate. The gated metric is the RATIO
 // warm-hit-time / cold-optimize-time (hardware-stable; smaller = better;
-// the acceptance bar of >= 20x speedup means the ratio must stay <= 0.05).
+// the acceptance bar of >= 12x speedup means the ratio must stay <= 0.08).
 // Raw microseconds are printed for humans but never gated.
 #include <cstdio>
 #include <cstring>
@@ -112,7 +113,7 @@ int main() {
   std::printf("  cold optimize        %10.1f us\n", cold_seconds * 1e6);
   std::printf("  warm cache hit       %10.1f us   (signature + lookup + copy)\n",
               hit_seconds * 1e6);
-  std::printf("  hit-path speedup     %10.1fx  (ratio %.4f; gate: <= 0.05)\n",
+  std::printf("  hit-path speedup     %10.1fx  (ratio %.4f; gate: <= 0.08)\n",
               1.0 / ratio, ratio);
   EmitBudget("plan_cache_warm_hit_ratio_n10", ratio);
 

@@ -1,0 +1,258 @@
+// E24 — Logical rewrites: canonicalized plan-cache sharing across
+// relabeled duplicates, and oracle-regret preservation of the pipeline.
+//
+// PR 10's tentpole claims, measured:
+//   * a corpus of structurally identical but relabeled queries shares ONE
+//     plan-cache entry per structure once rewrite_mode is kOn — the
+//     canonicalization pass maps every relabeling to the same
+//     QuerySignature bytes, where the v2 (pre-canonicalization) baseline
+//     shares nothing (0 hits by construction, printed for contrast);
+//   * the standard pass pipeline never worsens the exhaustive-oracle
+//     optimum: for every corpus structure, the best achievable EC over
+//     the rewritten query is <= the raw query's (within the oracle's
+//     1e-9 relative tolerance, same as fuzz invariant I13).
+//
+// Self-timed (no Google Benchmark dependency). Both gated metrics are
+// DETERMINISTIC: the canonical miss fraction is a plan-cache counter
+// ratio (misses / serves over the relabeled corpus with rewrite on), and
+// the regret excess is the worst tolerance-adjusted relative increase of
+// the oracle optimum across structures (0 exactly when the preservation
+// contract holds). Correctness is enforced inline: every cache hit must
+// be bit-identical to an uncached recompute, and the bench hard-fails
+// unless rewrite-on retains STRICTLY more hits than rewrite-off.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.h"
+#include "query/generator.h"
+#include "rewrite/rewrite.h"
+#include "service/plan_cache.h"
+#include "util/rng.h"
+#include "verify/oracle.h"
+
+using namespace lec;
+
+namespace {
+
+int g_failures = 0;
+
+void EmitBudget(const char* metric, double value) {
+  std::printf("BUDGET %s %.6f\n", metric, value);
+}
+
+uint64_t Bits(double v) {
+  uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+void CheckBitIdentical(const char* what, const OptimizeResult& got,
+                       const OptimizeResult& want) {
+  if (Bits(got.objective) != Bits(want.objective) ||
+      !PlanEquals(got.plan, want.plan)) {
+    std::printf("!! %s: served %.17g vs recompute %.17g (plans %s)\n", what,
+                got.objective, want.objective,
+                PlanEquals(got.plan, want.plan) ? "equal" : "DIFFER");
+    ++g_failures;
+  }
+}
+
+struct CorpusSpec {
+  const char* name;
+  uint64_t seed;
+  JoinGraphShape shape;
+  int num_tables;
+  int num_components;
+};
+
+Workload MakeBase(const CorpusSpec& spec) {
+  Rng rng(spec.seed);
+  WorkloadOptions wopts;
+  wopts.num_tables = spec.num_tables;
+  wopts.shape = spec.shape;
+  wopts.selectivity_spread = 3.0;
+  wopts.table_size_spread = 2.0;
+  wopts.redundant_edge_probability = 0.5;
+  wopts.filter_probability = 0.5;
+  wopts.num_components = spec.num_components;
+  wopts.order_by_probability = 0.25;
+  return GenerateWorkload(wopts, &rng);
+}
+
+/// Relabels `src` by `perm` (perm[p] = new position of original p),
+/// preserving predicate and filter list order — the structure is
+/// identical, only the labels move.
+Workload Relabel(const Workload& src, const std::vector<int>& perm) {
+  int n = src.query.num_tables();
+  std::vector<int> inv(static_cast<size_t>(n));
+  for (int p = 0; p < n; ++p) inv[static_cast<size_t>(perm[p])] = p;
+  Workload out;
+  out.catalog = src.catalog;
+  for (int np = 0; np < n; ++np) {
+    out.query.AddTable(src.query.table(inv[static_cast<size_t>(np)]));
+  }
+  for (int i = 0; i < src.query.num_predicates(); ++i) {
+    const JoinPredicate& p = src.query.predicate(i);
+    out.query.AddPredicate(static_cast<QueryPos>(perm[p.left]),
+                           static_cast<QueryPos>(perm[p.right]),
+                           p.selectivity);
+  }
+  for (int i = 0; i < src.query.num_filters(); ++i) {
+    const FilterPredicate& f = src.query.filter(i);
+    out.query.AddFilter(static_cast<QueryPos>(perm[f.table]), f.selectivity);
+  }
+  if (src.query.required_order()) {
+    out.query.RequireOrder(*src.query.required_order());
+  }
+  return out;
+}
+
+/// A non-identity Fisher–Yates permutation of [0, n).
+std::vector<int> RandomPerm(int n, Rng* rng) {
+  std::vector<int> perm(static_cast<size_t>(n));
+  for (int p = 0; p < n; ++p) perm[static_cast<size_t>(p)] = p;
+  for (int p = n - 1; p > 0; --p) {
+    std::swap(perm[static_cast<size_t>(p)],
+              perm[static_cast<size_t>(rng->UniformInt(0, p))]);
+  }
+  if (std::is_sorted(perm.begin(), perm.end())) {
+    std::rotate(perm.begin(), perm.begin() + 1, perm.end());
+  }
+  return perm;
+}
+
+}  // namespace
+
+int main() {
+  bench::Header("E24",
+                "logical rewrites: canonical cache sharing, regret "
+                "preservation");
+  CostModel model;
+  Distribution memory({{64, 0.25}, {512, 0.5}, {4096, 0.25}});
+  Optimizer optimizer;
+
+  const CorpusSpec kSpecs[] = {
+      {"chain5", 2401, JoinGraphShape::kChain, 5, 1},
+      {"star5", 2402, JoinGraphShape::kStar, 5, 1},
+      {"cycle4", 2403, JoinGraphShape::kCycle, 4, 1},
+      {"clique4", 2404, JoinGraphShape::kClique, 4, 1},
+      {"random6", 2405, JoinGraphShape::kRandom, 6, 1},
+      {"chain6x2", 2406, JoinGraphShape::kChain, 6, 2},
+      {"star4", 2407, JoinGraphShape::kStar, 4, 1},
+      {"chain4", 2408, JoinGraphShape::kChain, 4, 1},
+  };
+  const int kRelabelings = 3;
+
+  // The corpus: each base plus kRelabelings structure-identical
+  // relabelings of it.
+  Rng perm_rng(20260807);
+  std::vector<Workload> corpus;
+  size_t num_bases = 0;
+  for (const CorpusSpec& spec : kSpecs) {
+    Workload base = MakeBase(spec);
+    corpus.push_back(base);
+    ++num_bases;
+    for (int r = 0; r < kRelabelings; ++r) {
+      corpus.push_back(
+          Relabel(base, RandomPerm(base.query.num_tables(), &perm_rng)));
+    }
+  }
+
+  auto optimize = [&](const Workload& w, PlanCache* cache, RewriteMode mode) {
+    OptimizeRequest req;
+    req.query = &w.query;
+    req.catalog = &w.catalog;
+    req.model = &model;
+    req.memory = &memory;
+    req.options.plan_cache = cache;
+    req.options.rewrite_mode = mode;
+    return optimizer.Optimize(StrategyId::kLecStatic, req);
+  };
+
+  // ---- (a) canonicalized cache sharing across relabelings ----------------
+  PlanCache off_cache, on_cache;
+  for (const Workload& w : corpus) {
+    optimize(w, &off_cache, RewriteMode::kOff);
+    OptimizeResult want = optimize(w, nullptr, RewriteMode::kOn);
+    OptimizeResult got = optimize(w, &on_cache, RewriteMode::kOn);
+    // Hit or miss, a cached serve must be bit-identical to the uncached
+    // recompute — the sharing gate cannot pass on a cache that got its
+    // hits by serving the wrong structure's plan.
+    CheckBitIdentical("rewrite-on serve", got, want);
+  }
+  size_t serves = corpus.size();
+  size_t hits_off = off_cache.stats().hits;
+  size_t hits_on = on_cache.stats().hits;
+  double miss_fraction_on =
+      1.0 - static_cast<double>(hits_on) / static_cast<double>(serves);
+  bench::Rule();
+  std::printf(
+      "relabeled-duplicate corpus: %zu structures x (1 base + %d "
+      "relabelings) = %zu serves, shared cache:\n",
+      num_bases, kRelabelings, serves);
+  std::printf(
+      "  rewrite off (schema-v2 behavior): %3zu/%zu hits (miss fraction "
+      "%.4f), %zu entries\n",
+      hits_off, serves,
+      1.0 - static_cast<double>(hits_off) / static_cast<double>(serves),
+      off_cache.size());
+  std::printf(
+      "  rewrite on  (canonicalized):      %3zu/%zu hits (miss fraction "
+      "%.4f), %zu entries\n",
+      hits_on, serves, miss_fraction_on, on_cache.size());
+  EmitBudget("rewrite_canonical_miss_fraction", miss_fraction_on);
+
+  // The acceptance bar: canonicalization must create sharing the raw
+  // signature never had.
+  if (hits_on <= hits_off) {
+    std::printf("!! canonicalization created no sharing (%zu vs %zu hits)\n",
+                hits_on, hits_off);
+    ++g_failures;
+  }
+
+  // ---- (b) pipeline preserves the oracle optimum -------------------------
+  verify::OracleOptions oopts;
+  oopts.objective = verify::OracleObjective::kLecStatic;
+  oopts.collect_spectrum = false;
+  const double kTol = 1e-9;  // fuzz I13's NoBetterThan tolerance
+  double worst_excess = 0;
+  const char* worst_name = "-";
+  bench::Rule();
+  std::printf("oracle optimum, raw vs standard pipeline (left-deep, "
+              "lec_static):\n");
+  for (const CorpusSpec& spec : kSpecs) {
+    Workload base = MakeBase(spec);
+    verify::OracleResult raw = verify::SolveOracle(
+        base.query, base.catalog, model, memory, oopts);
+    rewrite::RewriteOutcome out =
+        rewrite::StandardPassManager().Run(base.query, base.catalog);
+    verify::OracleResult rw =
+        verify::SolveOracle(out.query, out.catalog, model, memory, oopts);
+    double rel = (rw.best_objective - raw.best_objective) /
+                 std::max(raw.best_objective, 1e-300);
+    double excess = std::max(0.0, rel - kTol);
+    std::printf("  %-9s raw %14.6g  rewritten %14.6g  rel delta %+.3e\n",
+                spec.name, raw.best_objective, rw.best_objective, rel);
+    if (excess > worst_excess) {
+      worst_excess = excess;
+      worst_name = spec.name;
+    }
+  }
+  EmitBudget("rewrite_oracle_regret_excess", worst_excess);
+  if (worst_excess > 0) {
+    std::printf("!! pipeline worsened the oracle optimum on %s by %.3e\n",
+                worst_name, worst_excess);
+    ++g_failures;
+  }
+
+  if (g_failures > 0) {
+    std::printf("\n%d FAILURES — perf numbers above are not trustworthy\n",
+                g_failures);
+    return 1;
+  }
+  std::printf(
+      "\nall served results bit-identical to recompute; optimum preserved\n");
+  return 0;
+}

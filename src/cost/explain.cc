@@ -150,6 +150,11 @@ std::string PlanDiagnostics::ToString() const {
        << candidates_considered << " candidates, " << cost_evaluations
        << " cost evaluations)\n";
   }
+  if (!rewrite_passes.empty()) {
+    os << "rewritten by:";
+    for (const std::string& p : rewrite_passes) os << " " << p;
+    os << "\n";
+  }
   return os.str();
 }
 

@@ -53,6 +53,12 @@ struct PlanDiagnostics {
   size_t candidates_considered = 0;
   size_t cost_evaluations = 0;
 
+  /// Rewrite provenance: one line per pass that APPLIED during the
+  /// facade's rewrite pipeline, e.g. "canonicalize x1" (empty when the
+  /// query was optimized as given). Filled by lec::ExplainResult from
+  /// OptimizeResult::rewrite, like the counters above.
+  std::vector<std::string> rewrite_passes;
+
   /// Multi-line human-readable rendering.
   std::string ToString() const;
 };

@@ -24,10 +24,12 @@ std::vector<double> QueryMemoryBreakpoints(const Query& query,
   for (QueryPos p = 0; p < n; ++p) {
     table_pages[p] = catalog.table(query.table(p)).SizeDistribution().Mean();
   }
+  std::vector<int> internal;  // reused across subsets
   for (TableSet s = 1; s < num_subsets; ++s) {
     double v = 1.0;
-    for (QueryPos p : Members(s)) v *= table_pages[p];
-    for (int i : query.InternalPredicates(s)) {
+    for (QueryPos p : MemberRange(s)) v *= table_pages[p];
+    query.InternalPredicatesInto(s, &internal);
+    for (int i : internal) {
       v *= query.predicate(i).selectivity.Mean();
     }
     pages[s] = v;

@@ -21,6 +21,7 @@ OptimizeResult RunBushyDp(const DpContext& ctx, const P& cost) {
   bool query_connected = query.IsConnected(query.AllTables());
   std::vector<OrderMap> table(num_subsets);
   OptimizeResult result;
+  std::vector<int> preds;  // reused across splits: 1 allocation, not 3^n
 
   for (QueryPos p = 0; p < n; ++p) {
     TableSet s = TableSet{1} << p;
@@ -36,7 +37,7 @@ OptimizeResult RunBushyDp(const DpContext& ctx, const P& cost) {
       for (TableSet s1 = (s - 1) & s; s1 != 0; s1 = (s1 - 1) & s) {
         TableSet s2 = s & ~s1;
         if (table[s1].empty() || table[s2].empty()) continue;
-        std::vector<int> preds = query.CrossingPredicates(s1, s2);
+        query.CrossingPredicatesInto(s1, s2, &preds);
         if (preds.empty() && opts.avoid_cross_products && query_connected) {
           continue;
         }

@@ -19,10 +19,12 @@ DpContext::DpContext(const Query& query, const Catalog& catalog,
   }
   size_t num_subsets = size_t{1} << n;
   subset_pages_.assign(num_subsets, 1.0);
+  std::vector<int> preds;  // reused across subsets: 1 allocation, not 2^n
   for (TableSet s = 1; s < num_subsets; ++s) {
     double pages = 1.0;
-    for (QueryPos p : Members(s)) pages *= table_pages_[p];
-    for (int i : query.InternalPredicates(s)) {
+    for (QueryPos p : MemberRange(s)) pages *= table_pages_[p];
+    query.InternalPredicatesInto(s, &preds);
+    for (int i : preds) {
       pages *= query.predicate(i).selectivity.Mean();
     }
     subset_pages_[s] = pages;

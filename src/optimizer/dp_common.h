@@ -22,6 +22,7 @@
 #include <iterator>
 #include <limits>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -37,12 +38,26 @@ namespace lec {
 
 class EcCache;
 class PlanCache;
+namespace rewrite {
+struct RewriteOutcome;
+}  // namespace rewrite
 
 /// How the runtime-dispatched SIMD layer (dist/simd.h) is selected for one
 /// optimization. kAuto inherits the ambient level (the CPU's best, clamped
 /// by the LECOPT_SIMD environment variable); the pinned values force a
 /// specific tier for A/B comparisons, clamped to what the CPU supports.
 enum class SimdMode : int { kAuto = 0, kScalar = 1, kSse2 = 2, kAvx2 = 3 };
+
+/// Whether the lec::Optimizer facade runs the logical rewrite pipeline
+/// (rewrite/rewrite.h) before optimizing. kOn rewrites the query/catalog
+/// through the standard passes (selection push-down, redundant-predicate
+/// elimination, cross-product avoidance, canonicalization) and computes
+/// the plan-cache signature on the REWRITTEN request, so relabeled
+/// duplicates share one entry. The returned plan is expressed in the
+/// rewritten query's positions; OptimizeResult::rewrite carries the
+/// rewritten query/catalog and the position map back to the original.
+/// Part of the plan-cache key: rewritten and raw runs never share bits.
+enum class RewriteMode : int { kOff = 0, kOn = 1 };
 
 /// Cost-bounded DP pruning (branch-and-bound over the DP objective).
 /// kAuto enables pruning exactly for the providers whose lower bound is
@@ -110,6 +125,10 @@ struct OptimizerOptions {
   /// Cost-bounded DP pruning; see the DpPruning enum above. NOT part of
   /// the plan-cache key: pruned and unpruned runs are bit-identical.
   DpPruning dp_pruning = DpPruning::kAuto;
+  /// Logical rewrite pipeline; see the RewriteMode enum above. Honored by
+  /// the lec::Optimizer facade only (the strategy entry points below it
+  /// always see the query as given). Part of the plan-cache key.
+  RewriteMode rewrite_mode = RewriteMode::kOff;
 };
 
 /// Result of one optimizer invocation. `objective` is whatever the
@@ -147,6 +166,13 @@ struct OptimizeResult {
   /// so cost_evaluations still counts exactly the DP's own formula runs,
   /// the units of Theorems 3.2/3.3):
   size_t incumbent_cost_evaluations = 0;
+  /// Rewrite provenance, stamped by the lec::Optimizer facade when
+  /// rewrite_mode is kOn — on cache hits and misses alike, since the
+  /// outcome (rewritten query/catalog, position map, per-pass counters) is
+  /// recomputed per call and is what makes the served plan interpretable.
+  /// Null when the facade did not rewrite. NOT serialized by serde: the
+  /// wire carries only the plan and its counters.
+  std::shared_ptr<const rewrite::RewriteOutcome> rewrite;
 };
 
 /// How a candidate join step is costed. `phase_idx` is the 0-based phase in

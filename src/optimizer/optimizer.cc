@@ -1,5 +1,6 @@
 #include "optimizer/optimizer.h"
 
+#include <memory>
 #include <stdexcept>
 #include <string>
 
@@ -12,6 +13,7 @@
 #include "optimizer/parametric.h"
 #include "optimizer/randomized.h"
 #include "optimizer/sampling.h"
+#include "rewrite/rewrite.h"
 #include "service/plan_cache.h"
 #include "util/rng.h"
 
@@ -174,25 +176,43 @@ OptimizeResult Optimizer::Optimize(StrategyId id,
   // CPU supports; dist/simd.h). Applied BEFORE the plan-cache lookup so
   // QuerySignature::Compute records the tier the result is computed at.
   simd::ScopedLevel simd_scope(LevelForMode(request.options.simd_mode));
+  // The logical rewrite pipeline, also BEFORE the plan-cache lookup: the
+  // signature is computed on the rewritten (canonicalized) request, which
+  // is what lets relabeled duplicates share one entry. The strategy below
+  // then optimizes the rewritten query, so the returned plan is in
+  // canonical positions; `outcome` (stamped on the result, hits and misses
+  // alike) carries the map back to the caller's labels.
+  OptimizeRequest effective = request;
+  std::shared_ptr<const rewrite::RewriteOutcome> outcome;
+  if (request.options.rewrite_mode == RewriteMode::kOn) {
+    outcome = std::make_shared<rewrite::RewriteOutcome>(
+        rewrite::StandardPassManager().Run(*request.query, *request.catalog,
+                                           request.options.size_buckets));
+    effective.query = &outcome->query;
+    effective.catalog = &outcome->catalog;
+  }
   // The plan-cache fast path. The signature keys the registry's built-in
   // strategy semantics; a caller that Register()s a different function
   // under an existing id must not share a cache across the swap (results
   // would be served from the old semantics — Clear() it).
-  PlanCache* cache = request.options.plan_cache;
+  PlanCache* cache = effective.options.plan_cache;
   if (cache != nullptr) {
-    QuerySignature sig = QuerySignature::Compute(id, request);
+    QuerySignature sig = QuerySignature::Compute(id, effective);
     if (std::optional<OptimizeResult> hit = cache->Lookup(sig)) {
       // Bit-identical to recompute by the PlanCache contract; only the
       // wall time is the serving call's own.
+      hit->rewrite = outcome;
       hit->elapsed_seconds = timer.Seconds();
       return *std::move(hit);
     }
-    OptimizeResult result = it->second(request);
+    OptimizeResult result = it->second(effective);
+    result.rewrite = outcome;
     result.elapsed_seconds = timer.Seconds();
     cache->Insert(sig, result);
     return result;
   }
-  OptimizeResult result = it->second(request);
+  OptimizeResult result = it->second(effective);
+  result.rewrite = outcome;
   result.elapsed_seconds = timer.Seconds();
   return result;
 }
@@ -221,6 +241,14 @@ PlanDiagnostics ExplainResult(const OptimizeResult& result,
   out.optimize_seconds = result.elapsed_seconds;
   out.candidates_considered = result.candidates_considered;
   out.cost_evaluations = result.cost_evaluations;
+  if (result.rewrite != nullptr) {
+    for (const rewrite::PassCounters& c : result.rewrite->counters) {
+      if (c.applied > 0) {
+        out.rewrite_passes.push_back(c.name + " x" +
+                                     std::to_string(c.applied));
+      }
+    }
+  }
   return out;
 }
 

@@ -108,6 +108,9 @@ class Optimizer {
 /// time and counters into the diagnostics so EXPLAIN output shows how the
 /// plan was found, not just what it costs. Lives in the optimizer layer
 /// because it marries cost-layer diagnostics with an OptimizeResult.
+/// When result.rewrite is set the plan is expressed in the REWRITTEN
+/// query's positions — pass result.rewrite->query / ->catalog here, not
+/// the originals; the applied passes are rendered into the diagnostics.
 PlanDiagnostics ExplainResult(const OptimizeResult& result,
                               const Query& query, const Catalog& catalog,
                               const CostModel& model,

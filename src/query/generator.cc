@@ -55,6 +55,21 @@ std::vector<std::pair<QueryPos, QueryPos>> EdgeList(
       break;
     }
   }
+  if (options.num_components > 1) {
+    // Contiguous partition: position p belongs to component p*k/n. Dropping
+    // every crossing edge disconnects the graph into exactly k runs (each
+    // shape connects consecutive positions within a run, except kRandom,
+    // which may fracture further — also a valid disconnected instance).
+    auto component = [&options, n](QueryPos p) {
+      return static_cast<long>(p) * options.num_components / n;
+    };
+    edges.erase(std::remove_if(edges.begin(), edges.end(),
+                               [&](const std::pair<QueryPos, QueryPos>& e) {
+                                 return component(e.first) !=
+                                        component(e.second);
+                               }),
+                edges.end());
+  }
   return edges;
 }
 
@@ -103,6 +118,21 @@ void Validate(const WorkloadOptions& options) {
     throw std::invalid_argument(
         "order_by_probability must be a probability in [0, 1]");
   }
+  if (!(options.redundant_edge_probability >= 0.0) ||
+      !(options.redundant_edge_probability <= 1.0)) {
+    throw std::invalid_argument(
+        "redundant_edge_probability must be a probability in [0, 1]");
+  }
+  if (!(options.filter_probability >= 0.0) ||
+      !(options.filter_probability <= 1.0)) {
+    throw std::invalid_argument(
+        "filter_probability must be a probability in [0, 1]");
+  }
+  if (options.num_components < 1 ||
+      options.num_components > options.num_tables) {
+    throw std::invalid_argument(
+        "num_components must be in [1, num_tables]");
+  }
 }
 
 }  // namespace
@@ -130,11 +160,35 @@ Workload GenerateWorkload(const WorkloadOptions& options, Rng* rng) {
     } else {
       w.query.AddPredicate(a, b, sel);
     }
+    // Guarded so default workloads draw the exact same rng stream as before
+    // the knob existed (goldens and seeded tests depend on it).
+    if (options.redundant_edge_probability > 0 &&
+        rng->Uniform01() < options.redundant_edge_probability) {
+      double sel2 =
+          rng->LogUniform(options.min_selectivity, options.max_selectivity);
+      if (options.selectivity_spread > 1.0) {
+        w.query.AddPredicate(
+            a, b, UncertainSelectivity(sel2, options.selectivity_spread));
+      } else {
+        w.query.AddPredicate(a, b, sel2);
+      }
+    }
   }
   if (options.order_by_probability > 0 && w.query.num_predicates() > 0 &&
       rng->Uniform01() < options.order_by_probability) {
     w.query.RequireOrder(static_cast<OrderId>(
         rng->UniformInt(0, w.query.num_predicates() - 1)));
+  }
+  if (options.filter_probability > 0) {
+    // Filters keep a visible fraction of each table (0.05–0.9) — much
+    // milder than join selectivities, matching a WHERE clause rather than a
+    // key join.
+    for (int i = 0; i < options.num_tables; ++i) {
+      if (rng->Uniform01() < options.filter_probability) {
+        w.query.AddFilter(static_cast<QueryPos>(i),
+                          rng->LogUniform(0.05, 0.9));
+      }
+    }
   }
   return w;
 }

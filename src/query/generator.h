@@ -47,6 +47,20 @@ struct WorkloadOptions {
   /// Probability that the generated query carries an ORDER BY on a random
   /// join predicate.
   double order_by_probability = 0.0;
+  /// Probability that each join edge carries a SECOND, parallel predicate
+  /// (its own independently drawn selectivity) — the structure the
+  /// redundant-predicate rewrite pass collapses.
+  double redundant_edge_probability = 0.0;
+  /// Probability that each table carries a local filter predicate with
+  /// selectivity drawn log-uniformly from [0.05, 0.9] (much milder than
+  /// join selectivities: filters keep a visible fraction of the table) —
+  /// the input the selection push-down pass folds into base-table stats.
+  double filter_probability = 0.0;
+  /// Partition the positions into this many contiguous runs and drop every
+  /// shape edge crossing a run boundary, yielding a disconnected join
+  /// graph (the cross-product-avoidance pass's input). 1 = connected as
+  /// usual; must be in [1, num_tables].
+  int num_components = 1;
 };
 
 /// A generated workload instance: a catalog plus one query over it.
@@ -60,7 +74,9 @@ struct Workload {
 /// silently clamping) on: fewer than two tables, an empty or non-positive
 /// page or selectivity range (min > max), a spread below 1 or NaN, negative
 /// `extra_edges`, `extra_edges` on a shape other than kRandom (where it
-/// would be ignored), or an `order_by_probability` outside [0, 1].
+/// would be ignored), a probability knob (`order_by_probability`,
+/// `redundant_edge_probability`, `filter_probability`) outside [0, 1], or
+/// `num_components` outside [1, num_tables].
 Workload GenerateWorkload(const WorkloadOptions& options, Rng* rng);
 
 }  // namespace lec

@@ -28,6 +28,21 @@ int Query::AddPredicate(QueryPos a, QueryPos b, Distribution selectivity) {
   return num_predicates() - 1;
 }
 
+int Query::AddFilter(QueryPos p, double selectivity) {
+  return AddFilter(p, Distribution::PointMass(selectivity));
+}
+
+int Query::AddFilter(QueryPos p, Distribution selectivity) {
+  if (p < 0 || p >= num_tables()) {
+    throw std::invalid_argument("filter must name a table in the query");
+  }
+  if (selectivity.Min() <= 0 || selectivity.Max() > 1.0) {
+    throw std::invalid_argument("selectivity support must lie in (0, 1]");
+  }
+  filters_.push_back({p, std::move(selectivity)});
+  return num_filters() - 1;
+}
+
 void Query::RequireOrder(OrderId p) {
   if (p < 0 || p >= num_predicates()) {
     throw std::invalid_argument("unknown predicate for ORDER BY");
@@ -65,17 +80,23 @@ bool Query::HasConnectingPredicate(TableSet subset, QueryPos j) const {
 }
 
 std::vector<int> Query::CrossingPredicates(TableSet a, TableSet b) const {
+  std::vector<int> out;
+  CrossingPredicatesInto(a, b, &out);
+  return out;
+}
+
+void Query::CrossingPredicatesInto(TableSet a, TableSet b,
+                                   std::vector<int>* out) const {
   if ((a & b) != 0) {
     throw std::invalid_argument("CrossingPredicates requires disjoint sets");
   }
-  std::vector<int> out;
+  out->clear();
   for (int i = 0; i < num_predicates(); ++i) {
     const JoinPredicate& p = predicates_[i];
     bool al = Contains(a, p.left), ar = Contains(a, p.right);
     bool bl = Contains(b, p.left), br = Contains(b, p.right);
-    if ((al && br) || (ar && bl)) out.push_back(i);
+    if ((al && br) || (ar && bl)) out->push_back(i);
   }
-  return out;
 }
 
 Query Query::WithSelectivity(int p, Distribution selectivity) const {
@@ -93,13 +114,19 @@ Query Query::WithSelectivity(int p, Distribution selectivity) const {
 
 std::vector<int> Query::InternalPredicates(TableSet subset) const {
   std::vector<int> out;
+  InternalPredicatesInto(subset, &out);
+  return out;
+}
+
+void Query::InternalPredicatesInto(TableSet subset,
+                                   std::vector<int>* out) const {
+  out->clear();
   for (int i = 0; i < num_predicates(); ++i) {
     const JoinPredicate& p = predicates_[i];
     if (Contains(subset, p.left) && Contains(subset, p.right)) {
-      out.push_back(i);
+      out->push_back(i);
     }
   }
-  return out;
 }
 
 bool Query::IsConnected(TableSet subset) const {

@@ -45,6 +45,20 @@ struct JoinPredicate {
 using OrderId = int;
 inline constexpr OrderId kUnsorted = -1;
 
+/// A local selection predicate on a single base relation (σ in the SPJ
+/// block). Like join selectivities it carries a distribution over the
+/// fraction of pages surviving the filter. The DP strategies themselves do
+/// not interpret filters — the selection push-down rewrite pass
+/// (rewrite/rewrite.h) folds them into the base-table size Distributions
+/// before the DP ever sees the query; a query that still carries filters
+/// is optimized as if the filters ran after the join block (σ over base
+/// columns commutes with ⋈, so the answer is unchanged — only the
+/// estimates improve when pushed down).
+struct FilterPredicate {
+  QueryPos table = 0;
+  Distribution selectivity = Distribution::PointMass(1.0);
+};
+
 /// An SPJ query block over tables registered in a Catalog.
 class Query {
  public:
@@ -57,14 +71,23 @@ class Query {
   /// Adds a join predicate with a distributional selectivity.
   int AddPredicate(QueryPos a, QueryPos b, Distribution selectivity);
 
+  /// Adds a local filter on position `p` with an exactly known selectivity;
+  /// returns the filter's index.
+  int AddFilter(QueryPos p, double selectivity);
+  /// Adds a local filter with a distributional selectivity.
+  int AddFilter(QueryPos p, Distribution selectivity);
+
   /// Requires the final result sorted on predicate `p`'s join key.
   void RequireOrder(OrderId p);
 
   int num_tables() const { return static_cast<int>(tables_.size()); }
   int num_predicates() const { return static_cast<int>(predicates_.size()); }
+  int num_filters() const { return static_cast<int>(filters_.size()); }
   TableId table(QueryPos p) const { return tables_.at(p); }
   const std::vector<JoinPredicate>& predicates() const { return predicates_; }
   const JoinPredicate& predicate(int i) const { return predicates_.at(i); }
+  const std::vector<FilterPredicate>& filters() const { return filters_; }
+  const FilterPredicate& filter(int i) const { return filters_.at(i); }
   std::optional<OrderId> required_order() const { return required_order_; }
 
   /// Bitmask containing every position.
@@ -91,6 +114,12 @@ class Query {
   /// of the two subplans.
   std::vector<int> CrossingPredicates(TableSet a, TableSet b) const;
 
+  /// CrossingPredicates without the allocation: clears `out` and appends,
+  /// same contract as ConnectingPredicatesInto. For the bushy DP inner
+  /// loops.
+  void CrossingPredicatesInto(TableSet a, TableSet b,
+                              std::vector<int>* out) const;
+
   /// A copy of this query with predicate `p`'s selectivity replaced —
   /// used by the value-of-information analysis to model "what the
   /// optimizer would do if sampling pinned this selectivity down".
@@ -98,6 +127,11 @@ class Query {
 
   /// Indices of predicates with both endpoints inside `subset`.
   std::vector<int> InternalPredicates(TableSet subset) const;
+
+  /// InternalPredicates without the allocation: clears `out` and appends,
+  /// same contract as ConnectingPredicatesInto. For per-subset size
+  /// precomputation (DpContext) and memory-breakpoint scans.
+  void InternalPredicatesInto(TableSet subset, std::vector<int>* out) const;
 
   /// True if the join graph restricted to `subset` is connected (a plan for
   /// a disconnected subset necessarily contains a cross product).
@@ -110,6 +144,7 @@ class Query {
  private:
   std::vector<TableId> tables_;
   std::vector<JoinPredicate> predicates_;
+  std::vector<FilterPredicate> filters_;
   std::optional<OrderId> required_order_;
 };
 

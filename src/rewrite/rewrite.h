@@ -1,0 +1,156 @@
+// Logical rewrite passes: rule-based query transformations that run
+// between query construction and the DP.
+//
+// Every layer before this one varies join *order* over a fixed query
+// structure; this module varies the *structure* itself, under a strict
+// answer-preservation contract (documented per pass below and in
+// DESIGN.md "Rewrite passes"). A PassManager owns an ordered list of
+// RewritePass rules and iterates them to a fixed point under a bounded
+// round count; the facade (optimizer/optimizer.h) runs the standard
+// pipeline when OptimizerOptions::rewrite_mode is kOn, BEFORE the
+// plan-cache signature is computed — so canonicalized queries share
+// cache entries — and surfaces the per-pass applied/skipped counters on
+// OptimizeResult::rewrite.
+//
+// The standard pipeline, in order:
+//
+//   1. selection_pushdown    — folds Query local filter predicates into
+//      the base-table size Distributions (|σ(A)| = |A| · σ as a §3.6.3
+//      product distribution) so the DP plans over the filtered sizes.
+//      Answer-preserving because a base-column selection commutes with
+//      every join above it.
+//   2. redundant_predicates  — collapses parallel JoinPredicate edges
+//      between the same table pair into one combined-selectivity edge
+//      (the §3.6 independence product, previously applied ad hoc inside
+//      CombinedSelectivityViewInto at every DP step). Estimate-preserving
+//      by I4 mean conservation; answer-preserving because the edge set
+//      between the pair is conjunctive either way.
+//   3. cross_product_avoidance — when the join graph is disconnected,
+//      completes every predicate-less table pair with a derived
+//      selectivity-1 edge (the unique selectivity that conserves the §3
+//      size-propagation product exactly: |A × B| = |A| · |B| · 1), so no
+//      subset ever forces an un-modeled cross product into the DP and the
+//      System-R connectedness pruning stays meaningful. The derived edges
+//      make the rewritten plan space a superset of the raw disconnected
+//      one (where every cross product was already admissible), so the
+//      optimum can only improve.
+//   4. canonicalize          — the PR-5 open item: relabels positions
+//      into a content-hash canonical order of per-position statistics
+//      (Weisfeiler–Leman-style refinement over the join graph), and
+//      sorts predicates by their canonical endpoints, so every relabeling
+//      of a query maps to the same QuerySignature bytes and structurally
+//      identical queries share one PlanCache entry. Hash-key ties fall
+//      back to the incoming order — two tied relabelings may miss each
+//      other in the cache, but a hit is always byte-exact (the cache
+//      compares full canonical signatures), so ties degrade to missed
+//      sharing, never to a wrong plan.
+//
+// Plans produced from a rewritten query are expressed in the REWRITTEN
+// query's positions and predicate indices; RewriteOutcome::position_map
+// maps them back to the caller's original positions.
+#ifndef LECOPT_REWRITE_REWRITE_H_
+#define LECOPT_REWRITE_REWRITE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "query/query.h"
+
+namespace lec::rewrite {
+
+/// Bucket budget for distributions a pass derives (filter folds, combined
+/// selectivities) when the caller does not supply one. The facade passes
+/// OptimizerOptions::size_buckets instead.
+inline constexpr size_t kDefaultRewriteBuckets = 729;
+
+/// The mutable state a pass transforms. `catalog` starts as a copy of the
+/// caller's catalog; selection push-down appends filtered twins to it, so
+/// the rewritten query may reference tables the original catalog lacks.
+struct RewriteUnit {
+  Query query;
+  Catalog catalog;
+  /// position_map[p] = the ORIGINAL query position now labeled p.
+  std::vector<QueryPos> position_map;
+  /// Bucket cap for derived distributions.
+  size_t max_buckets = kDefaultRewriteBuckets;
+};
+
+/// One rewrite rule. Passes are stateless: Apply inspects the unit and
+/// either transforms it (returning true, "applied") or leaves it untouched
+/// (returning false, "skipped"). Apply must be idempotent — a second
+/// application to its own output must return false — or the manager's
+/// fixed-point iteration will burn its round budget (terminating anyway,
+/// with reached_fixed_point = false).
+class RewritePass {
+ public:
+  virtual ~RewritePass() = default;
+  virtual std::string_view name() const = 0;
+  virtual bool Apply(RewriteUnit* unit) const = 0;
+};
+
+/// Per-pass bookkeeping: one of `applied`/`skipped` ticks per round, so
+/// applied + skipped == rounds for every pass (the conservation property
+/// tests/rewrite_test.cc pins).
+struct PassCounters {
+  std::string name;
+  size_t applied = 0;
+  size_t skipped = 0;
+};
+
+/// The result of running a PassManager.
+struct RewriteOutcome {
+  Query query;
+  Catalog catalog;
+  /// position_map[p] = original position of rewritten position p.
+  std::vector<QueryPos> position_map;
+  std::vector<PassCounters> counters;
+  int rounds = 0;
+  /// False iff the round budget ran out while passes were still firing.
+  bool reached_fixed_point = true;
+
+  size_t total_applied() const;
+  /// Counters for the named pass; nullptr if no such pass ran.
+  const PassCounters* counters_for(std::string_view name) const;
+};
+
+/// Ordered pass pipeline with bounded fixed-point iteration: each round
+/// runs every pass once in order; rounds repeat until a full round applies
+/// nothing or `max_rounds` is exhausted.
+class PassManager {
+ public:
+  explicit PassManager(int max_rounds = 8);
+
+  PassManager& Add(std::unique_ptr<RewritePass> pass);
+  size_t num_passes() const { return passes_.size(); }
+
+  RewriteOutcome Run(const Query& query, const Catalog& catalog,
+                     size_t max_buckets = kDefaultRewriteBuckets) const;
+
+ private:
+  int max_rounds_;
+  std::vector<std::unique_ptr<RewritePass>> passes_;
+};
+
+std::unique_ptr<RewritePass> MakeSelectionPushdownPass();
+std::unique_ptr<RewritePass> MakeRedundantPredicatePass();
+std::unique_ptr<RewritePass> MakeCrossProductAvoidancePass();
+std::unique_ptr<RewritePass> MakeCanonicalizationPass();
+
+/// The four standard passes in the documented order.
+PassManager StandardPassManager(int max_rounds = 8);
+
+/// The refined per-position canonical keys the canonicalization pass sorts
+/// by. Exposed because sharing across relabelings is guaranteed only when
+/// the keys are pairwise distinct — fuzz I13 and the property tests check
+/// distinctness before asserting signature equality.
+std::vector<uint64_t> CanonicalPositionKeys(const Query& query,
+                                            const Catalog& catalog);
+
+}  // namespace lec::rewrite
+
+#endif  // LECOPT_REWRITE_REWRITE_H_

@@ -34,7 +34,12 @@ QuerySignature QuerySignature::Compute(StrategyId id,
   std::ostringstream out;
   serde::Writer w(out, serde::Encoding::kBinary);
   w.Tag("sig");
-  w.U32(2);  // signature schema version, independent of the wire version
+  // Signature schema version, independent of the wire version. v3 differs
+  // from v2 only in carrying the options' rewrite_mode (via the options
+  // fingerprint below) — and in being what a canonicalized (rewrite-on)
+  // request hashes to; UpgradeCanonical lifts v2 bytes to their exact v3
+  // equivalent on snapshot load.
+  w.U32(3);
   w.Str(StrategyName(id));
   // The RESOLVED SIMD tier, not just the requested simd_mode (which rides
   // along inside the options fingerprint below): a kAuto request computes
@@ -154,15 +159,16 @@ QuerySignature QuerySignature::Compute(StrategyId id,
 std::vector<uint64_t> QuerySignature::ExtractDistHashes(
     std::string_view canonical) {
   // The canonical string is a complete serde stream (Writer's constructor
-  // emits the header), so it re-parses with a Reader. Walk the v2 layout
-  // up to the memory section, collecting each ContentHash that Compute
-  // wrote ahead of its distribution's buckets; the strategy-knob tail is
-  // irrelevant here and left unread.
+  // emits the header), so it re-parses with a Reader. Walk the layout
+  // (identical in schema v2 and v3 — the options fingerprint reads itself
+  // version-aware) up to the memory section, collecting each ContentHash
+  // that Compute wrote ahead of its distribution's buckets; the
+  // strategy-knob tail is irrelevant here and left unread.
   std::istringstream in{std::string(canonical)};
   serde::Reader r(in);
   r.ExpectTag("sig");
   uint32_t version = r.U32();
-  if (version != 2) {
+  if (version != 2 && version != 3) {
     throw serde::SerdeError("serde: unknown signature schema version");
   }
   r.Str();  // strategy name
@@ -194,6 +200,97 @@ std::vector<uint64_t> QuerySignature::ExtractDistHashes(
   std::sort(hashes.begin(), hashes.end());
   hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
   return hashes;
+}
+
+std::string QuerySignature::UpgradeCanonical(std::string_view canonical) {
+  std::istringstream in{std::string(canonical)};
+  serde::Reader r(in);
+  r.ExpectTag("sig");
+  uint32_t schema = r.U32();
+  if (schema == 3) return std::string(canonical);
+  if (schema != 2) {
+    throw serde::SerdeError("serde: unknown signature schema version");
+  }
+  // Full v2 parse, token-for-token v3 re-emit. Every field round-trips
+  // bit-exactly (the serde contract), and the one v3 addition —
+  // rewrite_mode inside the options fingerprint — serializes as its
+  // default kOff, which is exactly what every v2-era request meant. The
+  // result therefore equals a fresh Compute of the same request, so
+  // upgraded snapshot entries keep serving hits.
+  std::string strategy_name = r.Str();
+  std::string simd_level = r.Str();
+  OptimizerOptions options = serde::ReadOptimizerOptions(r);
+  bool sorted_input_discount = r.Bool();
+  bool charge_materialization = r.Bool();
+
+  std::ostringstream out;
+  serde::Writer w(out, r.encoding());
+  w.Tag("sig");
+  w.U32(3);
+  w.Str(strategy_name);
+  w.Str(simd_level);
+  serde::Write(w, options);
+  w.Bool(sorted_input_discount);
+  w.Bool(charge_materialization);
+
+  r.ExpectTag("tables");
+  w.Tag("tables");
+  uint64_t num_tables = r.U64();
+  w.U64(num_tables);
+  for (uint64_t i = 0; i < num_tables; ++i) {
+    w.F64(r.F64());
+    w.U64(r.U64());
+    serde::Write(w, serde::ReadDistribution(r));
+  }
+  r.ExpectTag("preds");
+  w.Tag("preds");
+  uint64_t num_preds = r.U64();
+  w.U64(num_preds);
+  for (uint64_t i = 0; i < num_preds; ++i) {
+    w.I32(r.I32());
+    w.I32(r.I32());
+    w.U64(r.U64());
+    serde::Write(w, serde::ReadDistribution(r));
+  }
+  bool has_order = r.Bool();
+  w.Bool(has_order);
+  if (has_order) w.I32(r.I32());
+
+  r.ExpectTag("memory");
+  w.Tag("memory");
+  w.U64(r.U64());
+  serde::Write(w, serde::ReadDistribution(r));
+
+  r.ExpectTag("knobs");
+  w.Tag("knobs");
+  std::optional<StrategyId> id = ParseStrategy(strategy_name);
+  if (!id) throw serde::SerdeError("serde: unknown strategy in signature");
+  switch (*id) {
+    case StrategyId::kLsc:
+      w.U32(r.U32());
+      break;
+    case StrategyId::kAlgorithmA:
+      w.Bool(r.Bool());
+      break;
+    case StrategyId::kAlgorithmB:
+      w.Bool(r.Bool());
+      w.U64(r.U64());
+      break;
+    case StrategyId::kLecDynamic:
+      serde::Write(w, serde::ReadMarkovChain(r));
+      break;
+    case StrategyId::kRandomized:
+      w.U64(r.U64());
+      w.I32(r.I32());
+      w.I32(r.I32());
+      break;
+    case StrategyId::kSampling:
+      w.I32(r.I32());
+      break;
+    default:
+      break;
+  }
+  return std::move(out).str();
 }
 
 PlanCache::PlanCache() : PlanCache(Options{}) {}
@@ -385,7 +482,9 @@ size_t PlanCache::LoadSnapshot(std::string_view bytes) {
   size_t loaded = 0;
   for (uint64_t i = 0; i < count; ++i) {
     QuerySignature sig;
-    sig.canonical = r.Str();
+    // Lift pre-v3 signatures to today's bytes (no-op for current ones),
+    // so old snapshots keep serving hits to fresh requests.
+    sig.canonical = QuerySignature::UpgradeCanonical(r.Str());
     sig.hash = Fnv1a64(sig.canonical);
     // Snapshot entries must stay reachable by precise invalidation too:
     // recover the distribution hashes from the canonical bytes.

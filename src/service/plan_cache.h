@@ -23,12 +23,18 @@
 // consumed (the Markov chain only for lec_dynamic, top_c only for
 // algorithm_b, the seed only for randomized, ...). Because the full
 // canonical string is stored and compared on lookup, a 64-bit hash
-// collision degrades to a miss, never to a wrong plan. What the signature
-// does NOT attempt: join-graph isomorphism (relabeling tables or
-// reordering the predicate *list*). Both would require relabeling the
-// cached plan's indices on the way out, and predicate reordering also
-// reassociates selectivity products — breaking the bit-identity contract
-// below. See DESIGN.md, "Plan cache & serialization".
+// collision degrades to a miss, never to a wrong plan. Join-graph
+// isomorphism (relabeling tables, reordering the predicate *list*) is NOT
+// normalized here — it is the canonicalization rewrite pass's job
+// (rewrite/rewrite.h): with OptimizerOptions::rewrite_mode on, the facade
+// relabels the query into a content-hash canonical order BEFORE computing
+// the signature, so every relabeling maps to the same bytes (schema v3)
+// and the cached plan is already expressed in canonical positions —
+// nothing needs relabeling on the way out. Raw (rewrite-off) requests
+// keep the old behavior: relabelings are distinct entries, because
+// serving across a relabeling would require remapping plan indices and
+// reassociating selectivity products — breaking the bit-identity contract
+// below. See DESIGN.md, "Plan cache & serialization" and "Rewrite passes".
 //
 // Correctness contract (pinned by tests/plan_cache_test.cc and fuzz
 // invariant I8): a cache hit returns an OptimizeResult BIT-IDENTICAL to
@@ -99,9 +105,19 @@ struct QuerySignature {
 
   /// Re-derives `dist_hashes` from canonical bytes (the signature stream
   /// already serializes each distribution's ContentHash ahead of its
-  /// buckets). Used by LoadSnapshot, where only the bytes survive. Throws
-  /// serde::SerdeError on malformed or version-skewed input.
+  /// buckets). Used by LoadSnapshot, where only the bytes survive. Accepts
+  /// schema v2 and v3 streams; throws serde::SerdeError on malformed or
+  /// version-skewed input.
   static std::vector<uint64_t> ExtractDistHashes(std::string_view canonical);
+
+  /// The v2→v3 upgrade path: re-serializes a schema-v2 canonical string as
+  /// the exact v3 bytes Compute would produce for the same request today
+  /// (the only v3 addition, rewrite_mode, defaults to kOff — precisely
+  /// what every v2-era request meant). v3 input is returned unchanged, so
+  /// LoadSnapshot runs every entry through this and a v2-era snapshot
+  /// keeps serving hits to fresh rewrite-off requests. Throws
+  /// serde::SerdeError on malformed input.
+  static std::string UpgradeCanonical(std::string_view canonical);
 };
 
 /// FNV-1a, the signature/shard hash (also used by the snapshot loader).

@@ -152,10 +152,11 @@ Reader::Reader(std::istream& in, MagicState magic) : in_(in) {
   } else {
     Fail("unknown encoding \"" + enc + "\"");
   }
-  uint32_t version = U32();
-  if (version != kFormatVersion) {
-    Fail("format version " + std::to_string(version) + " unsupported (this "
-         "build reads version " + std::to_string(kFormatVersion) + ")");
+  version_ = U32();
+  if (version_ < kMinReadVersion || version_ > kFormatVersion) {
+    Fail("format version " + std::to_string(version_) + " unsupported (this "
+         "build reads versions " + std::to_string(kMinReadVersion) + ".." +
+         std::to_string(kFormatVersion) + ")");
   }
 }
 
@@ -452,6 +453,12 @@ void Write(Writer& w, const Query& query) {
   }
   w.Bool(query.required_order().has_value());
   if (query.required_order()) w.I32(*query.required_order());
+  // Version 3: local filter predicates (selection push-down inputs).
+  w.U64(static_cast<uint64_t>(query.num_filters()));
+  for (const FilterPredicate& f : query.filters()) {
+    w.I32(f.table);
+    Write(w, f.selectivity);
+  }
 }
 
 Query ReadQuery(Reader& r) {
@@ -488,6 +495,19 @@ Query ReadQuery(Reader& r) {
         throw SerdeError("serde: required order out of range");
       }
       query.RequireOrder(order);
+    }
+    if (r.version() >= 3) {
+      uint64_t filters = r.U64();
+      if (filters > kMaxPredicates) {
+        throw SerdeError("serde: too many filters");
+      }
+      for (uint64_t i = 0; i < filters; ++i) {
+        int32_t pos = r.I32();
+        if (pos < 0 || pos >= static_cast<int32_t>(n)) {
+          throw SerdeError("serde: filter position out of range");
+        }
+        query.AddFilter(pos, ReadDistribution(r));
+      }
     }
   } catch (const std::invalid_argument& e) {
     throw SerdeError(std::string("serde: invalid query: ") + e.what());
@@ -685,6 +705,8 @@ void Write(Writer& w, const OptimizerOptions& options) {
   w.Bool(options.use_dist_kernels);
   w.U32(static_cast<uint32_t>(options.simd_mode));
   w.U32(static_cast<uint32_t>(options.dp_pruning));
+  // Version 3: logical rewrite pipeline toggle.
+  w.U32(static_cast<uint32_t>(options.rewrite_mode));
 }
 
 OptimizerOptions ReadOptimizerOptions(Reader& r) {
@@ -725,6 +747,13 @@ OptimizerOptions ReadOptimizerOptions(Reader& r) {
     throw SerdeError("serde: unknown dp_pruning mode");
   }
   options.dp_pruning = static_cast<DpPruning>(pruning);
+  if (r.version() >= 3) {
+    uint32_t rewrite = r.U32();
+    if (rewrite > static_cast<uint32_t>(RewriteMode::kOn)) {
+      throw SerdeError("serde: unknown rewrite mode");
+    }
+    options.rewrite_mode = static_cast<RewriteMode>(rewrite);
+  }
   return options;
 }
 

@@ -54,11 +54,18 @@ class SerdeError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// Bumped when the wire format changes incompatibly. Readers reject any
-/// other version — snapshots are re-built, never half-parsed.
+/// The version this build writes. Readers accept [kMinReadVersion,
+/// kFormatVersion]: version 3 only ADDED optional trailing fields to two
+/// types, so version-2 streams still parse exactly (the absent fields take
+/// their defaults — rewrite off, no filters). Anything else is rejected —
+/// snapshots are re-built, never half-parsed.
 // Version history: 1 — initial; 2 — OptimizerOptions grew simd_mode and
-// dp_pruning, OptimizeResult grew the four branch-and-bound counters.
-inline constexpr uint32_t kFormatVersion = 2;
+// dp_pruning, OptimizeResult grew the four branch-and-bound counters;
+// 3 — Query grew local filter predicates, OptimizerOptions grew
+// rewrite_mode (and QuerySignature moved to schema v3 in lockstep —
+// service/plan_cache.cc upgrades v2 signatures on snapshot load).
+inline constexpr uint32_t kFormatVersion = 3;
+inline constexpr uint32_t kMinReadVersion = 2;
 
 /// Stream framing; see the header comment.
 enum class Encoding { kText, kBinary };
@@ -100,6 +107,9 @@ class Reader {
   explicit Reader(std::istream& in, MagicState magic = kReadHeader);
 
   Encoding encoding() const { return encoding_; }
+  /// The stream's declared format version (in [kMinReadVersion,
+  /// kFormatVersion]); version-gated fields consult this.
+  uint32_t version() const { return version_; }
 
   /// Consumes one tag token and throws unless it equals `tag`.
   void ExpectTag(std::string_view tag);
@@ -119,6 +129,7 @@ class Reader {
 
   std::istream& in_;
   Encoding encoding_ = Encoding::kText;
+  uint32_t version_ = kFormatVersion;
   size_t tokens_read_ = 0;
 };
 

@@ -19,6 +19,7 @@
 #include "optimizer/algorithm_d.h"
 #include "optimizer/exhaustive.h"
 #include "optimizer/system_r.h"
+#include "rewrite/rewrite.h"
 #include "service/batch_driver.h"
 #include "service/plan_cache.h"
 #include "service/serde.h"
@@ -173,6 +174,7 @@ class CaseChecker {
     CheckServePipeline();        // I10
     CheckMeasuredStats();        // I11
     CheckPlanExecution();        // I12 (chain cases only)
+    CheckRewrite();              // I13
     if (options_.check_mc) CheckMonteCarlo();  // I6
     return std::move(violations_);
   }
@@ -1169,6 +1171,214 @@ class CaseChecker {
     // Re-optimization may reroute the tail, but it can never lose or
     // duplicate result rows — that is the invariant here; whether it also
     // SAVES I/O is benchmarked (E23), not asserted per round.
+  }
+
+  void CheckRewrite() {
+    if (Stop()) return;
+    // The I13 world: this case's options plus the structure knobs the
+    // rewrite passes consume (parallel redundant edges, per-table filters,
+    // optionally a disconnected graph), all derived from the seed so
+    // verify_repro rebuilds the identical workload. Capped at 6 tables:
+    // this check runs six exhaustive oracle solves per round.
+    WorkloadOptions wopts;
+    wopts.num_tables = std::min(case_.num_tables, 6);
+    wopts.shape = case_.shape;
+    wopts.selectivity_spread = case_.selectivity_spread;
+    wopts.table_size_spread = case_.table_size_spread;
+    wopts.order_by_probability = case_.order_by ? 1.0 : 0.0;
+    if (case_.shape == JoinGraphShape::kRandom) {
+      wopts.extra_edges = static_cast<int>(case_.seed % 3);
+    }
+    wopts.redundant_edge_probability = 0.25 + 0.5 * ((case_.seed >> 2) % 2);
+    wopts.filter_probability = 0.5;
+    if (wopts.num_tables >= 4 && case_.seed % 3 == 0) {
+      wopts.num_components = 2;  // disconnected leg for cross_product pass
+    }
+    Rng rng(case_.seed ^ 0x9e3779b97f4a7c15ULL);
+    Workload w = GenerateWorkload(wopts, &rng);
+
+    // (a) Optimum preservation: each pass alone, and the standard pipeline,
+    // may never increase the exhaustive oracle's optimum. Push-down shrinks
+    // inputs, redundant merge conserves the combined selectivity the DP
+    // applied anyway, derived sel-1 edges only widen the admissible plan
+    // space, canonicalization is a pure relabeling.
+    OracleOptions oopts;
+    oopts.objective = OracleObjective::kLecStatic;
+    oopts.collect_spectrum = false;
+    OracleResult raw =
+        SolveOracle(w.query, w.catalog, ctx_.model, ctx_.memory, oopts);
+    auto check_leg = [&](const char* id, rewrite::PassManager mgr) {
+      rewrite::RewriteOutcome out = mgr.Run(w.query, w.catalog);
+      OracleResult rw =
+          SolveOracle(out.query, out.catalog, ctx_.model, ctx_.memory, oopts);
+      Expect(NoBetterThan(raw.best_objective, rw.best_objective),
+             id,
+             FormatMismatch("rewritten oracle optimum vs raw optimum",
+                            rw.best_objective, raw.best_objective));
+    };
+    {
+      rewrite::PassManager m1, m2, m3, m4;
+      m1.Add(rewrite::MakeSelectionPushdownPass());
+      m2.Add(rewrite::MakeRedundantPredicatePass());
+      m3.Add(rewrite::MakeCrossProductAvoidancePass());
+      m4.Add(rewrite::MakeCanonicalizationPass());
+      check_leg("I13:pushdown_oracle", std::move(m1));
+      if (Stop()) return;
+      check_leg("I13:redundant_oracle", std::move(m2));
+      if (Stop()) return;
+      check_leg("I13:crossproduct_oracle", std::move(m3));
+      if (Stop()) return;
+      check_leg("I13:canonicalize_oracle", std::move(m4));
+      if (Stop()) return;
+      check_leg("I13:pipeline_oracle", rewrite::StandardPassManager());
+      if (Stop()) return;
+    }
+
+    // (b) Answer preservation, executed for real (chain cases — the
+    // executor's scope): the DP plan of the redundant-merged query and the
+    // DP plan of the raw duplicate-edge query both reproduce the naive
+    // reference answer as an exact payload multiset on the SAME physical
+    // data. (Canonical permutations and filters are outside the chain
+    // executor's reach; their answer contracts are certified analytically
+    // in (a) and structurally in (c).)
+    if (case_.shape == JoinGraphShape::kChain) {
+      int n = ctx_.workload.query.num_tables();
+      Rng brng(case_.seed ^ 0x5bd1e995c6b3a1f7ULL);
+      Catalog catalog;
+      Query raw_q;
+      for (QueryPos p = 0; p < n; ++p) {
+        double orig =
+            ctx_.workload.catalog.table(ctx_.workload.query.table(p)).pages;
+        double pages =
+            std::clamp(std::round(std::log2(orig + 1.0)), 3.0, 12.0);
+        raw_q.AddTable(catalog.AddTable("r" + std::to_string(p), pages));
+      }
+      int dup = static_cast<int>(brng.UniformInt(0, n - 2));
+      for (int i = 0; i + 1 < n; ++i) {
+        if (i == dup) {
+          // Mild parallel pair: the merged product stays executable at
+          // this scale (I12 draws a single edge from [1e-2, 0.05]).
+          raw_q.AddPredicate(i, i + 1, brng.LogUniform(0.1, 0.3));
+          raw_q.AddPredicate(i, i + 1, brng.LogUniform(0.1, 0.3));
+        } else {
+          raw_q.AddPredicate(i, i + 1, brng.LogUniform(1e-2, 0.05));
+        }
+      }
+      rewrite::PassManager merge_mgr;
+      merge_mgr.Add(rewrite::MakeRedundantPredicatePass());
+      rewrite::RewriteOutcome out = merge_mgr.Run(raw_q, catalog);
+      Expect(out.query.num_predicates() == n - 1 &&
+                 out.total_applied() == 1 && out.reached_fixed_point,
+             "I13:redundant_merge_shape",
+             "merging one duplicate edge should leave a strict chain in "
+             "one application");
+      if (Stop()) return;
+
+      EngineWorkload data =
+          BuildChainEngineWorkload(out.query, out.catalog, &brng);
+      std::vector<int64_t> want = PayloadMultiset(NaiveChainCompose(data));
+      ExecutePlanOptions eo;
+      eo.memory_by_phase = {9.0};
+
+      DpContext rw_ctx(out.query, out.catalog, OptimizerOptions{});
+      OptimizeResult rw_best = RunDp(rw_ctx, LscCostProvider{ctx_.model, 9.0});
+      ExecutionResult rw_run = ExecutePlan(rw_best.plan, out.query, data, eo);
+
+      DpContext raw_ctx(raw_q, catalog, OptimizerOptions{});
+      OptimizeResult raw_best =
+          RunDp(raw_ctx, LscCostProvider{ctx_.model, 9.0});
+      ExecutionResult raw_run = ExecutePlan(raw_best.plan, raw_q, data, eo);
+
+      Expect(PayloadMultiset(rw_run.result) == want &&
+                 PayloadMultiset(raw_run.result) == want,
+             "I13:answer_multiset",
+             "rewritten-plan execution diverged from the raw plan's naive "
+             "reference answer");
+      if (Stop()) return;
+    }
+
+    // (c) Canonicalized cache sharing through the facade: a relabeled
+    // duplicate with rewrite_mode on must replay bit-identical to an
+    // uncached rewrite-on optimize, and must HIT the original's entry
+    // whenever the canonical position keys are pairwise distinct (ties
+    // degrade to a miss, never to wrong bits).
+    {
+      int n = w.query.num_tables();
+      std::vector<int> perm(static_cast<size_t>(n));
+      for (int p = 0; p < n; ++p) perm[static_cast<size_t>(p)] = p;
+      for (int p = n - 1; p > 0; --p) {
+        std::swap(perm[static_cast<size_t>(p)],
+                  perm[static_cast<size_t>(rng.UniformInt(0, p))]);
+      }
+      std::vector<int> inv(static_cast<size_t>(n));
+      for (int p = 0; p < n; ++p) inv[static_cast<size_t>(perm[p])] = p;
+      Workload twin;
+      twin.catalog = w.catalog;
+      for (int np = 0; np < n; ++np) {
+        twin.query.AddTable(w.query.table(inv[static_cast<size_t>(np)]));
+      }
+      for (int i = 0; i < w.query.num_predicates(); ++i) {
+        const JoinPredicate& p = w.query.predicate(i);
+        twin.query.AddPredicate(static_cast<QueryPos>(perm[p.left]),
+                                static_cast<QueryPos>(perm[p.right]),
+                                p.selectivity);
+      }
+      for (int i = 0; i < w.query.num_filters(); ++i) {
+        const FilterPredicate& f = w.query.filter(i);
+        twin.query.AddFilter(static_cast<QueryPos>(perm[f.table]),
+                             f.selectivity);
+      }
+      if (w.query.required_order()) {
+        twin.query.RequireOrder(*w.query.required_order());
+      }
+
+      Optimizer facade;
+      OptimizeRequest req;
+      req.query = &w.query;
+      req.catalog = &w.catalog;
+      req.model = &ctx_.model;
+      req.memory = &ctx_.memory;
+      req.options.rewrite_mode = RewriteMode::kOn;
+      OptimizeRequest twin_req = req;
+      twin_req.query = &twin.query;
+      twin_req.catalog = &twin.catalog;
+      OptimizeResult base = facade.Optimize(StrategyId::kLecStatic, req);
+      OptimizeResult twin_base =
+          facade.Optimize(StrategyId::kLecStatic, twin_req);
+
+      PlanCache cache;
+      OptimizeRequest c1 = req, c2 = twin_req;
+      c1.options.plan_cache = &cache;
+      c2.options.plan_cache = &cache;
+      OptimizeResult r1 = facade.Optimize(StrategyId::kLecStatic, c1);
+      OptimizeResult r2 = facade.Optimize(StrategyId::kLecStatic, c2);
+      auto bits = [](const OptimizeResult& a, const OptimizeResult& b) {
+        return a.objective == b.objective && PlanEquals(a.plan, b.plan) &&
+               a.cost_evaluations == b.cost_evaluations;
+      };
+      Expect(bits(r1, base) && bits(r2, twin_base),
+             "I13:rewrite_cache_recompute_parity",
+             FormatMismatch("cached rewrite-on serve vs uncached",
+                            r2.objective, twin_base.objective));
+      if (Stop()) return;
+
+      rewrite::RewriteOutcome canon =
+          rewrite::StandardPassManager().Run(w.query, w.catalog);
+      std::vector<uint64_t> keys =
+          rewrite::CanonicalPositionKeys(canon.query, canon.catalog);
+      std::vector<uint64_t> sorted_keys = keys;
+      std::sort(sorted_keys.begin(), sorted_keys.end());
+      bool distinct = std::adjacent_find(sorted_keys.begin(),
+                                         sorted_keys.end()) ==
+                      sorted_keys.end();
+      if (distinct) {
+        Expect(cache.stats().hits == 1 && bits(r2, r1),
+               "I13:canonical_cache_hit",
+               "relabeled duplicate with distinct canonical keys missed "
+               "the cache or served different bits (hits=" +
+                   std::to_string(cache.stats().hits) + ")");
+      }
+    }
   }
 
   void CheckMonteCarlo() {

@@ -76,6 +76,20 @@
 //      estimates, zero drift threshold, re-optimization on — still executes
 //      exactly n-1 joins and the identical multiset: re-planning the tail
 //      may reroute it but can never change the answer.
+//   I13 rewrite preservation — the logical rewrite layer (rewrite/
+//      rewrite.h) on a structure-varying workload (redundant parallel
+//      edges, per-table filters, optionally a disconnected join graph —
+//      knobs derived from the seed): each pass alone AND the full standard
+//      pipeline may never increase the exhaustive oracle's optimum
+//      (optimize(rewrite(Q)) <= optimize(Q) under kLecStatic, up to
+//      kOracleRelTol); on chain cases the redundant-merge rewrite is
+//      executed for real — the DP plan of the merged query and the DP plan
+//      of the raw duplicate-edge query both reproduce the naive reference
+//      answer as an exact payload multiset on the same physical data; and
+//      a relabeled duplicate served through the facade with rewrite_mode
+//      on and a shared PlanCache replays bit-identical to an uncached
+//      rewrite-on optimize, hitting the first request's entry whenever the
+//      canonical position keys are pairwise distinct.
 //   I6 Monte-Carlo        — sampled executions agree with the analytic EC
 //      in the static and Markov-dynamic regimes: a violation is a 99.9%
 //      CLT-interval miss that is ALSO materially far from the mean

@@ -210,6 +210,33 @@ TEST(DpAllocationTest, WarmRunDpIntoAllocatesNothing) {
       << "a 10-table chain should give the bound something to cut";
 }
 
+TEST(DpAllocationTest, WarmPredicateLookupsIntoAllocateNothing) {
+  // The *Into predicate lookups share the DP core's contract: after one
+  // warming pass sizes the scratch vector, repeat calls never touch the
+  // heap — they only clear and refill the caller's buffer.
+  Workload w = ChainWorkload(10);
+  const Query& q = w.query;
+  TableSet all = q.AllTables();
+  TableSet left = 0b11111;  // first five tables of the 10-table chain
+  TableSet right = all & ~left;
+
+  std::vector<int> crossing, internal;
+  q.CrossingPredicatesInto(left, right, &crossing);  // warm-up sizes it
+  q.InternalPredicatesInto(all, &internal);
+  std::vector<int> want_crossing = q.CrossingPredicates(left, right);
+  std::vector<int> want_internal = q.InternalPredicates(all);
+
+  size_t before = g_news.load();
+  for (int round = 0; round < 8; ++round) {
+    q.CrossingPredicatesInto(left, right, &crossing);
+    q.InternalPredicatesInto(all, &internal);
+  }
+  EXPECT_EQ(g_news.load() - before, 0u)
+      << "warmed *Into lookups must not touch the heap";
+  EXPECT_EQ(crossing, want_crossing);  // and match the allocating variants
+  EXPECT_EQ(internal, want_internal);
+}
+
 TEST(DpAllocationTest, AlgorithmDArenaReachesSteadyState) {
   Workload w = ChainWorkload(6);
   CostModel model;

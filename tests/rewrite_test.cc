@@ -1,0 +1,317 @@
+// Property suite for the logical rewrite layer (rewrite/rewrite.h):
+// fixed-point termination under adversarial rule cycles, idempotence of
+// the standard pipeline, per-pass counter conservation, and
+// canonicalization invariance (every relabeling of a query maps to the
+// same QuerySignature bytes whenever the canonical keys are distinct).
+#include "rewrite/rewrite.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "query/generator.h"
+#include "service/plan_cache.h"
+#include "service/serde.h"
+#include "util/rng.h"
+
+namespace lec {
+namespace {
+
+Workload MakeWorkload(uint64_t seed, JoinGraphShape shape, int n,
+                      double redundant = 0.0, double filters = 0.0,
+                      int components = 1) {
+  WorkloadOptions opts;
+  opts.num_tables = n;
+  opts.shape = shape;
+  opts.redundant_edge_probability = redundant;
+  opts.filter_probability = filters;
+  opts.num_components = components;
+  Rng rng(seed);
+  return GenerateWorkload(opts, &rng);
+}
+
+/// Relabels `src` by `perm` (perm[p] = new position of original p),
+/// preserving predicate and filter list order.
+Workload Relabel(const Workload& src, const std::vector<int>& perm) {
+  int n = src.query.num_tables();
+  std::vector<int> inv(static_cast<size_t>(n));
+  for (int p = 0; p < n; ++p) inv[static_cast<size_t>(perm[p])] = p;
+  Workload out;
+  out.catalog = src.catalog;
+  for (int np = 0; np < n; ++np) {
+    out.query.AddTable(src.query.table(inv[static_cast<size_t>(np)]));
+  }
+  for (int i = 0; i < src.query.num_predicates(); ++i) {
+    const JoinPredicate& p = src.query.predicate(i);
+    out.query.AddPredicate(static_cast<QueryPos>(perm[p.left]),
+                           static_cast<QueryPos>(perm[p.right]),
+                           p.selectivity);
+  }
+  for (int i = 0; i < src.query.num_filters(); ++i) {
+    const FilterPredicate& f = src.query.filter(i);
+    out.query.AddFilter(static_cast<QueryPos>(perm[f.table]), f.selectivity);
+  }
+  if (src.query.required_order()) {
+    out.query.RequireOrder(*src.query.required_order());
+  }
+  return out;
+}
+
+// -- Fixed-point termination -------------------------------------------------
+
+/// Adversarial rule: relabels positions 0 and 1 every time it runs, so it
+/// "applies" forever — alone or as a cycle of two. Violates the documented
+/// idempotence requirement on purpose to pin the manager's round budget.
+class SwapPass : public rewrite::RewritePass {
+ public:
+  std::string_view name() const override { return "swap01"; }
+  bool Apply(rewrite::RewriteUnit* unit) const override {
+    int n = unit->query.num_tables();
+    if (n < 2) return false;
+    std::vector<int> perm(static_cast<size_t>(n));
+    for (int p = 0; p < n; ++p) perm[static_cast<size_t>(p)] = p;
+    std::swap(perm[0], perm[1]);
+    Workload w;
+    w.catalog = unit->catalog;
+    w.query = unit->query;
+    Workload re = Relabel(w, perm);
+    unit->query = std::move(re.query);
+    std::swap(unit->position_map[0], unit->position_map[1]);
+    return true;
+  }
+};
+
+TEST(RewriteFixedPointTest, AdversarialCycleExhaustsRoundBudget) {
+  Workload w = MakeWorkload(7, JoinGraphShape::kChain, 4);
+  rewrite::PassManager mgr(/*max_rounds=*/5);
+  mgr.Add(std::make_unique<SwapPass>());
+  mgr.Add(std::make_unique<SwapPass>());
+  rewrite::RewriteOutcome out = mgr.Run(w.query, w.catalog);
+  EXPECT_EQ(out.rounds, 5);
+  EXPECT_FALSE(out.reached_fixed_point);
+  // Every pass fired every round; the budget, not convergence, ended it.
+  for (const rewrite::PassCounters& c : out.counters) {
+    EXPECT_EQ(c.applied, 5u) << c.name;
+    EXPECT_EQ(c.skipped, 0u) << c.name;
+  }
+  // An even number of swaps: the net relabeling is the identity, and the
+  // position_map must say so.
+  ASSERT_EQ(out.position_map.size(), 4u);
+  for (QueryPos p = 0; p < 4; ++p) EXPECT_EQ(out.position_map[p], p);
+}
+
+TEST(RewriteFixedPointTest, StandardPipelineConverges) {
+  Workload w = MakeWorkload(11, JoinGraphShape::kCycle, 5,
+                            /*redundant=*/1.0, /*filters=*/1.0);
+  rewrite::RewriteOutcome out =
+      rewrite::StandardPassManager().Run(w.query, w.catalog);
+  EXPECT_TRUE(out.reached_fixed_point);
+  EXPECT_LT(out.rounds, 8);
+  EXPECT_GE(out.total_applied(), 2u);  // pushdown + redundant at least
+  EXPECT_EQ(out.query.num_filters(), 0);
+  EXPECT_EQ(out.query.num_predicates(), 5);  // parallel edges collapsed
+}
+
+// -- Idempotence -------------------------------------------------------------
+
+TEST(RewriteIdempotenceTest, SecondRunAppliesNothing) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Workload w = MakeWorkload(seed, JoinGraphShape::kRandom, 6,
+                              /*redundant=*/0.7, /*filters=*/0.7,
+                              /*components=*/seed % 2 == 0 ? 2 : 1);
+    rewrite::PassManager mgr = rewrite::StandardPassManager();
+    rewrite::RewriteOutcome once = mgr.Run(w.query, w.catalog);
+    rewrite::RewriteOutcome twice = mgr.Run(once.query, once.catalog);
+    EXPECT_EQ(twice.total_applied(), 0u) << "seed " << seed;
+    EXPECT_TRUE(twice.reached_fixed_point);
+    EXPECT_EQ(twice.rounds, 1);
+    // Byte-stable: re-running on the fixed point reproduces it exactly
+    // (same catalog basis, so serde bytes compare directly).
+    EXPECT_EQ(serde::ToString(twice.query), serde::ToString(once.query));
+  }
+}
+
+// -- Counter conservation ----------------------------------------------------
+
+TEST(RewriteCounterTest, AppliedPlusSkippedEqualsRounds) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Workload w = MakeWorkload(seed, JoinGraphShape::kStar, 5,
+                              /*redundant=*/0.5, /*filters=*/0.5);
+    rewrite::RewriteOutcome out =
+        rewrite::StandardPassManager().Run(w.query, w.catalog);
+    ASSERT_EQ(out.counters.size(), 4u);
+    for (const rewrite::PassCounters& c : out.counters) {
+      EXPECT_EQ(c.applied + c.skipped, static_cast<size_t>(out.rounds))
+          << c.name << " seed " << seed;
+    }
+  }
+}
+
+TEST(RewriteCounterTest, CountersForLooksUpByName) {
+  Workload w = MakeWorkload(3, JoinGraphShape::kChain, 4, 0.0, 1.0);
+  rewrite::RewriteOutcome out =
+      rewrite::StandardPassManager().Run(w.query, w.catalog);
+  const rewrite::PassCounters* c = out.counters_for("selection_pushdown");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->applied, 1u);
+  EXPECT_EQ(out.counters_for("no_such_pass"), nullptr);
+}
+
+// -- Pass semantics ----------------------------------------------------------
+
+TEST(RewritePassTest, PushdownShrinksBaseTablesAndClearsFilters) {
+  Workload w = MakeWorkload(5, JoinGraphShape::kChain, 4, 0.0, 1.0);
+  ASSERT_GT(w.query.num_filters(), 0);
+  rewrite::PassManager mgr;
+  mgr.Add(rewrite::MakeSelectionPushdownPass());
+  rewrite::RewriteOutcome out = mgr.Run(w.query, w.catalog);
+  EXPECT_EQ(out.query.num_filters(), 0);
+  // Each filtered position's size distribution mean shrank by exactly the
+  // filter's mean selectivity (I4 mean conservation through the fold).
+  for (int i = 0; i < w.query.num_filters(); ++i) {
+    const FilterPredicate& f = w.query.filter(i);
+    double before =
+        w.catalog.table(w.query.table(f.table)).SizeDistribution().Mean();
+    double after = out.catalog.table(out.query.table(f.table))
+                       .SizeDistribution()
+                       .Mean();
+    EXPECT_NEAR(after, before * f.selectivity.Mean(),
+                1e-6 * before);
+  }
+}
+
+TEST(RewritePassTest, CrossProductPassConnectsDisconnectedGraphs) {
+  Workload w = MakeWorkload(9, JoinGraphShape::kChain, 6, 0.0, 0.0,
+                            /*components=*/2);
+  ASSERT_FALSE(w.query.IsConnected(w.query.AllTables()));
+  rewrite::PassManager mgr;
+  mgr.Add(rewrite::MakeCrossProductAvoidancePass());
+  rewrite::RewriteOutcome out = mgr.Run(w.query, w.catalog);
+  EXPECT_TRUE(out.query.IsConnected(out.query.AllTables()));
+  // Derived edges are exactly selectivity-1 point masses: the unique
+  // selectivity conserving |A x B| = |A| * |B|.
+  for (int i = w.query.num_predicates(); i < out.query.num_predicates();
+       ++i) {
+    EXPECT_DOUBLE_EQ(out.query.predicate(i).selectivity.Mean(), 1.0);
+  }
+  // Connected graphs are left alone.
+  Workload conn = MakeWorkload(9, JoinGraphShape::kChain, 6);
+  rewrite::RewriteOutcome noop = mgr.Run(conn.query, conn.catalog);
+  EXPECT_EQ(noop.total_applied(), 0u);
+}
+
+TEST(RewritePassTest, RedundantMergeConservesCombinedSelectivity) {
+  Catalog catalog;
+  Query q;
+  q.AddTable(catalog.AddTable("a", 1000));
+  q.AddTable(catalog.AddTable("b", 2000));
+  q.AddPredicate(0, 1, 1e-3);
+  q.AddPredicate(0, 1, 1e-2);
+  q.AddPredicate(0, 1, 0.5);
+  rewrite::PassManager mgr;
+  mgr.Add(rewrite::MakeRedundantPredicatePass());
+  rewrite::RewriteOutcome out = mgr.Run(q, catalog);
+  ASSERT_EQ(out.query.num_predicates(), 1);
+  EXPECT_NEAR(out.query.predicate(0).selectivity.Mean(), 1e-3 * 1e-2 * 0.5,
+              1e-15);
+}
+
+TEST(RewritePassTest, RedundantMergeRemapsRequiredOrder) {
+  Catalog catalog;
+  Query q;
+  q.AddTable(catalog.AddTable("a", 1000));
+  q.AddTable(catalog.AddTable("b", 2000));
+  q.AddTable(catalog.AddTable("c", 3000));
+  q.AddPredicate(0, 1, 1e-3);
+  q.AddPredicate(0, 1, 1e-2);  // parallel duplicate of predicate 0
+  int tail = q.AddPredicate(1, 2, 1e-4);
+  q.RequireOrder(tail);
+  rewrite::PassManager mgr;
+  mgr.Add(rewrite::MakeRedundantPredicatePass());
+  rewrite::RewriteOutcome out = mgr.Run(q, catalog);
+  ASSERT_EQ(out.query.num_predicates(), 2);
+  // The ORDER BY followed its predicate to its post-merge index.
+  ASSERT_TRUE(out.query.required_order().has_value());
+  const JoinPredicate& ordered =
+      out.query.predicate(*out.query.required_order());
+  EXPECT_TRUE((ordered.left == 1 && ordered.right == 2) ||
+              (ordered.left == 2 && ordered.right == 1));
+}
+
+// -- Canonicalization invariance --------------------------------------------
+
+QuerySignature SignatureOf(const Workload& w, const CostModel& model,
+                           const Distribution& memory) {
+  rewrite::RewriteOutcome out =
+      rewrite::StandardPassManager().Run(w.query, w.catalog);
+  OptimizeRequest req;
+  req.query = &out.query;
+  req.catalog = &out.catalog;
+  req.model = &model;
+  req.memory = &memory;
+  return QuerySignature::Compute(StrategyId::kLecStatic, req);
+}
+
+TEST(RewriteCanonicalizationTest, EveryRelabelingSharesSignatureBytes) {
+  CostModel model;
+  Distribution memory = Distribution::PointMass(64);
+  Rng rng(99);
+  int checked = 0;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    JoinGraphShape shape = static_cast<JoinGraphShape>(seed % 5);
+    Workload w = MakeWorkload(seed * 17, shape, 5,
+                              /*redundant=*/0.4, /*filters=*/0.6);
+    rewrite::RewriteOutcome canon =
+        rewrite::StandardPassManager().Run(w.query, w.catalog);
+    std::vector<uint64_t> keys =
+        rewrite::CanonicalPositionKeys(canon.query, canon.catalog);
+    std::sort(keys.begin(), keys.end());
+    if (std::adjacent_find(keys.begin(), keys.end()) != keys.end()) {
+      continue;  // tied keys: sharing not guaranteed (documented)
+    }
+    ++checked;
+    QuerySignature base = SignatureOf(w, model, memory);
+    for (int trial = 0; trial < 4; ++trial) {
+      std::vector<int> perm(5);
+      for (int p = 0; p < 5; ++p) perm[static_cast<size_t>(p)] = p;
+      for (int p = 4; p > 0; --p) {
+        std::swap(perm[static_cast<size_t>(p)],
+                  perm[static_cast<size_t>(rng.UniformInt(0, p))]);
+      }
+      QuerySignature relabeled = SignatureOf(Relabel(w, perm), model, memory);
+      EXPECT_EQ(relabeled.canonical, base.canonical)
+          << "seed " << seed << " trial " << trial;
+      EXPECT_EQ(relabeled.hash, base.hash);
+    }
+  }
+  // The distinctness gate must not silently void the test.
+  EXPECT_GE(checked, 5);
+}
+
+TEST(RewriteCanonicalizationTest, PositionMapIsAPermutation) {
+  Workload w = MakeWorkload(21, JoinGraphShape::kRandom, 6,
+                            /*redundant=*/0.5, /*filters=*/0.5);
+  rewrite::RewriteOutcome out =
+      rewrite::StandardPassManager().Run(w.query, w.catalog);
+  ASSERT_EQ(out.position_map.size(), 6u);
+  std::vector<QueryPos> sorted = out.position_map;
+  std::sort(sorted.begin(), sorted.end());
+  for (QueryPos p = 0; p < 6; ++p) EXPECT_EQ(sorted[p], p);
+  // The table at rewritten position p is the original position_map[p]'s
+  // table (possibly replaced by its filtered twin, which keeps the name
+  // as a prefix).
+  for (QueryPos p = 0; p < 6; ++p) {
+    const std::string& rewritten =
+        out.catalog.table(out.query.table(p)).name;
+    const std::string& original =
+        w.catalog.table(w.query.table(out.position_map[p])).name;
+    EXPECT_EQ(rewritten.compare(0, original.size(), original), 0)
+        << rewritten << " vs " << original;
+  }
+}
+
+}  // namespace
+}  // namespace lec

@@ -1,26 +1,38 @@
 // Golden-snapshot stability for the serving wire format.
 //
-// Two artifacts are checked in under tests/golden/ and pinned
-// byte-for-byte:
+// Artifacts are checked in under tests/golden/ and pinned byte-for-byte,
+// named by the WIRE version they were written at:
 //
-//   serde_snapshot_v1.txt      one serialized ServeRequest + the
+//   serde_snapshot_v3.txt      one serialized ServeRequest + the
 //                              OptimizeResult lec_static computes for it
-//   plan_cache_snapshot_v1.txt a PlanCache snapshot holding lec_static and
+//   plan_cache_snapshot_v3.txt a PlanCache snapshot holding lec_static and
 //                              algorithm_d entries for the same workload
+//   query_signature_v3.bin     the raw canonical QuerySignature bytes
+//                              (schema v3) of the lec_static request
+//   serde_snapshot_v1.txt      the same bundle as written by the previous
+//                              wire format (version-2 stream; the name
+//                              predates the by-version convention)
+//   plan_cache_snapshot_v1.txt ditto for the cache snapshot — kept as the
+//                              record of what old snapshots look like, and
+//                              as the fixture for the v2→v3 signature
+//                              upgrade path (QuerySignature::
+//                              UpgradeCanonical)
 //
 // Together they pin three things at once: the wire format (any token
 // added, removed or re-ordered changes the bytes), the hex-float encoding
 // (any bit of any double changes the bytes), and compute determinism (the
 // stored objective is the optimizer's actual output — if the DP starts
 // producing different bits, this test is the tripwire). A version bump of
-// kFormatVersion must come with NEW golden files (v2), keeping the v1
-// files as the record of what old snapshots looked like.
+// kFormatVersion must come with NEW golden files (v4, ...), keeping the
+// old files as the record — and as upgrade-path fixtures while the old
+// version stays inside [kMinReadVersion, kFormatVersion].
 //
 // Regenerating after an intentional format change:
 //
 //   UPDATE_GOLDEN=1 ctest -R SerdeGolden
 //
-// then review the diff like any other code change.
+// then review the diff like any other code change. Only the
+// current-version files regenerate; the old-version files are frozen.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -122,31 +134,47 @@ TEST_F(SerdeGoldenTest, RequestAndResultBundleIsByteStable) {
   serde::Writer w(out);
   serde::Write(w, request);
   serde::Write(w, result);
-  CheckGolden("serde_snapshot_v1.txt", out.str());
+  CheckGolden("serde_snapshot_v3.txt", out.str());
 }
 
 TEST_F(SerdeGoldenTest, GoldenBundleDeserializesAndReproducesTheObjective) {
-  std::string golden = ReadFile(GoldenPath("serde_snapshot_v1.txt"));
-  if (golden.empty()) GTEST_SKIP() << "golden not generated yet";
-  std::istringstream in(golden);
-  serde::Reader r(in);
-  serde::ServeRequest request = serde::ReadServeRequest(r);
-  OptimizeResult stored = serde::ReadOptimizeResult(r);
+  // Both the current bundle and the frozen version-2 one (the wire window
+  // is [kMinReadVersion, kFormatVersion] = [2, 3]) must parse and replay
+  // to identical bits — v2 streams simply lack the v3 trailing fields,
+  // which take their defaults.
+  for (const char* name : {"serde_snapshot_v3.txt", "serde_snapshot_v1.txt"}) {
+    SCOPED_TRACE(name);
+    std::string golden = ReadFile(GoldenPath(name));
+    if (golden.empty()) GTEST_SKIP() << name << " not generated yet";
+    std::istringstream in(golden);
+    serde::Reader r(in);
+    serde::ServeRequest request = serde::ReadServeRequest(r);
+    OptimizeResult stored = serde::ReadOptimizeResult(r);
 
-  // Re-optimizing the DESERIALIZED request must land on the stored result
-  // exactly: save → load → serve reproduces identical objectives/plans.
-  OptimizeRequest req;
-  req.query = &request.workload.query;
-  req.catalog = &request.workload.catalog;
-  req.model = &model_;
-  req.memory = &request.memory;
-  req.options = request.options;
-  Optimizer optimizer;
-  OptimizeResult recomputed =
-      optimizer.Optimize(*ParseStrategy(request.strategy), req);
-  EXPECT_EQ(recomputed.objective, stored.objective);
-  EXPECT_TRUE(PlanEquals(recomputed.plan, stored.plan));
-  EXPECT_EQ(recomputed.cost_evaluations, stored.cost_evaluations);
+    // Re-optimizing the DESERIALIZED request must land on the stored
+    // result exactly: save → load → serve reproduces identical
+    // objectives/plans.
+    OptimizeRequest req;
+    req.query = &request.workload.query;
+    req.catalog = &request.workload.catalog;
+    req.model = &model_;
+    req.memory = &request.memory;
+    req.options = request.options;
+    Optimizer optimizer;
+    OptimizeResult recomputed =
+        optimizer.Optimize(*ParseStrategy(request.strategy), req);
+    EXPECT_EQ(recomputed.objective, stored.objective);
+    EXPECT_TRUE(PlanEquals(recomputed.plan, stored.plan));
+    EXPECT_EQ(recomputed.cost_evaluations, stored.cost_evaluations);
+  }
+}
+
+TEST_F(SerdeGoldenTest, QuerySignatureBytesAreByteStable) {
+  // The schema-v3 canonical signature, pinned raw: these bytes are the
+  // plan cache's key, so any drift silently severs every warm snapshot.
+  QuerySignature sig =
+      QuerySignature::Compute(StrategyId::kLecStatic, RequestFor(nullptr));
+  CheckGolden("query_signature_v3.bin", sig.canonical);
 }
 
 TEST_F(SerdeGoldenTest, PlanCacheSnapshotIsByteStableAndServes) {
@@ -158,11 +186,11 @@ TEST_F(SerdeGoldenTest, PlanCacheSnapshotIsByteStableAndServes) {
                  PinnedOptimize(id));
   }
   std::string snapshot = cache.SaveSnapshot();
-  CheckGolden("plan_cache_snapshot_v1.txt", snapshot);
+  CheckGolden("plan_cache_snapshot_v3.txt", snapshot);
 
   // A service warm-loading the GOLDEN snapshot serves both strategies from
   // cache, bit-identically to recomputing.
-  std::string golden = ReadFile(GoldenPath("plan_cache_snapshot_v1.txt"));
+  std::string golden = ReadFile(GoldenPath("plan_cache_snapshot_v3.txt"));
   if (golden.empty()) GTEST_SKIP() << "golden not generated yet";
   PlanCache warmed;
   ASSERT_EQ(warmed.LoadSnapshot(golden), 2u);
@@ -178,6 +206,38 @@ TEST_F(SerdeGoldenTest, PlanCacheSnapshotIsByteStableAndServes) {
   // And the reloaded cache re-saves the identical bytes (canonical entry
   // order makes snapshots a function of contents, not history).
   EXPECT_EQ(warmed.SaveSnapshot(), golden);
+}
+
+TEST_F(SerdeGoldenTest, V2SnapshotUpgradesAndKeepsServingHits) {
+  // The frozen version-2 snapshot is the upgrade-path fixture: LoadSnapshot
+  // runs every entry's canonical signature through
+  // QuerySignature::UpgradeCanonical, so yesterday's cache must keep
+  // serving today's (schema-v3) requests from warm entries — bit-identical
+  // to recomputing.
+  std::string old = ReadFile(GoldenPath("plan_cache_snapshot_v1.txt"));
+  ASSERT_FALSE(old.empty()) << "frozen v2-era golden missing";
+  PlanCache warmed;
+  ASSERT_EQ(warmed.LoadSnapshot(old), 2u);
+  for (StrategyId id : {StrategyId::kLecStatic, StrategyId::kAlgorithmD}) {
+    OptimizeResult served = optimizer_.Optimize(id, RequestFor(&warmed));
+    OptimizeResult recomputed = PinnedOptimize(id);
+    EXPECT_EQ(served.objective, recomputed.objective);
+    EXPECT_TRUE(PlanEquals(served.plan, recomputed.plan));
+    EXPECT_EQ(served.cost_evaluations, recomputed.cost_evaluations);
+  }
+  EXPECT_EQ(warmed.stats().hits, 2u);
+  EXPECT_EQ(warmed.stats().misses, 0u);
+
+  // Upgraded entries re-save as EXACT current-version bytes: the upgraded
+  // cache and a freshly computed one are indistinguishable on disk.
+  std::string fresh = ReadFile(GoldenPath("plan_cache_snapshot_v3.txt"));
+  if (!fresh.empty()) EXPECT_EQ(warmed.SaveSnapshot(), fresh);
+
+  // And the raw signature upgrade is idempotent: v3 bytes pass through
+  // unchanged.
+  QuerySignature sig =
+      QuerySignature::Compute(StrategyId::kLecStatic, RequestFor(nullptr));
+  EXPECT_EQ(QuerySignature::UpgradeCanonical(sig.canonical), sig.canonical);
 }
 
 }  // namespace

@@ -106,7 +106,7 @@ TEST(SerdeDistributionTest, TextEncodingUsesHexFloats) {
 
 /// Tokenized text for one crafted "dist" payload, with a valid header.
 std::string CraftedDist(const std::string& body) {
-  return "lecser text 1 \ndist " + body;
+  return "lecser text 3 \ndist " + body;
 }
 
 TEST(SerdeDistributionTest, RejectsNaNValue) {
@@ -176,6 +176,13 @@ TEST(SerdeFramingTest, RejectsFutureVersion) {
                SerdeError);
 }
 
+TEST(SerdeFramingTest, RejectsPreWindowVersion) {
+  // Version 1 predates kMinReadVersion: streams that old are refused
+  // outright rather than misparsed.
+  EXPECT_THROW(FromString<Distribution>("lecser text 1 \ndist 1 0x1p+0 "),
+               SerdeError);
+}
+
 TEST(SerdeFramingTest, RejectsTruncatedInput) {
   // (Cutting only the final separator space would still parse — tokens
   // self-delimit at EOF — so every cut here lands inside a token or
@@ -241,7 +248,7 @@ TEST(SerdeMarkovTest, NormalizedNonDyadicRowsRoundTripBitIdentically) {
 TEST(SerdeMarkovTest, RejectsDenormalizedRow) {
   EXPECT_THROW(
       FromString<MarkovChain>(
-          "lecser text 1 \nmarkov 2 0x1p+0 0x1p+1 "
+          "lecser text 3 \nmarkov 2 0x1p+0 0x1p+1 "
           "0x1p-1 0x1p-1 0x1p-2 0x1p-2 "),
       SerdeError);
 }
@@ -249,7 +256,7 @@ TEST(SerdeMarkovTest, RejectsDenormalizedRow) {
 TEST(SerdeMarkovTest, RejectsNegativeEntry) {
   EXPECT_THROW(
       FromString<MarkovChain>(
-          "lecser text 1 \nmarkov 2 0x1p+0 0x1p+1 "
+          "lecser text 3 \nmarkov 2 0x1p+0 0x1p+1 "
           "0x1.8p+0 -0x1p-1 0x0p+0 0x1p+0 "),
       SerdeError);
 }

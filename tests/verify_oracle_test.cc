@@ -10,6 +10,7 @@
 #include "optimizer/bushy.h"
 #include "optimizer/optimizer.h"
 #include "query/generator.h"
+#include "rewrite/rewrite.h"
 #include "verify/tolerance.h"
 
 namespace lec::verify {
@@ -240,6 +241,70 @@ TEST(OracleTest, ManySolvesMatchSingleSolvesOverOnePass) {
       std::invalid_argument);
   EXPECT_THROW(SolveOracleMany(w.query, w.catalog, c.model, c.memory, {}),
                std::invalid_argument);
+}
+
+// All five shapes with redundant parallel edges, per-table filters and one
+// deliberately disconnected instance: the oracle grades the rewrite layer
+// by true optimum — no single pass, and not the full pipeline, may ever
+// increase it (push-down shrinks inputs, redundant merge conserves the
+// combined selectivity, derived sel-1 edges only widen the plan space,
+// canonicalization is a relabeling).
+TEST(OracleTest, RewritesNeverIncreaseOracleRegret) {
+  Corpus c = MakeCorpus();
+  Rng rng(717);
+  std::vector<Workload> structured;
+  const struct {
+    JoinGraphShape shape;
+    int tables;
+    int components;
+  } specs[] = {
+      {JoinGraphShape::kChain, 5, 1},  {JoinGraphShape::kStar, 4, 1},
+      {JoinGraphShape::kCycle, 4, 1},  {JoinGraphShape::kClique, 4, 1},
+      {JoinGraphShape::kRandom, 5, 1}, {JoinGraphShape::kChain, 6, 2},
+  };
+  for (const auto& spec : specs) {
+    WorkloadOptions wopts;
+    wopts.num_tables = spec.tables;
+    wopts.shape = spec.shape;
+    wopts.redundant_edge_probability = 0.6;
+    wopts.filter_probability = 0.6;
+    wopts.num_components = spec.components;
+    wopts.order_by_probability = 0.5;
+    structured.push_back(GenerateWorkload(wopts, &rng));
+  }
+
+  OracleOptions oopt;
+  oopt.objective = OracleObjective::kLecStatic;
+  oopt.collect_spectrum = false;
+  auto leg = [&]() {
+    std::vector<rewrite::PassManager> legs;
+    rewrite::PassManager m1, m2, m3, m4;
+    m1.Add(rewrite::MakeSelectionPushdownPass());
+    m2.Add(rewrite::MakeRedundantPredicatePass());
+    m3.Add(rewrite::MakeCrossProductAvoidancePass());
+    m4.Add(rewrite::MakeCanonicalizationPass());
+    legs.push_back(std::move(m1));
+    legs.push_back(std::move(m2));
+    legs.push_back(std::move(m3));
+    legs.push_back(std::move(m4));
+    legs.push_back(rewrite::StandardPassManager());
+    return legs;
+  };
+  for (size_t wi = 0; wi < structured.size(); ++wi) {
+    const Workload& w = structured[wi];
+    OracleResult raw =
+        SolveOracle(w.query, w.catalog, c.model, c.memory, oopt);
+    for (rewrite::PassManager& mgr : leg()) {
+      rewrite::RewriteOutcome out = mgr.Run(w.query, w.catalog);
+      OracleResult rw =
+          SolveOracle(out.query, out.catalog, c.model, c.memory, oopt);
+      // True regret of the rewritten optimum against the raw optimum is
+      // never positive: raw is no better than rewritten.
+      EXPECT_TRUE(NoBetterThan(raw.best_objective, rw.best_objective))
+          << "workload " << wi << ": rewritten " << rw.best_objective
+          << " vs raw " << raw.best_objective;
+    }
+  }
 }
 
 TEST(OracleTest, ObjectiveNamesAreStable) {
